@@ -1,0 +1,91 @@
+package khop
+
+import (
+	"repro/internal/broadcast"
+	"repro/internal/cluster"
+	"repro/internal/gateway"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// BroadcastStats summarizes one simulated broadcast.
+type BroadcastStats = broadcast.Stats
+
+// BroadcastPlan is a precomputed forwarding set for CDS-confined
+// broadcast: the CDS relays between clusters and each cluster's interior
+// dissemination tree relays to the fringe, so coverage of a connected
+// network is guaranteed while far fewer nodes transmit than in blind
+// flooding.
+type BroadcastPlan struct {
+	g    *graph.Graph
+	plan *broadcast.Plan
+}
+
+// NewBroadcastPlan derives the forwarding set from a built Result.
+func NewBroadcastPlan(g *Graph, res *Result) *BroadcastPlan {
+	c, gres := res.internals()
+	return &BroadcastPlan{g: g.g, plan: broadcast.NewPlan(g.g, c, gres)}
+}
+
+// ForwarderCount returns how many nodes retransmit under the plan.
+func (p *BroadcastPlan) ForwarderCount() int { return p.plan.ForwarderCount() }
+
+// Forwards reports whether node v retransmits under the plan.
+func (p *BroadcastPlan) Forwards(v int) bool { return p.plan.Forwards(v) }
+
+// Broadcast simulates a broadcast from src using the plan.
+func (p *BroadcastPlan) Broadcast(src int) BroadcastStats { return p.plan.Run(p.g, src) }
+
+// BlindFlood simulates the baseline where every node retransmits once.
+func BlindFlood(g *Graph, src int) BroadcastStats { return broadcast.Blind(g.g, src) }
+
+// Router routes packets hierarchically over a built Result: inside the
+// source cluster to the clusterhead, across the clusterhead backbone via
+// the gateway paths, then down into the destination cluster. Members
+// keep one routing entry (toward their head); only heads keep backbone
+// state.
+type Router struct {
+	r *routing.Router
+}
+
+// NewRouter builds a hierarchical router from a built Result.
+func NewRouter(g *Graph, res *Result) *Router {
+	c, gres := res.internals()
+	return &Router{r: routing.New(g.g, c, gres)}
+}
+
+// Route returns the hierarchical route from src to dst, endpoints
+// included.
+func (r *Router) Route(src, dst int) ([]int, error) { return r.r.Route(src, dst) }
+
+// Stretch returns hierarchical route length divided by the flat shortest
+// path length (1.0 = optimal).
+func (r *Router) Stretch(src, dst int) (float64, error) { return r.r.Stretch(src, dst) }
+
+// TableSizes returns the total routing entries needed network-wide by
+// flat link-state routing vs this hierarchical scheme.
+func (r *Router) TableSizes() (flat, hierarchical int) { return r.r.TableSizes() }
+
+// internals reconstructs the internal clustering and gateway structures
+// a Result was assembled from. The paths and links are rebuilt from
+// GatewayPaths, so results returned by BuildDistributed (which does not
+// track paths) must not be used here — Build results always work.
+func (r *Result) internals() (*cluster.Clustering, *gateway.Result) {
+	c := &cluster.Clustering{
+		K:          r.K,
+		Head:       r.HeadOf,
+		Heads:      r.Heads,
+		DistToHead: r.DistToHead,
+	}
+	gres := &gateway.Result{
+		Algorithm: r.Algorithm,
+		Gateways:  r.Gateways,
+		CDS:       r.CDS,
+		Paths:     r.GatewayPaths,
+	}
+	for link, path := range r.GatewayPaths {
+		gres.Links = append(gres.Links, graph.WEdge{U: link[0], V: link[1], Weight: len(path) - 1})
+	}
+	graph.SortWEdges(gres.Links)
+	return c, gres
+}

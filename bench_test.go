@@ -1,0 +1,388 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure.
+//
+// Each figure bench processes one random instance of that figure's
+// workload per iteration and reports the paper's metric (mean CDS size,
+// clusterhead count, protocol transmissions, …) via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the series the figures plot. Full sweeps over all node counts
+// with the paper's ±1% @ 90% stopping rule are produced by cmd/khopsim;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+package khop
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/broadcast"
+	"repro/internal/cluster"
+	"repro/internal/energy"
+	"repro/internal/experiment"
+	"repro/internal/gateway"
+	"repro/internal/maxmin"
+	"repro/internal/mobility"
+	"repro/internal/ncr"
+	"repro/internal/proto"
+	"repro/internal/routing"
+	"repro/internal/udg"
+)
+
+// benchInstance generates one connected clustered instance, failing the
+// benchmark on generator errors.
+func benchInstance(b *testing.B, n int, deg float64, k int, rng *rand.Rand) *experiment.Instance {
+	b.Helper()
+	inst, err := experiment.NewInstance(n, deg, k, cluster.AffiliationID, nil, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+// cdsFigureBench is the common harness for Figures 5 and 6: per
+// iteration, one N=100 instance evaluated by all five algorithms; the
+// reported metrics are the per-algorithm mean CDS sizes.
+func cdsFigureBench(b *testing.B, degree float64, k int) {
+	rng := rand.New(rand.NewSource(int64(k)*1000 + int64(degree)))
+	sums := make([]float64, len(gateway.Algorithms))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := benchInstance(b, 100, degree, k, rng)
+		for ai, algo := range gateway.Algorithms {
+			sums[ai] += float64(gateway.Run(inst.Net.G, inst.C, algo).CDSSize())
+		}
+	}
+	b.StopTimer()
+	for ai, algo := range gateway.Algorithms {
+		b.ReportMetric(sums[ai]/float64(b.N), algo.String()+"_cds")
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5 (sparse, D=6): CDS size per
+// algorithm for k = 1..4 at N = 100.
+func BenchmarkFig5(b *testing.B) {
+	for _, k := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) { cdsFigureBench(b, 6, k) })
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6 (dense, D=10).
+func BenchmarkFig6(b *testing.B) {
+	for _, k := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) { cdsFigureBench(b, 10, k) })
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7: number of clusterheads (a) and CDS
+// size (b) under AC-LMST for each k, D=6, N=100.
+func BenchmarkFig7(b *testing.B) {
+	for _, k := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(k) * 77))
+			var headSum, cdsSum float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst := benchInstance(b, 100, 6, k, rng)
+				res := gateway.Run(inst.Net.G, inst.C, gateway.ACLMST)
+				headSum += float64(inst.C.NumClusters())
+				cdsSum += float64(res.CDSSize())
+			}
+			b.StopTimer()
+			b.ReportMetric(headSum/float64(b.N), "clusterheads")
+			b.ReportMetric(cdsSum/float64(b.N), "cds")
+		})
+	}
+}
+
+// BenchmarkFig4Example regenerates the Figure 4 scenario: one N=100,
+// D=6, k=3 instance connected by each algorithm; metrics are gateway
+// counts (the numbers quoted in the paper's §3.2 walkthrough).
+func BenchmarkFig4Example(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	counts := make([]float64, len(gateway.Algorithms))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := benchInstance(b, 100, 6, 3, rng)
+		for ai, algo := range gateway.Algorithms {
+			counts[ai] += float64(gateway.Run(inst.Net.G, inst.C, algo).NumGateways())
+		}
+	}
+	b.StopTimer()
+	for ai, algo := range gateway.Algorithms {
+		b.ReportMetric(counts[ai]/float64(b.N), algo.String()+"_gateways")
+	}
+}
+
+// BenchmarkOverhead regenerates the conclusion's future-work experiment:
+// total radio transmissions of the full distributed AC-LMST protocol as
+// k grows (N=100, D=6).
+func BenchmarkOverhead(b *testing.B) {
+	for _, k := range []int{1, 2, 3, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(k) * 31))
+			var tx, rounds float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst := benchInstance(b, 100, 6, k, rng)
+				res, err := proto.Run(inst.Net.G, proto.Options{K: k, Rule: ncr.RuleANCR, UseLMST: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tx += float64(res.Total.Transmissions)
+				rounds += float64(res.Total.Rounds)
+			}
+			b.StopTimer()
+			b.ReportMetric(tx/float64(b.N), "transmissions")
+			b.ReportMetric(rounds/float64(b.N), "rounds")
+		})
+	}
+}
+
+// BenchmarkMaintenance regenerates the §3.3 dynamic-maintenance
+// experiment: per iteration, one N=100 network loses half its nodes one
+// by one; metrics are the share of free (member) departures and the mean
+// re-clustered nodes per head departure.
+func BenchmarkMaintenance(b *testing.B) {
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(k) * 13))
+			var memberFrac, recluster float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst := benchInstance(b, 100, 6, k, rng)
+				m := mobility.NewMaintainer(inst.Net.G, k, gateway.ACLMST)
+				members, heads, reclustered := 0, 0, 0
+				for _, node := range rng.Perm(100)[:50] {
+					rep, err := m.Depart(node)
+					if err != nil {
+						b.Fatal(err)
+					}
+					switch rep.Role {
+					case mobility.RoleMember:
+						members++
+					case mobility.RoleHead:
+						heads++
+						reclustered += rep.ReclusteredNodes
+					}
+				}
+				memberFrac += float64(members) / 50
+				if heads > 0 {
+					recluster += float64(reclustered) / float64(heads)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(memberFrac/float64(b.N), "member_frac")
+			b.ReportMetric(recluster/float64(b.N), "reclustered_per_head")
+		})
+	}
+}
+
+// BenchmarkAblationAffiliation compares the three member affiliation
+// rules (§3 rules (1)–(3)) at N=100, D=6, k=2 under AC-LMST.
+func BenchmarkAblationAffiliation(b *testing.B) {
+	for _, aff := range []cluster.Affiliation{cluster.AffiliationID, cluster.AffiliationDistance, cluster.AffiliationSize} {
+		b.Run(aff.String(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(5))
+			var sum float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst, err := experiment.NewInstance(100, 6, 2, aff, nil, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += float64(gateway.Run(inst.Net.G, inst.C, gateway.ACLMST).CDSSize())
+			}
+			b.StopTimer()
+			b.ReportMetric(sum/float64(b.N), "cds")
+		})
+	}
+}
+
+// BenchmarkAblationKeepRule compares LMSTGA's union vs intersection
+// link keeping on identical instances.
+func BenchmarkAblationKeepRule(b *testing.B) {
+	for _, keep := range []gateway.KeepRule{gateway.KeepUnion, gateway.KeepIntersection} {
+		b.Run(keep.String(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(6))
+			var sum float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst := benchInstance(b, 100, 6, 2, rng)
+				sel := ncr.ANCR(inst.Net.G, inst.C)
+				sum += float64(gateway.LMST(inst.Net.G, inst.C, sel, gateway.ACLMST, keep).CDSSize())
+			}
+			b.StopTimer()
+			b.ReportMetric(sum/float64(b.N), "cds")
+		})
+	}
+}
+
+// BenchmarkBroadcast regenerates the motivating-application experiment:
+// transmissions of blind flooding vs CDS-confined broadcast (N=150,
+// D=8, AC-LMST) per k.
+func BenchmarkBroadcast(b *testing.B) {
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(k) * 17))
+			var blindTx, cdsTx float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst := benchInstance(b, 150, 8, k, rng)
+				res := gateway.Run(inst.Net.G, inst.C, gateway.ACLMST)
+				bl, cds, _ := broadcast.Compare(inst.Net.G, inst.C, res, rng.Intn(150))
+				if !cds.Covered {
+					b.Fatal("CDS broadcast did not cover")
+				}
+				blindTx += float64(bl.Transmissions)
+				cdsTx += float64(cds.Transmissions)
+			}
+			b.StopTimer()
+			b.ReportMetric(blindTx/float64(b.N), "blind_tx")
+			b.ReportMetric(cdsTx/float64(b.N), "cds_tx")
+		})
+	}
+}
+
+// BenchmarkRouting regenerates the hierarchical-routing experiment: mean
+// path stretch and table footprint per k (N=100, D=7).
+func BenchmarkRouting(b *testing.B) {
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(k) * 19))
+			var stretchSum, tableSum float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst := benchInstance(b, 100, 7, k, rng)
+				res := gateway.Run(inst.Net.G, inst.C, gateway.ACLMST)
+				router := routing.New(inst.Net.G, inst.C, res)
+				var s float64
+				for p := 0; p < 20; p++ {
+					st, err := router.Stretch(rng.Intn(100), rng.Intn(100))
+					if err != nil {
+						b.Fatal(err)
+					}
+					s += st
+				}
+				stretchSum += s / 20
+				_, hier := router.TableSizes()
+				tableSum += float64(hier)
+			}
+			b.StopTimer()
+			b.ReportMetric(stretchSum/float64(b.N), "stretch")
+			b.ReportMetric(tableSum/float64(b.N), "table_entries")
+		})
+	}
+}
+
+// BenchmarkEnergyLifetime regenerates the §3.3 power-aware experiment:
+// first-death epoch under static vs rotated clusterheads (N=100, D=7,
+// k=2).
+func BenchmarkEnergyLifetime(b *testing.B) {
+	for _, policy := range []energy.Policy{energy.PolicyStatic, energy.PolicyRotate} {
+		b.Run(policy.String(), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(23))
+			var sum float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				inst := benchInstance(b, 100, 7, 2, rng)
+				lt, err := energy.Lifetime(inst.Net.G, 2, gateway.ACLMST, energy.DefaultModel(), policy, 500)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sum += float64(lt)
+			}
+			b.StopTimer()
+			b.ReportMetric(sum/float64(b.N), "first_death_epoch")
+		})
+	}
+}
+
+// BenchmarkClusteringComparison pits the paper's lowest-ID k-hop
+// clustering against Max-Min d-cluster formation [2] on the same
+// instances (N=100, D=6, k=d=2, AC-LMST on top of both).
+func BenchmarkClusteringComparison(b *testing.B) {
+	rng := rand.New(rand.NewSource(29))
+	var lowCDS, mmCDS float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst := benchInstance(b, 100, 6, 2, rng)
+		lowCDS += float64(gateway.Run(inst.Net.G, inst.C, gateway.ACLMST).CDSSize())
+		mmC := maxmin.Run(inst.Net.G, 2)
+		mmCDS += float64(gateway.Run(inst.Net.G, mmC, gateway.ACLMST).CDSSize())
+	}
+	b.StopTimer()
+	b.ReportMetric(lowCDS/float64(b.N), "lowest_id_cds")
+	b.ReportMetric(mmCDS/float64(b.N), "maxmin_cds")
+}
+
+// --- micro-benchmarks of the building blocks ----------------------------
+
+func BenchmarkUDGGenerate(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		if _, err := udg.Generate(udg.Config{N: 200, AvgDegree: 6, RequireConnected: true}, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterRun(b *testing.B) {
+	for _, k := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			net, err := udg.Generate(udg.Config{N: 200, AvgDegree: 6, RequireConnected: true}, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cluster.Run(net.G, cluster.Options{K: k})
+			}
+		})
+	}
+}
+
+func BenchmarkGatewaySelection(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	net, err := udg.Generate(udg.Config{N: 200, AvgDegree: 6, RequireConnected: true}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := cluster.Run(net.G, cluster.Options{K: 2})
+	for _, algo := range gateway.Algorithms {
+		b.Run(algo.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gateway.Run(net.G, c, algo)
+			}
+		})
+	}
+}
+
+func BenchmarkDistributedProtocol(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	net, err := udg.Generate(udg.Config{N: 100, AvgDegree: 6, RequireConnected: true}, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proto.Run(net.G, proto.Options{K: 2, Rule: ncr.RuleANCR, UseLMST: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPublicBuild(b *testing.B) {
+	net, err := RandomNetwork(NetworkConfig{N: 150, AvgDegree: 6, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := net.Graph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(g, Options{K: 2, Algorithm: ACLMST}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command khopcds builds one connected k-hop clustering and dumps it:
+// clusterheads, cluster membership, neighbor-head selection, gateways,
+// CDS, and (with -distributed) the protocol's per-phase message costs.
+// It verifies the paper's structural guarantees before printing.
+//
+//	khopcds -n 100 -d 6 -k 2 -algo AC-LMST -seed 1 -distributed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 100, "number of nodes")
+		d     = flag.Float64("d", 6, "average node degree")
+		k     = flag.Int("k", 2, "cluster radius in hops")
+		seed  = flag.Int64("seed", 1, "random seed")
+		algo  = flag.String("algo", "AC-LMST", "algorithm: NC-Mesh, AC-Mesh, NC-LMST, AC-LMST, G-MST")
+		dist  = flag.Bool("distributed", false, "run the distributed protocol and report message costs")
+		terse = flag.Bool("terse", false, "only print summary counts")
+	)
+	flag.Parse()
+
+	if err := run(*n, *d, *k, *seed, *algo, *dist, *terse); err != nil {
+		fmt.Fprintln(os.Stderr, "khopcds:", err)
+		os.Exit(1)
+	}
+}
+
+func parseAlgo(s string) (khop.Algorithm, error) {
+	for _, a := range []khop.Algorithm{khop.NCMesh, khop.ACMesh, khop.NCLMST, khop.ACLMST, khop.GMST} {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func run(n int, d float64, k int, seed int64, algoName string, dist, terse bool) error {
+	algo, err := parseAlgo(algoName)
+	if err != nil {
+		return err
+	}
+	net, err := khop.RandomNetwork(khop.NetworkConfig{N: n, AvgDegree: d, Seed: seed})
+	if err != nil {
+		return err
+	}
+	g := net.Graph()
+	opt := khop.Options{K: k, Algorithm: algo}
+
+	var res *khop.Result
+	var cost *khop.Cost
+	if dist {
+		res, cost, err = khop.BuildDistributed(g, opt)
+	} else {
+		res, err = khop.Build(g, opt)
+	}
+	if err != nil {
+		return err
+	}
+	if err := res.Verify(g); err != nil {
+		return fmt.Errorf("verification failed: %w", err)
+	}
+
+	fmt.Printf("network: N=%d, edges=%d, avg degree %.2f, range %.2f\n",
+		g.N(), g.M(), 2*float64(g.M())/float64(g.N()), net.TransmissionRange())
+	fmt.Printf("%s, k=%d: %d clusterheads, %d gateways, CDS size %d (verified)\n",
+		algo, k, len(res.Heads), len(res.Gateways), len(res.CDS))
+	if !terse {
+		fmt.Printf("clusterheads: %v\n", res.Heads)
+		fmt.Printf("gateways:     %v\n", res.Gateways)
+		for _, h := range res.Heads {
+			members := membersOf(res.HeadOf, h)
+			fmt.Printf("  cluster %3d: %2d members %v; neighbor heads %v\n",
+				h, len(members), members, res.NeighborHeads[h])
+		}
+	}
+	if cost != nil {
+		fmt.Printf("protocol cost: %d rounds, %d transmissions, %d deliveries\n",
+			cost.Rounds, cost.Transmissions, cost.Deliveries)
+		for _, ph := range cost.Phases {
+			fmt.Printf("  %-22s rounds=%3d tx=%5d rx=%6d\n", ph.Name, ph.Rounds, ph.Transmissions, ph.Deliveries)
+		}
+	}
+	return nil
+}
+
+func membersOf(headOf []int, h int) []int {
+	var out []int
+	for v, hv := range headOf {
+		if hv == h {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,277 @@
+// Command khopsim regenerates the paper's evaluation figures and the
+// extension experiments as text tables or CSV.
+//
+// Usage:
+//
+//	khopsim -fig 5            # Figure 5 (a)–(d): CDS size, D=6
+//	khopsim -fig 6            # Figure 6 (a)–(d): CDS size, D=10
+//	khopsim -fig 7            # Figure 7 (a)+(b): heads and CDS vs k
+//	khopsim -fig overhead     # protocol transmissions vs k (extension)
+//	khopsim -fig maintenance  # §3.3 dynamic repair costs (extension)
+//	khopsim -fig ablation     # affiliation/priority/keep-rule ablations
+//	khopsim -fig broadcast    # CDS broadcast savings (extension)
+//	khopsim -fig routing      # hierarchical routing stretch (extension)
+//	khopsim -fig energy       # lifetime, static vs rotate (extension)
+//	khopsim -fig stability    # structure stability under movement
+//	khopsim -fig comparison   # lowest-ID vs Max-Min clustering
+//	khopsim -fig robustness   # guarantee survival under message loss
+//	khopsim -claims           # check the paper's §4 conclusions
+//	khopsim -fig all          # everything above
+//
+// Flags -runs/-minruns trade precision for speed; -csv switches output
+// format; -seed fixes the randomness.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		figFlag  = flag.String("fig", "", "figure to regenerate: 5, 6, 7, overhead, maintenance, ablation, all")
+		claims   = flag.Bool("claims", false, "evaluate the paper's summarized conclusions against fresh sweeps")
+		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		maxRuns  = flag.Int("runs", 100, "maximum repetitions per configuration")
+		minRuns  = flag.Int("minruns", 20, "minimum repetitions per configuration")
+		overN    = flag.Int("overhead-n", 100, "node count for the overhead experiment")
+		overD    = flag.Float64("overhead-d", 6, "average degree for the overhead experiment")
+		overRuns = flag.Int("overhead-runs", 20, "repetitions for the overhead experiment")
+	)
+	flag.Parse()
+
+	if *figFlag == "" && !*claims {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	stop := metrics.PaperStopRule()
+	stop.MaxRuns = *maxRuns
+	if *minRuns > *maxRuns {
+		*minRuns = *maxRuns
+	}
+	stop.MinRuns = *minRuns
+
+	app := &app{csv: *csvOut, seed: *seed, stop: stop,
+		overN: *overN, overD: *overD, overRuns: *overRuns}
+
+	var err error
+	switch *figFlag {
+	case "":
+		// claims only
+	case "5":
+		err = app.cdsFigures(5)
+	case "6":
+		err = app.cdsFigures(6)
+	case "7":
+		err = app.fig7()
+	case "overhead":
+		err = app.overhead()
+	case "maintenance":
+		err = app.maintenance()
+	case "ablation":
+		err = app.ablations()
+	case "broadcast":
+		err = app.broadcast()
+	case "routing":
+		err = app.routing()
+	case "energy":
+		err = app.energy()
+	case "stability":
+		err = app.stability()
+	case "comparison":
+		err = app.comparison()
+	case "robustness":
+		err = app.robustness()
+	case "all":
+		for _, f := range []func() error{
+			func() error { return app.cdsFigures(5) },
+			func() error { return app.cdsFigures(6) },
+			app.fig7, app.overhead, app.maintenance, app.ablations,
+			app.broadcast, app.routing, app.energy, app.stability, app.comparison,
+			app.robustness,
+		} {
+			if err = f(); err != nil {
+				break
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown figure %q", *figFlag)
+	}
+	if err == nil && *claims {
+		err = app.claims()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khopsim:", err)
+		os.Exit(1)
+	}
+}
+
+type app struct {
+	csv      bool
+	seed     int64
+	stop     metrics.StopRule
+	overN    int
+	overD    float64
+	overRuns int
+}
+
+func (a *app) emit(fig *experiment.Figure) error {
+	if a.csv {
+		return fig.WriteCSV(os.Stdout)
+	}
+	if err := fig.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func (a *app) cdsFigures(id int) error {
+	gen := experiment.Fig5
+	if id == 6 {
+		gen = experiment.Fig6
+	}
+	figs, err := gen(a.seed, a.stop)
+	if err != nil {
+		return err
+	}
+	for _, fig := range figs {
+		if err := a.emit(fig); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *app) fig7() error {
+	heads, cds, err := experiment.Fig7(a.seed, a.stop)
+	if err != nil {
+		return err
+	}
+	if err := a.emit(heads); err != nil {
+		return err
+	}
+	return a.emit(cds)
+}
+
+func (a *app) overhead() error {
+	fig, err := experiment.Overhead(a.overN, a.overD, nil, a.overRuns, a.seed)
+	if err != nil {
+		return err
+	}
+	return a.emit(fig)
+}
+
+func (a *app) maintenance() error {
+	for _, k := range []int{1, 2, 3} {
+		res, err := experiment.Maintenance(100, 6, k, 10, a.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Maintenance (N=%d, k=%d, %d departures): member %.1f%%, gateway %.1f%% (mean %.1f heads re-select), head %.1f%% (mean %.1f nodes re-clustered)\n",
+			res.N, res.K, res.Departures,
+			100*res.MemberFrac, 100*res.GatewayFrac, res.MeanReselectedHeads,
+			100*res.HeadFrac, res.MeanReclustered)
+	}
+	fmt.Println()
+	return nil
+}
+
+func (a *app) ablations() error {
+	aff, err := experiment.AblationAffiliation(6, 2, a.stop, a.seed)
+	if err != nil {
+		return err
+	}
+	if err := a.emit(aff); err != nil {
+		return err
+	}
+	prio, err := experiment.AblationPriority(6, 2, a.stop, a.seed)
+	if err != nil {
+		return err
+	}
+	if err := a.emit(prio); err != nil {
+		return err
+	}
+	keep, err := experiment.AblationKeepRule(6, 2, a.stop, a.seed)
+	if err != nil {
+		return err
+	}
+	return a.emit(keep)
+}
+
+func (a *app) broadcast() error {
+	fig, err := experiment.BroadcastSavings(150, 8, nil, 20, a.seed)
+	if err != nil {
+		return err
+	}
+	return a.emit(fig)
+}
+
+func (a *app) routing() error {
+	stretch, tables, err := experiment.RoutingStretch(100, 7, nil, 10, 50, a.seed)
+	if err != nil {
+		return err
+	}
+	if err := a.emit(stretch); err != nil {
+		return err
+	}
+	return a.emit(tables)
+}
+
+func (a *app) energy() error {
+	fig, err := experiment.EnergyLifetime(100, 7, nil, 10, a.seed)
+	if err != nil {
+		return err
+	}
+	return a.emit(fig)
+}
+
+func (a *app) stability() error {
+	fig, err := experiment.Stability(100, 6, nil, 5, 2, 20, a.seed)
+	if err != nil {
+		return err
+	}
+	return a.emit(fig)
+}
+
+func (a *app) comparison() error {
+	fig, err := experiment.ClusteringComparison(6, 2, a.stop, a.seed)
+	if err != nil {
+		return err
+	}
+	return a.emit(fig)
+}
+
+func (a *app) robustness() error {
+	fig, err := experiment.Robustness(80, 6, 2, nil, 20, a.seed)
+	if err != nil {
+		return err
+	}
+	return a.emit(fig)
+}
+
+func (a *app) claims() error {
+	figs5, err := experiment.Fig5(a.seed, a.stop)
+	if err != nil {
+		return err
+	}
+	heads7, cds7, err := experiment.Fig7(a.seed, a.stop)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Paper §4 conclusions vs reproduction:")
+	for _, c := range experiment.CheckClaims(figs5, heads7, cds7) {
+		status := "HOLDS"
+		if !c.Holds {
+			status = "FAILS"
+		}
+		fmt.Printf("  [%s] %s — %s\n      %s\n", c.ID, status, c.Text, c.Detail)
+	}
+	return nil
+}

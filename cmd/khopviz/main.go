@@ -1,0 +1,74 @@
+// Command khopviz renders the paper's Figure 4 analog: one random
+// network, clustered with k-hop lowest-ID clustering, connected by each
+// of the gateway-selection algorithms, written as one SVG per algorithm.
+//
+//	khopviz -n 100 -d 6 -k 2 -seed 4 -out figs/
+//
+// produces figs/fig4-G-MST.svg, figs/fig4-NC-Mesh.svg, and so on, and
+// prints the gateway counts of each algorithm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cluster"
+	"repro/internal/gateway"
+	"repro/internal/udg"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 100, "number of nodes")
+		d    = flag.Float64("d", 6, "average node degree")
+		k    = flag.Int("k", 2, "cluster radius in hops")
+		seed = flag.Int64("seed", 4, "random seed")
+		out  = flag.String("out", ".", "output directory")
+		ids  = flag.Bool("ids", true, "label nodes with IDs")
+	)
+	flag.Parse()
+
+	if err := run(*n, *d, *k, *seed, *out, *ids); err != nil {
+		fmt.Fprintln(os.Stderr, "khopviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, d float64, k int, seed int64, out string, ids bool) error {
+	rng := rand.New(rand.NewSource(seed))
+	net, err := udg.Generate(udg.Config{N: n, AvgDegree: d, RequireConnected: true}, rng)
+	if err != nil {
+		return err
+	}
+	c := cluster.Run(net.G, cluster.Options{K: k})
+	fmt.Printf("N=%d D=%g k=%d seed=%d: %d clusterheads %v\n", n, d, k, seed, c.NumClusters(), c.Heads)
+
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	style := viz.DefaultStyle()
+	style.ShowIDs = ids
+	for _, algo := range gateway.Algorithms {
+		res := gateway.Run(net.G, c, algo)
+		fmt.Printf("  %-8s: %2d gateways, CDS size %2d\n", algo, res.NumGateways(), res.CDSSize())
+		name := filepath.Join(out, fmt.Sprintf("fig4-%s.svg", algo))
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		title := fmt.Sprintf("%s (N=%d, D=%g, k=%d): %d gateways", algo, n, d, k, res.NumGateways())
+		if err := viz.Render(f, net, c, res, title, style); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", name)
+	}
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package khop is a library for building connected k-hop clusterings of
+// ad hoc networks, reproducing Yang, Wu, and Cao, "Connected k-Hop
+// Clustering in Ad Hoc Networks" (ICPP 2005).
+//
+// Given an undirected network graph, the library elects clusterheads in
+// k-hop neighborhoods (lowest-ID or custom priorities; ID-, distance-, or
+// size-based member affiliation), selects the neighbor clusterheads each
+// head must connect to (all heads within 2k+1 hops, or only *adjacent*
+// heads via the paper's A-NCR rule), and selects gateway nodes connecting
+// them (one shortest path per pair via the mesh scheme, or the paper's
+// LMST-based gateway algorithm). The result is a k-hop connected
+// dominating set: clusterheads plus gateways.
+//
+// The five pipelines of the paper's evaluation are provided — NC-Mesh,
+// AC-Mesh, NC-LMST, AC-LMST (the headline algorithm), and the centralized
+// G-MST lower bound — both as fast centralized computations and, for the
+// four localized ones, as genuine distributed message-passing protocols
+// running one goroutine per node (BuildDistributed).
+//
+// Quick start:
+//
+//	net, _ := khop.RandomNetwork(khop.NetworkConfig{N: 100, AvgDegree: 6, Seed: 1})
+//	res, _ := khop.Build(net.Graph(), khop.Options{K: 2, Algorithm: khop.ACLMST})
+//	fmt.Println(res.Heads, res.Gateways)
+//
+// See the examples directory for runnable programs and cmd/khopsim for
+// the paper's full evaluation harness.
+package khop

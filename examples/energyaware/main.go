@@ -1,0 +1,106 @@
+// Energy-aware clusterhead rotation, the power-saving design of the
+// paper's §3.3: "residual energy level instead of lowest ID can be used
+// as node priority in the clustering process".
+//
+// The example simulates epochs in which clusterheads and gateways consume
+// more energy than plain members, and compares two policies on identical
+// networks: static lowest-ID clustering (the same nodes serve forever)
+// versus re-clustering each epoch with highest-residual-energy priority
+// (the serving role rotates). Rotation keeps the minimum residual energy
+// far higher — the network's time-to-first-death grows accordingly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+const (
+	nodes       = 100
+	epochs      = 60
+	headCost    = 3.0 // energy per epoch for a clusterhead
+	gatewayCost = 2.0 // energy per epoch for a gateway
+	memberCost  = 1.0 // baseline radio cost per epoch
+	initial     = 100.0
+)
+
+func main() {
+	net, err := khop.RandomNetwork(khop.NetworkConfig{N: nodes, AvgDegree: 8, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := net.Graph()
+
+	staticMin, staticDead := run(g, false)
+	rotateMin, rotateDead := run(g, true)
+
+	fmt.Printf("after %d epochs (head costs %.0fx, gateway %.0fx a member's energy):\n", epochs, headCost, gatewayCost)
+	fmt.Printf("  static lowest-ID heads:   min residual %6.1f, first node dead at epoch %v\n", staticMin, fmtEpoch(staticDead))
+	fmt.Printf("  energy-priority rotation: min residual %6.1f, first node dead at epoch %v\n", rotateMin, fmtEpoch(rotateDead))
+	if rotateMin <= staticMin {
+		fmt.Println("  (unexpected: rotation did not help on this instance)")
+	} else {
+		fmt.Println("  rotation spreads the clusterhead burden, extending network lifetime")
+	}
+}
+
+// run simulates the epochs and returns the minimum residual energy and
+// the epoch of the first depleted node (-1 if none).
+func run(g *khop.Graph, rotate bool) (float64, int) {
+	energy := make([]float64, g.N())
+	for i := range energy {
+		energy[i] = initial
+	}
+	firstDead := -1
+
+	var res *khop.Result
+	var err error
+	for epoch := 0; epoch < epochs; epoch++ {
+		if res == nil || rotate {
+			opt := khop.Options{K: 2, Algorithm: khop.ACLMST}
+			if rotate {
+				opt.Priority = khop.HighestEnergyPriority(energy)
+			}
+			res, err = khop.Build(g, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		cost := make([]float64, g.N())
+		for i := range cost {
+			cost[i] = memberCost
+		}
+		for _, h := range res.Heads {
+			cost[h] = headCost
+		}
+		for _, gw := range res.Gateways {
+			cost[gw] = gatewayCost
+		}
+		for i := range energy {
+			if energy[i] <= 0 {
+				continue
+			}
+			energy[i] -= cost[i]
+			if energy[i] <= 0 && firstDead < 0 {
+				firstDead = epoch
+			}
+		}
+	}
+
+	min := energy[0]
+	for _, e := range energy[1:] {
+		if e < min {
+			min = e
+		}
+	}
+	return min, firstDead
+}
+
+func fmtEpoch(e int) string {
+	if e < 0 {
+		return "never"
+	}
+	return fmt.Sprintf("%d", e)
+}

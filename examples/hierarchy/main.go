@@ -1,0 +1,57 @@
+// Recursive high-level clustering (§2 of the paper): in very large
+// networks, clustering is applied again over the clusterheads, producing
+// a hierarchy whose top tier has a handful of super-heads — the basis of
+// multi-tier aggregation and addressing schemes.
+//
+// The example builds the full hierarchy of a 200-node network for
+// several k and walks one node's chain of heads up to the root.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	net, err := khop.RandomNetwork(khop.NetworkConfig{N: 200, AvgDegree: 7, Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := net.Graph()
+	fmt.Printf("network: %d nodes, %d links\n\n", g.N(), g.M())
+
+	for _, k := range []int{1, 2} {
+		h, err := khop.BuildHierarchy(g, k, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("k=%d hierarchy, %d levels:\n", k, h.Depth())
+		for l := 0; l < h.Depth(); l++ {
+			heads := h.HeadsAt(l)
+			preview := heads
+			if len(preview) > 12 {
+				preview = preview[:12]
+			}
+			fmt.Printf("  level %d: %3d heads %v", l, len(heads), preview)
+			if len(heads) > 12 {
+				fmt.Print(" …")
+			}
+			fmt.Println()
+		}
+
+		// One node's chain of responsibility up the hierarchy.
+		const node = 199
+		fmt.Printf("  node %d reports to:", node)
+		for l := 0; l < h.Depth(); l++ {
+			head, err := h.HeadAt(node, l)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" L%d:%d", l, head)
+		}
+		fmt.Println()
+		fmt.Println()
+	}
+}

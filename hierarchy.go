@@ -1,0 +1,37 @@
+package khop
+
+import (
+	"repro/internal/hierarchy"
+)
+
+// Hierarchy is a recursive ("high level") clustering: level 0 clusters
+// the physical network, each higher level clusters the clusterheads of
+// the level below over their adjacent-cluster graph, until a single
+// super-head remains (§2 of the paper).
+type Hierarchy struct {
+	h *hierarchy.Hierarchy
+}
+
+// BuildHierarchy constructs the recursive clustering with radius k at
+// every level. MaxLevels ≤ 0 recurses until one head remains.
+func BuildHierarchy(g *Graph, k, maxLevels int) (*Hierarchy, error) {
+	h, err := hierarchy.Build(g.g, hierarchy.Options{K: k, MaxLevels: maxLevels})
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{h: h}, nil
+}
+
+// Depth returns the number of levels.
+func (h *Hierarchy) Depth() int { return h.h.Depth() }
+
+// HeadsAt returns the clusterheads elected at the given level (original
+// node IDs, ascending).
+func (h *Hierarchy) HeadsAt(level int) []int { return h.h.Levels[level].Heads }
+
+// TopHeads returns the highest level's clusterheads.
+func (h *Hierarchy) TopHeads() []int { return h.h.TopHeads() }
+
+// HeadAt returns node v's clusterhead at the given level (its ordinary
+// head at level 0, that head's super-head at level 1, and so on).
+func (h *Hierarchy) HeadAt(v, level int) (int, error) { return h.h.HeadAt(v, level) }

@@ -1,0 +1,113 @@
+// Package cds verifies the structural properties the paper proves or
+// assumes: k-hop domination, k-hop independence, cluster well-formedness,
+// and connectivity of the clusterheads through the CDS. The test suite
+// uses these checks as executable statements of Theorems 1 and 2.
+package cds
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// CheckDominatingSet verifies that set is a k-hop dominating set of g:
+// every vertex is in set or within k hops of a member.
+func CheckDominatingSet(g *graph.Graph, set []int, k int) error {
+	covered := make([]bool, g.N())
+	for _, s := range set {
+		for v := range g.BFSWithin(s, k) {
+			covered[v] = true
+		}
+	}
+	for v, ok := range covered {
+		if !ok {
+			return fmt.Errorf("cds: node %d is more than %d hops from the set", v, k)
+		}
+	}
+	return nil
+}
+
+// CheckIndependentSet verifies that the members of set are pairwise more
+// than k hops apart in g (a k-hop independent set).
+func CheckIndependentSet(g *graph.Graph, set []int, k int) error {
+	in := make(map[int]bool, len(set))
+	for _, s := range set {
+		in[s] = true
+	}
+	for _, s := range set {
+		for v, d := range g.BFSWithin(s, k) {
+			if v != s && in[v] {
+				return fmt.Errorf("cds: heads %d and %d are only %d ≤ k hops apart", s, v, d)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckClustering verifies cluster well-formedness: every node has a
+// head, heads head themselves, every member is within k hops of its head
+// (clusters are non-overlapping by construction since Head is a
+// function), and the recorded join distances match G.
+func CheckClustering(g *graph.Graph, c *cluster.Clustering) error {
+	if len(c.Head) != g.N() {
+		return fmt.Errorf("cds: clustering covers %d nodes, graph has %d", len(c.Head), g.N())
+	}
+	for v, h := range c.Head {
+		if h < 0 || h >= g.N() {
+			return fmt.Errorf("cds: node %d has invalid head %d", v, h)
+		}
+		if c.Head[h] != h {
+			return fmt.Errorf("cds: node %d joined %d, which is not a head", v, h)
+		}
+	}
+	listed := make(map[int]bool, len(c.Heads))
+	for _, h := range c.Heads {
+		listed[h] = true
+		if c.Head[h] != h {
+			return fmt.Errorf("cds: listed head %d does not head itself", h)
+		}
+	}
+	for v, h := range c.Head {
+		if v == h && !listed[v] {
+			return fmt.Errorf("cds: node %d heads itself but is not in the Heads list", v)
+		}
+	}
+	for v, h := range c.Head {
+		d := g.HopDist(h, v)
+		if d == graph.Unreachable || d > c.K {
+			return fmt.Errorf("cds: member %d is %d hops from head %d (k=%d)", v, d, h, c.K)
+		}
+		if c.DistToHead[v] > c.K || c.DistToHead[v] < d {
+			return fmt.Errorf("cds: member %d recorded join distance %d, shortest is %d (k=%d)",
+				v, c.DistToHead[v], d, c.K)
+		}
+	}
+	return nil
+}
+
+// CheckHeadsConnected verifies the paper's connectivity goal: within the
+// subgraph of g induced by cdsNodes, all clusterheads lie in a single
+// connected component (Theorem 2 for AC-LMST; the same property is
+// expected from every algorithm in the evaluation).
+func CheckHeadsConnected(g *graph.Graph, cdsNodes, heads []int) error {
+	sub := g.InducedSubgraph(cdsNodes)
+	if !sub.ConnectedAmong(heads) {
+		return fmt.Errorf("cds: clusterheads are not connected inside the CDS-induced subgraph")
+	}
+	return nil
+}
+
+// CheckKHopCDS verifies that cdsNodes form a k-hop connected dominating
+// set: the CDS-induced subgraph is connected (over the CDS nodes) and
+// dominates g within k hops.
+func CheckKHopCDS(g *graph.Graph, cdsNodes []int, k int) error {
+	if err := CheckDominatingSet(g, cdsNodes, k); err != nil {
+		return err
+	}
+	sub := g.InducedSubgraph(cdsNodes)
+	if !sub.ConnectedAmong(cdsNodes) {
+		return fmt.Errorf("cds: CDS-induced subgraph is not connected")
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package cds
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestCheckDominatingSet(t *testing.T) {
+	g := pathGraph(7)
+	if err := CheckDominatingSet(g, []int{1, 4}, 2); err != nil {
+		t.Errorf("valid 2-hop DS rejected: %v", err)
+	}
+	if err := CheckDominatingSet(g, []int{0}, 2); err == nil {
+		t.Error("invalid DS accepted: node 6 is 6 hops from {0}")
+	}
+	if err := CheckDominatingSet(g, []int{3}, 3); err != nil {
+		t.Errorf("center should 3-dominate a 7-path: %v", err)
+	}
+	if err := CheckDominatingSet(g, []int{3}, 2); err == nil {
+		t.Error("center cannot 2-dominate a 7-path")
+	}
+}
+
+func TestCheckIndependentSet(t *testing.T) {
+	g := pathGraph(7)
+	if err := CheckIndependentSet(g, []int{0, 3, 6}, 2); err != nil {
+		t.Errorf("valid 2-hop IS rejected: %v", err)
+	}
+	if err := CheckIndependentSet(g, []int{0, 2}, 2); err == nil {
+		t.Error("nodes 2 hops apart accepted in a 2-hop IS")
+	}
+	if err := CheckIndependentSet(g, []int{0, 3}, 2); err != nil {
+		t.Errorf("nodes 3 hops apart rejected for k=2: %v", err)
+	}
+	if err := CheckIndependentSet(g, []int{4}, 3); err != nil {
+		t.Errorf("singleton rejected: %v", err)
+	}
+}
+
+func TestCheckClusteringValid(t *testing.T) {
+	g := pathGraph(5)
+	c := cluster.Run(g, cluster.Options{K: 1})
+	if err := CheckClustering(g, c); err != nil {
+		t.Errorf("genuine clustering rejected: %v", err)
+	}
+}
+
+func TestCheckClusteringBadSize(t *testing.T) {
+	g := pathGraph(5)
+	c := &cluster.Clustering{K: 1, Head: []int{0, 0}, Heads: []int{0}, DistToHead: []int{0, 1}}
+	if err := CheckClustering(g, c); err == nil {
+		t.Error("short Head slice accepted")
+	}
+}
+
+func TestCheckClusteringNonHeadOwner(t *testing.T) {
+	g := pathGraph(3)
+	c := &cluster.Clustering{
+		K:          1,
+		Head:       []int{0, 2, 0}, // node 1 claims head 2, but Head[2]=0
+		Heads:      []int{0},
+		DistToHead: []int{0, 1, 1},
+	}
+	if err := CheckClustering(g, c); err == nil {
+		t.Error("membership in a non-head cluster accepted")
+	}
+}
+
+func TestCheckClusteringTooFar(t *testing.T) {
+	g := pathGraph(5)
+	c := &cluster.Clustering{
+		K:          1,
+		Head:       []int{0, 0, 0, 3, 3}, // node 2 is 2 hops from head 0 with k=1
+		Heads:      []int{0, 3},
+		DistToHead: []int{0, 1, 2, 0, 1},
+	}
+	if err := CheckClustering(g, c); err == nil {
+		t.Error("member beyond k hops accepted")
+	}
+}
+
+func TestCheckClusteringBadDistance(t *testing.T) {
+	g := pathGraph(5)
+	c := &cluster.Clustering{
+		K:          2,
+		Head:       []int{0, 0, 0, 0, 4},
+		Heads:      []int{0, 4},
+		DistToHead: []int{0, 1, 1 /* really 2 */, 2, 0},
+	}
+	if err := CheckClustering(g, c); err == nil {
+		t.Error("understated join distance accepted")
+	}
+}
+
+func TestCheckClusteringInvalidHeadIndex(t *testing.T) {
+	g := pathGraph(3)
+	c := &cluster.Clustering{
+		K:          1,
+		Head:       []int{0, 7, 2},
+		Heads:      []int{0, 2},
+		DistToHead: []int{0, 0, 0},
+	}
+	if err := CheckClustering(g, c); err == nil {
+		t.Error("out-of-range head accepted")
+	}
+}
+
+func TestCheckClusteringListedHeadInconsistent(t *testing.T) {
+	g := pathGraph(4)
+	c := &cluster.Clustering{
+		K:          1,
+		Head:       []int{0, 0, 2, 2},
+		Heads:      []int{0, 1}, // 1 is listed but heads nobody
+		DistToHead: []int{0, 1, 0, 1},
+	}
+	if err := CheckClustering(g, c); err == nil {
+		t.Error("inconsistent Heads list accepted")
+	}
+}
+
+func TestCheckHeadsConnected(t *testing.T) {
+	g := pathGraph(7)
+	// Heads 0 and 6 with CDS covering the whole path: connected.
+	all := []int{0, 1, 2, 3, 4, 5, 6}
+	if err := CheckHeadsConnected(g, all, []int{0, 6}); err != nil {
+		t.Errorf("connected CDS rejected: %v", err)
+	}
+	// Remove middle node 3 from the CDS: heads separate.
+	broken := []int{0, 1, 2, 4, 5, 6}
+	if err := CheckHeadsConnected(g, broken, []int{0, 6}); err == nil {
+		t.Error("disconnected CDS accepted")
+	}
+}
+
+func TestCheckKHopCDS(t *testing.T) {
+	g := pathGraph(7)
+	if err := CheckKHopCDS(g, []int{2, 3, 4}, 2); err != nil {
+		t.Errorf("valid 2-hop CDS rejected: %v", err)
+	}
+	// Dominating but internally disconnected.
+	if err := CheckKHopCDS(g, []int{1, 5}, 2); err == nil {
+		t.Error("disconnected CDS accepted")
+	}
+	// Connected but not dominating for k=1.
+	if err := CheckKHopCDS(g, []int{0, 1}, 1); err == nil {
+		t.Error("non-dominating CDS accepted")
+	}
+}

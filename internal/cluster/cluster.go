@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Affiliation selects which cluster a node joins when it hears more than
+// one clusterhead declaration within k hops (paper §3, rules (1)–(3)).
+type Affiliation int
+
+const (
+	// AffiliationID joins the clusterhead with the smallest ID.
+	AffiliationID Affiliation = iota
+	// AffiliationDistance joins the nearest clusterhead (hop count),
+	// breaking ties by smallest head ID.
+	AffiliationDistance
+	// AffiliationSize balances cluster sizes: a joining node picks the
+	// head whose cluster is currently smallest, ties broken by distance
+	// then head ID. Nodes are processed in ID order so the rule is
+	// deterministic.
+	AffiliationSize
+)
+
+// String implements fmt.Stringer.
+func (a Affiliation) String() string {
+	switch a {
+	case AffiliationID:
+		return "id"
+	case AffiliationDistance:
+		return "distance"
+	case AffiliationSize:
+		return "size"
+	default:
+		return fmt.Sprintf("affiliation(%d)", int(a))
+	}
+}
+
+// Clustering is the output of the k-hop clustering algorithm.
+type Clustering struct {
+	K int
+	// Head[v] is the clusterhead of v's cluster (Head[h] == h for heads).
+	Head []int
+	// Heads lists all clusterheads in ascending ID order.
+	Heads []int
+	// DistToHead[v] is the hop distance (in G) from v to Head[v].
+	DistToHead []int
+	// Rounds is how many election rounds the iterative algorithm took.
+	Rounds int
+}
+
+// IsHead reports whether v is a clusterhead.
+func (c *Clustering) IsHead(v int) bool { return c.Head[v] == v }
+
+// NumClusters returns the number of clusters (= clusterheads).
+func (c *Clustering) NumClusters() int { return len(c.Heads) }
+
+// Members returns the sorted members of head's cluster, head included.
+func (c *Clustering) Members(head int) []int {
+	var out []int
+	for v, h := range c.Head {
+		if h == head {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ClusterSizes maps each head to its cluster size (head included).
+func (c *Clustering) ClusterSizes() map[int]int {
+	sizes := make(map[int]int, len(c.Heads))
+	for _, h := range c.Head {
+		sizes[h]++
+	}
+	return sizes
+}
+
+// Options configures a clustering run.
+type Options struct {
+	K           int         // cluster radius in hops (k ≥ 1)
+	Priority    Priority    // election priority; nil means LowestID
+	Affiliation Affiliation // member affiliation rule
+}
+
+// Run executes the iterative k-hop clustering algorithm on g.
+//
+// Each round, every undecided node that holds the best priority among the
+// undecided nodes within its k-hop neighborhood (distances in G) declares
+// itself clusterhead; then every undecided node that heard at least one
+// declaration within k hops joins a cluster per the affiliation rule.
+// Rounds repeat until every node has joined. The graph must be connected
+// for the usual dominating/independent-set guarantees, but Run itself
+// also works per component.
+func Run(g *graph.Graph, opt Options) *Clustering {
+	if opt.K < 1 {
+		panic(fmt.Sprintf("cluster: k must be ≥ 1, got %d", opt.K))
+	}
+	prio := opt.Priority
+	if prio == nil {
+		prio = LowestID{}
+	}
+	n := g.N()
+	const undecided = -1
+	head := make([]int, n)
+	distToHead := make([]int, n)
+	for v := range head {
+		head[v] = undecided
+	}
+
+	remaining := n
+	rounds := 0
+	for remaining > 0 {
+		rounds++
+		// Phase 1: simultaneous declarations. A node declares iff its
+		// rank beats every other undecided node within its k-hop ball.
+		var declared []int
+		for u := 0; u < n; u++ {
+			if head[u] != undecided {
+				continue
+			}
+			ru := prio.Rank(u)
+			wins := true
+			for v := range g.BFSWithin(u, opt.K) {
+				if v == u || head[v] != undecided {
+					continue
+				}
+				if prio.Rank(v).Better(ru) {
+					wins = false
+					break
+				}
+			}
+			if wins {
+				declared = append(declared, u)
+			}
+		}
+		if len(declared) == 0 {
+			// Cannot happen: the globally best-ranked undecided node
+			// always wins its own neighborhood. Guard anyway.
+			panic("cluster: election round made no progress")
+		}
+		// Phase 2: affiliation. Every undecided node that heard ≥ 1
+		// declaration joins. Heads join themselves at distance 0.
+		offers := make(map[int][]offer) // node -> declarations heard
+		for _, h := range declared {
+			head[h] = h
+			distToHead[h] = 0
+			remaining--
+			for v, d := range g.BFSWithin(h, opt.K) {
+				if v != h && head[v] == undecided {
+					offers[v] = append(offers[v], offer{head: h, dist: d})
+				}
+			}
+		}
+		joinAll(offers, head, distToHead, opt.Affiliation, &remaining)
+	}
+
+	heads := make([]int, 0)
+	for v := range head {
+		if head[v] == v {
+			heads = append(heads, v)
+		}
+	}
+	sort.Ints(heads)
+	return &Clustering{
+		K:          opt.K,
+		Head:       head,
+		Heads:      heads,
+		DistToHead: distToHead,
+		Rounds:     rounds,
+	}
+}
+
+type offer struct {
+	head, dist int
+}
+
+// joinAll applies the affiliation rule to every node that received
+// offers, in ascending node-ID order (determinism; also what a real
+// deployment converges to when joins are announced).
+func joinAll(offers map[int][]offer, head, distToHead []int, rule Affiliation, remaining *int) {
+	nodes := make([]int, 0, len(offers))
+	for v := range offers {
+		nodes = append(nodes, v)
+	}
+	sort.Ints(nodes)
+
+	// Current cluster sizes, needed by AffiliationSize. Counting heads
+	// only at this point: sizes grow as joins are processed.
+	sizes := make(map[int]int)
+	for _, h := range head {
+		if h >= 0 {
+			sizes[h]++
+		}
+	}
+
+	for _, v := range nodes {
+		choice := pick(offers[v], rule, sizes)
+		head[v] = choice.head
+		distToHead[v] = choice.dist
+		sizes[choice.head]++
+		*remaining--
+	}
+}
+
+func pick(offers []offer, rule Affiliation, sizes map[int]int) offer {
+	best := offers[0]
+	for _, o := range offers[1:] {
+		if betterOffer(o, best, rule, sizes) {
+			best = o
+		}
+	}
+	return best
+}
+
+func betterOffer(a, b offer, rule Affiliation, sizes map[int]int) bool {
+	switch rule {
+	case AffiliationDistance:
+		if a.dist != b.dist {
+			return a.dist < b.dist
+		}
+	case AffiliationSize:
+		if sizes[a.head] != sizes[b.head] {
+			return sizes[a.head] < sizes[b.head]
+		}
+		if a.dist != b.dist {
+			return a.dist < b.dist
+		}
+	}
+	return a.head < b.head
+}

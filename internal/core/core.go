@@ -1,0 +1,59 @@
+// Package core composes the paper's primary contribution: the complete
+// connected k-hop clustering pipeline. It wires the three stages —
+// k-hop clusterhead election (package cluster), neighbor clusterhead
+// selection (package ncr: NC or the paper's A-NCR), and gateway selection
+// (package gateway: mesh, the paper's LMSTGA, or the G-MST baseline) —
+// into the five named algorithms of the evaluation, and exposes a single
+// entry point the public facade builds on.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/gateway"
+	"repro/internal/graph"
+	"repro/internal/ncr"
+)
+
+// Options configures a pipeline run.
+type Options struct {
+	K           int
+	Algorithm   gateway.Algorithm
+	Priority    cluster.Priority
+	Affiliation cluster.Affiliation
+}
+
+// Output bundles the three stages' results.
+type Output struct {
+	Clustering *cluster.Clustering
+	Selection  *ncr.Selection
+	Gateway    *gateway.Result
+}
+
+// Build runs clustering, neighbor selection, and gateway selection on g.
+func Build(g *graph.Graph, opt Options) (*Output, error) {
+	if opt.K < 1 {
+		return nil, fmt.Errorf("core: k must be ≥ 1, got %d", opt.K)
+	}
+	c := cluster.Run(g, cluster.Options{
+		K:           opt.K,
+		Priority:    opt.Priority,
+		Affiliation: opt.Affiliation,
+	})
+	sel := SelectionFor(g, c, opt.Algorithm)
+	res := gateway.Run(g, c, opt.Algorithm)
+	return &Output{Clustering: c, Selection: sel, Gateway: res}, nil
+}
+
+// SelectionFor returns the neighbor clusterhead selection the given
+// algorithm uses. G-MST connects all head pairs centrally; its reported
+// selection is the NC view for inspection purposes.
+func SelectionFor(g *graph.Graph, c *cluster.Clustering, algo gateway.Algorithm) *ncr.Selection {
+	switch algo {
+	case gateway.ACMesh, gateway.ACLMST:
+		return ncr.ANCR(g, c)
+	default:
+		return ncr.NC(g, c)
+	}
+}

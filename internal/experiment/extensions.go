@@ -1,0 +1,241 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/broadcast"
+	"repro/internal/cluster"
+	"repro/internal/energy"
+	"repro/internal/gateway"
+	"repro/internal/maxmin"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/routing"
+	"repro/internal/udg"
+)
+
+// BroadcastSavings measures the motivating application: transmissions of
+// CDS-confined broadcast relative to blind flooding, per k, at the given
+// N and D (mean over runs, random sources).
+func BroadcastSavings(n int, degree float64, ks []int, runs int, seed int64) (*Figure, error) {
+	if len(ks) == 0 {
+		ks = []int{1, 2, 3, 4}
+	}
+	fig := &Figure{
+		ID:     "broadcast",
+		Title:  fmt.Sprintf("Broadcast transmissions (N=%d, D=%g, AC-LMST)", n, degree),
+		XLabel: "k",
+		YLabel: "Transmissions",
+	}
+	cdsSeries := Series{Label: "CDS broadcast"}
+	blindSeries := Series{Label: "blind flooding"}
+	for _, k := range ks {
+		rng := rand.New(rand.NewSource(seed ^ int64(k)<<30))
+		cdsS, blindS := &metrics.Sample{}, &metrics.Sample{}
+		for r := 0; r < runs; r++ {
+			inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
+			if err != nil {
+				return nil, err
+			}
+			res := gateway.Run(inst.Net.G, inst.C, gateway.ACLMST)
+			src := rng.Intn(n)
+			blind, cds, _ := broadcast.Compare(inst.Net.G, inst.C, res, src)
+			if !cds.Covered {
+				return nil, fmt.Errorf("experiment: CDS broadcast failed to cover (k=%d run=%d)", k, r)
+			}
+			cdsS.Add(float64(cds.Transmissions))
+			blindS.Add(float64(blind.Transmissions))
+		}
+		cdsSeries.Points = append(cdsSeries.Points, Point{N: k, Mean: cdsS.Mean(), CI: cdsS.CI(0.9), Runs: cdsS.N()})
+		blindSeries.Points = append(blindSeries.Points, Point{N: k, Mean: blindS.Mean(), CI: blindS.CI(0.9), Runs: blindS.N()})
+	}
+	fig.Series = []Series{blindSeries, cdsSeries}
+	return fig, nil
+}
+
+// RoutingStretch measures hierarchical routing's path stretch and
+// routing-table footprint per k.
+func RoutingStretch(n int, degree float64, ks []int, runs, pairs int, seed int64) (*Figure, *Figure, error) {
+	if len(ks) == 0 {
+		ks = []int{1, 2, 3, 4}
+	}
+	stretchFig := &Figure{
+		ID:     "routing-stretch",
+		Title:  fmt.Sprintf("Hierarchical routing stretch (N=%d, D=%g, AC-LMST)", n, degree),
+		XLabel: "k",
+		YLabel: "Mean path stretch",
+	}
+	tableFig := &Figure{
+		ID:     "routing-tables",
+		Title:  fmt.Sprintf("Routing table entries, hierarchical vs flat (N=%d, D=%g)", n, degree),
+		XLabel: "k",
+		YLabel: "Entries (network total)",
+	}
+	stretchSeries := Series{Label: "stretch"}
+	hierSeries := Series{Label: "hierarchical"}
+	flatSeries := Series{Label: "flat link-state"}
+	for _, k := range ks {
+		rng := rand.New(rand.NewSource(seed ^ int64(k)<<28))
+		st, hi, fl := &metrics.Sample{}, &metrics.Sample{}, &metrics.Sample{}
+		for r := 0; r < runs; r++ {
+			inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			res := gateway.Run(inst.Net.G, inst.C, gateway.ACLMST)
+			router := routing.New(inst.Net.G, inst.C, res)
+			for p := 0; p < pairs; p++ {
+				src, dst := rng.Intn(n), rng.Intn(n)
+				s, err := router.Stretch(src, dst)
+				if err != nil {
+					return nil, nil, err
+				}
+				st.Add(s)
+			}
+			flat, hier := router.TableSizes()
+			fl.Add(float64(flat))
+			hi.Add(float64(hier))
+		}
+		stretchSeries.Points = append(stretchSeries.Points, Point{N: k, Mean: st.Mean(), CI: st.CI(0.9), Runs: st.N()})
+		hierSeries.Points = append(hierSeries.Points, Point{N: k, Mean: hi.Mean(), CI: hi.CI(0.9), Runs: hi.N()})
+		flatSeries.Points = append(flatSeries.Points, Point{N: k, Mean: fl.Mean(), CI: fl.CI(0.9), Runs: fl.N()})
+	}
+	stretchFig.Series = []Series{stretchSeries}
+	tableFig.Series = []Series{flatSeries, hierSeries}
+	return stretchFig, tableFig, nil
+}
+
+// EnergyLifetime measures time-to-first-death under static lowest-ID
+// clustering vs energy-rotated clustering (§3.3), per k.
+func EnergyLifetime(n int, degree float64, ks []int, runs int, seed int64) (*Figure, error) {
+	if len(ks) == 0 {
+		ks = []int{1, 2, 3}
+	}
+	fig := &Figure{
+		ID:     "energy",
+		Title:  fmt.Sprintf("Network lifetime, static vs rotated clusterheads (N=%d, D=%g)", n, degree),
+		XLabel: "k",
+		YLabel: "First-death epoch",
+	}
+	model := energy.DefaultModel()
+	for _, policy := range []energy.Policy{energy.PolicyStatic, energy.PolicyRotate} {
+		series := Series{Label: policy.String()}
+		for _, k := range ks {
+			rng := rand.New(rand.NewSource(seed ^ int64(k)<<26))
+			s := &metrics.Sample{}
+			for r := 0; r < runs; r++ {
+				inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
+				if err != nil {
+					return nil, err
+				}
+				lt, err := energy.Lifetime(inst.Net.G, k, gateway.ACLMST, model, policy, 1000)
+				if err != nil {
+					return nil, err
+				}
+				s.Add(float64(lt))
+			}
+			series.Points = append(series.Points, Point{N: k, Mean: s.Mean(), CI: s.CI(0.9), Runs: s.N()})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// Stability quantifies the introduction's "combinatorially stable
+// system" argument: after every node moves for the given time under
+// random waypoint, what fraction of clusterheads survive re-clustering
+// and what fraction of nodes keep their head, per k.
+func Stability(n int, degree float64, ks []int, moveTime, speed float64, runs int, seed int64) (*Figure, error) {
+	if len(ks) == 0 {
+		ks = []int{1, 2, 3, 4}
+	}
+	fig := &Figure{
+		ID: "stability",
+		Title: fmt.Sprintf("Structure stability under movement (N=%d, D=%g, speed=%g, t=%g)",
+			n, degree, speed, moveTime),
+		XLabel: "k",
+		YLabel: "Surviving fraction",
+	}
+	headSeries := Series{Label: "heads retained"}
+	memberSeries := Series{Label: "membership retained"}
+	for _, k := range ks {
+		rng := rand.New(rand.NewSource(seed ^ int64(k)<<24))
+		hs, ms := &metrics.Sample{}, &metrics.Sample{}
+		for r := 0; r < runs; r++ {
+			inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
+			if err != nil {
+				return nil, err
+			}
+			w := mobility.Waypoint{Field: inst.Net.Field, MinSpeed: speed, MaxSpeed: speed}
+			st := w.NewState(inst.Net.Pos, rng)
+			w.Step(st, moveTime, rng)
+			after := udg.Build(st.Pos, inst.Net.Range)
+			if !after.Connected() {
+				continue // stability is only meaningful on connected snapshots
+			}
+			c2 := cluster.Run(after, cluster.Options{K: k})
+			isHead2 := make(map[int]bool, len(c2.Heads))
+			for _, h := range c2.Heads {
+				isHead2[h] = true
+			}
+			kept := 0
+			for _, h := range inst.C.Heads {
+				if isHead2[h] {
+					kept++
+				}
+			}
+			hs.Add(float64(kept) / float64(len(inst.C.Heads)))
+			same := 0
+			for v := range c2.Head {
+				if c2.Head[v] == inst.C.Head[v] {
+					same++
+				}
+			}
+			ms.Add(float64(same) / float64(n))
+		}
+		headSeries.Points = append(headSeries.Points, Point{N: k, Mean: hs.Mean(), CI: hs.CI(0.9), Runs: hs.N()})
+		memberSeries.Points = append(memberSeries.Points, Point{N: k, Mean: ms.Mean(), CI: ms.CI(0.9), Runs: ms.N()})
+	}
+	fig.Series = []Series{headSeries, memberSeries}
+	return fig, nil
+}
+
+// ClusteringComparison pits the paper's iterative lowest-ID k-hop
+// clustering against Max-Min d-cluster formation [2] on identical
+// instances: head counts and the CDS size that AC-LMST builds on top of
+// each.
+func ClusteringComparison(degree float64, k int, stop metrics.StopRule, seed int64) (*Figure, error) {
+	fig := &Figure{
+		ID:     "clustering-comparison",
+		Title:  fmt.Sprintf("Lowest-ID k-hop clustering vs Max-Min d-cluster (D=%g, k=d=%d, AC-LMST)", degree, k),
+		XLabel: "Number of nodes",
+		YLabel: "Size of CDS",
+	}
+	lowID := Series{Label: "lowest-id CDS"}
+	mm := Series{Label: "max-min CDS"}
+	lowHeads := Series{Label: "lowest-id heads"}
+	mmHeads := Series{Label: "max-min heads"}
+	for _, n := range DefaultNs {
+		rng := rand.New(rand.NewSource(seed ^ int64(n)<<20))
+		ls, msamp := &metrics.Sample{}, &metrics.Sample{}
+		lh, mh := &metrics.Sample{}, &metrics.Sample{}
+		for !allDone(stop, []*metrics.Sample{ls, msamp}) {
+			inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
+			if err != nil {
+				return nil, err
+			}
+			ls.Add(float64(gateway.Run(inst.Net.G, inst.C, gateway.ACLMST).CDSSize()))
+			lh.Add(float64(inst.C.NumClusters()))
+			mmC := maxmin.Run(inst.Net.G, k)
+			msamp.Add(float64(gateway.Run(inst.Net.G, mmC, gateway.ACLMST).CDSSize()))
+			mh.Add(float64(mmC.NumClusters()))
+		}
+		lowID.Points = append(lowID.Points, Point{N: n, Mean: ls.Mean(), CI: ls.CI(stop.Level), Runs: ls.N()})
+		mm.Points = append(mm.Points, Point{N: n, Mean: msamp.Mean(), CI: msamp.CI(stop.Level), Runs: msamp.N()})
+		lowHeads.Points = append(lowHeads.Points, Point{N: n, Mean: lh.Mean(), CI: lh.CI(stop.Level), Runs: lh.N()})
+		mmHeads.Points = append(mmHeads.Points, Point{N: n, Mean: mh.Mean(), CI: mh.CI(stop.Level), Runs: mh.N()})
+	}
+	fig.Series = []Series{lowID, mm, lowHeads, mmHeads}
+	return fig, nil
+}

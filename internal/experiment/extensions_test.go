@@ -1,0 +1,130 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestBroadcastSavingsExperiment(t *testing.T) {
+	fig, err := BroadcastSavings(60, 7, []int{1, 2}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blind := fig.SeriesByLabel("blind flooding")
+	cds := fig.SeriesByLabel("CDS broadcast")
+	if blind == nil || cds == nil {
+		t.Fatal("missing series")
+	}
+	for i := range blind.Points {
+		if blind.Points[i].Mean != 60 {
+			t.Fatalf("blind flood tx=%v, want N", blind.Points[i].Mean)
+		}
+		if cds.Points[i].Mean >= blind.Points[i].Mean {
+			t.Fatalf("k=%d: CDS broadcast no cheaper than blind", blind.Points[i].N)
+		}
+	}
+}
+
+func TestRoutingStretchExperiment(t *testing.T) {
+	stretch, tables, err := RoutingStretch(60, 7, []int{1, 3}, 2, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range stretch.Series[0].Points {
+		if p.Mean < 1 {
+			t.Fatalf("stretch %v < 1", p.Mean)
+		}
+	}
+	flat := tables.SeriesByLabel("flat link-state")
+	hier := tables.SeriesByLabel("hierarchical")
+	for i := range flat.Points {
+		if hier.Points[i].Mean >= flat.Points[i].Mean {
+			t.Fatal("hierarchical tables not smaller")
+		}
+	}
+	// Tables shrink with k.
+	if hier.Points[1].Mean > hier.Points[0].Mean {
+		t.Fatalf("tables grew with k: %v", hier.Points)
+	}
+}
+
+func TestEnergyLifetimeExperiment(t *testing.T) {
+	fig, err := EnergyLifetime(60, 7, []int{2}, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := fig.SeriesByLabel("static")
+	rotate := fig.SeriesByLabel("rotate")
+	if static == nil || rotate == nil {
+		t.Fatal("missing series")
+	}
+	if rotate.Points[0].Mean <= static.Points[0].Mean {
+		t.Fatalf("rotation (%v) did not beat static (%v)",
+			rotate.Points[0].Mean, static.Points[0].Mean)
+	}
+}
+
+func TestStabilityExperiment(t *testing.T) {
+	fig, err := Stability(60, 7, []int{1, 2}, 3, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig.Series {
+		for _, p := range s.Points {
+			if p.Mean < 0 || p.Mean > 1 {
+				t.Fatalf("%s: fraction %v outside [0,1]", s.Label, p.Mean)
+			}
+		}
+	}
+}
+
+func TestClusteringComparisonExperiment(t *testing.T) {
+	stop := metrics.StopRule{MinRuns: 2, MaxRuns: 3, Level: 0.9, RelWidth: 0.01}
+	fig, err := ClusteringComparison(6, 2, stop, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series=%d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != len(DefaultNs) {
+			t.Fatalf("series %s has %d points", s.Label, len(s.Points))
+		}
+	}
+	// Both clustering styles must produce nonempty structures that grow
+	// with N.
+	for _, label := range []string{"lowest-id CDS", "max-min CDS"} {
+		s := fig.SeriesByLabel(label)
+		if s.Points[0].Mean <= 0 || s.Points[len(s.Points)-1].Mean <= s.Points[0].Mean {
+			t.Fatalf("%s: %v", label, s.Points)
+		}
+	}
+}
+
+func TestRobustnessExperiment(t *testing.T) {
+	fig, err := Robustness(50, 6, 2, []float64{0, 0.3}, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series=%d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		// Lossless runs must satisfy every guarantee.
+		if s.Points[0].Mean != 1 {
+			t.Fatalf("%s holds in %.2f of lossless runs", s.Label, s.Points[0].Mean)
+		}
+		for _, p := range s.Points {
+			if p.Mean < 0 || p.Mean > 1 {
+				t.Fatalf("%s: fraction %v", s.Label, p.Mean)
+			}
+		}
+	}
+	// Heavy loss must degrade independence below certainty.
+	ind := fig.SeriesByLabel("k-hop independence")
+	if ind.Points[1].Mean >= 1 {
+		t.Log("30% loss did not break independence on these seeds (rare but possible)")
+	}
+}

@@ -1,0 +1,269 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/gateway"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/ncr"
+	"repro/internal/proto"
+	"repro/internal/udg"
+)
+
+// Fig5 reproduces Figure 5: CDS size vs N for the five algorithms in
+// sparse networks (D = 6), one subfigure per k ∈ {1, 2, 3, 4}.
+func Fig5(seed int64, stop metrics.StopRule) ([]*Figure, error) {
+	return cdsFigure("5", 6, seed, stop)
+}
+
+// Fig6 reproduces Figure 6: the same comparison in dense networks
+// (D = 10).
+func Fig6(seed int64, stop metrics.StopRule) ([]*Figure, error) {
+	return cdsFigure("6", 10, seed, stop)
+}
+
+func cdsFigure(id string, degree float64, seed int64, stop metrics.StopRule) ([]*Figure, error) {
+	subID := []string{"a", "b", "c", "d"}
+	var figs []*Figure
+	for i, k := range []int{1, 2, 3, 4} {
+		fig, err := CDSSweep(SweepConfig{
+			Degree: degree,
+			K:      k,
+			Stop:   stop,
+			Seed:   seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fig.ID = fmt.Sprintf("%s%s", id, subID[i])
+		fig.Title = fmt.Sprintf("Figure %s(%s): CDS size, k=%d, D=%g", id, subID[i], k, degree)
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Fig7 reproduces Figure 7 with AC-LMST (the paper says "using LMSTGA"):
+// (a) number of clusterheads vs N and (b) CDS size vs N, one series per
+// k ∈ {1, 2, 3, 4}, D = 6.
+func Fig7(seed int64, stop metrics.StopRule) (*Figure, *Figure, error) {
+	headsFig := &Figure{
+		ID:     "7a",
+		Title:  "Figure 7(a): Number of clusterheads (D=6, AC-LMST)",
+		XLabel: "Number of nodes",
+		YLabel: "Number of clusterheads",
+	}
+	cdsFig := &Figure{
+		ID:     "7b",
+		Title:  "Figure 7(b): Number of nodes in CDS (D=6, AC-LMST)",
+		XLabel: "Number of nodes",
+		YLabel: "Number of CDS",
+	}
+	for _, k := range []int{1, 2, 3, 4} {
+		heads, cdsSize, err := HeadsAndCDSSweep(SweepConfig{Degree: 6, K: k, Stop: stop, Seed: seed})
+		if err != nil {
+			return nil, nil, err
+		}
+		headsFig.Series = append(headsFig.Series, heads)
+		cdsFig.Series = append(cdsFig.Series, cdsSize)
+	}
+	return headsFig, cdsFig, nil
+}
+
+// Overhead is the future-work experiment the paper sketches in its
+// conclusion ("communication overhead increases with the growth of the
+// value of k"): mean radio transmissions of the complete distributed
+// AC-LMST protocol per k, at fixed N and D.
+func Overhead(n int, degree float64, ks []int, runs int, seed int64) (*Figure, error) {
+	if len(ks) == 0 {
+		ks = []int{1, 2, 3, 4}
+	}
+	fig := &Figure{
+		ID:     "overhead",
+		Title:  fmt.Sprintf("Protocol transmissions vs k (N=%d, D=%g, AC-LMST)", n, degree),
+		XLabel: "k",
+		YLabel: "Transmissions",
+	}
+	series := Series{Label: "AC-LMST protocol"}
+	for _, k := range ks {
+		rng := rand.New(rand.NewSource(seed ^ int64(k)<<32))
+		s := &metrics.Sample{}
+		for r := 0; r < runs; r++ {
+			inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
+			if err != nil {
+				return nil, err
+			}
+			res, err := proto.Run(inst.Net.G, proto.Options{K: k, Rule: ncr.RuleANCR, UseLMST: true})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(res.Total.Transmissions))
+		}
+		series.Points = append(series.Points, Point{N: k, Mean: s.Mean(), CI: s.CI(0.90), Runs: s.N()})
+	}
+	fig.Series = []Series{series}
+	return fig, nil
+}
+
+// MaintenanceResult summarizes the §3.3 dynamic-maintenance experiment.
+type MaintenanceResult struct {
+	N, K       int
+	Departures int
+	// Share of departures by role.
+	MemberFrac, GatewayFrac, HeadFrac float64
+	// Mean repair scope per departure of each role.
+	MeanReclustered     float64 // nodes re-clustered per head departure
+	MeanReselectedHeads float64 // heads re-running selection per gateway departure
+}
+
+// Maintenance measures how often each repair class occurs and how large
+// the repairs are when random nodes depart one by one (until half the
+// network is gone), averaged over runs.
+func Maintenance(n int, degree float64, k int, runs int, seed int64) (*MaintenanceResult, error) {
+	out := &MaintenanceResult{N: n, K: k}
+	var memberN, gatewayN, headN int
+	var reclusterSum, reselectSum float64
+	for r := 0; r < runs; r++ {
+		rng := rand.New(rand.NewSource(seed ^ int64(r)<<24))
+		inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
+		if err != nil {
+			return nil, err
+		}
+		m := mobility.NewMaintainer(inst.Net.G, k, gateway.ACLMST)
+		order := rng.Perm(n)
+		for _, node := range order[:n/2] {
+			rep, err := m.Depart(node)
+			if err != nil {
+				return nil, err
+			}
+			out.Departures++
+			switch rep.Role {
+			case mobility.RoleMember:
+				memberN++
+			case mobility.RoleGateway:
+				gatewayN++
+				reselectSum += float64(rep.ReselectedHeads)
+			case mobility.RoleHead:
+				headN++
+				reclusterSum += float64(rep.ReclusteredNodes)
+			}
+		}
+	}
+	total := float64(out.Departures)
+	if total > 0 {
+		out.MemberFrac = float64(memberN) / total
+		out.GatewayFrac = float64(gatewayN) / total
+		out.HeadFrac = float64(headN) / total
+	}
+	if headN > 0 {
+		out.MeanReclustered = reclusterSum / float64(headN)
+	}
+	if gatewayN > 0 {
+		out.MeanReselectedHeads = reselectSum / float64(gatewayN)
+	}
+	return out, nil
+}
+
+// AblationAffiliation compares CDS size under the three member
+// affiliation rules (paper §3 rules (1)–(3)) with AC-LMST.
+func AblationAffiliation(degree float64, k int, stop metrics.StopRule, seed int64) (*Figure, error) {
+	fig := &Figure{
+		ID:     "ablation-affiliation",
+		Title:  fmt.Sprintf("Affiliation rule ablation (D=%g, k=%d, AC-LMST)", degree, k),
+		XLabel: "Number of nodes",
+		YLabel: "Size of CDS",
+	}
+	for _, aff := range []cluster.Affiliation{cluster.AffiliationID, cluster.AffiliationDistance, cluster.AffiliationSize} {
+		series := Series{Label: aff.String()}
+		for _, nn := range DefaultNs {
+			rng := rand.New(rand.NewSource(seed ^ int64(nn)<<20 ^ int64(aff)<<44))
+			s := &metrics.Sample{}
+			for !stop.Done(s) {
+				inst, err := NewInstance(nn, degree, k, aff, nil, rng)
+				if err != nil {
+					return nil, err
+				}
+				res := gateway.Run(inst.Net.G, inst.C, gateway.ACLMST)
+				s.Add(float64(res.CDSSize()))
+			}
+			series.Points = append(series.Points, Point{N: nn, Mean: s.Mean(), CI: s.CI(stop.Level), Runs: s.N()})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// AblationPriority compares CDS size under different clusterhead
+// election priorities (lowest ID vs highest degree), the §3.3 power-aware
+// discussion's knob.
+func AblationPriority(degree float64, k int, stop metrics.StopRule, seed int64) (*Figure, error) {
+	fig := &Figure{
+		ID:     "ablation-priority",
+		Title:  fmt.Sprintf("Election priority ablation (D=%g, k=%d, AC-LMST)", degree, k),
+		XLabel: "Number of nodes",
+		YLabel: "Size of CDS",
+	}
+	for _, label := range []string{"lowest-id", "highest-degree"} {
+		series := Series{Label: label}
+		for _, nn := range DefaultNs {
+			rng := rand.New(rand.NewSource(seed ^ int64(nn)<<20 ^ int64(len(label))<<44))
+			s := &metrics.Sample{}
+			for !stop.Done(s) {
+				// Priority may depend on the generated graph (degree), so
+				// build the instance in two steps.
+				net, err := genConnected(nn, degree, rng)
+				if err != nil {
+					return nil, err
+				}
+				var prio cluster.Priority
+				if label == "highest-degree" {
+					prio = cluster.NewHighestDegree(net.G)
+				}
+				c := cluster.Run(net.G, cluster.Options{K: k, Priority: prio})
+				res := gateway.Run(net.G, c, gateway.ACLMST)
+				s.Add(float64(res.CDSSize()))
+			}
+			series.Points = append(series.Points, Point{N: nn, Mean: s.Mean(), CI: s.CI(stop.Level), Runs: s.N()})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// AblationKeepRule compares LMSTGA's union vs intersection link-keeping
+// (the G₀ vs G₀⁻ design choice) under A-NCR.
+func AblationKeepRule(degree float64, k int, stop metrics.StopRule, seed int64) (*Figure, error) {
+	fig := &Figure{
+		ID:     "ablation-keep",
+		Title:  fmt.Sprintf("LMST keep-rule ablation (D=%g, k=%d, AC-LMST)", degree, k),
+		XLabel: "Number of nodes",
+		YLabel: "Size of CDS",
+	}
+	for _, keep := range []gateway.KeepRule{gateway.KeepUnion, gateway.KeepIntersection} {
+		series := Series{Label: keep.String()}
+		for _, nn := range DefaultNs {
+			// Same seed for both rules: paired instances make the
+			// union-vs-intersection comparison exact per network.
+			rng := rand.New(rand.NewSource(seed ^ int64(nn)<<20))
+			s := &metrics.Sample{}
+			for !stop.Done(s) {
+				inst, err := NewInstance(nn, degree, k, cluster.AffiliationID, nil, rng)
+				if err != nil {
+					return nil, err
+				}
+				sel := ncr.ANCR(inst.Net.G, inst.C)
+				res := gateway.LMST(inst.Net.G, inst.C, sel, gateway.ACLMST, keep)
+				s.Add(float64(res.CDSSize()))
+			}
+			series.Points = append(series.Points, Point{N: nn, Mean: s.Mean(), CI: s.CI(stop.Level), Runs: s.N()})
+		}
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+func genConnected(n int, degree float64, rng *rand.Rand) (*udg.Network, error) {
+	return udg.Generate(udg.Config{N: n, AvgDegree: degree, RequireConnected: true}, rng)
+}

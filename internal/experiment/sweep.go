@@ -1,0 +1,168 @@
+// Package experiment reproduces the paper's evaluation: parameter sweeps
+// over node count N, average degree D, and cluster radius k, with the
+// paper's adaptive repetition rule, producing the series behind every
+// figure (Figures 5, 6, 7), plus the extension experiments (protocol
+// overhead vs k, dynamic maintenance cost).
+//
+// All randomness is derived from an explicit base seed; a given
+// (seed, configuration) pair reproduces identical numbers.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/gateway"
+	"repro/internal/metrics"
+	"repro/internal/udg"
+)
+
+// Point is one x-position of a series: the sample mean of the metric at
+// node count N with its 90% confidence half-width and repetition count.
+type Point struct {
+	N    int
+	Mean float64
+	CI   float64
+	Runs int
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Figure is a reproduced figure: several series over the same x-axis.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// DefaultNs is the paper's x-axis: 50 to 200 nodes.
+var DefaultNs = []int{50, 75, 100, 125, 150, 175, 200}
+
+// SweepConfig parameterizes one CDS-size sweep (one subfigure).
+type SweepConfig struct {
+	Ns          []int
+	Degree      float64
+	K           int
+	Algorithms  []gateway.Algorithm
+	Affiliation cluster.Affiliation
+	Priority    cluster.Priority // nil = lowest ID
+	Stop        metrics.StopRule
+	Seed        int64
+}
+
+func (c SweepConfig) withDefaults() SweepConfig {
+	if len(c.Ns) == 0 {
+		c.Ns = DefaultNs
+	}
+	if len(c.Algorithms) == 0 {
+		c.Algorithms = gateway.Algorithms
+	}
+	if c.Stop == (metrics.StopRule{}) {
+		c.Stop = metrics.PaperStopRule()
+	}
+	return c
+}
+
+// Instance bundles one generated network with its clustering, so several
+// algorithms can be evaluated on identical inputs (paired comparison,
+// like the paper's simulator).
+type Instance struct {
+	Net *udg.Network
+	C   *cluster.Clustering
+}
+
+// NewInstance generates one connected network and clusters it.
+func NewInstance(n int, degree float64, k int, aff cluster.Affiliation, prio cluster.Priority, rng *rand.Rand) (*Instance, error) {
+	net, err := udg.Generate(udg.Config{N: n, AvgDegree: degree, RequireConnected: true}, rng)
+	if err != nil {
+		return nil, err
+	}
+	c := cluster.Run(net.G, cluster.Options{K: k, Affiliation: aff, Priority: prio})
+	return &Instance{Net: net, C: c}, nil
+}
+
+// CDSSweep measures mean CDS size (clusterheads + gateways) per
+// algorithm across node counts: one subfigure of Figures 5/6.
+func CDSSweep(cfg SweepConfig) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	fig := &Figure{
+		ID:     fmt.Sprintf("cds-k%d-d%g", cfg.K, cfg.Degree),
+		Title:  fmt.Sprintf("Size of CDS, k=%d, D=%g", cfg.K, cfg.Degree),
+		XLabel: "Number of nodes",
+		YLabel: "Size of CDS",
+	}
+	series := make([]Series, len(cfg.Algorithms))
+	for i, algo := range cfg.Algorithms {
+		series[i].Label = algo.String()
+	}
+	for _, n := range cfg.Ns {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(n)<<20 ^ int64(cfg.K)<<40))
+		samples := make([]*metrics.Sample, len(cfg.Algorithms))
+		for i := range samples {
+			samples[i] = &metrics.Sample{}
+		}
+		for !allDone(cfg.Stop, samples) {
+			inst, err := NewInstance(n, cfg.Degree, cfg.K, cfg.Affiliation, cfg.Priority, rng)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: N=%d: %w", n, err)
+			}
+			for i, algo := range cfg.Algorithms {
+				res := gateway.Run(inst.Net.G, inst.C, algo)
+				samples[i].Add(float64(res.CDSSize()))
+			}
+		}
+		for i := range samples {
+			series[i].Points = append(series[i].Points, Point{
+				N:    n,
+				Mean: samples[i].Mean(),
+				CI:   samples[i].CI(cfg.Stop.Level),
+				Runs: samples[i].N(),
+			})
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+// allDone applies the stopping rule jointly: sampling continues until
+// every algorithm's estimate meets the rule (all algorithms see the same
+// instances).
+func allDone(rule metrics.StopRule, samples []*metrics.Sample) bool {
+	for _, s := range samples {
+		if !rule.Done(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// HeadsAndCDSSweep measures, for one k, the mean number of clusterheads
+// and the mean CDS size under AC-LMST (Figure 7's two panels share this).
+func HeadsAndCDSSweep(cfg SweepConfig) (heads, cdsSize Series, err error) {
+	cfg = cfg.withDefaults()
+	heads.Label = fmt.Sprintf("k=%d", cfg.K)
+	cdsSize.Label = heads.Label
+	for _, n := range cfg.Ns {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(n)<<20 ^ int64(cfg.K)<<40))
+		hs, cs := &metrics.Sample{}, &metrics.Sample{}
+		for !allDone(cfg.Stop, []*metrics.Sample{hs, cs}) {
+			inst, ierr := NewInstance(n, cfg.Degree, cfg.K, cfg.Affiliation, cfg.Priority, rng)
+			if ierr != nil {
+				return heads, cdsSize, fmt.Errorf("experiment: N=%d: %w", n, ierr)
+			}
+			res := gateway.Run(inst.Net.G, inst.C, gateway.ACLMST)
+			hs.Add(float64(inst.C.NumClusters()))
+			cs.Add(float64(res.CDSSize()))
+		}
+		heads.Points = append(heads.Points, Point{N: n, Mean: hs.Mean(), CI: hs.CI(cfg.Stop.Level), Runs: hs.N()})
+		cdsSize.Points = append(cdsSize.Points, Point{N: n, Mean: cs.Mean(), CI: cs.CI(cfg.Stop.Level), Runs: cs.N()})
+	}
+	return heads, cdsSize, nil
+}

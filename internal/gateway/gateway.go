@@ -1,0 +1,275 @@
+// Package gateway implements the gateway-selection phase: choosing the
+// non-clusterhead nodes that relay between clusterheads so the cluster
+// graph becomes connected.
+//
+// Three algorithms are provided, matching the paper's evaluation:
+//
+//   - Mesh: for every selected neighbor head pair, all intermediate nodes
+//     of one (deterministic) shortest path become gateways.
+//   - LMSTGA (§3.2, contribution): build a virtual graph on heads where a
+//     virtual link is the shortest path between a selected pair weighted
+//     by hop count (ID tiebreak); every head runs LMST on its virtual
+//     1-hop neighborhood and keeps only links to its on-tree neighbors;
+//     intermediate nodes on kept links become gateways.
+//   - GMST: centralized global minimum spanning tree over all heads,
+//     used by the paper as the lower-bound baseline.
+//
+// Combined with the neighbor selection rules of package ncr these yield
+// the paper's four localized algorithms (NC-Mesh, AC-Mesh, NC-LMST,
+// AC-LMST) plus the G-MST baseline.
+package gateway
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/ncr"
+)
+
+// Algorithm identifies a complete gateway-selection pipeline.
+type Algorithm int
+
+const (
+	// NCMesh is mesh gateways over all heads within 2k+1 hops.
+	NCMesh Algorithm = iota
+	// ACMesh is mesh gateways over adjacent heads only (A-NCR).
+	ACMesh
+	// NCLMST is LMSTGA over all heads within 2k+1 hops.
+	NCLMST
+	// ACLMST is LMSTGA over adjacent heads (the paper's headline).
+	ACLMST
+	// GMST is the centralized global-MST lower bound.
+	GMST
+)
+
+// Algorithms lists every pipeline in the order the paper's figures plot
+// them.
+var Algorithms = []Algorithm{NCMesh, ACMesh, NCLMST, ACLMST, GMST}
+
+// String implements fmt.Stringer using the paper's curve labels.
+func (a Algorithm) String() string {
+	switch a {
+	case NCMesh:
+		return "NC-Mesh"
+	case ACMesh:
+		return "AC-Mesh"
+	case NCLMST:
+		return "NC-LMST"
+	case ACLMST:
+		return "AC-LMST"
+	case GMST:
+		return "G-MST"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Result is the outcome of a gateway-selection run.
+type Result struct {
+	Algorithm Algorithm
+	// Gateways are the selected non-clusterhead relay nodes, sorted.
+	Gateways []int
+	// Links are the head pairs that ended up directly connected by a
+	// gateway path, in canonical (U < V) form sorted by weight order.
+	Links []graph.WEdge
+	// Paths maps each canonical link {U, V} to its underlying node path
+	// (U first, V last).
+	Paths map[[2]int][]int
+	// CDS is the connected dominating set: clusterheads ∪ gateways,
+	// sorted ascending.
+	CDS []int
+}
+
+// NumGateways returns the number of distinct gateway nodes.
+func (r *Result) NumGateways() int { return len(r.Gateways) }
+
+// CDSSize returns |heads ∪ gateways|, the paper's main metric.
+func (r *Result) CDSSize() int { return len(r.CDS) }
+
+// Run executes the full pipeline for the given algorithm.
+func Run(g *graph.Graph, c *cluster.Clustering, algo Algorithm) *Result {
+	switch algo {
+	case NCMesh:
+		return Mesh(g, c, ncr.NC(g, c), NCMesh)
+	case ACMesh:
+		return Mesh(g, c, ncr.ANCR(g, c), ACMesh)
+	case NCLMST:
+		return LMST(g, c, ncr.NC(g, c), NCLMST, KeepUnion)
+	case ACLMST:
+		return LMST(g, c, ncr.ANCR(g, c), ACLMST, KeepUnion)
+	case GMST:
+		return GlobalMST(g, c)
+	default:
+		panic(fmt.Sprintf("gateway: unknown algorithm %d", int(algo)))
+	}
+}
+
+// Mesh marks, for every selected neighbor head pair, the intermediate
+// nodes of the deterministic shortest path between the two heads as
+// gateways (the mesh-based scheme: exactly one gateway path per pair).
+func Mesh(g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm) *Result {
+	res := newResult(label)
+	for _, pair := range sel.Pairs() {
+		path := g.ShortestPath(pair[0], pair[1])
+		if path == nil {
+			continue // disconnected G; callers use connected instances
+		}
+		res.addLink(pair[0], pair[1], path)
+	}
+	res.finish(c)
+	return res
+}
+
+// KeepRule selects how LMSTGA combines the per-head on-tree decisions.
+type KeepRule int
+
+const (
+	// KeepUnion keeps a virtual link if *either* endpoint selected it
+	// (the LMST G₀ topology; what the paper's proof of Theorem 2 uses).
+	KeepUnion KeepRule = iota
+	// KeepIntersection keeps a link only if *both* endpoints selected it
+	// (the LMST G₀⁻ variant; still connected, fewer links). Exposed as
+	// an ablation of the design choice.
+	KeepIntersection
+)
+
+// String implements fmt.Stringer.
+func (k KeepRule) String() string {
+	if k == KeepIntersection {
+		return "intersection"
+	}
+	return "union"
+}
+
+// LMST runs the paper's LMSTGA on the virtual graph induced by the given
+// neighbor selection: each head u builds the subgraph of the virtual
+// graph induced on {u} ∪ N(u), computes its (unique, totally ordered)
+// local MST, and keeps the virtual links from u to its on-tree
+// neighbors. Gateways are the intermediate nodes of kept links.
+func LMST(g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, keep KeepRule) *Result {
+	vg, paths := VirtualGraph(g, sel)
+
+	// keepVotes[link] counts how many endpoints kept the link (1 or 2).
+	keepVotes := make(map[[2]int]int)
+	for _, u := range vg.Vertices() {
+		local := append([]int{u}, vg.Neighbors(u)...)
+		sub := vg.Subgraph(local)
+		for _, v := range sub.MSTRooted(u) {
+			keepVotes[canon(u, v)]++
+		}
+	}
+
+	need := 1
+	if keep == KeepIntersection {
+		need = 2
+	}
+	res := newResult(label)
+	for link, votes := range keepVotes {
+		if votes >= need {
+			res.addLink(link[0], link[1], paths[link])
+		}
+	}
+	res.finish(c)
+	return res
+}
+
+// GlobalMST computes the centralized lower-bound baseline: a minimum
+// spanning tree over the complete virtual graph of all head pairs
+// (weight = hop distance, ID tiebreak), with intermediate path nodes as
+// gateways.
+func GlobalMST(g *graph.Graph, c *cluster.Clustering) *Result {
+	vg := graph.NewWGraph()
+	paths := make(map[[2]int][]int)
+	for i, u := range c.Heads {
+		vg.AddVertex(u)
+		dist := g.BFS(u)
+		for _, v := range c.Heads[i+1:] {
+			if dist[v] == graph.Unreachable {
+				continue
+			}
+			vg.AddEdge(u, v, dist[v])
+			paths[canon(u, v)] = g.ShortestPath(u, v)
+		}
+	}
+	res := newResult(GMST)
+	for _, e := range vg.MST() {
+		link := canon(e.U, e.V)
+		res.addLink(link[0], link[1], paths[link])
+	}
+	res.finish(c)
+	return res
+}
+
+// VirtualGraph builds the weighted virtual graph of a neighbor selection:
+// vertices are clusterheads, edges are selected pairs weighted by the hop
+// distance of the deterministic shortest path between the heads. It also
+// returns the underlying path of each virtual link keyed by canonical
+// pair.
+func VirtualGraph(g *graph.Graph, sel *ncr.Selection) (*graph.WGraph, map[[2]int][]int) {
+	vg := graph.NewWGraph()
+	for h := range sel.Neighbors {
+		vg.AddVertex(h)
+	}
+	paths := make(map[[2]int][]int)
+	for _, pair := range sel.Pairs() {
+		path := g.ShortestPath(pair[0], pair[1])
+		if path == nil {
+			continue
+		}
+		vg.AddEdge(pair[0], pair[1], len(path)-1)
+		paths[pair] = path
+	}
+	return vg, paths
+}
+
+func canon(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+func newResult(label Algorithm) *Result {
+	return &Result{Algorithm: label, Paths: make(map[[2]int][]int)}
+}
+
+func (r *Result) addLink(u, v int, path []int) {
+	if path == nil {
+		return
+	}
+	link := canon(u, v)
+	if _, dup := r.Paths[link]; dup {
+		return
+	}
+	r.Paths[link] = path
+	r.Links = append(r.Links, graph.WEdge{U: link[0], V: link[1], Weight: len(path) - 1})
+}
+
+// finish derives the gateway set and CDS from the collected links.
+func (r *Result) finish(c *cluster.Clustering) {
+	graph.SortWEdges(r.Links)
+	gw := make(map[int]bool)
+	for _, path := range r.Paths {
+		for _, v := range path[1 : len(path)-1] {
+			if !c.IsHead(v) {
+				gw[v] = true
+			}
+		}
+	}
+	r.Gateways = sortedKeys(gw)
+	cds := append([]int(nil), c.Heads...)
+	cds = append(cds, r.Gateways...)
+	sort.Ints(cds)
+	r.CDS = cds
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,333 @@
+package gateway
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/cds"
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/ncr"
+	"repro/internal/udg"
+)
+
+func testInstance(t testing.TB, n int, deg float64, k int, seed int64) (*graph.Graph, *cluster.Clustering) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net, err := udg.Generate(udg.Config{N: n, AvgDegree: deg, RequireConnected: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net.G, cluster.Run(net.G, cluster.Options{K: k})
+}
+
+func TestAlgorithmString(t *testing.T) {
+	want := map[Algorithm]string{
+		NCMesh: "NC-Mesh", ACMesh: "AC-Mesh", NCLMST: "NC-LMST",
+		ACLMST: "AC-LMST", GMST: "G-MST", Algorithm(9): "algorithm(9)",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String()=%q, want %q", int(a), a.String(), s)
+		}
+	}
+}
+
+func TestRunUnknownAlgorithmPanics(t *testing.T) {
+	g, c := testInstance(t, 30, 6, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown algorithm did not panic")
+		}
+	}()
+	Run(g, c, Algorithm(42))
+}
+
+// TestTheorem2AllAlgorithms: the heads plus selected gateways form a
+// subgraph in which all clusterheads are connected — Theorem 2 for
+// AC-LMST and the analogous guarantee for every other algorithm — and
+// the CDS is a k-hop connected dominating set.
+func TestTheorem2AllAlgorithms(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4} {
+		for seed := int64(0); seed < 6; seed++ {
+			g, c := testInstance(t, 70, 6, k, 300*int64(k)+seed)
+			for _, algo := range Algorithms {
+				res := Run(g, c, algo)
+				if err := cds.CheckHeadsConnected(g, res.CDS, c.Heads); err != nil {
+					t.Fatalf("k=%d seed=%d %v: %v", k, seed, algo, err)
+				}
+				if err := cds.CheckKHopCDS(g, res.CDS, k); err != nil {
+					t.Fatalf("k=%d seed=%d %v: %v", k, seed, algo, err)
+				}
+			}
+		}
+	}
+}
+
+// TestGatewaysAreNonHeads: gateway sets never contain clusterheads, and
+// CDS = heads ∪ gateways exactly.
+func TestGatewaysAreNonHeads(t *testing.T) {
+	g, c := testInstance(t, 80, 7, 2, 5)
+	headSet := make(map[int]bool)
+	for _, h := range c.Heads {
+		headSet[h] = true
+	}
+	for _, algo := range Algorithms {
+		res := Run(g, c, algo)
+		for _, gw := range res.Gateways {
+			if headSet[gw] {
+				t.Fatalf("%v: head %d listed as gateway", algo, gw)
+			}
+		}
+		if res.CDSSize() != len(c.Heads)+res.NumGateways() {
+			t.Fatalf("%v: CDS size %d ≠ %d heads + %d gateways",
+				algo, res.CDSSize(), len(c.Heads), res.NumGateways())
+		}
+	}
+}
+
+// TestPathsAreValid: every recorded path is a real path in G between the
+// two heads of the link, with length matching the link weight.
+func TestPathsAreValid(t *testing.T) {
+	g, c := testInstance(t, 80, 6, 2, 9)
+	for _, algo := range Algorithms {
+		res := Run(g, c, algo)
+		if len(res.Links) != len(res.Paths) {
+			t.Fatalf("%v: %d links vs %d paths", algo, len(res.Links), len(res.Paths))
+		}
+		for link, path := range res.Paths {
+			if path[0] != link[0] || path[len(path)-1] != link[1] {
+				t.Fatalf("%v: path endpoints %v for link %v", algo, path, link)
+			}
+			for i := 0; i+1 < len(path); i++ {
+				if !g.HasEdge(path[i], path[i+1]) {
+					t.Fatalf("%v: non-edge on path %v", algo, path)
+				}
+			}
+			if want := g.HopDist(link[0], link[1]); len(path)-1 != want {
+				t.Fatalf("%v: link %v path length %d, shortest %d", algo, link, len(path)-1, want)
+			}
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g, c := testInstance(t, 70, 6, 2, 13)
+	for _, algo := range Algorithms {
+		a, b := Run(g, c, algo), Run(g, c, algo)
+		if !reflect.DeepEqual(a.Gateways, b.Gateways) || !reflect.DeepEqual(a.Links, b.Links) {
+			t.Fatalf("%v nondeterministic", algo)
+		}
+	}
+}
+
+// TestLMSTLinksSubsetOfSelection: LMSTGA can only keep virtual links that
+// the neighbor selection offered.
+func TestLMSTLinksSubsetOfSelection(t *testing.T) {
+	g, c := testInstance(t, 80, 6, 2, 17)
+	sel := ncr.ANCR(g, c)
+	offered := make(map[[2]int]bool)
+	for _, p := range sel.Pairs() {
+		offered[p] = true
+	}
+	res := LMST(g, c, sel, ACLMST, KeepUnion)
+	for _, l := range res.Links {
+		if !offered[[2]int{l.U, l.V}] {
+			t.Fatalf("LMST kept unoffered link %v", l)
+		}
+	}
+}
+
+// TestLMSTNotWorseThanMesh: on the same selection, LMSTGA never keeps
+// more links than the mesh (it prunes a subset of the mesh's pairs).
+func TestLMSTPrunesMesh(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g, c := testInstance(t, 80, 6, 2, 500+seed)
+		sel := ncr.ANCR(g, c)
+		mesh := Mesh(g, c, sel, ACMesh)
+		lmst := LMST(g, c, sel, ACLMST, KeepUnion)
+		if len(lmst.Links) > len(mesh.Links) {
+			t.Fatalf("seed %d: LMST kept %d links, mesh %d", seed, len(lmst.Links), len(mesh.Links))
+		}
+		meshLinks := make(map[[2]int]bool)
+		for _, l := range mesh.Links {
+			meshLinks[[2]int{l.U, l.V}] = true
+		}
+		for _, l := range lmst.Links {
+			if !meshLinks[[2]int{l.U, l.V}] {
+				t.Fatalf("seed %d: LMST link %v not in mesh", seed, l)
+			}
+		}
+	}
+}
+
+// TestKeepIntersectionSubsetOfUnion and still connected.
+func TestKeepIntersection(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		g, c := testInstance(t, 80, 6, 2, 700+seed)
+		sel := ncr.ANCR(g, c)
+		union := LMST(g, c, sel, ACLMST, KeepUnion)
+		inter := LMST(g, c, sel, ACLMST, KeepIntersection)
+		if len(inter.Links) > len(union.Links) {
+			t.Fatalf("seed %d: intersection kept more links than union", seed)
+		}
+		unionLinks := make(map[[2]int]bool)
+		for _, l := range union.Links {
+			unionLinks[[2]int{l.U, l.V}] = true
+		}
+		for _, l := range inter.Links {
+			if !unionLinks[[2]int{l.U, l.V}] {
+				t.Fatalf("seed %d: intersection link %v not kept by union", seed, l)
+			}
+		}
+		if err := cds.CheckHeadsConnected(g, inter.CDS, c.Heads); err != nil {
+			t.Fatalf("seed %d: intersection keep-rule broke connectivity: %v", seed, err)
+		}
+	}
+}
+
+func TestKeepRuleString(t *testing.T) {
+	if KeepUnion.String() != "union" || KeepIntersection.String() != "intersection" {
+		t.Fatal("keep rule names wrong")
+	}
+}
+
+// TestGMSTIsSpanningTree: G-MST selects exactly heads-1 links forming a
+// tree over the heads.
+func TestGMSTIsSpanningTree(t *testing.T) {
+	g, c := testInstance(t, 90, 6, 2, 23)
+	res := GlobalMST(g, c)
+	if len(res.Links) != len(c.Heads)-1 {
+		t.Fatalf("G-MST has %d links for %d heads", len(res.Links), len(c.Heads))
+	}
+	idx := make(map[int]int)
+	for i, h := range c.Heads {
+		idx[h] = i
+	}
+	uf := graph.NewUnionFind(len(c.Heads))
+	for _, l := range res.Links {
+		if !uf.Union(idx[l.U], idx[l.V]) {
+			t.Fatal("cycle in G-MST links")
+		}
+	}
+	if uf.Sets() != 1 {
+		t.Fatal("G-MST links do not span the heads")
+	}
+}
+
+// TestGMSTLowerBoundTendency: across instances, G-MST should (almost
+// always) use no more gateways than the mesh algorithms; aggregate to
+// tolerate rare ties.
+func TestGMSTLowerBoundTendency(t *testing.T) {
+	wins := 0
+	const trials = 10
+	for seed := int64(0); seed < trials; seed++ {
+		g, c := testInstance(t, 80, 6, 2, 900+seed)
+		gm := Run(g, c, GMST).CDSSize()
+		ncm := Run(g, c, NCMesh).CDSSize()
+		acl := Run(g, c, ACLMST).CDSSize()
+		if gm <= ncm && gm <= acl {
+			wins++
+		}
+	}
+	if wins < trials-1 {
+		t.Fatalf("G-MST was a lower bound on only %d/%d instances", wins, trials)
+	}
+}
+
+// TestVirtualGraphWeights: virtual link weights equal hop distances and
+// paths realize them.
+func TestVirtualGraphWeights(t *testing.T) {
+	g, c := testInstance(t, 70, 6, 2, 31)
+	sel := ncr.ANCR(g, c)
+	vg, paths := VirtualGraph(g, sel)
+	for _, e := range vg.Edges() {
+		if want := g.HopDist(e.U, e.V); e.Weight != want {
+			t.Fatalf("virtual link %v weight %d, hop distance %d", e, e.Weight, want)
+		}
+		path := paths[[2]int{e.U, e.V}]
+		if len(path)-1 != e.Weight {
+			t.Fatalf("virtual link %v path length %d", e, len(path)-1)
+		}
+	}
+	if vg.NumVertices() != len(c.Heads) {
+		t.Fatalf("virtual graph has %d vertices, %d heads", vg.NumVertices(), len(c.Heads))
+	}
+}
+
+// TestSingleClusterNoGateways: one cluster needs no gateways under any
+// algorithm.
+func TestSingleClusterNoGateways(t *testing.T) {
+	g := graph.New(6)
+	for u := 0; u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	c := cluster.Run(g, cluster.Options{K: 1})
+	for _, algo := range Algorithms {
+		res := Run(g, c, algo)
+		if res.NumGateways() != 0 {
+			t.Fatalf("%v selected gateways in a single-cluster network", algo)
+		}
+		if res.CDSSize() != 1 {
+			t.Fatalf("%v CDS=%v", algo, res.CDS)
+		}
+	}
+}
+
+// TestMeshPathUniqueness: the mesh scheme installs exactly one path per
+// selected pair (paths map is keyed by canonical pair).
+func TestMeshPathUniqueness(t *testing.T) {
+	g, c := testInstance(t, 80, 6, 2, 37)
+	sel := ncr.NC(g, c)
+	res := Mesh(g, c, sel, NCMesh)
+	if len(res.Paths) != sel.NumPairs() {
+		t.Fatalf("mesh installed %d paths for %d pairs", len(res.Paths), sel.NumPairs())
+	}
+}
+
+// TestHeadsOnPathNotGateways: nodes on a gateway path that happen to be
+// clusterheads are not double-counted as gateways.
+func TestHeadsOnPathNotGateways(t *testing.T) {
+	// Line of three clusters with k=1: 0-1-2-3-4-5-6 gives heads 0,2,4,6;
+	// the path from head 0 to head 4 passes through head 2.
+	g := graph.New(7)
+	for i := 0; i+1 < 7; i++ {
+		g.AddEdge(i, i+1)
+	}
+	c := cluster.Run(g, cluster.Options{K: 1})
+	res := Run(g, c, NCMesh)
+	headSet := map[int]bool{0: true, 2: true, 4: true, 6: true}
+	for _, gw := range res.Gateways {
+		if headSet[gw] {
+			t.Fatalf("head %d counted as gateway", gw)
+		}
+	}
+}
+
+// TestWuLouSelectionConnects: at k=1 the 2.5-hop coverage rule feeds the
+// same gateway machinery and must still connect all heads (its selection
+// is a supergraph of A-NCR's).
+func TestWuLouSelectionConnects(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		g, c := testInstance(t, 80, 6, 1, 1100+seed)
+		sel := ncr.WuLou(g, c)
+		for _, res := range []*Result{
+			Mesh(g, c, sel, NCMesh),
+			LMST(g, c, sel, NCLMST, KeepUnion),
+		} {
+			if err := cds.CheckHeadsConnected(g, res.CDS, c.Heads); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+		// Sandwich in gateway counts: AC ≤ WuLou ≤ NC under mesh.
+		ac := Mesh(g, c, ncr.ANCR(g, c), ACMesh).CDSSize()
+		wl := Mesh(g, c, sel, NCMesh).CDSSize()
+		nc := Mesh(g, c, ncr.NC(g, c), NCMesh).CDSSize()
+		if !(ac <= wl && wl <= nc) {
+			t.Fatalf("seed %d: CDS sizes AC=%d WuLou=%d NC=%d not sandwiched", seed, ac, wl, nc)
+		}
+	}
+}

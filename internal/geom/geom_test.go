@@ -1,0 +1,167 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDist(t *testing.T) {
+	cases := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 2}, 1},
+		{Point{-2, -3}, Point{2, 0}, 5},
+	}
+	for _, c := range cases {
+		if got := c.p.Dist(c.q); !almostEqual(got, c.want) {
+			t.Errorf("Dist(%v, %v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		p := Point{math.Mod(ax, 1e6), math.Mod(ay, 1e6)}
+		q := Point{math.Mod(bx, 1e6), math.Mod(by, 1e6)}
+		return almostEqual(p.Dist(q), q.Dist(p))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDist2MatchesDistSquared(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		// Constrain to a sane range to avoid overflow-driven mismatches.
+		p := Point{math.Mod(ax, 1e6), math.Mod(ay, 1e6)}
+		q := Point{math.Mod(bx, 1e6), math.Mod(by, 1e6)}
+		d := p.Dist(q)
+		return almostEqual(p.Dist2(q), d*d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := Point{math.Mod(ax, 1e6), math.Mod(ay, 1e6)}
+		b := Point{math.Mod(bx, 1e6), math.Mod(by, 1e6)}
+		c := Point{math.Mod(cx, 1e6), math.Mod(cy, 1e6)}
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	p, q := Point{1, 2}, Point{3, -4}
+	if got := p.Add(q); got != (Point{4, -2}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Point{-2, 6}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := (Point{3, 4}).Norm(); !almostEqual(got, 5) {
+		t.Errorf("Norm = %v", got)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	p, q := Point{0, 0}, Point{10, 20}
+	if got := p.Lerp(q, 0); got != p {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := p.Lerp(q, 1); got != q {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if got := p.Lerp(q, 0.5); got != (Point{5, 10}) {
+		t.Errorf("Lerp(0.5) = %v", got)
+	}
+	if got := p.Lerp(q, 2); got != (Point{20, 40}) {
+		t.Errorf("Lerp(2) extrapolation = %v", got)
+	}
+}
+
+func TestLerpEndpointsProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		p := Point{math.Mod(ax, 1e6), math.Mod(ay, 1e6)}
+		q := Point{math.Mod(bx, 1e6), math.Mod(by, 1e6)}
+		at0 := p.Lerp(q, 0)
+		at1 := p.Lerp(q, 1)
+		return at0 == p && almostEqual(at1.X, q.X) && almostEqual(at1.Y, q.Y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := NewRect(100, 50)
+	if r.Width() != 100 || r.Height() != 50 {
+		t.Fatalf("dims = %v × %v", r.Width(), r.Height())
+	}
+	if r.Area() != 5000 {
+		t.Fatalf("area = %v", r.Area())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(10, 10)
+	for _, p := range []Point{{0, 0}, {10, 10}, {5, 5}, {0, 10}} {
+		if !r.Contains(p) {
+			t.Errorf("Contains(%v) = false", p)
+		}
+	}
+	for _, p := range []Point{{-0.1, 5}, {10.1, 5}, {5, -1}, {5, 11}} {
+		if r.Contains(p) {
+			t.Errorf("Contains(%v) = true", p)
+		}
+	}
+}
+
+func TestRectClamp(t *testing.T) {
+	r := NewRect(10, 10)
+	cases := []struct{ in, want Point }{
+		{Point{5, 5}, Point{5, 5}},
+		{Point{-3, 5}, Point{0, 5}},
+		{Point{12, 15}, Point{10, 10}},
+		{Point{5, -2}, Point{5, 0}},
+	}
+	for _, c := range cases {
+		if got := r.Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClampAlwaysInside(t *testing.T) {
+	r := NewRect(100, 100)
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		return r.Contains(r.Clamp(Point{x, y}))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := (Point{1.5, -2.25}).String(); got != "(1.500, -2.250)" {
+		t.Errorf("String = %q", got)
+	}
+}

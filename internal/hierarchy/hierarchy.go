@@ -1,0 +1,135 @@
+// Package hierarchy implements the recursive ("high level") clustering
+// the paper's §2 describes for very large networks: after k-hop
+// clustering, the clusterheads themselves form a network — the adjacent
+// cluster graph G” (connected by Theorem 1) — which can be clustered
+// again, and so on, yielding a multi-level hierarchy whose top level has
+// a handful of super-heads.
+//
+// Each level re-applies the same lowest-ID k-hop clustering to the
+// adjacent-cluster graph of the level below, so every guarantee of the
+// base algorithm (k-hop domination and independence *within the level
+// graph*) holds per level.
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+	"repro/internal/ncr"
+)
+
+// Level is one tier of the hierarchy.
+type Level struct {
+	// K is the clustering radius used at this level (in level-graph
+	// hops).
+	K int
+	// Heads are the clusterheads elected at this level, as original node
+	// IDs, ascending.
+	Heads []int
+	// HeadOf maps every node of this level's input graph (the heads of
+	// the level below, or all nodes for level 0) to its clusterhead at
+	// this level. Keys and values are original node IDs.
+	HeadOf map[int]int
+}
+
+// Hierarchy is a stack of levels; Levels[0] clusters the physical
+// network, Levels[i] clusters the heads of Levels[i-1].
+type Hierarchy struct {
+	Levels []Level
+}
+
+// Depth returns the number of levels.
+func (h *Hierarchy) Depth() int { return len(h.Levels) }
+
+// TopHeads returns the clusterheads of the highest level.
+func (h *Hierarchy) TopHeads() []int { return h.Levels[len(h.Levels)-1].Heads }
+
+// HeadAt returns node v's clusterhead at the given level by composing
+// the per-level assignments: level 0 gives v's ordinary head, level 1
+// that head's super-head, and so on.
+func (h *Hierarchy) HeadAt(v, level int) (int, error) {
+	if level < 0 || level >= len(h.Levels) {
+		return 0, fmt.Errorf("hierarchy: level %d outside [0,%d)", level, len(h.Levels))
+	}
+	cur := v
+	for l := 0; l <= level; l++ {
+		next, ok := h.Levels[l].HeadOf[cur]
+		if !ok {
+			return 0, fmt.Errorf("hierarchy: node %d missing at level %d", cur, l)
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// Options configures Build.
+type Options struct {
+	K int // clustering radius, used at every level
+	// MaxLevels caps the recursion; 0 means "until one head remains or
+	// no progress is possible".
+	MaxLevels int
+}
+
+// Build constructs the hierarchy over a connected graph: cluster, form
+// the adjacent cluster graph over the heads, re-cluster, and repeat
+// until a single head remains, a level makes no progress, or MaxLevels
+// is reached.
+func Build(g *graph.Graph, opt Options) (*Hierarchy, error) {
+	if opt.K < 1 {
+		return nil, fmt.Errorf("hierarchy: k must be ≥ 1, got %d", opt.K)
+	}
+	maxLevels := opt.MaxLevels
+	if maxLevels <= 0 {
+		maxLevels = g.N() // effectively unbounded; progress check stops earlier
+	}
+
+	h := &Hierarchy{}
+	levelGraph := g
+	// ids[i] is the original node ID of the level graph's dense vertex i;
+	// nil means identity (level 0).
+	var ids []int
+
+	for len(h.Levels) < maxLevels {
+		c := cluster.Run(levelGraph, cluster.Options{K: opt.K})
+		lvl := Level{K: opt.K, HeadOf: make(map[int]int, levelGraph.N())}
+		for v, hd := range c.Head {
+			lvl.HeadOf[orig(ids, v)] = orig(ids, hd)
+		}
+		for _, hd := range c.Heads {
+			lvl.Heads = append(lvl.Heads, orig(ids, hd))
+		}
+		sort.Ints(lvl.Heads)
+		h.Levels = append(h.Levels, lvl)
+
+		if len(c.Heads) <= 1 || len(c.Heads) == levelGraph.N() {
+			break // done, or no progress possible
+		}
+
+		// Next level graph: the adjacent cluster graph G'' of this
+		// clustering, re-indexed densely with heads in ascending ID
+		// order so lowest-dense-index coincides with lowest original ID.
+		sel := ncr.ANCR(levelGraph, c)
+		nextIDs := make([]int, len(c.Heads))
+		index := make(map[int]int, len(c.Heads))
+		for i, hd := range c.Heads { // c.Heads is ascending
+			nextIDs[i] = orig(ids, hd)
+			index[hd] = i
+		}
+		next := graph.New(len(c.Heads))
+		for _, pair := range sel.Pairs() {
+			next.AddEdge(index[pair[0]], index[pair[1]])
+		}
+		levelGraph = next
+		ids = nextIDs
+	}
+	return h, nil
+}
+
+func orig(ids []int, v int) int {
+	if ids == nil {
+		return v
+	}
+	return ids[v]
+}

@@ -1,0 +1,167 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/udg"
+)
+
+func testNet(t testing.TB, n int, deg float64, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net, err := udg.Generate(udg.Config{N: n, AvgDegree: deg, RequireConnected: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net.G
+}
+
+func TestBuildRejectsBadK(t *testing.T) {
+	g := testNet(t, 20, 6, 1)
+	if _, err := Build(g, Options{K: 0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestHeadCountsStrictlyDecrease(t *testing.T) {
+	g := testNet(t, 150, 6, 2)
+	h, err := Build(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Depth() < 2 {
+		t.Fatalf("150-node network produced a depth-%d hierarchy", h.Depth())
+	}
+	prev := g.N()
+	for i, lvl := range h.Levels {
+		if len(lvl.Heads) >= prev {
+			t.Fatalf("level %d has %d heads, previous tier had %d members", i, len(lvl.Heads), prev)
+		}
+		prev = len(lvl.Heads)
+	}
+}
+
+func TestConvergesToSingleTopHead(t *testing.T) {
+	g := testNet(t, 120, 7, 3)
+	h, err := Build(g, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.TopHeads()); got != 1 {
+		t.Fatalf("top level has %d heads, want 1", got)
+	}
+}
+
+func TestHeadAtComposition(t *testing.T) {
+	g := testNet(t, 120, 6, 5)
+	h, err := Build(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := h.TopHeads()
+	isTop := make(map[int]bool)
+	for _, v := range top {
+		isTop[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		// Level-0 head is an ordinary clusterhead.
+		h0, err := h.HeadAt(v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := h.Levels[0].HeadOf[h0]; !ok {
+			t.Fatalf("node %d level-0 head %d unknown", v, h0)
+		}
+		// The highest level maps every node to a top head.
+		ht, err := h.HeadAt(v, h.Depth()-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !isTop[ht] {
+			t.Fatalf("node %d maps to %d at the top, not a top head", v, ht)
+		}
+	}
+}
+
+func TestHeadAtBounds(t *testing.T) {
+	g := testNet(t, 40, 6, 7)
+	h, err := Build(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.HeadAt(0, -1); err == nil {
+		t.Error("negative level accepted")
+	}
+	if _, err := h.HeadAt(0, h.Depth()); err == nil {
+		t.Error("out-of-range level accepted")
+	}
+}
+
+func TestMaxLevelsCap(t *testing.T) {
+	g := testNet(t, 150, 6, 9)
+	h, err := Build(g, Options{K: 1, MaxLevels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Depth() > 2 {
+		t.Fatalf("depth %d exceeds cap", h.Depth())
+	}
+}
+
+// TestLevelHeadsAreSubsets: heads at level i+1 are a subset of heads at
+// level i (super-heads are ordinary heads first).
+func TestLevelHeadsAreSubsets(t *testing.T) {
+	g := testNet(t, 150, 6, 11)
+	h, err := Build(g, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < h.Depth(); i++ {
+		below := make(map[int]bool)
+		for _, v := range h.Levels[i-1].Heads {
+			below[v] = true
+		}
+		for _, v := range h.Levels[i].Heads {
+			if !below[v] {
+				t.Fatalf("level-%d head %d is not a level-%d head", i, v, i-1)
+			}
+		}
+	}
+}
+
+// TestLargerKShallowerHierarchy: bigger clusters shrink each level more
+// aggressively, so the hierarchy can only get shallower (checked in
+// aggregate over seeds to tolerate ties).
+func TestLargerKShallowerHierarchy(t *testing.T) {
+	deeper := 0
+	for seed := int64(0); seed < 5; seed++ {
+		g := testNet(t, 150, 6, 100+seed)
+		h1, err := Build(g, Options{K: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h3, err := Build(g, Options{K: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h3.Depth() > h1.Depth() {
+			deeper++
+		}
+	}
+	if deeper > 1 {
+		t.Fatalf("k=3 hierarchy was deeper than k=1 on %d/5 instances", deeper)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	g := graph.New(1)
+	h, err := Build(g, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Depth() != 1 || len(h.TopHeads()) != 1 || h.TopHeads()[0] != 0 {
+		t.Fatalf("hierarchy=%+v", h)
+	}
+}

@@ -1,0 +1,154 @@
+// Package maxmin implements the Max-Min d-cluster formation algorithm of
+// Amis, Prakash, Vuong, and Huynh (INFOCOM 2000) — reference [2] of the
+// paper, cited as the k-hop *core* style alternative to the iterative
+// lowest-ID k-hop clustering: it runs in exactly 2d synchronous rounds
+// and elects clusterheads that may be closer than d hops to each other
+// (no independence guarantee), while every node stays within d hops of
+// its clusterhead.
+//
+// The algorithm: d rounds of Floodmax (every node repeatedly adopts the
+// largest ID heard from its neighbors) followed by d rounds of Floodmin
+// (smallest ID heard), with each node logging the winner of every round.
+// Then each node picks its clusterhead by the three Max-Min rules:
+//
+//  1. if its own ID appears among its Floodmin winners, it heads itself;
+//  2. otherwise, among IDs that appear in both the Floodmax and Floodmin
+//     logs ("node pairs"), pick the smallest;
+//  3. otherwise, pick the largest ID in the Floodmax log.
+//
+// The result is returned as a cluster.Clustering so the paper's gateway
+// pipeline (NC/A-NCR + Mesh/LMSTGA) runs unchanged on top, enabling the
+// head-to-head comparison experiment between the two clustering styles.
+package maxmin
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// Run executes Max-Min d-cluster formation on g. The graph should be
+// connected; on disconnected graphs each component clusters itself.
+//
+// The returned Clustering has K = d; every node is within d hops of its
+// clusterhead (Amis et al., Theorem "d-hop dominating set"), but heads
+// are not k-hop independent — callers comparing against the lowest-ID
+// clustering must not assert independence.
+func Run(g *graph.Graph, d int) *cluster.Clustering {
+	if d < 1 {
+		panic(fmt.Sprintf("maxmin: d must be ≥ 1, got %d", d))
+	}
+	n := g.N()
+	winner := make([]int, n)
+	for v := range winner {
+		winner[v] = v
+	}
+	maxLog := make([][]int, n) // per-node Floodmax winners, per round
+	minLog := make([][]int, n)
+
+	// Floodmax: d synchronous rounds of "adopt the largest winner among
+	// yourself and your neighbors".
+	for r := 0; r < d; r++ {
+		next := make([]int, n)
+		for v := 0; v < n; v++ {
+			best := winner[v]
+			for _, u := range g.Neighbors(v) {
+				if winner[u] > best {
+					best = winner[u]
+				}
+			}
+			next[v] = best
+			maxLog[v] = append(maxLog[v], best)
+		}
+		winner = next
+	}
+
+	// Floodmin: d rounds of "adopt the smallest".
+	for r := 0; r < d; r++ {
+		next := make([]int, n)
+		for v := 0; v < n; v++ {
+			best := winner[v]
+			for _, u := range g.Neighbors(v) {
+				if winner[u] < best {
+					best = winner[u]
+				}
+			}
+			next[v] = best
+			minLog[v] = append(minLog[v], best)
+		}
+		winner = next
+	}
+
+	head := make([]int, n)
+	for v := 0; v < n; v++ {
+		head[v] = elect(v, maxLog[v], minLog[v])
+	}
+
+	// Consistency pass: every node selected by someone must head itself
+	// (rule 1 guarantees this for heads that saw their own ID come back;
+	// the pass also covers heads chosen via rules 2/3).
+	isHead := make(map[int]bool)
+	for _, h := range head {
+		isHead[h] = true
+	}
+	for h := range isHead {
+		head[h] = h
+	}
+
+	heads := make([]int, 0, len(isHead))
+	for h := range isHead {
+		heads = append(heads, h)
+	}
+	sort.Ints(heads)
+
+	distToHead := make([]int, n)
+	distFrom := make(map[int][]int, len(heads))
+	for _, h := range heads {
+		distFrom[h] = g.BFS(h)
+	}
+	for v := 0; v < n; v++ {
+		distToHead[v] = distFrom[head[v]][v]
+	}
+
+	return &cluster.Clustering{
+		K:          d,
+		Head:       head,
+		Heads:      heads,
+		DistToHead: distToHead,
+		Rounds:     2 * d,
+	}
+}
+
+// elect applies the three Max-Min clusterhead selection rules.
+func elect(v int, maxLog, minLog []int) int {
+	// Rule 1: own ID re-appeared during Floodmin.
+	for _, w := range minLog {
+		if w == v {
+			return v
+		}
+	}
+	// Rule 2: smallest "node pair" (ID present in both phases' logs).
+	inMax := make(map[int]bool, len(maxLog))
+	for _, w := range maxLog {
+		inMax[w] = true
+	}
+	pair := -1
+	for _, w := range minLog {
+		if inMax[w] && (pair == -1 || w < pair) {
+			pair = w
+		}
+	}
+	if pair >= 0 {
+		return pair
+	}
+	// Rule 3: overall Floodmax maximum.
+	best := maxLog[0]
+	for _, w := range maxLog[1:] {
+		if w > best {
+			best = w
+		}
+	}
+	return best
+}

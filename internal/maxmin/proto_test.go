@@ -1,0 +1,38 @@
+package maxmin
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestDistributedMatchesCentralized: the message-passing Max-Min yields
+// exactly the same clustering as the synchronous reference.
+func TestDistributedMatchesCentralized(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		for seed := int64(0); seed < 5; seed++ {
+			g := testNet(t, 60, 6, 700*int64(d)+seed)
+			want := Run(g, d)
+			got, stats := Distributed(g, d)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("d=%d seed=%d: distributed differs from centralized", d, seed)
+			}
+			// Exactly 2d rounds of one broadcast per node.
+			if stats.Rounds != 2*d {
+				t.Fatalf("d=%d: %d rounds, want %d", d, stats.Rounds, 2*d)
+			}
+			if stats.Transmissions != 2*d*g.N() {
+				t.Fatalf("d=%d: %d transmissions, want %d", d, stats.Transmissions, 2*d*g.N())
+			}
+		}
+	}
+}
+
+func TestDistributedInvalidDPanics(t *testing.T) {
+	g := pathGraph(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("d=0 did not panic")
+		}
+	}()
+	Distributed(g, 0)
+}

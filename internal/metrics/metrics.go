@@ -1,0 +1,268 @@
+// Package metrics provides the summary statistics the evaluation uses:
+// sample mean and standard deviation, Student-t confidence intervals, and
+// the paper's adaptive repetition rule ("repeated 100 times or until the
+// confidence interval is sufficiently small (±1%, for the confidence
+// level of 90%)").
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample accumulates observations with Welford's online algorithm so the
+// experiment driver can test the stopping rule after each run without
+// storing the series.
+type Sample struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(x float64) {
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean (0 with no observations).
+func (s *Sample) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance.
+func (s *Sample) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (s *Sample) StdErr() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// CI returns the half-width of the two-sided confidence interval around
+// the mean at the given confidence level (e.g. 0.90), using the Student-t
+// quantile for the current sample size.
+func (s *Sample) CI(level float64) float64 {
+	if s.n < 2 {
+		return math.Inf(1)
+	}
+	return tQuantile(1-(1-level)/2, s.n-1) * s.StdErr()
+}
+
+// RelCI returns the CI half-width relative to the mean (|CI| / |mean|),
+// the quantity the paper bounds by 1%. It returns +Inf when the mean is
+// zero or fewer than two observations exist.
+func (s *Sample) RelCI(level float64) float64 {
+	if s.mean == 0 {
+		return math.Inf(1)
+	}
+	return s.CI(level) / math.Abs(s.mean)
+}
+
+// String implements fmt.Stringer.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f sd=%.3f", s.n, s.Mean(), s.StdDev())
+}
+
+// StopRule is the paper's adaptive repetition policy.
+type StopRule struct {
+	MinRuns  int     // always run at least this many repetitions
+	MaxRuns  int     // hard cap (the paper's 100)
+	Level    float64 // confidence level (0.90)
+	RelWidth float64 // relative half-width target (0.01)
+}
+
+// PaperStopRule returns the evaluation's policy: at least 20 runs, at
+// most 100, stop early when the 90% CI is within ±1% of the mean.
+func PaperStopRule() StopRule {
+	return StopRule{MinRuns: 20, MaxRuns: 100, Level: 0.90, RelWidth: 0.01}
+}
+
+// Done reports whether sampling may stop.
+func (r StopRule) Done(s *Sample) bool {
+	if s.N() >= r.MaxRuns {
+		return true
+	}
+	if s.N() < r.MinRuns || s.N() < 2 {
+		return false
+	}
+	return s.RelCI(r.Level) <= r.RelWidth
+}
+
+// tQuantile returns the p-quantile of the Student-t distribution with df
+// degrees of freedom, via the inverse of the regularized incomplete beta
+// function (Newton refinement over the normal-based Cornish–Fisher
+// seed). Accuracy is far below the sampling noise it is compared with.
+func tQuantile(p float64, df int) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if p == 0.5 {
+		return 0
+	}
+	// Cornish–Fisher expansion seed around the normal quantile.
+	z := normQuantile(p)
+	n := float64(df)
+	z2 := z * z
+	g1 := (z2 + 1) * z / 4
+	g2 := ((5*z2+16)*z2 + 3) * z / 96
+	g3 := (((3*z2+19)*z2+17)*z2 - 15) * z / 384
+	t := z + g1/n + g2/(n*n) + g3/(n*n*n)
+	// Newton steps on F(t) - p = 0 using the exact t CDF.
+	for i := 0; i < 8; i++ {
+		f := tCDF(t, n) - p
+		d := tPDF(t, n)
+		if d == 0 {
+			break
+		}
+		step := f / d
+		t -= step
+		if math.Abs(step) < 1e-12*(1+math.Abs(t)) {
+			break
+		}
+	}
+	return t
+}
+
+// tCDF is the Student-t CDF via the regularized incomplete beta function.
+func tCDF(t, n float64) float64 {
+	if t == 0 {
+		return 0.5
+	}
+	x := n / (n + t*t)
+	ib := regIncBeta(n/2, 0.5, x)
+	if t > 0 {
+		return 1 - ib/2
+	}
+	return ib / 2
+}
+
+// tPDF is the Student-t density.
+func tPDF(t, n float64) float64 {
+	lg1, _ := math.Lgamma((n + 1) / 2)
+	lg2, _ := math.Lgamma(n / 2)
+	logc := lg1 - lg2 - 0.5*math.Log(n*math.Pi)
+	return math.Exp(logc - (n+1)/2*math.Log(1+t*t/n))
+}
+
+// normQuantile is the standard normal inverse CDF (Acklam's rational
+// approximation; |ε| < 1.15e-9, then one Halley refinement).
+func normQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const plow, phigh = 0.02425, 1 - 0.02425
+	var x float64
+	switch {
+	case p < plow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= phigh:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// Halley refinement.
+	e := normCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x -= u / (1 + x*u/2)
+	return x
+}
+
+// normCDF is the standard normal CDF.
+func normCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes style).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lgab, _ := math.Lgamma(a + b)
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	front := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 1e-14
+		tiny    = 1e-30
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

@@ -1,0 +1,266 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleMeanAndVariance(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N=%d", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean=%v", s.Mean())
+	}
+	// Unbiased variance of that classic data set is 32/7.
+	if math.Abs(s.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("Variance=%v", s.Variance())
+	}
+}
+
+func TestSampleWelfordMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var s Sample
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*10 + 3
+		xs = append(xs, x)
+		s.Add(x)
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	naiveVar := ss / float64(len(xs)-1)
+	if math.Abs(s.Mean()-mean) > 1e-9 {
+		t.Fatalf("mean %v vs %v", s.Mean(), mean)
+	}
+	if math.Abs(s.Variance()-naiveVar) > 1e-6 {
+		t.Fatalf("variance %v vs %v", s.Variance(), naiveVar)
+	}
+}
+
+func TestSampleDegenerate(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdErr() != 0 {
+		t.Fatal("empty sample stats nonzero")
+	}
+	s.Add(5)
+	if s.Variance() != 0 {
+		t.Fatal("single observation variance nonzero")
+	}
+	if !math.IsInf(s.CI(0.9), 1) {
+		t.Fatal("CI with n=1 should be +Inf")
+	}
+}
+
+// TestTQuantileAgainstTables pins the Student-t inverse against standard
+// table values (two-sided 90% and 95%).
+func TestTQuantileAgainstTables(t *testing.T) {
+	cases := []struct {
+		p    float64
+		df   int
+		want float64
+	}{
+		{0.95, 1, 6.3138},
+		{0.95, 5, 2.0150},
+		{0.95, 9, 1.8331},
+		{0.95, 19, 1.7291},
+		{0.95, 99, 1.6604},
+		{0.975, 9, 2.2622},
+		{0.975, 19, 2.0930},
+		{0.975, 29, 2.0452},
+		{0.995, 9, 3.2498},
+	}
+	for _, c := range cases {
+		got := tQuantile(c.p, c.df)
+		if math.Abs(got-c.want) > 2e-3 {
+			t.Errorf("tQuantile(%v, %d) = %.4f, want %.4f", c.p, c.df, got, c.want)
+		}
+	}
+}
+
+func TestTQuantileSymmetry(t *testing.T) {
+	f := func(rawP uint16, rawDF uint8) bool {
+		p := 0.5 + float64(rawP%4000)/10000 // (0.5, 0.9)
+		df := int(rawDF%50) + 1
+		a := tQuantile(p, df)
+		b := tQuantile(1-p, df)
+		return math.Abs(a+b) < 1e-6*(1+math.Abs(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTCDFInvertsQuantile(t *testing.T) {
+	for _, p := range []float64{0.6, 0.75, 0.9, 0.95, 0.99} {
+		for _, df := range []int{2, 5, 10, 30, 100} {
+			q := tQuantile(p, df)
+			back := tCDF(q, float64(df))
+			if math.Abs(back-p) > 1e-8 {
+				t.Errorf("tCDF(tQuantile(%v, %d)) = %v", p, df, back)
+			}
+		}
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:    0,
+		0.8413: 0.9998, // Φ(1) ≈ 0.8413
+		0.975:  1.95996,
+		0.995:  2.57583,
+	}
+	for p, want := range cases {
+		if got := normQuantile(p); math.Abs(got-want) > 2e-3 {
+			t.Errorf("normQuantile(%v)=%.5f want %.5f", p, got, want)
+		}
+	}
+	if !math.IsNaN(normQuantile(0)) || !math.IsNaN(normQuantile(1)) {
+		t.Error("normQuantile at bounds should be NaN")
+	}
+}
+
+func TestNormQuantileInvertsCDF(t *testing.T) {
+	f := func(raw uint16) bool {
+		p := float64(raw%9998+1) / 10000
+		return math.Abs(normCDF(normQuantile(p))-p) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegIncBetaBounds(t *testing.T) {
+	if regIncBeta(2, 3, 0) != 0 || regIncBeta(2, 3, 1) != 1 {
+		t.Fatal("bounds wrong")
+	}
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0.1, 0.37, 0.5, 0.9} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Errorf("I_%v(1,1)=%v", x, got)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 − I_{1−x}(b,a).
+	if got := regIncBeta(2.5, 4, 0.3) + regIncBeta(4, 2.5, 0.7); math.Abs(got-1) > 1e-12 {
+		t.Errorf("symmetry: %v", got)
+	}
+}
+
+func TestCIShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var s Sample
+	var prev float64 = math.Inf(1)
+	for i := 1; i <= 1000; i++ {
+		s.Add(rng.NormFloat64())
+		if i%200 == 0 {
+			ci := s.CI(0.9)
+			if ci >= prev {
+				t.Fatalf("CI did not shrink: %v -> %v at n=%d", prev, ci, i)
+			}
+			prev = ci
+		}
+	}
+}
+
+// TestCICoverage: the 90% CI should cover the true mean roughly 90% of
+// the time. With 400 trials, coverage between 84% and 96% is comfortably
+// within binomial noise.
+func TestCICoverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const trials = 400
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		var s Sample
+		for i := 0; i < 30; i++ {
+			s.Add(rng.NormFloat64()*2 + 10)
+		}
+		ci := s.CI(0.90)
+		if math.Abs(s.Mean()-10) <= ci {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.84 || rate > 0.96 {
+		t.Fatalf("90%% CI covered the true mean %.1f%% of the time", 100*rate)
+	}
+}
+
+func TestRelCI(t *testing.T) {
+	var s Sample
+	if !math.IsInf(s.RelCI(0.9), 1) {
+		t.Fatal("RelCI of empty sample should be +Inf")
+	}
+	for i := 0; i < 100; i++ {
+		s.Add(100) // zero variance
+	}
+	if got := s.RelCI(0.9); got != 0 {
+		t.Fatalf("RelCI of constant sample = %v", got)
+	}
+}
+
+func TestStopRule(t *testing.T) {
+	rule := StopRule{MinRuns: 5, MaxRuns: 10, Level: 0.9, RelWidth: 0.01}
+	var s Sample
+	s.Add(1)
+	if rule.Done(&s) {
+		t.Fatal("done after 1 run")
+	}
+	// Constant observations: CI hits zero as soon as MinRuns reached.
+	for i := 0; i < 4; i++ {
+		s.Add(1)
+	}
+	if !rule.Done(&s) {
+		t.Fatal("not done with zero-variance sample at MinRuns")
+	}
+	// High-variance sample only stops at MaxRuns.
+	var h Sample
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 9; i++ {
+		h.Add(rng.Float64() * 1000)
+	}
+	if rule.Done(&h) {
+		t.Fatal("noisy sample stopped before MaxRuns")
+	}
+	h.Add(1)
+	if !rule.Done(&h) {
+		t.Fatal("MaxRuns not honored")
+	}
+}
+
+func TestPaperStopRule(t *testing.T) {
+	r := PaperStopRule()
+	if r.MaxRuns != 100 || r.Level != 0.90 || r.RelWidth != 0.01 {
+		t.Fatalf("paper rule = %+v", r)
+	}
+}
+
+func TestSampleString(t *testing.T) {
+	var s Sample
+	s.Add(1)
+	s.Add(3)
+	if s.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestTQuantileDegenerate(t *testing.T) {
+	if !math.IsNaN(tQuantile(0.9, 0)) {
+		t.Fatal("df=0 should be NaN")
+	}
+	if tQuantile(0.5, 7) != 0 {
+		t.Fatal("median quantile should be 0")
+	}
+}

@@ -1,0 +1,304 @@
+package mobility
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/gateway"
+	"repro/internal/graph"
+)
+
+// Role classifies a departing node per §3.3 of the paper, which drives
+// how much repair work the departure triggers.
+type Role int
+
+const (
+	// RoleMember: non-clusterhead, non-gateway — "nothing needs to be
+	// done with respect to the existing CDS".
+	RoleMember Role = iota
+	// RoleGateway: non-clusterhead but gateway — "only the corresponding
+	// clusterhead needs to re-run the gateway selection process".
+	RoleGateway
+	// RoleHead: a clusterhead — "the clusterhead selection process is
+	// applied" for the orphaned cluster.
+	RoleHead
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleMember:
+		return "member"
+	case RoleGateway:
+		return "gateway"
+	case RoleHead:
+		return "head"
+	default:
+		return fmt.Sprintf("role(%d)", int(r))
+	}
+}
+
+// Classify returns the departing node's role in the current structure.
+func Classify(c *cluster.Clustering, res *gateway.Result, node int) Role {
+	if c.IsHead(node) {
+		return RoleHead
+	}
+	for _, gw := range res.Gateways {
+		if gw == node {
+			return RoleGateway
+		}
+	}
+	return RoleMember
+}
+
+// RepairReport quantifies one departure's repair.
+type RepairReport struct {
+	Node int
+	Role Role
+	// ReclusteredNodes counts nodes whose cluster assignment changed
+	// (including new heads); zero for member/gateway departures.
+	ReclusteredNodes int
+	// ReselectedHeads counts clusterheads that had to re-run gateway
+	// selection (the "local fix" scope).
+	ReselectedHeads int
+	// NewHeads counts clusterheads elected during the repair.
+	NewHeads int
+}
+
+// Maintainer owns a network structure and repairs it as nodes depart.
+// The repair follows §3.3: departures of plain members are free; gateway
+// departures re-run gateway selection for the affected heads; clusterhead
+// departures re-cluster the orphaned members (joining an adjacent cluster
+// when one is within k hops, otherwise electing new heads among the
+// orphans) and then re-run gateway selection.
+type Maintainer struct {
+	G     *graph.Graph // mutated in place as nodes depart
+	K     int
+	Algo  gateway.Algorithm
+	C     *cluster.Clustering
+	Res   *gateway.Result
+	alive []bool
+}
+
+// NewMaintainer builds the initial structure on a copy of g.
+func NewMaintainer(g *graph.Graph, k int, algo gateway.Algorithm) *Maintainer {
+	gc := g.Clone()
+	c := cluster.Run(gc, cluster.Options{K: k})
+	alive := make([]bool, gc.N())
+	for i := range alive {
+		alive[i] = true
+	}
+	return &Maintainer{
+		G:     gc,
+		K:     k,
+		Algo:  algo,
+		C:     c,
+		Res:   gateway.Run(gc, c, algo),
+		alive: alive,
+	}
+}
+
+// Alive reports whether node is still part of the network.
+func (m *Maintainer) Alive(node int) bool { return m.alive[node] }
+
+// Depart removes node from the network and repairs the structure,
+// returning a report of the repair scope. Departing an already-departed
+// node is an error.
+//
+// Beyond the paper's three cases, any departure can strand *other*
+// members whose only ≤ k-hop path to their head ran through the departed
+// node; Depart detects those and re-affiliates them too (adoption by a
+// head still within k hops, otherwise a local election), so the
+// clustering invariants keep holding on the alive subgraph.
+func (m *Maintainer) Depart(node int) (RepairReport, error) {
+	if node < 0 || node >= m.G.N() || !m.alive[node] {
+		return RepairReport{}, fmt.Errorf("mobility: node %d is not alive", node)
+	}
+	role := Classify(m.C, m.Res, node)
+	rep := RepairReport{Node: node, Role: role}
+
+	m.alive[node] = false
+	m.G.RemoveVertexEdges(node)
+
+	if role == RoleGateway {
+		rep.ReselectedHeads = m.headsUsing(node)
+	}
+
+	// Re-affiliate every node whose head died or drifted out of reach.
+	var err error
+	m.C, rep.ReclusteredNodes, rep.NewHeads, err = m.reaffiliate(node, role == RoleHead)
+	if err != nil {
+		return rep, err
+	}
+	if role == RoleHead {
+		rep.ReselectedHeads = len(m.C.Heads)
+	}
+
+	// The CDS needs refreshing whenever a gateway left, the clustering
+	// changed, or a head left (its incident virtual links are gone).
+	if role != RoleMember || rep.ReclusteredNodes > 0 {
+		m.Res = gateway.Run(m.G, m.C, m.Algo)
+	} else {
+		m.C = m.inertDead(node, m.C)
+	}
+	return rep, nil
+}
+
+// headsUsing counts heads with at least one selected link whose gateway
+// path used the departed node — the set that re-runs selection locally.
+func (m *Maintainer) headsUsing(node int) int {
+	heads := make(map[int]bool)
+	for link, path := range m.Res.Paths {
+		for _, v := range path {
+			if v == node {
+				heads[link[0]] = true
+				heads[link[1]] = true
+			}
+		}
+	}
+	return len(heads)
+}
+
+// inertDead returns a copy of c where the departed node's slot is
+// self-consistent but inert (it heads itself without being listed).
+func (m *Maintainer) inertDead(node int, c *cluster.Clustering) *cluster.Clustering {
+	nc := &cluster.Clustering{
+		K:          c.K,
+		Head:       append([]int(nil), c.Head...),
+		Heads:      append([]int(nil), c.Heads...),
+		DistToHead: append([]int(nil), c.DistToHead...),
+		Rounds:     c.Rounds,
+	}
+	nc.Head[node] = node
+	nc.DistToHead[node] = 0
+	return nc
+}
+
+// reaffiliate repairs the clustering after dead departed: every alive
+// node whose head is dead or now farther than k hops (its path ran
+// through the departed node) joins a surviving head still within k hops,
+// or elects new heads among the stranded. Returns the new clustering,
+// how many nodes changed assignment, and how many new heads emerged.
+func (m *Maintainer) reaffiliate(dead int, headDied bool) (*cluster.Clustering, int, int, error) {
+	head := append([]int(nil), m.C.Head...)
+	distToHead := append([]int(nil), m.C.DistToHead...)
+	head[dead] = dead
+	distToHead[dead] = 0
+
+	surviving := make([]int, 0, len(m.C.Heads))
+	for _, h := range m.C.Heads {
+		if h != dead {
+			surviving = append(surviving, h)
+		}
+	}
+
+	// Distances from every surviving head (reused by both passes).
+	distFromHead := make(map[int][]int, len(surviving))
+	for _, h := range surviving {
+		distFromHead[h] = m.G.BFS(h)
+	}
+
+	// Violators: orphans of a dead head plus members out of reach.
+	var orphans []int
+	for v, h := range m.C.Head {
+		if v == dead || !m.alive[v] || v == h {
+			continue
+		}
+		if h == dead {
+			orphans = append(orphans, v)
+			continue
+		}
+		if d := distFromHead[h][v]; d == graph.Unreachable || d > m.K {
+			orphans = append(orphans, v)
+		}
+	}
+	sort.Ints(orphans)
+	if len(orphans) == 0 && !headDied {
+		return m.inertDead(dead, m.C), 0, 0, nil
+	}
+
+	// Pass 1: adoption by existing clusters whose head is within k hops.
+	var stranded []int
+	reclustered := 0
+	for _, v := range orphans {
+		bestHead, bestDist := -1, m.K+1
+		for _, h := range surviving {
+			if d := distFromHead[h][v]; d != graph.Unreachable && d <= m.K {
+				if bestHead == -1 || d < bestDist || (d == bestDist && h < bestHead) {
+					bestHead, bestDist = h, d
+				}
+			}
+		}
+		if bestHead >= 0 {
+			head[v] = bestHead
+			distToHead[v] = bestDist
+			reclustered++
+		} else {
+			stranded = append(stranded, v)
+		}
+	}
+
+	// Pass 2: local election among stranded orphans on the subgraph they
+	// can still reach (iterative lowest-ID, exactly the base algorithm).
+	newHeads := 0
+	for len(stranded) > 0 {
+		// Lowest ID among stranded wins within its k-hop ball.
+		winner := -1
+		for _, v := range stranded {
+			isBeaten := false
+			ball := m.G.BFSWithin(v, m.K)
+			for _, w := range stranded {
+				if w != v {
+					if _, in := ball[w]; in && w < v {
+						isBeaten = true
+						break
+					}
+				}
+			}
+			if !isBeaten {
+				winner = v
+				break
+			}
+		}
+		if winner < 0 {
+			return nil, 0, 0, fmt.Errorf("mobility: stranded election stalled with %d orphans", len(stranded))
+		}
+		newHeads++
+		reclustered++
+		head[winner] = winner
+		distToHead[winner] = 0
+		ball := m.G.BFSWithin(winner, m.K)
+		var rest []int
+		for _, v := range stranded {
+			if v == winner {
+				continue
+			}
+			if d, in := ball[v]; in {
+				head[v] = winner
+				distToHead[v] = d
+				reclustered++
+			} else {
+				rest = append(rest, v)
+			}
+		}
+		stranded = rest
+	}
+
+	heads := make([]int, 0, len(surviving)+newHeads)
+	seen := make(map[int]bool)
+	for v := range head {
+		if head[v] == v && m.alive[v] && !seen[v] {
+			seen[v] = true
+			heads = append(heads, v)
+		}
+	}
+	sort.Ints(heads)
+	return &cluster.Clustering{
+		K:          m.K,
+		Head:       head,
+		Heads:      heads,
+		DistToHead: distToHead,
+		Rounds:     m.C.Rounds + 1,
+	}, reclustered, newHeads, nil
+}

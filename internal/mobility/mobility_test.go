@@ -1,0 +1,346 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cds"
+	"repro/internal/cluster"
+	"repro/internal/gateway"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/udg"
+)
+
+func testGraph(t testing.TB, n int, deg float64, seed int64) *graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net, err := udg.Generate(udg.Config{N: n, AvgDegree: deg, RequireConnected: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net.G
+}
+
+func TestWaypointStaysInField(t *testing.T) {
+	w := Waypoint{Field: geom.NewRect(100, 100), MinSpeed: 1, MaxSpeed: 5, Pause: 0.5}
+	rng := rand.New(rand.NewSource(1))
+	start := udg.RandomPlacement(50, w.Field, rng)
+	st := w.NewState(start, rng)
+	for step := 0; step < 200; step++ {
+		w.Step(st, 1.0, rng)
+		for i, p := range st.Pos {
+			if !w.Field.Contains(p) {
+				t.Fatalf("step %d: node %d left the field: %v", step, i, p)
+			}
+		}
+	}
+}
+
+func TestWaypointActuallyMoves(t *testing.T) {
+	w := Waypoint{Field: geom.NewRect(100, 100), MinSpeed: 2, MaxSpeed: 2}
+	rng := rand.New(rand.NewSource(2))
+	start := udg.RandomPlacement(20, w.Field, rng)
+	st := w.NewState(start, rng)
+	w.Step(st, 1.0, rng)
+	moved := 0
+	for i := range start {
+		if st.Pos[i] != start[i] {
+			moved++
+		}
+	}
+	if moved < 15 {
+		t.Fatalf("only %d/20 nodes moved", moved)
+	}
+}
+
+func TestWaypointSpeedBound(t *testing.T) {
+	// With speed s and time dt, no node may travel farther than s·dt.
+	w := Waypoint{Field: geom.NewRect(100, 100), MinSpeed: 1, MaxSpeed: 4}
+	rng := rand.New(rand.NewSource(3))
+	start := udg.RandomPlacement(30, w.Field, rng)
+	st := w.NewState(start, rng)
+	for step := 0; step < 50; step++ {
+		before := append([]geom.Point(nil), st.Pos...)
+		w.Step(st, 0.5, rng)
+		for i := range before {
+			if d := before[i].Dist(st.Pos[i]); d > 4*0.5+1e-9 {
+				t.Fatalf("node %d moved %v in 0.5t at max speed 4", i, d)
+			}
+		}
+	}
+}
+
+func TestWaypointPause(t *testing.T) {
+	// A node that reaches its destination must pause before moving on.
+	w := Waypoint{Field: geom.NewRect(10, 10), MinSpeed: 100, MaxSpeed: 100, Pause: 5}
+	rng := rand.New(rand.NewSource(4))
+	st := w.NewState([]geom.Point{{X: 5, Y: 5}}, rng)
+	// Speed 100 on a 10×10 field: the first leg completes within 0.2t,
+	// then the node pauses 5t. Step to just after arrival:
+	w.Step(st, 0.2, rng)
+	arrived := st.Pos[0]
+	w.Step(st, 1.0, rng) // still pausing
+	if st.Pos[0] != arrived {
+		t.Fatal("node moved during pause")
+	}
+}
+
+func TestWaypointDeterministic(t *testing.T) {
+	run := func() []geom.Point {
+		w := Waypoint{Field: geom.NewRect(100, 100), MinSpeed: 1, MaxSpeed: 3, Pause: 1}
+		rng := rand.New(rand.NewSource(7))
+		st := w.NewState(udg.RandomPlacement(10, w.Field, rng), rng)
+		for i := 0; i < 20; i++ {
+			w.Step(st, 0.7, rng)
+		}
+		return st.Pos
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("node %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	g := testGraph(t, 80, 6, 5)
+	c := cluster.Run(g, cluster.Options{K: 2})
+	res := gateway.Run(g, c, gateway.ACLMST)
+	counts := map[Role]int{}
+	for v := 0; v < g.N(); v++ {
+		counts[Classify(c, res, v)]++
+	}
+	if counts[RoleHead] != len(c.Heads) {
+		t.Fatalf("classified %d heads, clustering has %d", counts[RoleHead], len(c.Heads))
+	}
+	if counts[RoleGateway] != len(res.Gateways) {
+		t.Fatalf("classified %d gateways, result has %d", counts[RoleGateway], len(res.Gateways))
+	}
+	if counts[RoleMember] != g.N()-len(c.Heads)-len(res.Gateways) {
+		t.Fatalf("member count wrong: %v", counts)
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleMember.String() != "member" || RoleGateway.String() != "gateway" || RoleHead.String() != "head" {
+		t.Fatal("role names wrong")
+	}
+	if Role(9).String() != "role(9)" {
+		t.Fatal("unknown role name wrong")
+	}
+}
+
+// checkMaintained verifies the structure over the alive subgraph: every
+// alive node is within k hops of an alive head, and the surviving heads
+// are connected through the CDS if the alive subgraph keeps them in one
+// component.
+func checkMaintained(t *testing.T, m *Maintainer) {
+	t.Helper()
+	aliveHeads := make(map[int]bool)
+	for _, h := range m.C.Heads {
+		if !m.Alive(h) {
+			t.Fatalf("dead node %d still listed as head", h)
+		}
+		aliveHeads[h] = true
+	}
+	for v := 0; v < m.G.N(); v++ {
+		if !m.Alive(v) {
+			continue
+		}
+		h := m.C.Head[v]
+		if !aliveHeads[h] {
+			t.Fatalf("alive node %d assigned to non-head %d", v, h)
+		}
+		if d := m.G.HopDist(h, v); d == graph.Unreachable || d > m.K {
+			// A node can legitimately become unreachable from every
+			// head if the alive graph is disconnected; then it must be
+			// its own head.
+			if v != h {
+				t.Fatalf("alive node %d is %d hops from head %d (k=%d)", v, d, h, m.K)
+			}
+		}
+	}
+	// Gateways never include heads or dead nodes.
+	for _, gw := range m.Res.Gateways {
+		if aliveHeads[gw] {
+			t.Fatalf("head %d in gateway list", gw)
+		}
+		if !m.Alive(gw) {
+			t.Fatalf("dead node %d in gateway list", gw)
+		}
+	}
+	// Head connectivity within each alive component.
+	comps := m.G.Components()
+	inCDS := make(map[int]bool)
+	for _, v := range m.Res.CDS {
+		inCDS[v] = true
+	}
+	sub := m.G.InducedSubgraph(m.Res.CDS)
+	for _, comp := range comps {
+		var headsHere []int
+		for _, v := range comp {
+			if aliveHeads[v] {
+				headsHere = append(headsHere, v)
+			}
+		}
+		if len(headsHere) > 1 && !sub.ConnectedAmong(headsHere) {
+			t.Fatalf("heads %v in one alive component but disconnected in CDS", headsHere)
+		}
+	}
+}
+
+func TestDepartMember(t *testing.T) {
+	g := testGraph(t, 80, 7, 11)
+	m := NewMaintainer(g, 2, gateway.ACLMST)
+	// Find a plain member.
+	var member int = -1
+	for v := 0; v < g.N(); v++ {
+		if Classify(m.C, m.Res, v) == RoleMember {
+			member = v
+			break
+		}
+	}
+	if member < 0 {
+		t.Skip("no plain member on this instance")
+	}
+	headsBefore := append([]int(nil), m.C.Heads...)
+	gwBefore := append([]int(nil), m.Res.Gateways...)
+	rep, err := m.Depart(member)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Role != RoleMember || rep.ReclusteredNodes != 0 || rep.ReselectedHeads != 0 {
+		t.Fatalf("member departure report: %+v", rep)
+	}
+	if len(m.C.Heads) != len(headsBefore) || len(m.Res.Gateways) != len(gwBefore) {
+		t.Fatal("member departure changed the CDS")
+	}
+	checkMaintained(t, m)
+}
+
+func TestDepartGateway(t *testing.T) {
+	g := testGraph(t, 80, 7, 13)
+	m := NewMaintainer(g, 2, gateway.ACLMST)
+	if len(m.Res.Gateways) == 0 {
+		t.Skip("no gateways on this instance")
+	}
+	gw := m.Res.Gateways[0]
+	rep, err := m.Depart(gw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Role != RoleGateway {
+		t.Fatalf("role=%v", rep.Role)
+	}
+	if rep.ReselectedHeads < 1 {
+		t.Fatalf("gateway departure reselected %d heads", rep.ReselectedHeads)
+	}
+	if !m.Alive(0) && gw != 0 {
+		t.Fatal("wrong node departed")
+	}
+	checkMaintained(t, m)
+}
+
+func TestDepartHead(t *testing.T) {
+	g := testGraph(t, 80, 7, 17)
+	m := NewMaintainer(g, 2, gateway.ACLMST)
+	head := m.C.Heads[len(m.C.Heads)/2]
+	members := len(m.C.Members(head)) - 1
+	rep, err := m.Depart(head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Role != RoleHead {
+		t.Fatalf("role=%v", rep.Role)
+	}
+	if rep.ReclusteredNodes < members {
+		t.Fatalf("re-clustered %d of %d orphans", rep.ReclusteredNodes, members)
+	}
+	for _, h := range m.C.Heads {
+		if h == head {
+			t.Fatal("departed head still listed")
+		}
+	}
+	checkMaintained(t, m)
+}
+
+func TestDepartErrors(t *testing.T) {
+	g := testGraph(t, 40, 6, 19)
+	m := NewMaintainer(g, 1, gateway.ACLMST)
+	if _, err := m.Depart(-1); err == nil {
+		t.Error("negative node accepted")
+	}
+	if _, err := m.Depart(g.N()); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if _, err := m.Depart(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Depart(0); err == nil {
+		t.Error("double departure accepted")
+	}
+}
+
+// TestDepartManyInvariants is the churn stress test: remove half the
+// network node by node and verify the maintained structure after every
+// departure, across k and algorithms.
+func TestDepartManyInvariants(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		for _, algo := range []gateway.Algorithm{gateway.ACLMST, gateway.NCMesh} {
+			g := testGraph(t, 60, 7, int64(23+k))
+			m := NewMaintainer(g, k, algo)
+			rng := rand.New(rand.NewSource(int64(k) * 31))
+			order := rng.Perm(g.N())
+			for _, node := range order[:g.N()/2] {
+				if _, err := m.Depart(node); err != nil {
+					t.Fatalf("k=%d %v: %v", k, algo, err)
+				}
+				checkMaintained(t, m)
+			}
+		}
+	}
+}
+
+// TestMaintainerMatchesFreshCDSInvariants: after churn, the maintained
+// CDS still passes the core k-hop CDS checks restricted to the largest
+// alive component.
+func TestMaintainerDominationOnAliveGraph(t *testing.T) {
+	g := testGraph(t, 70, 8, 29)
+	m := NewMaintainer(g, 2, gateway.ACLMST)
+	rng := rand.New(rand.NewSource(3))
+	for _, node := range rng.Perm(g.N())[:20] {
+		if _, err := m.Depart(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Domination over the alive subgraph: every alive node must be
+	// within k hops of some surviving head. (The generic cds checker
+	// cannot be used directly because departed nodes are isolated
+	// vertices that no head can reach.)
+	covered := make(map[int]bool)
+	for _, h := range m.C.Heads {
+		for v := range m.G.BFSWithin(h, 2) {
+			covered[v] = true
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if m.Alive(v) && !covered[v] {
+			t.Fatalf("alive node %d is more than k hops from every surviving head", v)
+		}
+	}
+	_ = cds.CheckDominatingSet // cds used in other tests via checkMaintained
+}
+
+func TestNewMaintainerDoesNotMutateInput(t *testing.T) {
+	g := testGraph(t, 50, 6, 31)
+	edgesBefore := g.M()
+	m := NewMaintainer(g, 2, gateway.ACLMST)
+	if _, err := m.Depart(m.C.Heads[0]); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != edgesBefore {
+		t.Fatal("maintainer mutated the caller's graph")
+	}
+}

@@ -1,0 +1,99 @@
+// Package mobility provides the random-waypoint mobility model and the
+// dynamic-maintenance policy sketched in the paper's §3.3: how the
+// connected k-hop clustering is repaired when a node disappears (switches
+// off or moves out of range), classified by the role the node played.
+package mobility
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Waypoint is the classic random-waypoint model: each node picks a
+// uniform destination in the field, travels toward it at a uniform random
+// speed from [MinSpeed, MaxSpeed], pauses for PauseTime, and repeats.
+type Waypoint struct {
+	Field    geom.Rect
+	MinSpeed float64 // distance units per time unit
+	MaxSpeed float64
+	Pause    float64 // pause at each waypoint, in time units
+}
+
+// State is the per-node kinematic state of a waypoint simulation.
+type State struct {
+	Pos   []geom.Point
+	dest  []geom.Point
+	speed []float64
+	pause []float64
+}
+
+// NewState initializes node kinematics from the given starting
+// positions, drawing initial destinations and speeds from rng.
+func (w Waypoint) NewState(start []geom.Point, rng *rand.Rand) *State {
+	st := &State{
+		Pos:   append([]geom.Point(nil), start...),
+		dest:  make([]geom.Point, len(start)),
+		speed: make([]float64, len(start)),
+		pause: make([]float64, len(start)),
+	}
+	for i := range start {
+		st.dest[i] = w.randomPoint(rng)
+		st.speed[i] = w.randomSpeed(rng)
+	}
+	return st
+}
+
+// Step advances every node by dt time units.
+func (w Waypoint) Step(st *State, dt float64, rng *rand.Rand) {
+	for i := range st.Pos {
+		remaining := dt
+		for remaining > 0 {
+			if st.pause[i] > 0 {
+				wait := min(st.pause[i], remaining)
+				st.pause[i] -= wait
+				remaining -= wait
+				continue
+			}
+			toGo := st.Pos[i].Sub(st.dest[i]).Norm()
+			stride := st.speed[i] * remaining
+			if stride < toGo {
+				t := stride / toGo
+				st.Pos[i] = st.Pos[i].Lerp(st.dest[i], t)
+				remaining = 0
+				break
+			}
+			// Arrive, pause, pick the next leg.
+			travelTime := 0.0
+			if st.speed[i] > 0 {
+				travelTime = toGo / st.speed[i]
+			}
+			st.Pos[i] = st.dest[i]
+			remaining -= travelTime
+			st.pause[i] = w.Pause
+			st.dest[i] = w.randomPoint(rng)
+			st.speed[i] = w.randomSpeed(rng)
+		}
+	}
+}
+
+func (w Waypoint) randomPoint(rng *rand.Rand) geom.Point {
+	return geom.Point{
+		X: w.Field.Min.X + rng.Float64()*w.Field.Width(),
+		Y: w.Field.Min.Y + rng.Float64()*w.Field.Height(),
+	}
+}
+
+func (w Waypoint) randomSpeed(rng *rand.Rand) float64 {
+	if w.MaxSpeed <= w.MinSpeed {
+		return w.MinSpeed
+	}
+	return w.MinSpeed + rng.Float64()*(w.MaxSpeed-w.MinSpeed)
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

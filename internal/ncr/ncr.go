@@ -1,0 +1,176 @@
+// Package ncr implements the neighbor clusterhead selection phase: which
+// other clusterheads each clusterhead must find gateways to.
+//
+// Two rules are provided. NC is the classical rule (connect to every
+// clusterhead within 2k+1 hops). ANCR is the paper's adjacency-based
+// neighbor clusterhead selection rule (§3.1): connect only to *adjacent*
+// clusterheads — heads of clusters that share at least one G-edge between
+// their members (Definition 2). Theorem 1 shows the adjacent cluster
+// graph G” is connected, so A-NCR preserves global connectivity while
+// selecting far fewer neighbor pairs.
+package ncr
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// Rule identifies a neighbor clusterhead selection rule.
+type Rule int
+
+const (
+	// RuleNC selects all clusterheads within 2k+1 hops ("NC" curves).
+	RuleNC Rule = iota
+	// RuleANCR selects only adjacent clusterheads ("AC" curves).
+	RuleANCR
+	// RuleWuLou is Wu and Lou's 2.5-hop coverage rule [17], the k = 1
+	// special case that A-NCR generalizes (see WuLou).
+	RuleWuLou
+)
+
+// String implements fmt.Stringer.
+func (r Rule) String() string {
+	switch r {
+	case RuleNC:
+		return "NC"
+	case RuleANCR:
+		return "AC"
+	case RuleWuLou:
+		return "WuLou2.5"
+	default:
+		return fmt.Sprintf("rule(%d)", int(r))
+	}
+}
+
+// Selection maps every clusterhead to the sorted set of neighbor
+// clusterheads it must connect to. All selections produced by this
+// package are symmetric: v ∈ Neighbors[u] ⇔ u ∈ Neighbors[v].
+type Selection struct {
+	Rule      Rule
+	K         int
+	Neighbors map[int][]int
+}
+
+// Pairs returns each selected unordered head pair once, as (u, v) with
+// u < v, sorted lexicographically.
+func (s *Selection) Pairs() [][2]int {
+	var out [][2]int
+	for u, nbs := range s.Neighbors {
+		for _, v := range nbs {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// NumPairs returns the number of selected unordered head pairs.
+func (s *Selection) NumPairs() int {
+	total := 0
+	for _, nbs := range s.Neighbors {
+		total += len(nbs)
+	}
+	return total / 2
+}
+
+// Select runs the given rule.
+func Select(g *graph.Graph, c *cluster.Clustering, rule Rule) *Selection {
+	switch rule {
+	case RuleNC:
+		return NC(g, c)
+	case RuleANCR:
+		return ANCR(g, c)
+	case RuleWuLou:
+		return WuLou(g, c)
+	default:
+		panic(fmt.Sprintf("ncr: unknown rule %d", int(rule)))
+	}
+}
+
+// NC selects, for every clusterhead, all other clusterheads within
+// 2k+1 hops in G. This is the baseline every prior scheme uses and is a
+// supergraph of the A-NCR selection.
+func NC(g *graph.Graph, c *cluster.Clustering) *Selection {
+	radius := 2*c.K + 1
+	sel := &Selection{Rule: RuleNC, K: c.K, Neighbors: make(map[int][]int, len(c.Heads))}
+	isHead := headSet(c)
+	for _, h := range c.Heads {
+		var nbs []int
+		for v, d := range g.BFSWithin(h, radius) {
+			if v != h && d <= radius && isHead[v] {
+				nbs = append(nbs, v)
+			}
+		}
+		sort.Ints(nbs)
+		sel.Neighbors[h] = nbs
+	}
+	return sel
+}
+
+// ANCR selects only adjacent clusterheads: u and v are selected for each
+// other iff some member of u's cluster and some member of v's cluster are
+// neighbors in G (at most one of the two endpoint nodes being a head is
+// fine; Definition 2). The scan over G's edges is exactly how the
+// distributed rule works too — border members detect foreign neighbors
+// and report the foreign head to their own head.
+func ANCR(g *graph.Graph, c *cluster.Clustering) *Selection {
+	sel := &Selection{Rule: RuleANCR, K: c.K, Neighbors: make(map[int][]int, len(c.Heads))}
+	adj := make(map[[2]int]bool)
+	for _, e := range g.Edges() {
+		hu, hv := c.Head[e[0]], c.Head[e[1]]
+		if hu == hv {
+			continue
+		}
+		a, b := hu, hv
+		if a > b {
+			a, b = b, a
+		}
+		adj[[2]int{a, b}] = true
+	}
+	for _, h := range c.Heads {
+		sel.Neighbors[h] = nil
+	}
+	for pair := range adj {
+		sel.Neighbors[pair[0]] = append(sel.Neighbors[pair[0]], pair[1])
+		sel.Neighbors[pair[1]] = append(sel.Neighbors[pair[1]], pair[0])
+	}
+	for h := range sel.Neighbors {
+		sort.Ints(sel.Neighbors[h])
+	}
+	return sel
+}
+
+// AdjacentClusterGraph returns the adjacent cluster graph G” as a
+// weighted graph over clusterheads, each edge weighted by the hop
+// distance between the two heads in G. Theorem 1 guarantees it is
+// connected when G is.
+func AdjacentClusterGraph(g *graph.Graph, c *cluster.Clustering) *graph.WGraph {
+	sel := ANCR(g, c)
+	vg := graph.NewWGraph()
+	for _, h := range c.Heads {
+		vg.AddVertex(h)
+	}
+	for _, p := range sel.Pairs() {
+		d := g.HopDist(p[0], p[1])
+		vg.AddEdge(p[0], p[1], d)
+	}
+	return vg
+}
+
+func headSet(c *cluster.Clustering) map[int]bool {
+	m := make(map[int]bool, len(c.Heads))
+	for _, h := range c.Heads {
+		m[h] = true
+	}
+	return m
+}

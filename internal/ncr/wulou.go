@@ -1,0 +1,76 @@
+package ncr
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/graph"
+)
+
+// WuLou implements Wu and Lou's "2.5 hops coverage" rule [17], the k = 1
+// ancestor that A-NCR extends and generalizes (§3.1): each clusterhead
+// covers (a) every clusterhead within 2 hops, and (b) every clusterhead
+// at exactly 3 hops that has a member within the head's 2-hop
+// neighborhood.
+//
+// The paper observes that the directed cluster graph this rule induces
+// is still a supergraph of the adjacent cluster graph G”, so on 1-hop
+// clusterings ANCR ⊆ WuLou ⊆ NC (asserted by the test suite). The rule
+// is defined for k = 1 only; calling it on a clustering with K > 1
+// panics, mirroring the paper's statement that the 2.5-hop notion does
+// not apply beyond 1-hop clustering.
+//
+// Unlike the paper's original directional formulation, the returned
+// Selection is symmetrized (u selects v if either direction covers),
+// because gateway selection in this repo operates on undirected virtual
+// links; the original's unidirectional surplus links are exactly what
+// A-NCR removes.
+func WuLou(g *graph.Graph, c *cluster.Clustering) *Selection {
+	if c.K != 1 {
+		panic("ncr: the 2.5-hop coverage rule is defined for k = 1 only")
+	}
+	sel := &Selection{Rule: RuleWuLou, K: 1, Neighbors: make(map[int][]int, len(c.Heads))}
+	isHead := headSet(c)
+	covered := make(map[[2]int]bool)
+
+	for _, h := range c.Heads {
+		ball3 := g.BFSWithin(h, 3)
+		for v, d := range ball3 {
+			if v == h || !isHead[v] {
+				continue
+			}
+			switch {
+			case d <= 2:
+				covered[orderPair(h, v)] = true
+			case d == 3:
+				// Covered only if cluster v has a member within 2 hops
+				// of h.
+				for w, dw := range ball3 {
+					if dw <= 2 && c.Head[w] == v {
+						covered[orderPair(h, v)] = true
+						break
+					}
+				}
+			}
+		}
+	}
+
+	for _, h := range c.Heads {
+		sel.Neighbors[h] = nil
+	}
+	for pair := range covered {
+		sel.Neighbors[pair[0]] = append(sel.Neighbors[pair[0]], pair[1])
+		sel.Neighbors[pair[1]] = append(sel.Neighbors[pair[1]], pair[0])
+	}
+	for h := range sel.Neighbors {
+		sort.Ints(sel.Neighbors[h])
+	}
+	return sel
+}
+
+func orderPair(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}

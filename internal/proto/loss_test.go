@@ -1,0 +1,90 @@
+package proto
+
+import (
+	"testing"
+
+	"repro/internal/cds"
+	"repro/internal/ncr"
+)
+
+// TestLossZeroEquivalence: Loss = 0 must not change anything relative to
+// the lossless run.
+func TestLossZeroEquivalence(t *testing.T) {
+	net := testNetwork(t, 60, 6, 77)
+	opt := Options{K: 2, Rule: ncr.RuleANCR, UseLMST: true}
+	want, err := Run(net.G, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Loss = 0
+	opt.LossSeed = 99
+	got, err := Run(net.G, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.CDS) != len(want.CDS) {
+		t.Fatalf("CDS changed under zero loss")
+	}
+	for i := range got.CDS {
+		if got.CDS[i] != want.CDS[i] {
+			t.Fatalf("CDS changed under zero loss")
+		}
+	}
+}
+
+// TestLossyRunTerminatesAndDominates: under moderate loss the protocol
+// still terminates with every node assigned to a head within k hops
+// (domination is structural: a node only joins a head whose bounded
+// flood reached it).
+func TestLossyRunTerminatesAndDominates(t *testing.T) {
+	for _, loss := range []float64{0.05, 0.15} {
+		for seed := int64(0); seed < 3; seed++ {
+			net := testNetwork(t, 60, 7, 800+seed)
+			res, err := Run(net.G, Options{
+				K: 2, Rule: ncr.RuleANCR, UseLMST: true,
+				Loss: loss, LossSeed: seed,
+			})
+			if err != nil {
+				// Non-convergence is possible under loss but should be
+				// rare at these rates; treat as failure to surface it.
+				t.Fatalf("loss=%v seed=%d: %v", loss, seed, err)
+			}
+			for v, h := range res.Clustering.Head {
+				if h < 0 {
+					t.Fatalf("loss=%v seed=%d: node %d undecided", loss, seed, v)
+				}
+				if d := net.G.HopDist(h, v); d < 0 || d > 2 {
+					t.Fatalf("loss=%v seed=%d: node %d is %d hops from head %d",
+						loss, seed, v, d, h)
+				}
+			}
+			if err := cds.CheckDominatingSet(net.G, res.Clustering.Heads, 2); err != nil {
+				t.Fatalf("loss=%v seed=%d: %v", loss, seed, err)
+			}
+		}
+	}
+}
+
+// TestHeavyLossDegradesIndependence: at high loss rates, independence
+// violations must actually occur (the fault injection is effective) —
+// across several seeds at 30% loss at least one violation shows up.
+func TestHeavyLossDegradesIndependence(t *testing.T) {
+	violated := false
+	for seed := int64(0); seed < 6 && !violated; seed++ {
+		net := testNetwork(t, 60, 7, 900+seed)
+		res, err := Run(net.G, Options{
+			K: 2, Rule: ncr.RuleANCR, UseLMST: true,
+			Loss: 0.3, LossSeed: seed,
+		})
+		if err != nil {
+			violated = true // non-convergence also demonstrates degradation
+			break
+		}
+		if cds.CheckIndependentSet(net.G, res.Clustering.Heads, 2) != nil {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("30% loss never degraded the structure — loss injection ineffective?")
+	}
+}

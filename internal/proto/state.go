@@ -1,0 +1,146 @@
+// Package proto implements the paper's algorithms as genuine localized
+// protocols on top of the sim runtime: k-hop clusterhead election by
+// bounded flooding, member affiliation, A-NCR adjacency detection via
+// border reports, 2k+1-hop clusterhead advertisement, the LMSTGA
+// virtual-link exchange, and gateway marking along flood-tree paths.
+//
+// Everything a node learns arrives in messages from 1-hop neighbors; no
+// program reads global state. The driver (Run) only sequences phases and
+// detects global termination between phases, a simulation-harness
+// convenience that real deployments replace with quiescence detection.
+//
+// The protocol is engineered to be *exactly* equivalent to the
+// centralized reference implementations (packages cluster, ncr, gateway):
+// flood parents keep the smallest sender ID, matching the centralized
+// ShortestPath tie-break, and the same total order on virtual links is
+// used for the local MSTs. The test suite asserts equality of heads,
+// membership, neighbor selections, and gateway sets on random networks.
+package proto
+
+import (
+	"repro/internal/cluster"
+)
+
+// headInfo is what a node retains from a clusterhead's bounded flood:
+// the hop distance to that head and the neighbor that is the node's
+// parent toward the head on the flood tree (smallest sender ID at the
+// first-delivery round).
+type headInfo struct {
+	dist   int
+	parent int
+}
+
+// nodeState carries a node's knowledge across protocol phases. Each
+// phase is a separate sim.Program sharing one nodeState per node.
+type nodeState struct {
+	id int
+	k  int
+
+	rank  cluster.Rank // own election priority
+	affil cluster.Affiliation
+
+	// clustering outcome
+	decided    bool
+	head       int
+	distToHead int
+
+	// election scratch (reset every iteration)
+	ranksHeard map[int]cluster.Rank // undecided originator -> rank
+	offers     map[int]headInfo     // declaring head -> flood info
+	// offers persists across iterations: any node that ever heard a
+	// declare flood keeps its parent toward that head, which later
+	// phases use to route reports toward heads.
+
+	// adjacency detection (heads accumulate; members report)
+	adjacentHeads map[int]bool
+
+	// head advertisement: every node's record of heads whose 2k+1-hop
+	// advertisement flood reached it.
+	headsHeard map[int]headInfo
+
+	// LMSTGA: neighbor sets (with virtual distances) of other heads,
+	// learned from their nbrSetMsg broadcasts.
+	neighborSets map[int]map[int]int
+
+	// gateway marking
+	gateway bool
+}
+
+func newNodeState(id, k int, rank cluster.Rank, affil cluster.Affiliation) *nodeState {
+	return &nodeState{
+		id:            id,
+		k:             k,
+		rank:          rank,
+		affil:         affil,
+		head:          -1,
+		offers:        make(map[int]headInfo),
+		adjacentHeads: make(map[int]bool),
+		headsHeard:    make(map[int]headInfo),
+		neighborSets:  make(map[int]map[int]int),
+	}
+}
+
+func (s *nodeState) isHead() bool { return s.decided && s.head == s.id }
+
+// Message payloads. All fields are plain values: a payload must be
+// meaningful to a receiver that shares no memory with the sender.
+
+// rankMsg floods an undecided node's election rank within k hops.
+type rankMsg struct {
+	Origin int
+	Rank   cluster.Rank
+	TTL    int
+}
+
+// declareMsg floods a new clusterhead's declaration within k hops.
+type declareMsg struct {
+	Head int
+	TTL  int
+}
+
+// helloMsg announces a node's cluster to its 1-hop neighbors, letting
+// border nodes detect adjacent clusters (Definition 2).
+type helloMsg struct {
+	Head int
+}
+
+// reportMsg travels member → clusterhead along the declare-flood parents,
+// informing the head of an adjacent cluster.
+type reportMsg struct {
+	ToHead       int // destination clusterhead
+	AdjacentHead int // the foreign head detected at the border
+}
+
+// headAdMsg floods a clusterhead's existence within 2k+1 hops so heads
+// discover each other (the NC rule's neighborhood) and every node learns
+// its flood-tree parent toward each nearby head, used for routing.
+type headAdMsg struct {
+	Head int
+	TTL  int
+}
+
+// nbrSetMsg floods a head's selected neighbor set with virtual distances
+// within 2k+1 hops (algorithm AC-LMST line 7: "broadcast set S and
+// distance to every one in S").
+type nbrSetMsg struct {
+	Head      int
+	Neighbors map[int]int // neighbor head -> hop distance
+	TTL       int
+}
+
+// markMsg travels from one endpoint of a kept virtual link toward the
+// canonical (smaller-ID) endpoint along that endpoint's advertisement
+// flood tree; every non-head relay marks itself as a gateway.
+type markMsg struct {
+	Target int // canonical endpoint being routed toward
+	Other  int // the other endpoint (for bookkeeping/debugging)
+}
+
+// markRequestMsg asks the non-canonical endpoint of a kept link to
+// initiate marking (sent when only the canonical endpoint kept the link
+// under the union keep rule). Relays do not become gateways for carrying
+// a request.
+type markRequestMsg struct {
+	Target int // routed toward this head (the non-canonical endpoint)
+	Link   [2]int
+}

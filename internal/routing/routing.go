@@ -1,0 +1,156 @@
+// Package routing implements cluster-based hierarchical routing, the
+// second application the paper's introduction motivates (smaller routing
+// tables and fewer route updates, as in the (α,t) framework, the
+// B-protocol, and MMWN).
+//
+// A packet from src to dst travels src → head(src) inside the source
+// cluster, then across the clusterhead backbone (the virtual links
+// realized by the gateway paths), then head(dst) → dst inside the
+// destination cluster. Only heads keep backbone state; members only know
+// the route to their own head, which is why the tables shrink.
+//
+// The price is path stretch: the hierarchical route can be longer than
+// the flat shortest path. Stretch (and the table-size win) as a function
+// of k is the extension experiment `khopsim -fig routing`.
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/gateway"
+	"repro/internal/graph"
+)
+
+// Router routes over a built connected k-hop clustering.
+type Router struct {
+	g        *graph.Graph
+	c        *cluster.Clustering
+	res      *gateway.Result
+	backbone *graph.WGraph
+}
+
+// New builds a router from a network, its clustering, and a gateway
+// result whose links connect all clusterheads.
+func New(g *graph.Graph, c *cluster.Clustering, res *gateway.Result) *Router {
+	backbone := graph.NewWGraph()
+	for _, h := range c.Heads {
+		backbone.AddVertex(h)
+	}
+	for _, l := range res.Links {
+		backbone.AddEdge(l.U, l.V, l.Weight)
+	}
+	return &Router{g: g, c: c, res: res, backbone: backbone}
+}
+
+// Route returns the hierarchical route from src to dst (both inclusive),
+// or an error if the backbone cannot connect the two clusters (only
+// possible on disconnected inputs).
+func (r *Router) Route(src, dst int) ([]int, error) {
+	if src == dst {
+		return []int{src}, nil
+	}
+	hs, hd := r.c.Head[src], r.c.Head[dst]
+	if hs == hd {
+		// Intra-cluster: members route through their shared head's
+		// cluster; the head is the rendezvous.
+		up := r.g.ShortestPath(src, hs)
+		down := r.g.ShortestPath(hs, dst)
+		return splice(up, down), nil
+	}
+	headPath := r.backbone.ShortestPath(hs, hd)
+	if headPath == nil {
+		return nil, fmt.Errorf("routing: no backbone path between heads %d and %d", hs, hd)
+	}
+	route := r.g.ShortestPath(src, hs)
+	for i := 0; i+1 < len(headPath); i++ {
+		route = splice(route, r.linkPath(headPath[i], headPath[i+1]))
+	}
+	route = splice(route, r.g.ShortestPath(hd, dst))
+	return route, nil
+}
+
+// linkPath returns the gateway path of a backbone link oriented from u
+// to v.
+func (r *Router) linkPath(u, v int) []int {
+	a, b := u, v
+	if a > b {
+		a, b = b, a
+	}
+	path := r.res.Paths[[2]int{a, b}]
+	if len(path) == 0 {
+		// Backbone link without recorded path cannot happen for results
+		// produced by package gateway; fall back to a direct search.
+		return r.g.ShortestPath(u, v)
+	}
+	if path[0] == u {
+		return path
+	}
+	rev := make([]int, len(path))
+	for i, x := range path {
+		rev[len(path)-1-i] = x
+	}
+	return rev
+}
+
+// splice concatenates two routes that share their junction vertex.
+func splice(a, b []int) []int {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	return append(a, b[1:]...)
+}
+
+// Stretch returns the ratio of the hierarchical route length to the flat
+// shortest-path length between src and dst (1.0 = optimal). For adjacent
+// or identical nodes the stretch is 1.
+func (r *Router) Stretch(src, dst int) (float64, error) {
+	route, err := r.Route(src, dst)
+	if err != nil {
+		return 0, err
+	}
+	flat := r.g.HopDist(src, dst)
+	if flat <= 0 {
+		return 1, nil
+	}
+	return float64(len(route)-1) / float64(flat), nil
+}
+
+// TableSizes compares routing state: flat link-state routing needs every
+// node to know every other node (N entries per node), while hierarchical
+// routing needs members to know the next hop to their head (1 entry) and
+// heads to know the backbone (heads + incident virtual links) plus their
+// own members.
+func (r *Router) TableSizes() (flat, hierarchical int) {
+	n := r.g.N()
+	flat = n * (n - 1)
+	sizes := r.c.ClusterSizes()
+	for _, h := range r.c.Heads {
+		// head: one entry per member, one per backbone vertex
+		hierarchical += sizes[h] - 1 + len(r.c.Heads) - 1
+	}
+	// members: one entry (toward the head)
+	hierarchical += n - len(r.c.Heads)
+	return flat, hierarchical
+}
+
+// ValidateRoute checks that a route is a genuine walk in the network
+// (every consecutive pair is an edge) connecting src to dst.
+func (r *Router) ValidateRoute(route []int, src, dst int) error {
+	if len(route) == 0 {
+		return fmt.Errorf("routing: empty route")
+	}
+	if route[0] != src || route[len(route)-1] != dst {
+		return fmt.Errorf("routing: route endpoints %d..%d, want %d..%d",
+			route[0], route[len(route)-1], src, dst)
+	}
+	for i := 0; i+1 < len(route); i++ {
+		if !r.g.HasEdge(route[i], route[i+1]) {
+			return fmt.Errorf("routing: (%d,%d) is not a link", route[i], route[i+1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestLossZeroDropsNothing(t *testing.T) {
+	g := pathGraph(4)
+	r := &recorder{onInit: func(env *Env) { env.Broadcast("x") }}
+	rt := New(g, sharedRecorder(4, r))
+	rt.LossRate = 0
+	rt.LossRNG = rand.New(rand.NewSource(1))
+	stats := rt.Run()
+	if rt.Dropped != 0 {
+		t.Fatalf("Dropped=%d with zero loss", rt.Dropped)
+	}
+	// Path of 4: deliveries = 2·edges = 6.
+	if stats.Deliveries != 6 {
+		t.Fatalf("deliveries=%d", stats.Deliveries)
+	}
+}
+
+func TestLossOneDropsEverything(t *testing.T) {
+	g := pathGraph(4)
+	r := &recorder{onInit: func(env *Env) { env.Broadcast("x") }}
+	rt := New(g, sharedRecorder(4, r))
+	rt.LossRate = 1
+	rt.LossRNG = rand.New(rand.NewSource(1))
+	stats := rt.Run()
+	if stats.Deliveries != 0 {
+		t.Fatalf("deliveries=%d with total loss", stats.Deliveries)
+	}
+	if rt.Dropped != 6 {
+		t.Fatalf("Dropped=%d, want 6", rt.Dropped)
+	}
+	// Transmissions are still counted: the radio sent, nobody heard.
+	if stats.Transmissions != 4 {
+		t.Fatalf("transmissions=%d", stats.Transmissions)
+	}
+}
+
+func TestLossPartialStatistics(t *testing.T) {
+	// A hub broadcasting to many leaves repeatedly: the measured drop
+	// rate must approximate the configured one.
+	const n = 200
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	progs := make([]Program, n)
+	for i := range progs {
+		progs[i] = &funcProgram{
+			init: func(env *Env) {
+				if env.ID() == 0 {
+					for r := 0; r < 10; r++ {
+						env.Broadcast(r)
+					}
+				}
+			},
+			step: func(env *Env, in []Message) {},
+		}
+	}
+	rt := New(g, progs)
+	rt.LossRate = 0.3
+	rt.LossRNG = rand.New(rand.NewSource(7))
+	stats := rt.Run()
+	total := stats.Deliveries + rt.Dropped
+	if total != 10*(n-1) {
+		t.Fatalf("accounting: %d delivered + %d dropped ≠ %d sent copies",
+			stats.Deliveries, rt.Dropped, 10*(n-1))
+	}
+	rate := float64(rt.Dropped) / float64(total)
+	if rate < 0.25 || rate > 0.35 {
+		t.Fatalf("measured drop rate %.3f, configured 0.3", rate)
+	}
+}
+
+func TestLossWithoutRNGDisabled(t *testing.T) {
+	g := pathGraph(3)
+	r := &recorder{onInit: func(env *Env) { env.Broadcast("x") }}
+	rt := New(g, sharedRecorder(3, r))
+	rt.LossRate = 0.9 // no RNG set: loss must stay off
+	stats := rt.Run()
+	if rt.Dropped != 0 || stats.Deliveries == 0 {
+		t.Fatalf("loss applied without an RNG: dropped=%d", rt.Dropped)
+	}
+}

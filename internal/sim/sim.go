@@ -1,0 +1,256 @@
+// Package sim is a round-synchronous message-passing runtime for
+// localized ad hoc network protocols. Every node runs as its own
+// goroutine; in each round all nodes concurrently process the messages
+// delivered to them and stage transmissions, which the runtime delivers
+// to radio neighbors at the start of the next round.
+//
+// The model matches the paper's assumptions: an ideal MAC layer (no
+// collision, no loss), identical transmission ranges (the neighbor
+// relation is the unit-disk graph), and purely local interactions — a
+// node can only talk to its 1-hop neighbors, so any k-hop information
+// must be obtained by explicit multi-hop flooding, which the runtime
+// meters (transmissions and deliveries) for the communication-overhead
+// experiments.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Message is a payload in flight from one node to a radio neighbor.
+type Message struct {
+	From    int
+	To      int // receiving node; Broadcast delivers one copy per neighbor
+	Payload any
+}
+
+// Stats counts protocol cost. Transmissions counts radio sends (a local
+// broadcast is one transmission regardless of neighbor count, the usual
+// wireless accounting); Deliveries counts per-receiver message copies.
+type Stats struct {
+	Rounds        int
+	Transmissions int
+	Deliveries    int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Rounds += other.Rounds
+	s.Transmissions += other.Transmissions
+	s.Deliveries += other.Deliveries
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("rounds=%d tx=%d rx=%d", s.Rounds, s.Transmissions, s.Deliveries)
+}
+
+// Env is the per-node API handed to a Program. It is only valid inside
+// Init/Step calls for the owning node and must not be retained or shared.
+type Env struct {
+	id        int
+	neighbors []int
+	round     int
+	// staged output for this round
+	unicasts   []Message
+	broadcasts []any
+	txCount    int
+}
+
+// ID returns the node's identifier (also its graph vertex).
+func (e *Env) ID() int { return e.id }
+
+// Neighbors returns the node's radio neighbors (sorted). The slice is
+// shared; callers must not modify it.
+func (e *Env) Neighbors() []int { return e.neighbors }
+
+// Round returns the current round number (0 for Init).
+func (e *Env) Round() int { return e.round }
+
+// Send stages a unicast to a radio neighbor. Sending to a non-neighbor
+// panics: the runtime models a radio, not an overlay.
+func (e *Env) Send(to int, payload any) {
+	if !containsSorted(e.neighbors, to) {
+		panic(fmt.Sprintf("sim: node %d cannot send to non-neighbor %d", e.id, to))
+	}
+	e.unicasts = append(e.unicasts, Message{From: e.id, To: to, Payload: payload})
+	e.txCount++
+}
+
+// Broadcast stages a local broadcast: one transmission delivered to every
+// radio neighbor.
+func (e *Env) Broadcast(payload any) {
+	e.broadcasts = append(e.broadcasts, payload)
+	e.txCount++
+}
+
+// Program is the behavior of a node. Init runs once before round 1; Step
+// runs every round with the messages delivered that round. The runtime
+// stops when a round passes in which no node transmitted and nothing was
+// delivered (quiescence).
+type Program interface {
+	Init(env *Env)
+	Step(env *Env, in []Message)
+}
+
+// Runtime executes one Program instance per node of a graph.
+type Runtime struct {
+	g     *graph.Graph
+	progs []Program
+	stats Stats
+	// MaxRounds bounds a run as a safety net; 0 means 4·N + 16 rounds,
+	// far beyond any phase of the protocols in this repo.
+	MaxRounds int
+	// Loss injects per-delivery message loss: each (transmission,
+	// receiver) copy is independently dropped with probability LossRate
+	// using LossRNG. The paper assumes an ideal MAC (LossRate 0, the
+	// default); the fault-injection tests and the robustness experiment
+	// use nonzero rates to measure how gracefully the protocols degrade.
+	LossRate float64
+	LossRNG  *rand.Rand
+	// Dropped counts deliveries suppressed by loss injection.
+	Dropped int
+}
+
+// New creates a runtime over g. progs must have one entry per vertex.
+func New(g *graph.Graph, progs []Program) *Runtime {
+	if len(progs) != g.N() {
+		panic(fmt.Sprintf("sim: %d programs for %d nodes", len(progs), g.N()))
+	}
+	return &Runtime{g: g, progs: progs}
+}
+
+// Stats returns the accumulated cost counters.
+func (rt *Runtime) Stats() Stats { return rt.stats }
+
+// Run executes rounds until quiescence (or the MaxRounds safety bound)
+// and returns the stats for this run. Each round, every node's Step runs
+// in its own goroutine; the runtime provides the barrier between rounds,
+// mirroring a synchronous distributed system.
+func (rt *Runtime) Run() Stats {
+	n := rt.g.N()
+	maxRounds := rt.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 4*n + 16
+	}
+
+	envs := make([]*Env, n)
+	for v := 0; v < n; v++ {
+		envs[v] = &Env{id: v, neighbors: rt.g.Neighbors(v)}
+	}
+
+	var runStats Stats
+
+	// Init phase (round 0): concurrent like any other round.
+	var wg sync.WaitGroup
+	for v := 0; v < n; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			rt.progs[v].Init(envs[v])
+		}(v)
+	}
+	wg.Wait()
+
+	inbox := rt.collect(envs, &runStats)
+
+	for round := 1; round <= maxRounds; round++ {
+		delivered := 0
+		for _, msgs := range inbox {
+			delivered += len(msgs)
+		}
+		if delivered == 0 {
+			break // quiescent: nothing in flight
+		}
+		runStats.Rounds++
+		runStats.Deliveries += delivered
+
+		for v := 0; v < n; v++ {
+			envs[v].round = round
+		}
+		for v := 0; v < n; v++ {
+			wg.Add(1)
+			go func(v int) {
+				defer wg.Done()
+				rt.progs[v].Step(envs[v], inbox[v])
+			}(v)
+		}
+		wg.Wait()
+		inbox = rt.collect(envs, &runStats)
+	}
+
+	rt.stats.Add(runStats)
+	return runStats
+}
+
+// collect gathers staged output from all envs into next-round inboxes,
+// clearing the envs, and tallies transmissions.
+func (rt *Runtime) collect(envs []*Env, stats *Stats) [][]Message {
+	n := rt.g.N()
+	inbox := make([][]Message, n)
+	for v := 0; v < n; v++ {
+		e := envs[v]
+		stats.Transmissions += e.txCount
+		for _, m := range e.unicasts {
+			if rt.lost() {
+				continue
+			}
+			inbox[m.To] = append(inbox[m.To], m)
+		}
+		for _, payload := range e.broadcasts {
+			for _, nb := range e.neighbors {
+				if rt.lost() {
+					continue
+				}
+				inbox[nb] = append(inbox[nb], Message{From: v, To: nb, Payload: payload})
+			}
+		}
+		e.unicasts = nil
+		e.broadcasts = nil
+		e.txCount = 0
+	}
+	// Deterministic delivery order within a round: sort by sender ID.
+	for v := range inbox {
+		sortMessages(inbox[v])
+	}
+	return inbox
+}
+
+// lost decides whether one delivery copy is dropped. Loss is evaluated
+// in the single-threaded collect step, so the RNG needs no locking.
+func (rt *Runtime) lost() bool {
+	if rt.LossRate <= 0 || rt.LossRNG == nil {
+		return false
+	}
+	if rt.LossRNG.Float64() < rt.LossRate {
+		rt.Dropped++
+		return true
+	}
+	return false
+}
+
+func sortMessages(msgs []Message) {
+	// insertion sort: inboxes are tiny (≤ degree per flood)
+	for i := 1; i < len(msgs); i++ {
+		for j := i; j > 0 && msgs[j].From < msgs[j-1].From; j-- {
+			msgs[j], msgs[j-1] = msgs[j-1], msgs[j]
+		}
+	}
+}
+
+func containsSorted(s []int, v int) bool {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s) && s[lo] == v
+}

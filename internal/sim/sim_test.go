@@ -1,0 +1,333 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+// recorder is a Program that logs everything it sees.
+type recorder struct {
+	mu       sync.Mutex
+	initEnvs []int
+	inboxes  map[int][][]Message
+	onInit   func(env *Env)
+	onStep   func(env *Env, in []Message)
+}
+
+func (r *recorder) Init(env *Env) {
+	r.mu.Lock()
+	r.initEnvs = append(r.initEnvs, env.ID())
+	r.mu.Unlock()
+	if r.onInit != nil {
+		r.onInit(env)
+	}
+}
+
+func (r *recorder) Step(env *Env, in []Message) {
+	if len(in) > 0 {
+		r.mu.Lock()
+		if r.inboxes == nil {
+			r.inboxes = make(map[int][][]Message)
+		}
+		cp := append([]Message(nil), in...)
+		r.inboxes[env.ID()] = append(r.inboxes[env.ID()], cp)
+		r.mu.Unlock()
+	}
+	if r.onStep != nil {
+		r.onStep(env, in)
+	}
+}
+
+func sharedRecorder(n int, r *recorder) []Program {
+	progs := make([]Program, n)
+	for i := range progs {
+		progs[i] = r
+	}
+	return progs
+}
+
+func TestQuiescenceWithoutMessages(t *testing.T) {
+	g := pathGraph(3)
+	r := &recorder{}
+	stats := New(g, sharedRecorder(3, r)).Run()
+	if stats.Rounds != 0 || stats.Transmissions != 0 || stats.Deliveries != 0 {
+		t.Fatalf("stats=%v for silent programs", stats)
+	}
+	if len(r.initEnvs) != 3 {
+		t.Fatalf("Init ran on %d nodes", len(r.initEnvs))
+	}
+	if len(r.inboxes) != 0 {
+		t.Fatal("Step ran without messages")
+	}
+}
+
+func TestBroadcastDeliversToAllNeighbors(t *testing.T) {
+	g := graph.New(4) // star around 0
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	r := &recorder{
+		onInit: func(env *Env) {
+			if env.ID() == 0 {
+				env.Broadcast("hello")
+			}
+		},
+	}
+	stats := New(g, sharedRecorder(4, r)).Run()
+	if stats.Transmissions != 1 {
+		t.Fatalf("transmissions=%d, want 1 (broadcast is one radio send)", stats.Transmissions)
+	}
+	if stats.Deliveries != 3 {
+		t.Fatalf("deliveries=%d, want 3", stats.Deliveries)
+	}
+	for _, v := range []int{1, 2, 3} {
+		boxes := r.inboxes[v]
+		if len(boxes) != 1 || len(boxes[0]) != 1 || boxes[0][0].Payload != "hello" || boxes[0][0].From != 0 {
+			t.Fatalf("node %d inbox=%v", v, boxes)
+		}
+	}
+	if len(r.inboxes[0]) != 0 {
+		t.Fatal("sender delivered to itself")
+	}
+}
+
+func TestUnicastOnlyToNeighbor(t *testing.T) {
+	g := pathGraph(3)
+	r := &recorder{
+		onInit: func(env *Env) {
+			if env.ID() == 0 {
+				env.Send(1, 42)
+			}
+		},
+	}
+	New(g, sharedRecorder(3, r)).Run()
+	if len(r.inboxes[1]) != 1 || r.inboxes[1][0][0].Payload != 42 {
+		t.Fatalf("inbox=%v", r.inboxes[1])
+	}
+	if len(r.inboxes[2]) != 0 {
+		t.Fatal("unicast leaked to non-target")
+	}
+}
+
+func TestSendToNonNeighborPanics(t *testing.T) {
+	g := pathGraph(3)
+	env := &Env{id: 0, neighbors: g.Neighbors(0)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send to non-neighbor did not panic")
+		}
+	}()
+	env.Send(2, "nope")
+}
+
+func TestMultiHopRelayRounds(t *testing.T) {
+	// A relay chain: node 0 emits, each node forwards right once. The
+	// run must take exactly n-1 rounds.
+	n := 5
+	g := pathGraph(n)
+	r := &recorder{
+		onInit: func(env *Env) {
+			if env.ID() == 0 {
+				env.Send(1, "token")
+			}
+		},
+		onStep: func(env *Env, in []Message) {
+			for _, m := range in {
+				if m.Payload == "token" && env.ID() < n-1 && m.From == env.ID()-1 {
+					env.Send(env.ID()+1, "token")
+				}
+			}
+		},
+	}
+	stats := New(g, sharedRecorder(n, r)).Run()
+	if stats.Rounds != n-1 {
+		t.Fatalf("rounds=%d, want %d", stats.Rounds, n-1)
+	}
+	if stats.Transmissions != n-1 {
+		t.Fatalf("transmissions=%d", stats.Transmissions)
+	}
+}
+
+func TestInboxSortedBySender(t *testing.T) {
+	// Node 2 receives from 0, 1, 3, 4 in one round; inbox must be
+	// sender-sorted for deterministic processing.
+	g := graph.New(5)
+	for _, v := range []int{0, 1, 3, 4} {
+		g.AddEdge(2, v)
+	}
+	r := &recorder{
+		onInit: func(env *Env) {
+			if env.ID() != 2 {
+				env.Send(2, env.ID())
+			}
+		},
+	}
+	New(g, sharedRecorder(5, r)).Run()
+	var froms []int
+	for _, m := range r.inboxes[2][0] {
+		froms = append(froms, m.From)
+	}
+	if !reflect.DeepEqual(froms, []int{0, 1, 3, 4}) {
+		t.Fatalf("inbox order=%v", froms)
+	}
+}
+
+func TestRoundNumbering(t *testing.T) {
+	g := pathGraph(2)
+	var rounds []int
+	var mu sync.Mutex
+	r := &recorder{
+		onInit: func(env *Env) {
+			if env.Round() != 0 {
+				t.Errorf("Init round=%d", env.Round())
+			}
+			if env.ID() == 0 {
+				env.Send(1, "a")
+			}
+		},
+		onStep: func(env *Env, in []Message) {
+			mu.Lock()
+			rounds = append(rounds, env.Round())
+			mu.Unlock()
+			if env.ID() == 1 && env.Round() == 1 {
+				env.Send(0, "b")
+			}
+		},
+	}
+	New(g, sharedRecorder(2, r)).Run()
+	// Both nodes step in rounds 1 and 2 (message in flight each time).
+	want := map[int]int{1: 2, 2: 2}
+	got := map[int]int{}
+	for _, rd := range rounds {
+		got[rd]++
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("step rounds=%v, want %v", got, want)
+	}
+}
+
+func TestStatsAccumulateAcrossRuns(t *testing.T) {
+	g := pathGraph(2)
+	r := &recorder{onInit: func(env *Env) {
+		if env.ID() == 0 {
+			env.Send(1, "x")
+		}
+	}}
+	rt := New(g, sharedRecorder(2, r))
+	rt.Run()
+	rt.Run()
+	if rt.Stats().Transmissions != 2 {
+		t.Fatalf("accumulated transmissions=%d", rt.Stats().Transmissions)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Rounds: 1, Transmissions: 2, Deliveries: 3}
+	a.Add(Stats{Rounds: 10, Transmissions: 20, Deliveries: 30})
+	if a != (Stats{Rounds: 11, Transmissions: 22, Deliveries: 33}) {
+		t.Fatalf("Add=%v", a)
+	}
+	if a.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+func TestProgramCountMismatchPanics(t *testing.T) {
+	g := pathGraph(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("program/vertex mismatch did not panic")
+		}
+	}()
+	New(g, make([]Program, 2))
+}
+
+// infiniteProgram keeps sending forever; MaxRounds must stop it.
+type infiniteProgram struct{}
+
+func (infiniteProgram) Init(env *Env) {
+	if len(env.Neighbors()) > 0 {
+		env.Send(env.Neighbors()[0], "ping")
+	}
+}
+
+func (infiniteProgram) Step(env *Env, in []Message) {
+	for range in {
+		env.Send(env.Neighbors()[0], "ping")
+	}
+}
+
+func TestMaxRoundsBound(t *testing.T) {
+	g := pathGraph(2)
+	rt := New(g, []Program{infiniteProgram{}, infiniteProgram{}})
+	rt.MaxRounds = 7
+	stats := rt.Run()
+	if stats.Rounds != 7 {
+		t.Fatalf("rounds=%d, want MaxRounds=7", stats.Rounds)
+	}
+}
+
+// TestConcurrentStepsShareNothing: each node writes to its own cell; run
+// under -race this validates the barrier discipline.
+func TestConcurrentStepsShareNothing(t *testing.T) {
+	n := 50
+	g := graph.New(n)
+	for u := 1; u < n; u++ {
+		g.AddEdge(0, u)
+	}
+	cells := make([]int, n)
+	progs := make([]Program, n)
+	for i := range progs {
+		i := i
+		progs[i] = &funcProgram{
+			init: func(env *Env) {
+				env.Broadcast(env.ID())
+			},
+			step: func(env *Env, in []Message) {
+				cells[i] += len(in)
+			},
+		}
+	}
+	New(g, progs).Run()
+	if cells[0] != n-1 {
+		t.Fatalf("hub received %d messages", cells[0])
+	}
+	for v := 1; v < n; v++ {
+		if cells[v] != 1 {
+			t.Fatalf("leaf %d received %d", v, cells[v])
+		}
+	}
+}
+
+type funcProgram struct {
+	init func(*Env)
+	step func(*Env, []Message)
+}
+
+func (p *funcProgram) Init(env *Env)               { p.init(env) }
+func (p *funcProgram) Step(env *Env, in []Message) { p.step(env, in) }
+
+func TestEnvAccessors(t *testing.T) {
+	g := pathGraph(3)
+	var sawNeighbors []int
+	r := &recorder{onInit: func(env *Env) {
+		if env.ID() == 1 {
+			sawNeighbors = append([]int(nil), env.Neighbors()...)
+		}
+	}}
+	New(g, sharedRecorder(3, r)).Run()
+	if !reflect.DeepEqual(sawNeighbors, []int{0, 2}) {
+		t.Fatalf("Neighbors=%v", sawNeighbors)
+	}
+}

@@ -1,0 +1,6 @@
+package udg
+
+import "repro/internal/geom"
+
+// FieldRect returns a [0,w]×[0,h] deployment field.
+func FieldRect(w, h float64) geom.Rect { return geom.NewRect(w, h) }

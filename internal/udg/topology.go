@@ -1,0 +1,77 @@
+package udg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// GridPlacement arranges nx × ny nodes on a regular lattice with the
+// given spacing, lower-left corner at the origin. Regular lattices are
+// the classic adversarial input for ID-based clustering (maximal tie
+// structure), used by the robustness test suite.
+func GridPlacement(nx, ny int, spacing float64) []geom.Point {
+	if nx < 1 || ny < 1 || spacing <= 0 {
+		panic(fmt.Sprintf("udg: invalid grid %dx%d spacing %v", nx, ny, spacing))
+	}
+	pos := make([]geom.Point, 0, nx*ny)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			pos = append(pos, geom.Point{X: float64(x) * spacing, Y: float64(y) * spacing})
+		}
+	}
+	return pos
+}
+
+// RingPlacement arranges n nodes evenly on a circle of the given radius
+// centered at center. With a transmission range just above the chord
+// between neighbors this yields the cycle graph — the worst case for
+// cluster count at a given n.
+func RingPlacement(n int, center geom.Point, radius float64) []geom.Point {
+	if n < 1 || radius <= 0 {
+		panic(fmt.Sprintf("udg: invalid ring n=%d radius=%v", n, radius))
+	}
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		theta := 2 * math.Pi * float64(i) / float64(n)
+		pos[i] = geom.Point{
+			X: center.X + radius*math.Cos(theta),
+			Y: center.Y + radius*math.Sin(theta),
+		}
+	}
+	return pos
+}
+
+// RingChord returns the distance between adjacent nodes of a ring
+// placement, the minimum transmission range that connects it.
+func RingChord(n int, radius float64) float64 {
+	return 2 * radius * math.Sin(math.Pi/float64(n))
+}
+
+// ClusteredPlacement scatters hotspots of nodes: numClusters cluster
+// centers uniform on the field, each with perCluster nodes at Gaussian
+// offsets (σ = sigma), clamped to the field. This models the clumped
+// deployments (vehicles on roads, sensors around assets) where uniform
+// placement is unrealistically benign.
+func ClusteredPlacement(numClusters, perCluster int, sigma float64, field geom.Rect, rng *rand.Rand) []geom.Point {
+	if numClusters < 1 || perCluster < 1 || sigma <= 0 {
+		panic(fmt.Sprintf("udg: invalid clustered placement %d×%d σ=%v", numClusters, perCluster, sigma))
+	}
+	pos := make([]geom.Point, 0, numClusters*perCluster)
+	for c := 0; c < numClusters; c++ {
+		center := geom.Point{
+			X: field.Min.X + rng.Float64()*field.Width(),
+			Y: field.Min.Y + rng.Float64()*field.Height(),
+		}
+		for i := 0; i < perCluster; i++ {
+			p := geom.Point{
+				X: center.X + rng.NormFloat64()*sigma,
+				Y: center.Y + rng.NormFloat64()*sigma,
+			}
+			pos = append(pos, field.Clamp(p))
+		}
+	}
+	return pos
+}

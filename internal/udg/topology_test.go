@@ -1,0 +1,109 @@
+package udg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestGridPlacement(t *testing.T) {
+	pos := GridPlacement(4, 3, 10)
+	if len(pos) != 12 {
+		t.Fatalf("len=%d", len(pos))
+	}
+	if pos[0] != (geom.Point{X: 0, Y: 0}) || pos[5] != (geom.Point{X: 10, Y: 10}) {
+		t.Fatalf("layout wrong: %v %v", pos[0], pos[5])
+	}
+	// Spacing 10 with range 10: 4-neighborhood lattice.
+	g := Build(pos, 10)
+	if g.Degree(5) != 4 { // interior node (1,1)
+		t.Fatalf("interior degree=%d", g.Degree(5))
+	}
+	if g.Degree(0) != 2 { // corner
+		t.Fatalf("corner degree=%d", g.Degree(0))
+	}
+	if !g.Connected() {
+		t.Fatal("grid disconnected")
+	}
+}
+
+func TestGridPlacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid grid accepted")
+		}
+	}()
+	GridPlacement(0, 3, 1)
+}
+
+func TestRingPlacement(t *testing.T) {
+	const n = 24
+	pos := RingPlacement(n, geom.Point{X: 50, Y: 50}, 30)
+	if len(pos) != n {
+		t.Fatalf("len=%d", len(pos))
+	}
+	// Range just above the chord yields the cycle.
+	g := Build(pos, RingChord(n, 30)*1.01)
+	for v := 0; v < n; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("node %d degree %d on a ring", v, g.Degree(v))
+		}
+	}
+	if !g.Connected() {
+		t.Fatal("ring disconnected")
+	}
+	// Range just below the chord yields isolation.
+	iso := Build(pos, RingChord(n, 30)*0.99)
+	if iso.M() != 0 {
+		t.Fatalf("sub-chord range still connected: %d edges", iso.M())
+	}
+}
+
+func TestRingPlacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid ring accepted")
+		}
+	}()
+	RingPlacement(5, geom.Point{}, 0)
+}
+
+func TestClusteredPlacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	field := DefaultField()
+	pos := ClusteredPlacement(4, 20, 5, field, rng)
+	if len(pos) != 80 {
+		t.Fatalf("len=%d", len(pos))
+	}
+	for _, p := range pos {
+		if !field.Contains(p) {
+			t.Fatalf("node %v escaped the field", p)
+		}
+	}
+	// Clumped deployments have much higher degree variance than uniform
+	// ones at the same density: compare max degree.
+	clumped := Build(pos, 15)
+	uniform := Build(RandomPlacement(80, field, rng), 15)
+	maxDeg := func(g interface{ Degree(int) int }, n int) int {
+		m := 0
+		for v := 0; v < n; v++ {
+			if d := g.Degree(v); d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	if maxDeg(clumped, 80) <= maxDeg(uniform, 80) {
+		t.Log("clumped max degree not above uniform on this seed (acceptable, but unusual)")
+	}
+}
+
+func TestClusteredPlacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid clustered placement accepted")
+		}
+	}()
+	ClusteredPlacement(1, 1, 0, DefaultField(), rand.New(rand.NewSource(1)))
+}

@@ -1,0 +1,200 @@
+// Package udg generates random unit-disk ad hoc networks following the
+// paper's evaluation methodology: N nodes placed uniformly at random on a
+// 100×100 field, all nodes sharing one transmission range, with the range
+// calibrated so the network hits a target average degree (6 or 10 in the
+// paper). Instances used by the experiments are filtered for
+// connectivity, as is standard for this line of clustering papers.
+package udg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// Network is a concrete ad hoc network instance: node positions, the
+// shared transmission range, and the induced unit-disk graph.
+type Network struct {
+	Pos   []geom.Point
+	Range float64
+	Field geom.Rect
+	G     *graph.Graph
+}
+
+// N returns the number of nodes.
+func (n *Network) N() int { return len(n.Pos) }
+
+// Config describes how to generate a random network.
+type Config struct {
+	N         int       // number of nodes
+	Field     geom.Rect // deployment field; zero value means 100×100
+	AvgDegree float64   // target average degree (calibrates the range)
+	Range     float64   // explicit range; used when AvgDegree == 0
+	// RequireConnected makes Generate resample placements until the
+	// unit-disk graph is connected (or MaxTries is exhausted).
+	RequireConnected bool
+	MaxTries         int // resampling budget; 0 means 1000
+}
+
+// DefaultField is the paper's 100×100 deployment area.
+func DefaultField() geom.Rect { return geom.NewRect(100, 100) }
+
+func (c Config) withDefaults() Config {
+	if c.Field.Area() == 0 {
+		c.Field = DefaultField()
+	}
+	if c.MaxTries == 0 {
+		c.MaxTries = 1000
+	}
+	return c
+}
+
+// ErrDisconnected is returned when RequireConnected could not be
+// satisfied within MaxTries samples.
+var ErrDisconnected = errors.New("udg: could not generate a connected network within the retry budget")
+
+// Generate produces a random network using rng as the sole randomness
+// source, so identical seeds reproduce identical instances.
+func Generate(c Config, rng *rand.Rand) (*Network, error) {
+	c = c.withDefaults()
+	if c.N <= 0 {
+		return nil, fmt.Errorf("udg: invalid node count %d", c.N)
+	}
+	r := c.Range
+	if c.AvgDegree > 0 {
+		r = RangeForDegree(c.N, c.AvgDegree, c.Field)
+	}
+	if r <= 0 {
+		return nil, fmt.Errorf("udg: non-positive transmission range %v", r)
+	}
+	for try := 0; try < c.MaxTries; try++ {
+		pos := RandomPlacement(c.N, c.Field, rng)
+		g := Build(pos, r)
+		if !c.RequireConnected || g.Connected() {
+			return &Network{Pos: pos, Range: r, Field: c.Field, G: g}, nil
+		}
+	}
+	return nil, ErrDisconnected
+}
+
+// RandomPlacement scatters n nodes uniformly at random over field.
+func RandomPlacement(n int, field geom.Rect, rng *rand.Rand) []geom.Point {
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{
+			X: field.Min.X + rng.Float64()*field.Width(),
+			Y: field.Min.Y + rng.Float64()*field.Height(),
+		}
+	}
+	return pos
+}
+
+// Build constructs the unit-disk graph of the given placement: nodes i
+// and j are neighbors iff their Euclidean distance is at most r. A grid
+// spatial index keeps construction near-linear for the sweep sizes.
+func Build(pos []geom.Point, r float64) *graph.Graph {
+	g := graph.New(len(pos))
+	if len(pos) == 0 || r <= 0 {
+		return g
+	}
+	r2 := r * r
+	// Bucket nodes into r×r cells; candidates are the 3×3 neighborhood.
+	type cell struct{ cx, cy int }
+	cells := make(map[cell][]int, len(pos))
+	for i, p := range pos {
+		c := cell{int(math.Floor(p.X / r)), int(math.Floor(p.Y / r))}
+		cells[c] = append(cells[c], i)
+	}
+	for i, p := range pos {
+		ci := cell{int(math.Floor(p.X / r)), int(math.Floor(p.Y / r))}
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range cells[cell{ci.cx + dx, ci.cy + dy}] {
+					if j > i && p.Dist2(pos[j]) <= r2 {
+						g.AddEdge(i, j)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// RangeForDegree returns the transmission range that yields the target
+// average degree on the given field. For two independent uniform points,
+// E[degree] = (N-1)·E[|disk(p,r) ∩ field|]/A, where the expected clipped
+// disk area on a W×H rectangle has the closed form
+//
+//	E = πr² − 4r³/(3W) − 4r³/(3H) + r⁴/(2WH)   (r ≤ min(W, H)).
+//
+// The function solves E[degree] = d for r by bisection; the formula is
+// exact, so the calibrated range is accurate within sampling noise.
+func RangeForDegree(n int, d float64, field geom.Rect) float64 {
+	if n <= 1 || d <= 0 {
+		return 0
+	}
+	w, h := field.Width(), field.Height()
+	area := field.Area()
+	want := d * area / float64(n-1) // required expected coverage
+	lo, hi := 0.0, math.Min(w, h)
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if effectiveCoverage(mid, w, h) < want {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// effectiveCoverage returns E[area of disk(p, r) ∩ field] for p uniform
+// on a W×H rectangle (exact for r ≤ min(W, H)).
+func effectiveCoverage(r, w, h float64) float64 {
+	if r > w || r > h {
+		// Beyond the closed form's validity; clamp to the field area,
+		// which keeps the bisection monotone.
+		return w * h
+	}
+	return math.Pi*r*r - 4*r*r*r/(3*w) - 4*r*r*r/(3*h) + r*r*r*r/(2*w*h)
+}
+
+// CalibrateRange empirically tunes the transmission range by bisection so
+// that the *measured* average degree over samples random placements is
+// within tol of the target. It refines the analytic seed from
+// RangeForDegree; the experiments use it once per (N, D) pair.
+func CalibrateRange(n int, d float64, field geom.Rect, samples int, tol float64, rng *rand.Rand) float64 {
+	if samples <= 0 {
+		samples = 20
+	}
+	if tol <= 0 {
+		tol = 0.05
+	}
+	measure := func(r float64) float64 {
+		sum := 0.0
+		for s := 0; s < samples; s++ {
+			pos := RandomPlacement(n, field, rng)
+			sum += Build(pos, r).AvgDegree()
+		}
+		return sum / float64(samples)
+	}
+	lo := RangeForDegree(n, d, field) * 0.5
+	hi := RangeForDegree(n, d, field) * 2.0
+	for i := 0; i < 30; i++ {
+		mid := (lo + hi) / 2
+		got := measure(mid)
+		if math.Abs(got-d) <= tol {
+			return mid
+		}
+		if got < d {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

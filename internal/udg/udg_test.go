@@ -1,0 +1,232 @@
+package udg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// bruteBuild is the O(n²) oracle for the grid-indexed Build.
+func bruteBuild(pos []geom.Point, r float64) *graph.Graph {
+	g := graph.New(len(pos))
+	r2 := r * r
+	for i := range pos {
+		for j := i + 1; j < len(pos); j++ {
+			if pos[i].Dist2(pos[j]) <= r2 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestBuildMatchesBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		pos := RandomPlacement(80, DefaultField(), rng)
+		for _, r := range []float64{5, 12, 20, 40} {
+			got := Build(pos, r)
+			want := bruteBuild(pos, r)
+			if !reflect.DeepEqual(got.Edges(), want.Edges()) {
+				t.Fatalf("seed %d r=%v: grid and brute force disagree", seed, r)
+			}
+		}
+	}
+}
+
+func TestBuildEdgeOnCellBorder(t *testing.T) {
+	// Nodes exactly r apart and straddling grid cell borders must still
+	// be connected (distance comparison is ≤).
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10.0001, Y: 0}}
+	g := Build(pos, 10)
+	if !g.HasEdge(0, 1) {
+		t.Fatal("distance exactly r should be an edge")
+	}
+	if g.HasEdge(0, 2) {
+		t.Fatal("distance just over r should not be an edge")
+	}
+}
+
+func TestBuildDegenerate(t *testing.T) {
+	if g := Build(nil, 10); g.N() != 0 {
+		t.Fatal("empty placement")
+	}
+	if g := Build([]geom.Point{{X: 1, Y: 1}}, 0); g.M() != 0 {
+		t.Fatal("zero range should have no edges")
+	}
+}
+
+func TestRandomPlacementInField(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	field := geom.NewRect(50, 20)
+	pos := RandomPlacement(500, field, rng)
+	if len(pos) != 500 {
+		t.Fatalf("placed %d nodes", len(pos))
+	}
+	for _, p := range pos {
+		if !field.Contains(p) {
+			t.Fatalf("node %v outside field", p)
+		}
+	}
+}
+
+func TestRandomPlacementDeterministic(t *testing.T) {
+	a := RandomPlacement(50, DefaultField(), rand.New(rand.NewSource(7)))
+	b := RandomPlacement(50, DefaultField(), rand.New(rand.NewSource(7)))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different placements")
+	}
+}
+
+// TestRangeForDegreeAccuracy validates the closed-form border-corrected
+// calibration: for the paper's parameters the measured average degree
+// must land within a few percent of the target.
+func TestRangeForDegreeAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range []struct {
+		n int
+		d float64
+	}{{50, 6}, {100, 6}, {200, 6}, {100, 10}, {200, 10}} {
+		r := RangeForDegree(tc.n, tc.d, DefaultField())
+		var sum float64
+		const samples = 200
+		for s := 0; s < samples; s++ {
+			pos := RandomPlacement(tc.n, DefaultField(), rng)
+			sum += Build(pos, r).AvgDegree()
+		}
+		got := sum / samples
+		if rel := math.Abs(got-tc.d) / tc.d; rel > 0.05 {
+			t.Errorf("N=%d D=%g: measured %.3f (%.1f%% off)", tc.n, tc.d, got, 100*rel)
+		}
+	}
+}
+
+func TestRangeForDegreeDegenerate(t *testing.T) {
+	if RangeForDegree(1, 6, DefaultField()) != 0 {
+		t.Error("single node should give range 0")
+	}
+	if RangeForDegree(100, 0, DefaultField()) != 0 {
+		t.Error("zero degree should give range 0")
+	}
+}
+
+func TestRangeForDegreeMonotone(t *testing.T) {
+	f := func(rawD uint8) bool {
+		d1 := 1 + float64(rawD%10)
+		d2 := d1 + 1
+		return RangeForDegree(100, d1, DefaultField()) < RangeForDegree(100, d2, DefaultField())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCalibrateRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	r := CalibrateRange(100, 6, DefaultField(), 30, 0.1, rng)
+	var sum float64
+	for s := 0; s < 100; s++ {
+		pos := RandomPlacement(100, DefaultField(), rng)
+		sum += Build(pos, r).AvgDegree()
+	}
+	if got := sum / 100; math.Abs(got-6) > 0.5 {
+		t.Errorf("calibrated range %.2f gives degree %.2f", r, got)
+	}
+}
+
+func TestGenerateConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5; i++ {
+		net, err := Generate(Config{N: 80, AvgDegree: 6, RequireConnected: true}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !net.G.Connected() {
+			t.Fatal("disconnected network returned despite RequireConnected")
+		}
+		if net.N() != 80 {
+			t.Fatalf("N=%d", net.N())
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	gen := func() *Network {
+		rng := rand.New(rand.NewSource(21))
+		net, err := Generate(Config{N: 60, AvgDegree: 6, RequireConnected: true}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	a, b := gen(), gen()
+	if !reflect.DeepEqual(a.Pos, b.Pos) || !reflect.DeepEqual(a.G.Edges(), b.G.Edges()) {
+		t.Fatal("same seed produced different networks")
+	}
+}
+
+func TestGenerateExplicitRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net, err := Generate(Config{N: 50, Range: 25}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Range != 25 {
+		t.Fatalf("range %v", net.Range)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate(Config{N: 0, AvgDegree: 6}, rng); err == nil {
+		t.Error("N=0 accepted")
+	}
+	if _, err := Generate(Config{N: 10}, rng); err == nil {
+		t.Error("no range and no degree accepted")
+	}
+	// Tiny range on a big field cannot be connected.
+	_, err := Generate(Config{N: 50, Range: 0.5, RequireConnected: true, MaxTries: 5}, rng)
+	if !errors.Is(err, ErrDisconnected) {
+		t.Errorf("want ErrDisconnected, got %v", err)
+	}
+}
+
+func TestGenerateCustomField(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	field := geom.NewRect(10, 10)
+	net, err := Generate(Config{N: 30, AvgDegree: 5, Field: field}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range net.Pos {
+		if !field.Contains(p) {
+			t.Fatalf("node %v outside custom field", p)
+		}
+	}
+}
+
+func TestFieldRect(t *testing.T) {
+	r := FieldRect(30, 40)
+	if r.Width() != 30 || r.Height() != 40 {
+		t.Fatalf("FieldRect = %v", r)
+	}
+}
+
+func TestEffectiveCoverageBounds(t *testing.T) {
+	// Clipped disk area must be positive and below the full disk area
+	// for any radius within the field.
+	f := func(raw uint8) bool {
+		r := 1 + float64(raw%90)
+		e := effectiveCoverage(r, 100, 100)
+		return e > 0 && e <= math.Pi*r*r+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package viz renders network snapshots as SVG: the unit-disk graph, the
+// clustering, and a gateway-selection result — the analog of the paper's
+// Figure 4 (clusterheads as diamonds, gateways as bold circles, selected
+// gateway paths as bold edges).
+package viz
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/gateway"
+	"repro/internal/udg"
+)
+
+// Style controls the rendered image.
+type Style struct {
+	Scale     float64 // pixels per field unit (default 7)
+	Margin    float64 // pixels around the field (default 20)
+	NodeR     float64 // member node radius (default 4)
+	ShowIDs   bool    // label nodes with their IDs
+	ShowEdges bool    // draw all unit-disk edges (light)
+}
+
+// DefaultStyle is what the CLIs use.
+func DefaultStyle() Style {
+	return Style{Scale: 7, Margin: 20, NodeR: 4, ShowIDs: true, ShowEdges: true}
+}
+
+func (s Style) withDefaults() Style {
+	if s.Scale <= 0 {
+		s.Scale = 7
+	}
+	if s.Margin <= 0 {
+		s.Margin = 20
+	}
+	if s.NodeR <= 0 {
+		s.NodeR = 4
+	}
+	return s
+}
+
+// Render writes an SVG snapshot. c and res may each be nil: with nil c
+// only the plain network is drawn; with nil res no gateway overlay is
+// drawn.
+func Render(w io.Writer, net *udg.Network, c *cluster.Clustering, res *gateway.Result, title string, style Style) error {
+	style = style.withDefaults()
+	sc, mg := style.Scale, style.Margin
+	width := net.Field.Width()*sc + 2*mg
+	height := net.Field.Height()*sc + 2*mg
+	x := func(i int) float64 { return mg + (net.Pos[i].X-net.Field.Min.X)*sc }
+	// SVG y-axis points down; flip so the plot matches the paper's.
+	y := func(i int) float64 { return mg + (net.Field.Max.Y-net.Pos[i].Y)*sc }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	if title != "" {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="14" font-family="sans-serif">%s</text>`+"\n",
+			mg, mg-6, escape(title))
+	}
+
+	if style.ShowEdges {
+		b.WriteString(`<g stroke="#cccccc" stroke-width="1">` + "\n")
+		for _, e := range net.G.Edges() {
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n",
+				x(e[0]), y(e[0]), x(e[1]), y(e[1]))
+		}
+		b.WriteString("</g>\n")
+	}
+
+	// Gateway paths (bold) over the plain edges.
+	if res != nil {
+		b.WriteString(`<g stroke="#1f4e9c" stroke-width="2.5">` + "\n")
+		for _, path := range res.Paths {
+			for i := 0; i+1 < len(path); i++ {
+				fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n",
+					x(path[i]), y(path[i]), x(path[i+1]), y(path[i+1]))
+			}
+		}
+		b.WriteString("</g>\n")
+	}
+
+	gw := make(map[int]bool)
+	if res != nil {
+		for _, g := range res.Gateways {
+			gw[g] = true
+		}
+	}
+
+	for v := range net.Pos {
+		cx, cy := x(v), y(v)
+		switch {
+		case c != nil && c.IsHead(v):
+			// Diamond for clusterheads, as in Figure 4.
+			r := style.NodeR * 2
+			fmt.Fprintf(&b, `<polygon points="%.1f,%.1f %.1f,%.1f %.1f,%.1f %.1f,%.1f" fill="#d62728" stroke="black"/>`+"\n",
+				cx, cy-r, cx+r, cy, cx, cy+r, cx-r, cy)
+		case gw[v]:
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#1f4e9c" stroke="black" stroke-width="1.5"/>`+"\n",
+				cx, cy, style.NodeR*1.4)
+		default:
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="#eeeeee" stroke="#666666"/>`+"\n",
+				cx, cy, style.NodeR)
+		}
+		if style.ShowIDs {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="8" font-family="sans-serif" fill="#333333">%d</text>`+"\n",
+				cx+style.NodeR+1, cy-style.NodeR-1, v)
+		}
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,339 @@
+package khop
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cds"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/graph"
+	"repro/internal/maxmin"
+	"repro/internal/ncr"
+	"repro/internal/proto"
+	"repro/internal/udg"
+)
+
+// Graph is an undirected network graph with vertices 0..N-1. The zero
+// value is unusable; create one with NewGraph.
+type Graph struct {
+	g *graph.Graph
+}
+
+// NewGraph returns a graph with n vertices and no edges.
+func NewGraph(n int) *Graph { return &Graph{g: graph.New(n)} }
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.g.N() }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return g.g.M() }
+
+// AddEdge inserts the undirected edge (u, v); duplicates are ignored.
+func (g *Graph) AddEdge(u, v int) { g.g.AddEdge(u, v) }
+
+// HasEdge reports whether (u, v) is an edge.
+func (g *Graph) HasEdge(u, v int) bool { return g.g.HasEdge(u, v) }
+
+// Neighbors returns v's sorted neighbor list (shared; do not modify).
+func (g *Graph) Neighbors(v int) []int { return g.g.Neighbors(v) }
+
+// Connected reports whether the graph is connected.
+func (g *Graph) Connected() bool { return g.g.Connected() }
+
+// Algorithm selects a complete clustering-connection pipeline, matching
+// the curves of the paper's figures.
+type Algorithm = gateway.Algorithm
+
+// Pipeline algorithms. ACLMST (A-NCR neighbor selection + LMST-based
+// gateway selection) is the paper's headline; GMST is the centralized
+// lower-bound baseline.
+const (
+	NCMesh = gateway.NCMesh
+	ACMesh = gateway.ACMesh
+	NCLMST = gateway.NCLMST
+	ACLMST = gateway.ACLMST
+	GMST   = gateway.GMST
+)
+
+// Affiliation is the member-affiliation rule used when a node hears more
+// than one clusterhead declaration.
+type Affiliation = cluster.Affiliation
+
+// Affiliation rules (paper §3 rules (1)–(3)).
+const (
+	AffiliationID       = cluster.AffiliationID
+	AffiliationDistance = cluster.AffiliationDistance
+	AffiliationSize     = cluster.AffiliationSize
+)
+
+// Priority is a clusterhead election priority; see LowestID,
+// HighestDegree and HighestEnergy.
+type Priority = cluster.Priority
+
+// LowestIDPriority is the classical lowest-ID election priority (the
+// default when Options.Priority is nil).
+func LowestIDPriority() Priority { return cluster.LowestID{} }
+
+// HighestDegreePriority prefers nodes with more neighbors.
+func HighestDegreePriority(g *Graph) Priority { return cluster.NewHighestDegree(g.g) }
+
+// HighestEnergyPriority prefers nodes with more residual energy (one
+// entry per node), the power-aware rotation policy of §3.3.
+func HighestEnergyPriority(energy []float64) Priority { return cluster.NewHighestEnergy(energy) }
+
+// Options configures Build and BuildDistributed.
+type Options struct {
+	// K is the cluster radius in hops (≥ 1). Every member is within K
+	// hops of its clusterhead.
+	K int
+	// Algorithm is the pipeline to run; default ACLMST.
+	Algorithm Algorithm
+	// Affiliation is the member-affiliation rule; default AffiliationID.
+	Affiliation Affiliation
+	// Priority is the election priority; nil means lowest ID.
+	Priority Priority
+}
+
+func (o Options) normalized() (Options, error) {
+	if o.K < 1 {
+		return o, fmt.Errorf("khop: K must be ≥ 1, got %d", o.K)
+	}
+	return o, nil
+}
+
+// Result is a built connected k-hop clustering.
+type Result struct {
+	// K echoes the cluster radius.
+	K int
+	// Algorithm echoes the pipeline used.
+	Algorithm Algorithm
+	// Heads are the clusterheads, ascending. They form a k-hop
+	// dominating and k-hop independent set.
+	Heads []int
+	// HeadOf[v] is v's clusterhead (HeadOf[h] == h for heads).
+	HeadOf []int
+	// DistToHead[v] is the hop distance from v to HeadOf[v].
+	DistToHead []int
+	// NeighborHeads maps every head to the neighbor clusterheads
+	// selected by the pipeline's rule (NC or A-NCR).
+	NeighborHeads map[int][]int
+	// Gateways are the selected relay nodes, ascending.
+	Gateways []int
+	// CDS is Heads ∪ Gateways, ascending: a k-hop connected dominating
+	// set of the input graph.
+	CDS []int
+	// GatewayPaths maps each connected head pair {u, v} (u < v) to the
+	// gateway path realizing the virtual link.
+	GatewayPaths map[[2]int][]int
+	// IndependentHeads records whether the clustering algorithm
+	// guarantees k-hop independence of the heads. True for the paper's
+	// iterative lowest-ID clustering (Build, BuildDistributed); false
+	// for Max-Min d-cluster formation (BuildMaxMin), whose heads may be
+	// closer than k+1 hops.
+	IndependentHeads bool
+}
+
+// Build runs the centralized pipeline: k-hop clustering, neighbor
+// clusterhead selection, and gateway selection. The input graph should be
+// connected; on a disconnected graph each component is clustered but
+// cross-component connectivity is (necessarily) not established.
+func Build(g *Graph, opt Options) (*Result, error) {
+	opt, err := opt.normalized()
+	if err != nil {
+		return nil, err
+	}
+	out, err := core.Build(g.g, core.Options{
+		K:           opt.K,
+		Algorithm:   opt.Algorithm,
+		Priority:    opt.Priority,
+		Affiliation: opt.Affiliation,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assemble(out.Clustering, out.Selection, out.Gateway, opt), nil
+}
+
+// BuildDistributed runs the same pipeline as a distributed
+// message-passing protocol (one goroutine per node, bounded flooding; see
+// internal/proto). It supports the four localized algorithms; GMST is
+// centralized by definition. Affiliation must be AffiliationID or
+// AffiliationDistance. The result is identical to Build's; Cost reports
+// the protocol's message complexity.
+func BuildDistributed(g *Graph, opt Options) (*Result, *Cost, error) {
+	opt, err := opt.normalized()
+	if err != nil {
+		return nil, nil, err
+	}
+	popt, err := proto.AlgorithmOptions(opt.K, opt.Algorithm)
+	if err != nil {
+		return nil, nil, err
+	}
+	popt.Priority = opt.Priority
+	popt.Affiliation = opt.Affiliation
+	pres, err := proto.Run(g.g, popt)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &Result{
+		K:                opt.K,
+		Algorithm:        opt.Algorithm,
+		Heads:            pres.Clustering.Heads,
+		HeadOf:           pres.Clustering.Head,
+		DistToHead:       pres.Clustering.DistToHead,
+		NeighborHeads:    pres.Selection.Neighbors,
+		Gateways:         pres.Gateways,
+		CDS:              pres.CDS,
+		IndependentHeads: true,
+	}
+	cost := &Cost{
+		Rounds:        pres.Total.Rounds,
+		Transmissions: pres.Total.Transmissions,
+		Deliveries:    pres.Total.Deliveries,
+	}
+	for _, ph := range pres.Phases {
+		cost.Phases = append(cost.Phases, PhaseCost{
+			Name:          ph.Name,
+			Rounds:        ph.Stats.Rounds,
+			Transmissions: ph.Stats.Transmissions,
+			Deliveries:    ph.Stats.Deliveries,
+		})
+	}
+	return res, cost, nil
+}
+
+// Cost is the message complexity of a distributed build.
+type Cost struct {
+	Rounds        int
+	Transmissions int
+	Deliveries    int
+	Phases        []PhaseCost
+}
+
+// PhaseCost is the cost of a single protocol phase.
+type PhaseCost struct {
+	Name          string
+	Rounds        int
+	Transmissions int
+	Deliveries    int
+}
+
+// Verify checks the paper's guarantees on a built result: heads form a
+// k-hop dominating and independent set, clusters are well-formed, and the
+// CDS connects all heads and dominates the graph within k hops. It
+// returns nil when all hold; intended for tests and debugging.
+func (r *Result) Verify(g *Graph) error {
+	c := &cluster.Clustering{K: r.K, Head: r.HeadOf, Heads: r.Heads, DistToHead: r.DistToHead}
+	if err := cds.CheckClustering(g.g, c); err != nil {
+		return err
+	}
+	if err := cds.CheckDominatingSet(g.g, r.Heads, r.K); err != nil {
+		return err
+	}
+	if r.IndependentHeads {
+		if err := cds.CheckIndependentSet(g.g, r.Heads, r.K); err != nil {
+			return err
+		}
+	}
+	if err := cds.CheckHeadsConnected(g.g, r.CDS, r.Heads); err != nil {
+		return err
+	}
+	return cds.CheckKHopCDS(g.g, r.CDS, r.K)
+}
+
+func assemble(c *cluster.Clustering, sel *ncr.Selection, res *gateway.Result, opt Options) *Result {
+	return &Result{
+		K:                opt.K,
+		Algorithm:        opt.Algorithm,
+		Heads:            c.Heads,
+		HeadOf:           c.Head,
+		DistToHead:       c.DistToHead,
+		NeighborHeads:    sel.Neighbors,
+		Gateways:         res.Gateways,
+		CDS:              res.CDS,
+		GatewayPaths:     res.Paths,
+		IndependentHeads: true,
+	}
+}
+
+// BuildMaxMin builds a connected clustering using Max-Min d-cluster
+// formation (Amis et al., the paper's reference [2]) instead of the
+// iterative lowest-ID election, then runs the same neighbor-selection
+// and gateway pipeline on top. Max-Min completes in exactly 2d
+// synchronized rounds and keeps every node within d hops of its head,
+// but its heads are not d-hop independent (Result.IndependentHeads is
+// false; Verify skips that check).
+func BuildMaxMin(g *Graph, d int, algo Algorithm) (*Result, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("khop: d must be ≥ 1, got %d", d)
+	}
+	c := maxmin.Run(g.g, d)
+	res := gateway.Run(g.g, c, algo)
+	sel := core.SelectionFor(g.g, c, algo)
+	out := assemble(c, sel, res, Options{K: d, Algorithm: algo})
+	out.IndependentHeads = false
+	return out, nil
+}
+
+// NetworkConfig configures RandomNetwork.
+type NetworkConfig struct {
+	N         int     // number of nodes
+	AvgDegree float64 // target average degree (default 6)
+	Width     float64 // field width (default 100)
+	Height    float64 // field height (default 100)
+	Seed      int64   // randomness seed
+	// AllowDisconnected skips the connectivity filter.
+	AllowDisconnected bool
+}
+
+// Network is a randomly deployed unit-disk network.
+type Network struct {
+	net *udg.Network
+}
+
+// ErrDisconnected mirrors udg.ErrDisconnected for the public API.
+var ErrDisconnected = errors.New("khop: could not generate a connected network")
+
+// RandomNetwork deploys N nodes uniformly at random on the field and
+// connects nodes within the transmission range calibrated to hit the
+// target average degree — the paper's evaluation setup.
+func RandomNetwork(cfg NetworkConfig) (*Network, error) {
+	if cfg.AvgDegree == 0 {
+		cfg.AvgDegree = 6
+	}
+	field := udg.DefaultField()
+	if cfg.Width > 0 && cfg.Height > 0 {
+		field = udg.FieldRect(cfg.Width, cfg.Height)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net, err := udg.Generate(udg.Config{
+		N:                cfg.N,
+		AvgDegree:        cfg.AvgDegree,
+		Field:            field,
+		RequireConnected: !cfg.AllowDisconnected,
+	}, rng)
+	if err != nil {
+		if errors.Is(err, udg.ErrDisconnected) {
+			return nil, ErrDisconnected
+		}
+		return nil, err
+	}
+	return &Network{net: net}, nil
+}
+
+// Graph returns the network's unit-disk graph.
+func (n *Network) Graph() *Graph { return &Graph{g: n.net.G} }
+
+// N returns the number of nodes.
+func (n *Network) N() int { return n.net.N() }
+
+// Position returns node v's coordinates.
+func (n *Network) Position(v int) (x, y float64) {
+	return n.net.Pos[v].X, n.net.Pos[v].Y
+}
+
+// TransmissionRange returns the shared radio range.
+func (n *Network) TransmissionRange() float64 { return n.net.Range }

@@ -1,0 +1,54 @@
+package khop
+
+import (
+	"repro/internal/gateway"
+	"repro/internal/mobility"
+)
+
+// Role classifies a departing node per the paper's §3.3 maintenance
+// discussion.
+type Role = mobility.Role
+
+// Node roles for maintenance classification.
+const (
+	RoleMember  = mobility.RoleMember
+	RoleGateway = mobility.RoleGateway
+	RoleHead    = mobility.RoleHead
+)
+
+// RepairReport quantifies the repair triggered by one departure.
+type RepairReport = mobility.RepairReport
+
+// Maintainer keeps a connected k-hop clustering repaired as nodes leave
+// the network (switch off or move away), implementing §3.3: member
+// departures are free, gateway departures re-run gateway selection for
+// the affected heads, and clusterhead departures re-cluster the orphaned
+// members before re-running gateway selection.
+type Maintainer struct {
+	m *mobility.Maintainer
+}
+
+// NewMaintainer builds the initial structure over a private copy of g.
+func NewMaintainer(g *Graph, k int, algo Algorithm) *Maintainer {
+	return &Maintainer{m: mobility.NewMaintainer(g.g, k, algo)}
+}
+
+// Depart removes node from the network, repairs the clustering and
+// gateway structure, and reports the repair scope.
+func (m *Maintainer) Depart(node int) (RepairReport, error) { return m.m.Depart(node) }
+
+// Alive reports whether node is still in the network.
+func (m *Maintainer) Alive(node int) bool { return m.m.Alive(node) }
+
+// Heads returns the current clusterheads, ascending.
+func (m *Maintainer) Heads() []int { return m.m.C.Heads }
+
+// Gateways returns the current gateway nodes, ascending.
+func (m *Maintainer) Gateways() []int { return m.m.Res.Gateways }
+
+// CDSSize returns the current |heads ∪ gateways|.
+func (m *Maintainer) CDSSize() int { return m.m.Res.CDSSize() }
+
+// compile-time check that the facade algorithm constants stay in sync
+// with the internal ones used by the maintainer.
+var _ = []gateway.Algorithm{NCMesh, ACMesh, NCLMST, ACLMST, GMST}
