@@ -1,12 +1,20 @@
 package khop
 
 import (
+	"errors"
+
 	"repro/internal/broadcast"
 	"repro/internal/cluster"
 	"repro/internal/gateway"
 	"repro/internal/graph"
 	"repro/internal/routing"
 )
+
+// ErrNoGatewayPaths is returned by NewRouter and NewBroadcastPlan when
+// the Result does not carry the gateway paths they need — a
+// hand-assembled Result, or one from a legacy build that predates
+// path-carrying Results. Engine.Build results are always self-contained.
+var ErrNoGatewayPaths = errors.New("khop: Result carries no GatewayPaths; build it with Engine.Build")
 
 // BroadcastStats summarizes one simulated broadcast.
 type BroadcastStats = broadcast.Stats
@@ -21,10 +29,15 @@ type BroadcastPlan struct {
 	plan *broadcast.Plan
 }
 
-// NewBroadcastPlan derives the forwarding set from a built Result.
-func NewBroadcastPlan(g *Graph, res *Result) *BroadcastPlan {
-	c, gres := res.internals()
-	return &BroadcastPlan{g: g.g, plan: broadcast.NewPlan(g.g, c, gres)}
+// NewBroadcastPlan derives the forwarding set from a built Result. It
+// returns ErrNoGatewayPaths when res lacks the gateway paths the plan is
+// built from (see Result.GatewayPaths).
+func NewBroadcastPlan(g *Graph, res *Result) (*BroadcastPlan, error) {
+	c, gres, err := res.internals()
+	if err != nil {
+		return nil, err
+	}
+	return &BroadcastPlan{g: g.g, plan: broadcast.NewPlan(g.g, c, gres)}, nil
 }
 
 // ForwarderCount returns how many nodes retransmit under the plan.
@@ -48,10 +61,15 @@ type Router struct {
 	r *routing.Router
 }
 
-// NewRouter builds a hierarchical router from a built Result.
-func NewRouter(g *Graph, res *Result) *Router {
-	c, gres := res.internals()
-	return &Router{r: routing.New(g.g, c, gres)}
+// NewRouter builds a hierarchical router from a built Result. It returns
+// ErrNoGatewayPaths when res lacks the gateway paths the backbone is
+// built from (see Result.GatewayPaths).
+func NewRouter(g *Graph, res *Result) (*Router, error) {
+	c, gres, err := res.internals()
+	if err != nil {
+		return nil, err
+	}
+	return &Router{r: routing.New(g.g, c, gres)}, nil
 }
 
 // Route returns the hierarchical route from src to dst, endpoints
@@ -68,9 +86,13 @@ func (r *Router) TableSizes() (flat, hierarchical int) { return r.r.TableSizes()
 
 // internals reconstructs the internal clustering and gateway structures
 // a Result was assembled from. The paths and links are rebuilt from
-// GatewayPaths, so results returned by BuildDistributed (which does not
-// track paths) must not be used here — Build results always work.
-func (r *Result) internals() (*cluster.Clustering, *gateway.Result) {
+// GatewayPaths; a multi-cluster Result without them cannot be
+// reconstructed faithfully (the backbone would silently come out empty),
+// so that case is an explicit error instead of a broken structure.
+func (r *Result) internals() (*cluster.Clustering, *gateway.Result, error) {
+	if len(r.Heads) > 1 && len(r.GatewayPaths) == 0 {
+		return nil, nil, ErrNoGatewayPaths
+	}
 	c := &cluster.Clustering{
 		K:          r.K,
 		Head:       r.HeadOf,
@@ -87,5 +109,5 @@ func (r *Result) internals() (*cluster.Clustering, *gateway.Result) {
 		gres.Links = append(gres.Links, graph.WEdge{U: link[0], V: link[1], Weight: len(path) - 1})
 	}
 	graph.SortWEdges(gres.Links)
-	return c, gres
+	return c, gres, nil
 }

@@ -18,7 +18,10 @@ func builtResult(t testing.TB, n, k int, seed int64) (*Graph, *Result) {
 func TestBroadcastPlanCoverage(t *testing.T) {
 	for _, k := range []int{1, 2, 3} {
 		g, res := builtResult(t, 90, k, int64(40+k))
-		plan := NewBroadcastPlan(g, res)
+		plan, err := NewBroadcastPlan(g, res)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for src := 0; src < g.N(); src += 11 {
 			st := plan.Broadcast(src)
 			if !st.Covered {
@@ -33,7 +36,10 @@ func TestBroadcastPlanCoverage(t *testing.T) {
 
 func TestBroadcastPlanBeatsBlind(t *testing.T) {
 	g, res := builtResult(t, 120, 2, 43)
-	plan := NewBroadcastPlan(g, res)
+	plan, err := NewBroadcastPlan(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
 	blind := BlindFlood(g, 0)
 	cds := plan.Broadcast(0)
 	if !blind.Covered || !cds.Covered {
@@ -50,7 +56,10 @@ func TestBroadcastPlanBeatsBlind(t *testing.T) {
 
 func TestRouterFacade(t *testing.T) {
 	g, res := builtResult(t, 100, 2, 47)
-	router := NewRouter(g, res)
+	router, err := NewRouter(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
 	route, err := router.Route(3, 97)
 	if err != nil {
 		t.Fatal(err)
@@ -75,7 +84,10 @@ func TestRouterFacade(t *testing.T) {
 
 func TestRouterAllPairsValid(t *testing.T) {
 	g, res := builtResult(t, 60, 3, 53)
-	router := NewRouter(g, res)
+	router, err := NewRouter(g, res)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for src := 0; src < g.N(); src += 6 {
 		for dst := 0; dst < g.N(); dst += 9 {
 			route, err := router.Route(src, dst)

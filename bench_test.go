@@ -12,6 +12,7 @@
 package khop
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -385,4 +386,43 @@ func BenchmarkPublicBuild(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkEngineReuse quantifies the unified engine's buffer pooling:
+// the same N=150, k=2, AC-LMST build repeated through one reused Engine
+// (warm sync.Pool of per-build scratch) versus the per-call baseline
+// that stands up fresh state — a throwaway Engine and cold buffers, the
+// legacy Build wrapper's path — every iteration. Compare allocs/op.
+func BenchmarkEngineReuse(b *testing.B) {
+	net, err := RandomNetwork(NetworkConfig{N: 150, AvgDegree: 6, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := net.Graph()
+	ctx := context.Background()
+
+	b.Run("reused-engine", func(b *testing.B) {
+		e, err := NewEngine(g, WithK(2), WithAlgorithm(ACLMST))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Build(ctx); err != nil { // warm the pool
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Build(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fresh-per-call", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Build(g, Options{K: 2, Algorithm: ACLMST}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -52,21 +53,22 @@ func run(n int, d float64, k int, seed int64, algoName string, dist, terse bool)
 		return err
 	}
 	g := net.Graph()
-	opt := khop.Options{K: k, Algorithm: algo}
-
-	var res *khop.Result
-	var cost *khop.Cost
+	mode := khop.Centralized
 	if dist {
-		res, cost, err = khop.BuildDistributed(g, opt)
-	} else {
-		res, err = khop.Build(g, opt)
+		mode = khop.Distributed
 	}
+	engine, err := khop.NewEngine(g, khop.WithK(k), khop.WithAlgorithm(algo), khop.WithMode(mode))
+	if err != nil {
+		return err
+	}
+	res, err := engine.Build(context.Background())
 	if err != nil {
 		return err
 	}
 	if err := res.Verify(g); err != nil {
 		return fmt.Errorf("verification failed: %w", err)
 	}
+	cost := res.Cost
 
 	fmt.Printf("network: N=%d, edges=%d, avg degree %.2f, range %.2f\n",
 		g.N(), g.M(), 2*float64(g.M())/float64(g.N()), net.TransmissionRange())

@@ -9,16 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"path/filepath"
 
-	"repro/internal/cluster"
-	"repro/internal/gateway"
-	"repro/internal/udg"
-	"repro/internal/viz"
+	"repro"
 )
 
 func main() {
@@ -39,29 +36,39 @@ func main() {
 }
 
 func run(n int, d float64, k int, seed int64, out string, ids bool) error {
-	rng := rand.New(rand.NewSource(seed))
-	net, err := udg.Generate(udg.Config{N: n, AvgDegree: d, RequireConnected: true}, rng)
+	net, err := khop.RandomNetwork(khop.NetworkConfig{N: n, AvgDegree: d, Seed: seed})
 	if err != nil {
 		return err
 	}
-	c := cluster.Run(net.G, cluster.Options{K: k})
-	fmt.Printf("N=%d D=%g k=%d seed=%d: %d clusterheads %v\n", n, d, k, seed, c.NumClusters(), c.Heads)
+	// One engine renders the whole sweep; only the algorithm varies per
+	// build, so the clustering-stage buffers are reused every time.
+	engine, err := khop.NewEngine(net.Graph(), khop.WithK(k))
+	if err != nil {
+		return err
+	}
 
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
-	style := viz.DefaultStyle()
-	style.ShowIDs = ids
-	for _, algo := range gateway.Algorithms {
-		res := gateway.Run(net.G, c, algo)
-		fmt.Printf("  %-8s: %2d gateways, CDS size %2d\n", algo, res.NumGateways(), res.CDSSize())
+	style := khop.RenderStyle{ShowIDs: ids, ShowEdges: true}
+	first := true
+	for _, algo := range []khop.Algorithm{khop.NCMesh, khop.ACMesh, khop.NCLMST, khop.ACLMST, khop.GMST} {
+		res, err := engine.Build(context.Background(), khop.WithAlgorithm(algo))
+		if err != nil {
+			return err
+		}
+		if first {
+			fmt.Printf("N=%d D=%g k=%d seed=%d: %d clusterheads %v\n", n, d, k, seed, len(res.Heads), res.Heads)
+			first = false
+		}
+		fmt.Printf("  %-8s: %2d gateways, CDS size %2d\n", algo, len(res.Gateways), len(res.CDS))
 		name := filepath.Join(out, fmt.Sprintf("fig4-%s.svg", algo))
 		f, err := os.Create(name)
 		if err != nil {
 			return err
 		}
-		title := fmt.Sprintf("%s (N=%d, D=%g, k=%d): %d gateways", algo, n, d, k, res.NumGateways())
-		if err := viz.Render(f, net, c, res, title, style); err != nil {
+		title := fmt.Sprintf("%s (N=%d, D=%g, k=%d): %d gateways", algo, n, d, k, len(res.Gateways))
+		if err := khop.RenderSVG(f, net, res, title, style); err != nil {
 			f.Close()
 			return err
 		}

@@ -11,17 +11,43 @@
 // LMST-based gateway algorithm). The result is a k-hop connected
 // dominating set: clusterheads plus gateways.
 //
-// The five pipelines of the paper's evaluation are provided — NC-Mesh,
-// AC-Mesh, NC-LMST, AC-LMST (the headline algorithm), and the centralized
-// G-MST lower bound — both as fast centralized computations and, for the
-// four localized ones, as genuine distributed message-passing protocols
-// running one goroutine per node (BuildDistributed).
+// The single entry point is the Engine: construct one per graph and
+// workload, then build — and rebuild, and incrementally maintain — the
+// structure through it.
 //
 // Quick start:
 //
 //	net, _ := khop.RandomNetwork(khop.NetworkConfig{N: 100, AvgDegree: 6, Seed: 1})
-//	res, _ := khop.Build(net.Graph(), khop.Options{K: 2, Algorithm: khop.ACLMST})
+//	engine, _ := khop.NewEngine(net.Graph(), khop.WithK(2), khop.WithAlgorithm(khop.ACLMST))
+//	res, _ := engine.Build(context.Background())
 //	fmt.Println(res.Heads, res.Gateways)
+//
+// The five pipelines of the paper's evaluation — NC-Mesh, AC-Mesh,
+// NC-LMST, AC-LMST (the headline algorithm), and the centralized G-MST
+// lower bound — are selected with WithAlgorithm. WithMode picks how the
+// build runs: Centralized (fast direct computation), Distributed (a
+// genuine message-passing protocol, one goroutine per node, with the
+// message complexity reported in Result.Cost), or MaxMin (Max-Min
+// d-cluster formation instead of the iterative lowest-ID election).
+// Build honors context cancellation in the election, flood, and
+// gateway-selection hot loops, takes per-build option overrides, and
+// pools its working memory so repeated builds allocate little beyond the
+// results themselves.
+//
+// As the network churns, the same engine repairs the structure
+// incrementally instead of rebuilding (§3.3 of the paper):
+//
+//	reports, _ := engine.Apply(ctx, khop.Leave(v))
+//	cur := engine.Result() // the repaired structure
+//
+// Every Result is self-contained: NewRouter and NewBroadcastPlan build
+// the hierarchical-routing and CDS-broadcast applications from it
+// directly, whatever mode produced it, and Result.Verify checks the
+// paper's structural guarantees.
+//
+// The previous entry points — Build, BuildDistributed, BuildMaxMin, and
+// NewMaintainer — remain as deprecated wrappers over the Engine and
+// produce identical results.
 //
 // See the examples directory for runnable programs and cmd/khopsim for
 // the paper's full evaluation harness.

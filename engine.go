@@ -1,0 +1,458 @@
+package khop
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/maxmin"
+	"repro/internal/mobility"
+	"repro/internal/ncr"
+	"repro/internal/proto"
+)
+
+// Mode selects how an Engine computes a build.
+type Mode int
+
+const (
+	// Centralized computes the pipeline directly on the graph — the
+	// fastest way to obtain the paper's structures.
+	Centralized Mode = iota
+	// Distributed runs the genuine message-passing protocol (one
+	// goroutine per node, bounded flooding; see internal/proto) and
+	// reports its message complexity in Result.Cost. G-MST and the
+	// size-based affiliation rule are centralized by definition and are
+	// rejected in this mode.
+	Distributed
+	// MaxMin swaps the iterative lowest-ID election for Max-Min d-cluster
+	// formation (Amis et al., the paper's reference [2]); the resulting
+	// heads are not k-hop independent (Result.IndependentHeads is false).
+	// Priority and affiliation options do not apply.
+	MaxMin
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Centralized:
+		return "centralized"
+	case Distributed:
+		return "distributed"
+	case MaxMin:
+		return "max-min"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// engineConfig is the resolved option set of an Engine (or of one Build
+// call, after per-call overrides).
+type engineConfig struct {
+	k           int
+	algorithm   Algorithm
+	affiliation Affiliation
+	affSet      bool
+	priority    Priority
+	mode        Mode
+	seed        int64
+	loss        float64
+}
+
+func defaultConfig() engineConfig {
+	return engineConfig{k: 1, algorithm: ACLMST}
+}
+
+// Option configures an Engine (see NewEngine) or a single build (see
+// Engine.Build).
+type Option func(*engineConfig)
+
+// WithK sets the cluster radius in hops (default 1). Every member ends
+// up within K hops of its clusterhead.
+func WithK(k int) Option { return func(c *engineConfig) { c.k = k } }
+
+// WithAlgorithm sets the pipeline to run (default ACLMST, the paper's
+// headline algorithm).
+func WithAlgorithm(a Algorithm) Option { return func(c *engineConfig) { c.algorithm = a } }
+
+// WithAffiliation sets the member-affiliation rule (default
+// AffiliationID). AffiliationSize needs global size knowledge and is
+// rejected in Distributed mode.
+func WithAffiliation(a Affiliation) Option {
+	return func(c *engineConfig) { c.affiliation = a; c.affSet = true }
+}
+
+// WithPriority sets the clusterhead election priority (default lowest
+// ID). MaxMin mode elects by the Max-Min rules and rejects a custom
+// priority.
+func WithPriority(p Priority) Option { return func(c *engineConfig) { c.priority = p } }
+
+// WithMode selects Centralized (default), Distributed, or MaxMin.
+func WithMode(m Mode) Option { return func(c *engineConfig) { c.mode = m } }
+
+// WithSeed seeds the randomized parts of a build. Deterministic builds
+// ignore it; today it drives the distributed protocol's message-loss
+// injection (see WithLoss).
+func WithSeed(seed int64) Option { return func(c *engineConfig) { c.seed = seed } }
+
+// WithLoss injects per-delivery message loss with the given probability
+// into Distributed builds (default 0, the paper's ideal MAC). With loss
+// the protocol still terminates but its guarantees degrade; WithSeed
+// makes the drop decisions reproducible. Lossy Results carry no
+// GatewayPaths (the degraded marks may not match any loss-free path
+// set), so NewRouter and NewBroadcastPlan reject them explicitly. Loss
+// does not apply to the centralized modes.
+func WithLoss(p float64) Option { return func(c *engineConfig) { c.loss = p } }
+
+func (c *engineConfig) validate() error {
+	if c.k < 1 {
+		return fmt.Errorf("khop: K must be ≥ 1, got %d", c.k)
+	}
+	switch c.algorithm {
+	case NCMesh, ACMesh, NCLMST, ACLMST, GMST:
+	default:
+		return fmt.Errorf("khop: unknown algorithm %d", int(c.algorithm))
+	}
+	switch c.affiliation {
+	case AffiliationID, AffiliationDistance, AffiliationSize:
+	default:
+		return fmt.Errorf("khop: unknown affiliation %d", int(c.affiliation))
+	}
+	if c.loss < 0 || c.loss >= 1 {
+		return fmt.Errorf("khop: loss probability %v outside [0, 1)", c.loss)
+	}
+	switch c.mode {
+	case Centralized:
+	case Distributed:
+		if c.algorithm == GMST {
+			return fmt.Errorf("khop: %v is centralized by definition and has no distributed implementation", GMST)
+		}
+		if c.affiliation == AffiliationSize {
+			return fmt.Errorf("khop: %v needs global size knowledge and is not supported in %v mode", AffiliationSize, Distributed)
+		}
+	case MaxMin:
+		if c.priority != nil {
+			return fmt.Errorf("khop: %v mode elects by the Max-Min rules and does not take a priority", MaxMin)
+		}
+		if c.affSet {
+			return fmt.Errorf("khop: %v mode assigns members by the Max-Min rules and does not take an affiliation", MaxMin)
+		}
+	default:
+		return fmt.Errorf("khop: unknown mode %d", int(c.mode))
+	}
+	if c.loss != 0 && c.mode != Distributed {
+		return fmt.Errorf("khop: message loss only applies to %v mode", Distributed)
+	}
+	return nil
+}
+
+// Engine is the single entry point for building and maintaining the
+// paper's connected k-hop clustering structures. Construct one per graph
+// and workload with NewEngine, then call Build for (repeated) builds and
+// Apply for incremental maintenance as the network churns.
+//
+// An Engine is safe for concurrent Builds: per-build scratch memory is
+// pooled, so steady-state rebuilds on large graphs stay near-zero-alloc
+// beyond the result structures themselves. Apply serializes internally.
+type Engine struct {
+	g   *Graph
+	cfg engineConfig
+
+	// scratch pools the per-build working buffers (BFS queues, epoch
+	// visited sets, election offers) threaded through internal/core,
+	// internal/cluster, internal/graph, and internal/gateway.
+	scratch sync.Pool
+
+	mu    sync.Mutex
+	built *builtState
+	maint *mobility.Maintainer
+	cur   *Result
+	// curSel is the neighbor selection matching curGres; Apply reuses it
+	// while repairs leave the gateway structure untouched (member
+	// departures are free, per §3.3).
+	curSel  *ncr.Selection
+	curGres *gateway.Result
+}
+
+// builtState is what Apply needs to continue incrementally from the last
+// Build: the internal structures plus the config that produced them.
+type builtState struct {
+	c    *cluster.Clustering
+	gres *gateway.Result
+	cfg  engineConfig
+}
+
+// NewEngine validates the options and returns an Engine for g. The
+// defaults are the paper's: K = 1, AC-LMST, lowest-ID election, ID-based
+// affiliation, centralized computation.
+func NewEngine(g *Graph, opts ...Option) (*Engine, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{g: g, cfg: cfg}
+	e.scratch.New = func() any { return core.NewScratch() }
+	return e, nil
+}
+
+// Build runs the configured pipeline and returns a self-contained
+// Result: whatever the mode, the Result always carries the gateway paths
+// NewRouter and NewBroadcastPlan need, and Distributed builds also carry
+// the protocol's message complexity in Result.Cost.
+//
+// Per-call overrides apply on top of the Engine's options for this build
+// only — e.g. e.Build(ctx, WithK(3)) — and are validated the same way.
+// Cancelling ctx aborts the election, flood, and gateway-selection hot
+// loops and returns the context's error.
+//
+// The most recent successful Build becomes the base structure that Apply
+// maintains incrementally.
+func (e *Engine) Build(ctx context.Context, overrides ...Option) (*Result, error) {
+	cfg := e.cfg
+	for _, o := range overrides {
+		o(&cfg)
+	}
+	if len(overrides) > 0 {
+		if err := cfg.validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	s := e.scratch.Get().(*core.Scratch)
+	defer e.scratch.Put(s)
+
+	var (
+		out  *core.Output
+		cost *Cost
+		err  error
+	)
+	switch cfg.mode {
+	case Centralized:
+		out, err = core.BuildCtx(ctx, e.g.g, core.Options{
+			K:           cfg.k,
+			Algorithm:   cfg.algorithm,
+			Priority:    cfg.priority,
+			Affiliation: cfg.affiliation,
+			Scratch:     s,
+		})
+	case Distributed:
+		out, cost, err = e.buildDistributed(ctx, cfg, s)
+	case MaxMin:
+		out, err = e.buildMaxMin(ctx, cfg, s)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	res := assemble(out.Clustering, out.Selection, out.Gateway, Options{K: cfg.k, Algorithm: cfg.algorithm})
+	res.IndependentHeads = cfg.mode != MaxMin
+	res.Cost = cost
+
+	e.mu.Lock()
+	e.built = &builtState{c: out.Clustering, gres: out.Gateway, cfg: cfg}
+	e.maint = nil
+	e.cur = res
+	e.curSel = out.Selection
+	e.curGres = out.Gateway
+	e.mu.Unlock()
+	return res, nil
+}
+
+// buildDistributed runs the message-passing protocol, then materializes
+// the gateway paths with one centralized selection pass over the
+// protocol's own clustering — the two implementations are equivalent
+// (see the equivalence tests), so this only adds the path bookkeeping
+// the protocol does not transmit, keeping the Result self-contained.
+func (e *Engine) buildDistributed(ctx context.Context, cfg engineConfig, s *core.Scratch) (*core.Output, *Cost, error) {
+	popt, err := proto.AlgorithmOptions(cfg.k, cfg.algorithm)
+	if err != nil {
+		return nil, nil, err
+	}
+	popt.Priority = cfg.priority
+	popt.Affiliation = cfg.affiliation
+	popt.Loss = cfg.loss
+	popt.LossSeed = cfg.seed
+	pres, err := proto.RunCtx(ctx, e.g.g, popt)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The gateway set and CDS are the protocol's own marks (identical to
+	// the centralized ones under the ideal MAC; the equivalence tests
+	// compare exactly this). Only the path bookkeeping comes from a
+	// centralized pass — and only when no loss was injected: a lossy
+	// protocol's marks can diverge from the loss-free paths, and a
+	// Result whose Gateways and GatewayPaths disagree would be worse
+	// than one that reports, via ErrNoGatewayPaths, that its paths are
+	// unknown.
+	gres := &gateway.Result{
+		Algorithm: cfg.algorithm,
+		Gateways:  pres.Gateways,
+		CDS:       pres.CDS,
+	}
+	if cfg.loss == 0 {
+		central, err := gateway.RunSelectedCtx(ctx, e.g.g, pres.Clustering, pres.Selection, cfg.algorithm, s.BFS())
+		if err != nil {
+			return nil, nil, err
+		}
+		gres.Links = central.Links
+		gres.Paths = central.Paths
+	}
+	cost := &Cost{
+		Rounds:        pres.Total.Rounds,
+		Transmissions: pres.Total.Transmissions,
+		Deliveries:    pres.Total.Deliveries,
+	}
+	for _, ph := range pres.Phases {
+		cost.Phases = append(cost.Phases, PhaseCost{
+			Name:          ph.Name,
+			Rounds:        ph.Stats.Rounds,
+			Transmissions: ph.Stats.Transmissions,
+			Deliveries:    ph.Stats.Deliveries,
+		})
+	}
+	out := &core.Output{Clustering: pres.Clustering, Selection: pres.Selection, Gateway: gres}
+	return out, cost, nil
+}
+
+func (e *Engine) buildMaxMin(ctx context.Context, cfg engineConfig, s *core.Scratch) (*core.Output, error) {
+	c, err := maxmin.RunCtx(ctx, e.g.g, cfg.k, s.BFS())
+	if err != nil {
+		return nil, err
+	}
+	sel, err := core.SelectionForCtx(ctx, e.g.g, c, cfg.algorithm, s.BFS())
+	if err != nil {
+		return nil, err
+	}
+	gres, err := gateway.RunSelectedCtx(ctx, e.g.g, c, sel, cfg.algorithm, s.BFS())
+	if err != nil {
+		return nil, err
+	}
+	return &core.Output{Clustering: c, Selection: sel, Gateway: gres}, nil
+}
+
+// Result returns the Engine's current structure: the last Build result,
+// updated by any Apply calls since. It is nil before the first
+// successful Build.
+func (e *Engine) Result() *Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cur
+}
+
+// Alive reports whether node v is still part of the maintained network
+// (every in-range node is alive until an applied Leave removes it).
+func (e *Engine) Alive(v int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if v < 0 || v >= e.g.N() {
+		return false
+	}
+	if e.maint == nil {
+		return true
+	}
+	return e.maint.Alive(v)
+}
+
+// Event is an incremental topology change for Engine.Apply. Construct
+// events with Leave; Join and Move are the planned extensions.
+type Event struct {
+	kind eventKind
+	node int
+}
+
+type eventKind int
+
+const eventLeave eventKind = iota
+
+// Leave is the departure of node v: it switches off or moves away, per
+// the paper's §3.3 dynamic-maintenance scenario.
+func Leave(v int) Event { return Event{kind: eventLeave, node: v} }
+
+// String implements fmt.Stringer.
+func (ev Event) String() string {
+	switch ev.kind {
+	case eventLeave:
+		return fmt.Sprintf("leave(%d)", ev.node)
+	default:
+		return fmt.Sprintf("event(%d, %d)", int(ev.kind), ev.node)
+	}
+}
+
+// Apply incrementally maintains the last built structure through the
+// given events, per §3.3: a member departure is free, a gateway
+// departure re-runs gateway selection for the affected heads, and a
+// clusterhead departure re-clusters the orphans first. One RepairReport
+// is returned per event; Result reflects the repaired structure
+// afterwards.
+//
+// Apply needs a successful Build first and aborts mid-sequence — with
+// the already-applied repairs reported, and Result reflecting them —
+// when ctx is cancelled or an event fails. The engine's own graph is
+// never mutated: maintenance runs on a private copy, so Build always
+// rebuilds from the full network.
+func (e *Engine) Apply(ctx context.Context, events ...Event) ([]RepairReport, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.built == nil {
+		return nil, fmt.Errorf("khop: Apply needs a successful Build first")
+	}
+	if e.maint == nil {
+		e.maint = mobility.NewMaintainerFrom(e.g.g, e.built.cfg.k, e.built.cfg.algorithm, e.built.c, e.built.gres)
+	}
+	reports := make([]RepairReport, 0, len(events))
+	var firstErr error
+loop:
+	for _, ev := range events {
+		if err := ctx.Err(); err != nil {
+			firstErr = err
+			break
+		}
+		switch ev.kind {
+		case eventLeave:
+			rep, err := e.maint.Depart(ev.node)
+			if err != nil {
+				firstErr = err
+				break loop
+			}
+			reports = append(reports, rep)
+		default:
+			firstErr = fmt.Errorf("khop: unsupported event %v", ev)
+			break loop
+		}
+	}
+	// Refresh even when the batch stopped early, so Result never goes
+	// stale behind repairs that did apply; the refresh itself runs under
+	// a background context for the same reason.
+	if len(reports) > 0 {
+		if err := e.refreshFromMaintainer(context.Background()); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return reports, firstErr
+}
+
+// refreshFromMaintainer rebuilds the public Result view from the
+// maintainer's repaired internal structures. Callers hold e.mu.
+func (e *Engine) refreshFromMaintainer(ctx context.Context) error {
+	// The maintainer replaces Res exactly when a repair re-ran gateway
+	// selection; while it is untouched (member departures, which §3.3
+	// keeps free) the previous neighbor selection still describes the
+	// structure, so skip the whole-graph recompute.
+	if e.maint.Res != e.curGres {
+		sel, err := core.SelectionForCtx(ctx, e.maint.G, e.maint.C, e.built.cfg.algorithm, nil)
+		if err != nil {
+			return err
+		}
+		e.curSel = sel
+		e.curGres = e.maint.Res
+	}
+	res := assemble(e.maint.C, e.curSel, e.maint.Res, Options{K: e.built.cfg.k, Algorithm: e.built.cfg.algorithm})
+	res.IndependentHeads = e.cur == nil || e.cur.IndependentHeads
+	e.cur = res
+	return nil
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,8 +27,14 @@ func main() {
 	blindTx, blindOK := blindFlood(g, 0)
 	fmt.Printf("blind flooding: %d transmissions, full coverage=%v\n\n", blindTx, blindOK)
 
+	// One engine serves the whole k sweep; the radius is a per-build
+	// override and the build buffers are reused.
+	engine, err := khop.NewEngine(g, khop.WithAlgorithm(khop.ACLMST))
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, k := range []int{1, 2, 3} {
-		res, err := khop.Build(g, khop.Options{K: k, Algorithm: khop.ACLMST})
+		res, err := engine.Build(context.Background(), khop.WithK(k))
 		if err != nil {
 			log.Fatal(err)
 		}

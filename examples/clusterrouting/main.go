@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -26,12 +27,21 @@ func main() {
 	g := net.Graph()
 	fmt.Printf("network: %d nodes, %d links\n\n", g.N(), g.M())
 
+	// One engine for the whole sweep; the cluster radius is a per-build
+	// override, and the engine's pooled buffers are reused across builds.
+	engine, err := khop.NewEngine(g, khop.WithAlgorithm(khop.ACLMST))
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, k := range []int{1, 2, 3} {
-		res, err := khop.Build(g, khop.Options{K: k, Algorithm: khop.ACLMST})
+		res, err := engine.Build(context.Background(), khop.WithK(k))
 		if err != nil {
 			log.Fatal(err)
 		}
-		router := khop.NewRouter(g, res)
+		router, err := khop.NewRouter(g, res)
+		if err != nil {
+			log.Fatal(err)
+		}
 
 		flat, hier := router.TableSizes()
 		rng := rand.New(rand.NewSource(int64(k)))

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,15 +56,24 @@ func run(g *khop.Graph, rotate bool) (float64, int) {
 	}
 	firstDead := -1
 
+	// One engine, rebuilt each epoch under the rotation policy: the
+	// energy-based priority reads the live energy vector, so every
+	// rebuild elects the currently richest nodes, and the engine's
+	// pooled buffers make the repeated builds cheap.
+	engine, err := khop.NewEngine(g, khop.WithK(2), khop.WithAlgorithm(khop.ACLMST))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
 	var res *khop.Result
-	var err error
 	for epoch := 0; epoch < epochs; epoch++ {
 		if res == nil || rotate {
-			opt := khop.Options{K: 2, Algorithm: khop.ACLMST}
+			var overrides []khop.Option
 			if rotate {
-				opt.Priority = khop.HighestEnergyPriority(energy)
+				overrides = append(overrides, khop.WithPriority(khop.HighestEnergyPriority(energy)))
 			}
-			res, err = khop.Build(g, opt)
+			res, err = engine.Build(ctx, overrides...)
 			if err != nil {
 				log.Fatal(err)
 			}

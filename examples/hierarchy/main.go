@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,6 +53,18 @@ func main() {
 			fmt.Printf(" L%d:%d", l, head)
 		}
 		fmt.Println()
-		fmt.Println()
+
+		// The physical backbone the hierarchy sits on: the level-0
+		// connected structure, built through the unified engine.
+		engine, err := khop.NewEngine(g, khop.WithK(k), khop.WithAlgorithm(khop.ACLMST))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := engine.Build(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  level-0 backbone: %d heads + %d gateways = CDS %d of %d nodes\n\n",
+			len(res.Heads), len(res.Gateways), len(res.CDS), g.N())
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -23,25 +24,40 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	for _, k := range []int{1, 2, 3} {
-		m := khop.NewMaintainer(net.Graph(), k, khop.ACLMST)
+		// The engine both builds the structure and maintains it through
+		// incremental Leave events — no separate maintainer type.
+		engine, err := khop.NewEngine(net.Graph(), khop.WithK(k), khop.WithAlgorithm(khop.ACLMST))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := engine.Build(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("k=%d: initial structure has %d heads, %d gateways (CDS %d)\n",
-			k, len(m.Heads()), len(m.Gateways()), m.CDSSize())
+			k, len(res.Heads), len(res.Gateways), len(res.CDS))
 
 		rng := rand.New(rand.NewSource(int64(k)))
+		events := make([]khop.Event, 0, n/3)
+		for _, node := range rng.Perm(n)[:n/3] {
+			events = append(events, khop.Leave(node))
+		}
+		reports, err := engine.Apply(ctx, events...)
+		if err != nil {
+			log.Fatal(err)
+		}
 		counts := map[khop.Role]int{}
 		reclustered := 0
-		for _, node := range rng.Perm(n)[:n/3] {
-			rep, err := m.Depart(node)
-			if err != nil {
-				log.Fatal(err)
-			}
+		for _, rep := range reports {
 			counts[rep.Role]++
 			reclustered += rep.ReclusteredNodes
 		}
+		cur := engine.Result()
 		fmt.Printf("   after %d departures: member %d (no repair), gateway %d (local fix), head %d (%d nodes re-clustered)\n",
 			n/3, counts[khop.RoleMember], counts[khop.RoleGateway], counts[khop.RoleHead], reclustered)
 		fmt.Printf("   surviving structure: %d heads, %d gateways (CDS %d)\n\n",
-			len(m.Heads()), len(m.Gateways()), m.CDSSize())
+			len(cur.Heads), len(cur.Gateways), len(cur.CDS))
 	}
 }

@@ -1,8 +1,10 @@
 // Quickstart: generate a random ad hoc network, build a connected k-hop
-// clustering with the paper's AC-LMST algorithm, and inspect the result.
+// clustering with the paper's AC-LMST algorithm through the unified
+// Engine API, and inspect the result.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,6 +12,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A random 100-node unit-disk network on a 100×100 field, radio
 	// range calibrated for an average degree of 6 — the paper's setup.
 	net, err := khop.RandomNetwork(khop.NetworkConfig{N: 100, AvgDegree: 6, Seed: 7})
@@ -19,10 +23,14 @@ func main() {
 	g := net.Graph()
 	fmt.Printf("network: %d nodes, %d links, connected=%v\n", g.N(), g.M(), g.Connected())
 
-	// Build the connected 2-hop clustering: elect clusterheads (every
-	// node ends up within 2 hops of its head), select adjacent neighbor
-	// heads (A-NCR), and connect them with LMST-selected gateways.
-	res, err := khop.Build(g, khop.Options{K: 2, Algorithm: khop.ACLMST})
+	// One engine per graph and workload: 2-hop clusters (every node ends
+	// up within 2 hops of its head), adjacent neighbor heads (A-NCR),
+	// and LMST-selected gateways connecting them.
+	engine, err := khop.NewEngine(g, khop.WithK(2), khop.WithAlgorithm(khop.ACLMST))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := engine.Build(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,13 +56,15 @@ func main() {
 		fmt.Printf("  cluster %3d: %2d members, neighbor heads %v\n", h, len(members), res.NeighborHeads[h])
 	}
 
-	// The same build as a real distributed protocol (goroutine per node):
-	dres, cost, err := khop.BuildDistributed(g, khop.Options{K: 2, Algorithm: khop.ACLMST})
+	// The same build as a real distributed protocol (goroutine per
+	// node), a per-build mode override on the same engine; the message
+	// complexity arrives in Result.Cost.
+	dres, err := engine.Build(ctx, khop.WithMode(khop.Distributed))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("distributed protocol: identical CDS=%v, cost %d rounds / %d transmissions\n",
-		equalInts(dres.CDS, res.CDS), cost.Rounds, cost.Transmissions)
+		equalInts(dres.CDS, res.CDS), dres.Cost.Rounds, dres.Cost.Transmissions)
 }
 
 func equalInts(a, b []int) bool {

@@ -1,7 +1,9 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/graph"
@@ -84,18 +86,48 @@ type Options struct {
 	Affiliation Affiliation // member affiliation rule
 }
 
-// Run executes the iterative k-hop clustering algorithm on g.
+// Scratch holds the reusable working memory of a clustering run: the
+// BFS buffers the k-hop ball walks use, the flat per-round offer list,
+// and the per-head size counters of AffiliationSize. A warm Scratch lets
+// repeated runs on same-sized graphs elect without allocating in the hot
+// loops; a nil Scratch (or nil fields) falls back to fresh buffers.
+type Scratch struct {
+	BFS    *graph.Scratch
+	offers []offer
+	sizes  []int
+}
+
+// NewScratch returns a Scratch whose buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{BFS: graph.NewScratch()} }
+
+// Run executes the iterative k-hop clustering algorithm on g. It is
+// RunCtx without cancellation or buffer reuse; k < 1 panics.
+func Run(g *graph.Graph, opt Options) *Clustering {
+	c, err := RunCtx(context.Background(), g, opt, nil)
+	if err != nil {
+		panic(err.Error())
+	}
+	return c
+}
+
+// RunCtx executes the iterative k-hop clustering algorithm on g.
 //
 // Each round, every undecided node that holds the best priority among the
 // undecided nodes within its k-hop neighborhood (distances in G) declares
 // itself clusterhead; then every undecided node that heard at least one
 // declaration within k hops joins a cluster per the affiliation rule.
 // Rounds repeat until every node has joined. The graph must be connected
-// for the usual dominating/independent-set guarantees, but Run itself
+// for the usual dominating/independent-set guarantees, but RunCtx itself
 // also works per component.
-func Run(g *graph.Graph, opt Options) *Clustering {
+//
+// Cancelling ctx aborts the election between per-node ball walks and
+// returns the context's error. s provides reusable buffers; nil is valid.
+func RunCtx(ctx context.Context, g *graph.Graph, opt Options, s *Scratch) (*Clustering, error) {
 	if opt.K < 1 {
-		panic(fmt.Sprintf("cluster: k must be ≥ 1, got %d", opt.K))
+		return nil, fmt.Errorf("cluster: k must be ≥ 1, got %d", opt.K)
+	}
+	if s == nil {
+		s = NewScratch()
 	}
 	prio := opt.Priority
 	if prio == nil {
@@ -120,17 +152,21 @@ func Run(g *graph.Graph, opt Options) *Clustering {
 			if head[u] != undecided {
 				continue
 			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			ru := prio.Rank(u)
 			wins := true
-			for v := range g.BFSWithin(u, opt.K) {
+			g.EachWithin(s.BFS, u, opt.K, func(v, _ int) bool {
 				if v == u || head[v] != undecided {
-					continue
+					return true
 				}
 				if prio.Rank(v).Better(ru) {
 					wins = false
-					break
+					return false
 				}
-			}
+				return true
+			})
 			if wins {
 				declared = append(declared, u)
 			}
@@ -142,18 +178,27 @@ func Run(g *graph.Graph, opt Options) *Clustering {
 		}
 		// Phase 2: affiliation. Every undecided node that heard ≥ 1
 		// declaration joins. Heads join themselves at distance 0.
-		offers := make(map[int][]offer) // node -> declarations heard
+		// Declared heads are pairwise more than k hops apart (a closer
+		// pair could not both have won), so marking them before the ball
+		// walks never hides one head's declaration from another.
+		s.offers = s.offers[:0]
 		for _, h := range declared {
 			head[h] = h
 			distToHead[h] = 0
 			remaining--
-			for v, d := range g.BFSWithin(h, opt.K) {
-				if v != h && head[v] == undecided {
-					offers[v] = append(offers[v], offer{head: h, dist: d})
-				}
-			}
 		}
-		joinAll(offers, head, distToHead, opt.Affiliation, &remaining)
+		for _, h := range declared {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			g.EachWithin(s.BFS, h, opt.K, func(v, d int) bool {
+				if v != h && head[v] == undecided {
+					s.offers = append(s.offers, offer{node: v, head: h, dist: d})
+				}
+				return true
+			})
+		}
+		joinAll(s, head, distToHead, opt.Affiliation, &remaining)
 	}
 
 	heads := make([]int, 0)
@@ -169,42 +214,55 @@ func Run(g *graph.Graph, opt Options) *Clustering {
 		Heads:      heads,
 		DistToHead: distToHead,
 		Rounds:     rounds,
-	}
+	}, nil
 }
 
 type offer struct {
-	head, dist int
+	node, head, dist int
 }
 
 // joinAll applies the affiliation rule to every node that received
 // offers, in ascending node-ID order (determinism; also what a real
-// deployment converges to when joins are announced).
-func joinAll(offers map[int][]offer, head, distToHead []int, rule Affiliation, remaining *int) {
-	nodes := make([]int, 0, len(offers))
-	for v := range offers {
-		nodes = append(nodes, v)
-	}
-	sort.Ints(nodes)
+// deployment converges to when joins are announced). Offers are consumed
+// from the flat scratch list, grouped by node after sorting.
+func joinAll(s *Scratch, head, distToHead []int, rule Affiliation, remaining *int) {
+	offers := s.offers
+	slices.SortFunc(offers, func(a, b offer) int {
+		if a.node != b.node {
+			return a.node - b.node
+		}
+		return a.head - b.head
+	})
 
 	// Current cluster sizes, needed by AffiliationSize. Counting heads
 	// only at this point: sizes grow as joins are processed.
-	sizes := make(map[int]int)
+	n := len(head)
+	if cap(s.sizes) < n {
+		s.sizes = make([]int, n)
+	}
+	sizes := s.sizes[:n]
+	clear(sizes)
 	for _, h := range head {
 		if h >= 0 {
 			sizes[h]++
 		}
 	}
 
-	for _, v := range nodes {
-		choice := pick(offers[v], rule, sizes)
-		head[v] = choice.head
-		distToHead[v] = choice.dist
+	for i := 0; i < len(offers); {
+		j := i + 1
+		for j < len(offers) && offers[j].node == offers[i].node {
+			j++
+		}
+		choice := pick(offers[i:j], rule, sizes)
+		head[choice.node] = choice.head
+		distToHead[choice.node] = choice.dist
 		sizes[choice.head]++
 		*remaining--
+		i = j
 	}
 }
 
-func pick(offers []offer, rule Affiliation, sizes map[int]int) offer {
+func pick(offers []offer, rule Affiliation, sizes []int) offer {
 	best := offers[0]
 	for _, o := range offers[1:] {
 		if betterOffer(o, best, rule, sizes) {
@@ -214,7 +272,7 @@ func pick(offers []offer, rule Affiliation, sizes map[int]int) offer {
 	return best
 }
 
-func betterOffer(a, b offer, rule Affiliation, sizes map[int]int) bool {
+func betterOffer(a, b offer, rule Affiliation, sizes []int) bool {
 	switch rule {
 	case AffiliationDistance:
 		if a.dist != b.dist {

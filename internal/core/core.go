@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cluster"
@@ -22,7 +23,31 @@ type Options struct {
 	Algorithm   gateway.Algorithm
 	Priority    cluster.Priority
 	Affiliation cluster.Affiliation
+	// Scratch, when non-nil, supplies the reusable per-build buffers the
+	// pipeline's BFS hot loops run in. Engines pool Scratches across
+	// builds so steady-state rebuilds stay near-zero-alloc.
+	Scratch *Scratch
 }
+
+// Scratch bundles the per-build working memory of the whole pipeline:
+// the clustering stage's election buffers and the BFS buffers shared by
+// the ball walks, neighbor selection, and gateway path computations. Get
+// one from NewScratch and reuse (or pool) it across builds; a Scratch
+// serves one build at a time.
+type Scratch struct {
+	cluster *cluster.Scratch
+	bfs     *graph.Scratch
+}
+
+// NewScratch returns a Scratch whose buffers grow on first use.
+func NewScratch() *Scratch {
+	cs := cluster.NewScratch()
+	return &Scratch{cluster: cs, bfs: cs.BFS}
+}
+
+// BFS exposes the scratch's shared BFS buffers for pipeline stages that
+// run outside BuildCtx (the engine's Max-Min and distributed modes).
+func (s *Scratch) BFS() *graph.Scratch { return s.bfs }
 
 // Output bundles the three stages' results.
 type Output struct {
@@ -33,16 +58,35 @@ type Output struct {
 
 // Build runs clustering, neighbor selection, and gateway selection on g.
 func Build(g *graph.Graph, opt Options) (*Output, error) {
+	return BuildCtx(context.Background(), g, opt)
+}
+
+// BuildCtx runs clustering, neighbor selection, and gateway selection on
+// g, honoring ctx cancellation inside every stage's hot loop.
+func BuildCtx(ctx context.Context, g *graph.Graph, opt Options) (*Output, error) {
 	if opt.K < 1 {
 		return nil, fmt.Errorf("core: k must be ≥ 1, got %d", opt.K)
 	}
-	c := cluster.Run(g, cluster.Options{
+	s := opt.Scratch
+	if s == nil {
+		s = NewScratch()
+	}
+	c, err := cluster.RunCtx(ctx, g, cluster.Options{
 		K:           opt.K,
 		Priority:    opt.Priority,
 		Affiliation: opt.Affiliation,
-	})
-	sel := SelectionFor(g, c, opt.Algorithm)
-	res := gateway.Run(g, c, opt.Algorithm)
+	}, s.cluster)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := SelectionForCtx(ctx, g, c, opt.Algorithm, s.bfs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := gateway.RunSelectedCtx(ctx, g, c, sel, opt.Algorithm, s.bfs)
+	if err != nil {
+		return nil, err
+	}
 	return &Output{Clustering: c, Selection: sel, Gateway: res}, nil
 }
 
@@ -50,10 +94,17 @@ func Build(g *graph.Graph, opt Options) (*Output, error) {
 // algorithm uses. G-MST connects all head pairs centrally; its reported
 // selection is the NC view for inspection purposes.
 func SelectionFor(g *graph.Graph, c *cluster.Clustering, algo gateway.Algorithm) *ncr.Selection {
+	sel, _ := SelectionForCtx(context.Background(), g, c, algo, nil)
+	return sel
+}
+
+// SelectionForCtx is SelectionFor with cancellation and reusable BFS
+// buffers (nil is valid).
+func SelectionForCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, algo gateway.Algorithm, s *graph.Scratch) (*ncr.Selection, error) {
+	rule := ncr.RuleNC
 	switch algo {
 	case gateway.ACMesh, gateway.ACLMST:
-		return ncr.ANCR(g, c)
-	default:
-		return ncr.NC(g, c)
+		rule = ncr.RuleANCR
 	}
+	return ncr.SelectCtx(ctx, g, c, rule, s)
 }

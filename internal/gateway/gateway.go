@@ -20,6 +20,7 @@
 package gateway
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -90,17 +91,46 @@ func (r *Result) CDSSize() int { return len(r.CDS) }
 
 // Run executes the full pipeline for the given algorithm.
 func Run(g *graph.Graph, c *cluster.Clustering, algo Algorithm) *Result {
+	res, err := RunCtx(context.Background(), g, c, algo, nil)
+	if err != nil {
+		panic(err.Error()) // Background context cannot be cancelled
+	}
+	return res
+}
+
+// RunCtx executes the full pipeline for the given algorithm, honoring
+// cancellation between the per-pair and per-head steps of the selection
+// hot loops and reusing s's BFS buffers across them (nil is valid).
+func RunCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, algo Algorithm, s *graph.Scratch) (*Result, error) {
+	rule := ncr.RuleNC
 	switch algo {
-	case NCMesh:
-		return Mesh(g, c, ncr.NC(g, c), NCMesh)
-	case ACMesh:
-		return Mesh(g, c, ncr.ANCR(g, c), ACMesh)
-	case NCLMST:
-		return LMST(g, c, ncr.NC(g, c), NCLMST, KeepUnion)
-	case ACLMST:
-		return LMST(g, c, ncr.ANCR(g, c), ACLMST, KeepUnion)
+	case ACMesh, ACLMST:
+		rule = ncr.RuleANCR
 	case GMST:
-		return GlobalMST(g, c)
+		return globalMSTCtx(ctx, g, c, s)
+	case NCMesh, NCLMST:
+	default:
+		panic(fmt.Sprintf("gateway: unknown algorithm %d", int(algo)))
+	}
+	sel, err := ncr.SelectCtx(ctx, g, c, rule, s)
+	if err != nil {
+		return nil, err
+	}
+	return RunSelectedCtx(ctx, g, c, sel, algo, s)
+}
+
+// RunSelectedCtx runs the gateway-selection stage for algo over an
+// already-computed neighbor selection, for callers (like internal/core)
+// that need the selection themselves and should not pay for it twice.
+// GMST connects all head pairs centrally and ignores sel.
+func RunSelectedCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, algo Algorithm, s *graph.Scratch) (*Result, error) {
+	switch algo {
+	case NCMesh, ACMesh:
+		return meshCtx(ctx, g, c, sel, algo, s)
+	case NCLMST, ACLMST:
+		return lmstCtx(ctx, g, c, sel, algo, KeepUnion, s)
+	case GMST:
+		return globalMSTCtx(ctx, g, c, s)
 	default:
 		panic(fmt.Sprintf("gateway: unknown algorithm %d", int(algo)))
 	}
@@ -110,16 +140,24 @@ func Run(g *graph.Graph, c *cluster.Clustering, algo Algorithm) *Result {
 // nodes of the deterministic shortest path between the two heads as
 // gateways (the mesh-based scheme: exactly one gateway path per pair).
 func Mesh(g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm) *Result {
+	res, _ := meshCtx(context.Background(), g, c, sel, label, nil)
+	return res
+}
+
+func meshCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, s *graph.Scratch) (*Result, error) {
 	res := newResult(label)
 	for _, pair := range sel.Pairs() {
-		path := g.ShortestPath(pair[0], pair[1])
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		path := g.ShortestPathScratch(s, pair[0], pair[1])
 		if path == nil {
 			continue // disconnected G; callers use connected instances
 		}
 		res.addLink(pair[0], pair[1], path)
 	}
 	res.finish(c)
-	return res
+	return res, nil
 }
 
 // KeepRule selects how LMSTGA combines the per-head on-tree decisions.
@@ -149,11 +187,22 @@ func (k KeepRule) String() string {
 // local MST, and keeps the virtual links from u to its on-tree
 // neighbors. Gateways are the intermediate nodes of kept links.
 func LMST(g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, keep KeepRule) *Result {
-	vg, paths := VirtualGraph(g, sel)
+	res, _ := lmstCtx(context.Background(), g, c, sel, label, keep, nil)
+	return res
+}
+
+func lmstCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, keep KeepRule, s *graph.Scratch) (*Result, error) {
+	vg, paths, err := virtualGraphCtx(ctx, g, sel, s)
+	if err != nil {
+		return nil, err
+	}
 
 	// keepVotes[link] counts how many endpoints kept the link (1 or 2).
 	keepVotes := make(map[[2]int]int)
 	for _, u := range vg.Vertices() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		local := append([]int{u}, vg.Neighbors(u)...)
 		sub := vg.Subgraph(local)
 		for _, v := range sub.MSTRooted(u) {
@@ -172,7 +221,7 @@ func LMST(g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algor
 		}
 	}
 	res.finish(c)
-	return res
+	return res, nil
 }
 
 // GlobalMST computes the centralized lower-bound baseline: a minimum
@@ -180,26 +229,37 @@ func LMST(g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algor
 // (weight = hop distance, ID tiebreak), with intermediate path nodes as
 // gateways.
 func GlobalMST(g *graph.Graph, c *cluster.Clustering) *Result {
+	res, _ := globalMSTCtx(context.Background(), g, c, nil)
+	return res
+}
+
+func globalMSTCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, s *graph.Scratch) (*Result, error) {
 	vg := graph.NewWGraph()
-	paths := make(map[[2]int][]int)
 	for i, u := range c.Heads {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		vg.AddVertex(u)
-		dist := g.BFS(u)
+		dist := g.BFSScratch(s, u)
 		for _, v := range c.Heads[i+1:] {
-			if dist[v] == graph.Unreachable {
-				continue
+			if d := dist.Dist(v); d != graph.Unreachable {
+				vg.AddEdge(u, v, d)
 			}
-			vg.AddEdge(u, v, dist[v])
-			paths[canon(u, v)] = g.ShortestPath(u, v)
 		}
 	}
 	res := newResult(GMST)
+	// Paths are only materialized for the |H|-1 chosen tree edges; the
+	// deterministic tie-breaking makes the path independent of when it is
+	// computed, so this matches building every pair's path up front.
 	for _, e := range vg.MST() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		link := canon(e.U, e.V)
-		res.addLink(link[0], link[1], paths[link])
+		res.addLink(link[0], link[1], g.ShortestPathScratch(s, link[0], link[1]))
 	}
 	res.finish(c)
-	return res
+	return res, nil
 }
 
 // VirtualGraph builds the weighted virtual graph of a neighbor selection:
@@ -208,20 +268,28 @@ func GlobalMST(g *graph.Graph, c *cluster.Clustering) *Result {
 // returns the underlying path of each virtual link keyed by canonical
 // pair.
 func VirtualGraph(g *graph.Graph, sel *ncr.Selection) (*graph.WGraph, map[[2]int][]int) {
+	vg, paths, _ := virtualGraphCtx(context.Background(), g, sel, nil)
+	return vg, paths
+}
+
+func virtualGraphCtx(ctx context.Context, g *graph.Graph, sel *ncr.Selection, s *graph.Scratch) (*graph.WGraph, map[[2]int][]int, error) {
 	vg := graph.NewWGraph()
 	for h := range sel.Neighbors {
 		vg.AddVertex(h)
 	}
 	paths := make(map[[2]int][]int)
 	for _, pair := range sel.Pairs() {
-		path := g.ShortestPath(pair[0], pair[1])
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		path := g.ShortestPathScratch(s, pair[0], pair[1])
 		if path == nil {
 			continue
 		}
 		vg.AddEdge(pair[0], pair[1], len(path)-1)
 		paths[pair] = path
 	}
-	return vg, paths
+	return vg, paths, nil
 }
 
 func canon(u, v int) [2]int {

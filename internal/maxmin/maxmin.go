@@ -22,6 +22,7 @@
 package maxmin
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -37,6 +38,16 @@ import (
 // are not k-hop independent — callers comparing against the lowest-ID
 // clustering must not assert independence.
 func Run(g *graph.Graph, d int) *cluster.Clustering {
+	c, err := RunCtx(context.Background(), g, d, nil)
+	if err != nil {
+		panic(err.Error()) // Background context cannot be cancelled
+	}
+	return c
+}
+
+// RunCtx is Run with cancellation between flood rounds and reusable BFS
+// buffers (nil is valid) for the final distance-to-head pass.
+func RunCtx(ctx context.Context, g *graph.Graph, d int, s *graph.Scratch) (*cluster.Clustering, error) {
 	if d < 1 {
 		panic(fmt.Sprintf("maxmin: d must be ≥ 1, got %d", d))
 	}
@@ -51,6 +62,9 @@ func Run(g *graph.Graph, d int) *cluster.Clustering {
 	// Floodmax: d synchronous rounds of "adopt the largest winner among
 	// yourself and your neighbors".
 	for r := 0; r < d; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		next := make([]int, n)
 		for v := 0; v < n; v++ {
 			best := winner[v]
@@ -67,6 +81,9 @@ func Run(g *graph.Graph, d int) *cluster.Clustering {
 
 	// Floodmin: d rounds of "adopt the smallest".
 	for r := 0; r < d; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		next := make([]int, n)
 		for v := 0; v < n; v++ {
 			best := winner[v]
@@ -104,12 +121,16 @@ func Run(g *graph.Graph, d int) *cluster.Clustering {
 	sort.Ints(heads)
 
 	distToHead := make([]int, n)
-	distFrom := make(map[int][]int, len(heads))
 	for _, h := range heads {
-		distFrom[h] = g.BFS(h)
-	}
-	for v := 0; v < n; v++ {
-		distToHead[v] = distFrom[head[v]][v]
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		dist := g.BFSScratch(s, h)
+		for v := 0; v < n; v++ {
+			if head[v] == h {
+				distToHead[v] = dist.Dist(v)
+			}
+		}
 	}
 
 	return &cluster.Clustering{
@@ -118,7 +139,7 @@ func Run(g *graph.Graph, d int) *cluster.Clustering {
 		Heads:      heads,
 		DistToHead: distToHead,
 		Rounds:     2 * d,
-	}
+	}, nil
 }
 
 // elect applies the three Max-Min clusterhead selection rules.

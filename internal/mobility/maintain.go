@@ -85,6 +85,20 @@ type Maintainer struct {
 func NewMaintainer(g *graph.Graph, k int, algo gateway.Algorithm) *Maintainer {
 	gc := g.Clone()
 	c := cluster.Run(gc, cluster.Options{K: k})
+	return adopt(gc, k, algo, c, gateway.Run(gc, c, algo))
+}
+
+// NewMaintainerFrom adopts an already-built structure instead of
+// rebuilding it: c and res must describe g (any priority or affiliation
+// rule is fine — repairs only ever re-elect locally with lowest-ID, per
+// §3.3). The engine's incremental Apply uses this so maintenance starts
+// from the structure the caller actually built. g is cloned; c and res
+// are referenced but never mutated in place (repairs replace them).
+func NewMaintainerFrom(g *graph.Graph, k int, algo gateway.Algorithm, c *cluster.Clustering, res *gateway.Result) *Maintainer {
+	return adopt(g.Clone(), k, algo, c, res)
+}
+
+func adopt(gc *graph.Graph, k int, algo gateway.Algorithm, c *cluster.Clustering, res *gateway.Result) *Maintainer {
 	alive := make([]bool, gc.N())
 	for i := range alive {
 		alive[i] = true
@@ -94,7 +108,7 @@ func NewMaintainer(g *graph.Graph, k int, algo gateway.Algorithm) *Maintainer {
 		K:     k,
 		Algo:  algo,
 		C:     c,
-		Res:   gateway.Run(gc, c, algo),
+		Res:   res,
 		alive: alive,
 	}
 }

@@ -11,6 +11,7 @@
 package ncr
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -85,13 +86,26 @@ func (s *Selection) NumPairs() int {
 
 // Select runs the given rule.
 func Select(g *graph.Graph, c *cluster.Clustering, rule Rule) *Selection {
+	sel, err := SelectCtx(context.Background(), g, c, rule, nil)
+	if err != nil {
+		panic(err.Error()) // Background context cannot be cancelled
+	}
+	return sel
+}
+
+// SelectCtx runs the given rule, honoring cancellation between per-head
+// neighborhood walks and reusing s's BFS buffers (nil is valid).
+func SelectCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, rule Rule, s *graph.Scratch) (*Selection, error) {
 	switch rule {
 	case RuleNC:
-		return NC(g, c)
+		return ncCtx(ctx, g, c, s)
 	case RuleANCR:
-		return ANCR(g, c)
+		return ancrCtx(ctx, g, c)
 	case RuleWuLou:
-		return WuLou(g, c)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return WuLou(g, c), nil
 	default:
 		panic(fmt.Sprintf("ncr: unknown rule %d", int(rule)))
 	}
@@ -101,20 +115,28 @@ func Select(g *graph.Graph, c *cluster.Clustering, rule Rule) *Selection {
 // 2k+1 hops in G. This is the baseline every prior scheme uses and is a
 // supergraph of the A-NCR selection.
 func NC(g *graph.Graph, c *cluster.Clustering) *Selection {
+	sel, _ := ncCtx(context.Background(), g, c, nil)
+	return sel
+}
+
+func ncCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, s *graph.Scratch) (*Selection, error) {
 	radius := 2*c.K + 1
 	sel := &Selection{Rule: RuleNC, K: c.K, Neighbors: make(map[int][]int, len(c.Heads))}
-	isHead := headSet(c)
 	for _, h := range c.Heads {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var nbs []int
-		for v, d := range g.BFSWithin(h, radius) {
-			if v != h && d <= radius && isHead[v] {
+		g.EachWithin(s, h, radius, func(v, _ int) bool {
+			if v != h && c.IsHead(v) {
 				nbs = append(nbs, v)
 			}
-		}
+			return true
+		})
 		sort.Ints(nbs)
 		sel.Neighbors[h] = nbs
 	}
-	return sel
+	return sel, nil
 }
 
 // ANCR selects only adjacent clusterheads: u and v are selected for each
@@ -124,18 +146,32 @@ func NC(g *graph.Graph, c *cluster.Clustering) *Selection {
 // distributed rule works too — border members detect foreign neighbors
 // and report the foreign head to their own head.
 func ANCR(g *graph.Graph, c *cluster.Clustering) *Selection {
+	sel, _ := ancrCtx(context.Background(), g, c)
+	return sel
+}
+
+func ancrCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering) (*Selection, error) {
 	sel := &Selection{Rule: RuleANCR, K: c.K, Neighbors: make(map[int][]int, len(c.Heads))}
 	adj := make(map[[2]int]bool)
-	for _, e := range g.Edges() {
-		hu, hv := c.Head[e[0]], c.Head[e[1]]
-		if hu == hv {
-			continue
+	for u := 0; u < g.N(); u++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		a, b := hu, hv
-		if a > b {
-			a, b = b, a
+		hu := c.Head[u]
+		for _, v := range g.Neighbors(u) {
+			if u > v {
+				continue // visit each undirected edge once
+			}
+			hv := c.Head[v]
+			if hu == hv {
+				continue
+			}
+			a, b := hu, hv
+			if a > b {
+				a, b = b, a
+			}
+			adj[[2]int{a, b}] = true
 		}
-		adj[[2]int{a, b}] = true
 	}
 	for _, h := range c.Heads {
 		sel.Neighbors[h] = nil
@@ -147,7 +183,7 @@ func ANCR(g *graph.Graph, c *cluster.Clustering) *Selection {
 	for h := range sel.Neighbors {
 		sort.Ints(sel.Neighbors[h])
 	}
-	return sel
+	return sel, nil
 }
 
 // AdjacentClusterGraph returns the adjacent cluster graph G” as a

@@ -1,6 +1,7 @@
 package proto
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -76,6 +77,13 @@ type Result struct {
 // structures mirror the centralized implementations bit for bit (see the
 // equivalence tests).
 func Run(g *graph.Graph, opt Options) (*Result, error) {
+	return RunCtx(context.Background(), g, opt)
+}
+
+// RunCtx is Run with cancellation: a cancelled ctx aborts the protocol
+// at the next flood-round barrier (see sim.Runtime.Ctx) and RunCtx
+// returns the context's error.
+func RunCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
 	if opt.K < 1 {
 		return nil, fmt.Errorf("proto: k must be ≥ 1, got %d", opt.K)
 	}
@@ -98,13 +106,15 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	if opt.Loss > 0 {
 		lossRNG = rand.New(rand.NewSource(opt.LossSeed))
 	}
-	runPhase := func(name string, progs []sim.Program) {
+	runPhase := func(name string, progs []sim.Program) error {
 		rt := sim.New(g, progs)
+		rt.Ctx = ctx
 		rt.LossRate = opt.Loss
 		rt.LossRNG = lossRNG
 		stats := rt.Run()
 		res.Phases = append(res.Phases, PhaseStats{Name: name, Stats: stats})
 		res.Total.Add(stats)
+		return ctx.Err()
 	}
 
 	// Phase 1: iterative election. The driver only checks the global
@@ -125,12 +135,16 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 		if iterations > n+1 {
 			return nil, fmt.Errorf("proto: election did not converge after %d iterations", iterations)
 		}
-		runPhase(fmt.Sprintf("election-rank[%d]", iterations), makePrograms(states, func(s *nodeState) sim.Program {
+		if err := runPhase(fmt.Sprintf("election-rank[%d]", iterations), makePrograms(states, func(s *nodeState) sim.Program {
 			return &rankFloodPhase{s: s}
-		}))
-		runPhase(fmt.Sprintf("election-declare[%d]", iterations), makePrograms(states, func(s *nodeState) sim.Program {
+		})); err != nil {
+			return nil, err
+		}
+		if err := runPhase(fmt.Sprintf("election-declare[%d]", iterations), makePrograms(states, func(s *nodeState) sim.Program {
 			return &declareFloodPhase{s: s}
-		}))
+		})); err != nil {
+			return nil, err
+		}
 		for _, s := range states {
 			s.join()
 		}
@@ -139,14 +153,18 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	// Phase 2: adjacency detection (needed by A-NCR; cheap, and the
 	// hello exchange is how real deployments learn cluster borders, so
 	// we always run it and charge its cost).
-	runPhase("hello-report", makePrograms(states, func(s *nodeState) sim.Program {
+	if err := runPhase("hello-report", makePrograms(states, func(s *nodeState) sim.Program {
 		return &helloReportPhase{s: s}
-	}))
+	})); err != nil {
+		return nil, err
+	}
 
 	// Phase 3: clusterhead advertisement within 2k+1 hops.
-	runPhase("head-ad", makePrograms(states, func(s *nodeState) sim.Program {
+	if err := runPhase("head-ad", makePrograms(states, func(s *nodeState) sim.Program {
 		return &headAdPhase{s: s}
-	}))
+	})); err != nil {
+		return nil, err
+	}
 
 	// Neighbor selection is a local computation at each head.
 	selections := make(map[int]map[int]int)
@@ -158,9 +176,11 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 
 	// Phase 4: LMSTGA virtual-link exchange.
 	if opt.UseLMST {
-		runPhase("nbr-set", makePrograms(states, func(s *nodeState) sim.Program {
+		if err := runPhase("nbr-set", makePrograms(states, func(s *nodeState) sim.Program {
 			return &nbrSetPhase{s: s, sel: selections[s.id]}
-		}))
+		})); err != nil {
+			return nil, err
+		}
 	}
 
 	// Phase 5: gateway marking.
@@ -168,9 +188,11 @@ func Run(g *graph.Graph, opt Options) (*Result, error) {
 	for h, sel := range selections {
 		kept[h] = states[h].keptLinks(sel, opt.UseLMST)
 	}
-	runPhase("mark", makePrograms(states, func(s *nodeState) sim.Program {
+	if err := runPhase("mark", makePrograms(states, func(s *nodeState) sim.Program {
 		return &markPhase{s: s, kept: kept[s.id]}
-	}))
+	})); err != nil {
+		return nil, err
+	}
 
 	res.Clustering = assembleClustering(states, opt.K, iterations)
 	res.Selection = assembleSelection(selections, opt.Rule, opt.K)

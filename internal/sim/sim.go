@@ -14,6 +14,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -102,6 +103,11 @@ type Runtime struct {
 	g     *graph.Graph
 	progs []Program
 	stats Stats
+	// Ctx, when non-nil, is checked at every round barrier: a cancelled
+	// context stops the run before the next round's flood step, leaving
+	// the in-flight messages undelivered. Callers detect the abort via
+	// Ctx.Err(); the returned stats cover the rounds that did run.
+	Ctx context.Context
 	// MaxRounds bounds a run as a safety net; 0 means 4·N + 16 rounds,
 	// far beyond any phase of the protocols in this repo.
 	MaxRounds int
@@ -159,6 +165,9 @@ func (rt *Runtime) Run() Stats {
 	inbox := rt.collect(envs, &runStats)
 
 	for round := 1; round <= maxRounds; round++ {
+		if rt.Ctx != nil && rt.Ctx.Err() != nil {
+			break // cancelled: abort the flood mid-protocol
+		}
 		delivered := 0
 		for _, msgs := range inbox {
 			delivered += len(msgs)

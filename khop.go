@@ -1,18 +1,15 @@
 package khop
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"math/rand"
 
 	"repro/internal/cds"
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/gateway"
 	"repro/internal/graph"
-	"repro/internal/maxmin"
 	"repro/internal/ncr"
-	"repro/internal/proto"
 	"repro/internal/udg"
 )
 
@@ -84,7 +81,10 @@ func HighestDegreePriority(g *Graph) Priority { return cluster.NewHighestDegree(
 // entry per node), the power-aware rotation policy of §3.3.
 func HighestEnergyPriority(energy []float64) Priority { return cluster.NewHighestEnergy(energy) }
 
-// Options configures Build and BuildDistributed.
+// Options configures the deprecated Build and BuildDistributed wrappers.
+//
+// Deprecated: pass functional options (WithK, WithAlgorithm, …) to
+// NewEngine instead.
 type Options struct {
 	// K is the cluster radius in hops (≥ 1). Every member is within K
 	// hops of its clusterhead.
@@ -97,11 +97,16 @@ type Options struct {
 	Priority Priority
 }
 
-func (o Options) normalized() (Options, error) {
-	if o.K < 1 {
-		return o, fmt.Errorf("khop: K must be ≥ 1, got %d", o.K)
+// engineOptions translates the legacy struct into Engine options.
+func (o Options) engineOptions(mode Mode) []Option {
+	opts := []Option{WithK(o.K), WithAlgorithm(o.Algorithm), WithMode(mode)}
+	if o.Affiliation != AffiliationID {
+		opts = append(opts, WithAffiliation(o.Affiliation))
 	}
-	return o, nil
+	if o.Priority != nil {
+		opts = append(opts, WithPriority(o.Priority))
+	}
+	return opts
 }
 
 // Result is a built connected k-hop clustering.
@@ -130,31 +135,30 @@ type Result struct {
 	GatewayPaths map[[2]int][]int
 	// IndependentHeads records whether the clustering algorithm
 	// guarantees k-hop independence of the heads. True for the paper's
-	// iterative lowest-ID clustering (Build, BuildDistributed); false
-	// for Max-Min d-cluster formation (BuildMaxMin), whose heads may be
-	// closer than k+1 hops.
+	// iterative lowest-ID clustering (Centralized and Distributed
+	// modes); false for Max-Min d-cluster formation (MaxMin mode), whose
+	// heads may be closer than k+1 hops.
 	IndependentHeads bool
+	// Cost is the message complexity of a Distributed build; nil for the
+	// centralized modes.
+	Cost *Cost
 }
 
 // Build runs the centralized pipeline: k-hop clustering, neighbor
 // clusterhead selection, and gateway selection. The input graph should be
 // connected; on a disconnected graph each component is clustered but
 // cross-component connectivity is (necessarily) not established.
+//
+// Deprecated: use NewEngine and Engine.Build, which add cancellation,
+// per-build option overrides, buffer reuse across repeated builds, and
+// incremental maintenance. Build constructs a throwaway Engine per call
+// and produces identical results.
 func Build(g *Graph, opt Options) (*Result, error) {
-	opt, err := opt.normalized()
+	e, err := NewEngine(g, opt.engineOptions(Centralized)...)
 	if err != nil {
 		return nil, err
 	}
-	out, err := core.Build(g.g, core.Options{
-		K:           opt.K,
-		Algorithm:   opt.Algorithm,
-		Priority:    opt.Priority,
-		Affiliation: opt.Affiliation,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return assemble(out.Clustering, out.Selection, out.Gateway, opt), nil
+	return e.Build(context.Background())
 }
 
 // BuildDistributed runs the same pipeline as a distributed
@@ -163,46 +167,19 @@ func Build(g *Graph, opt Options) (*Result, error) {
 // centralized by definition. Affiliation must be AffiliationID or
 // AffiliationDistance. The result is identical to Build's; Cost reports
 // the protocol's message complexity.
+//
+// Deprecated: use NewEngine with WithMode(Distributed); the returned
+// Result carries the protocol cost in Result.Cost.
 func BuildDistributed(g *Graph, opt Options) (*Result, *Cost, error) {
-	opt, err := opt.normalized()
+	e, err := NewEngine(g, opt.engineOptions(Distributed)...)
 	if err != nil {
 		return nil, nil, err
 	}
-	popt, err := proto.AlgorithmOptions(opt.K, opt.Algorithm)
+	res, err := e.Build(context.Background())
 	if err != nil {
 		return nil, nil, err
 	}
-	popt.Priority = opt.Priority
-	popt.Affiliation = opt.Affiliation
-	pres, err := proto.Run(g.g, popt)
-	if err != nil {
-		return nil, nil, err
-	}
-	res := &Result{
-		K:                opt.K,
-		Algorithm:        opt.Algorithm,
-		Heads:            pres.Clustering.Heads,
-		HeadOf:           pres.Clustering.Head,
-		DistToHead:       pres.Clustering.DistToHead,
-		NeighborHeads:    pres.Selection.Neighbors,
-		Gateways:         pres.Gateways,
-		CDS:              pres.CDS,
-		IndependentHeads: true,
-	}
-	cost := &Cost{
-		Rounds:        pres.Total.Rounds,
-		Transmissions: pres.Total.Transmissions,
-		Deliveries:    pres.Total.Deliveries,
-	}
-	for _, ph := range pres.Phases {
-		cost.Phases = append(cost.Phases, PhaseCost{
-			Name:          ph.Name,
-			Rounds:        ph.Stats.Rounds,
-			Transmissions: ph.Stats.Transmissions,
-			Deliveries:    ph.Stats.Deliveries,
-		})
-	}
-	return res, cost, nil
+	return res, res.Cost, nil
 }
 
 // Cost is the message complexity of a distributed build.
@@ -266,16 +243,14 @@ func assemble(c *cluster.Clustering, sel *ncr.Selection, res *gateway.Result, op
 // synchronized rounds and keeps every node within d hops of its head,
 // but its heads are not d-hop independent (Result.IndependentHeads is
 // false; Verify skips that check).
+//
+// Deprecated: use NewEngine with WithMode(MaxMin) and WithK(d).
 func BuildMaxMin(g *Graph, d int, algo Algorithm) (*Result, error) {
-	if d < 1 {
-		return nil, fmt.Errorf("khop: d must be ≥ 1, got %d", d)
+	e, err := NewEngine(g, WithK(d), WithAlgorithm(algo), WithMode(MaxMin))
+	if err != nil {
+		return nil, err
 	}
-	c := maxmin.Run(g.g, d)
-	res := gateway.Run(g.g, c, algo)
-	sel := core.SelectionFor(g.g, c, algo)
-	out := assemble(c, sel, res, Options{K: d, Algorithm: algo})
-	out.IndependentHeads = false
-	return out, nil
+	return e.Build(context.Background())
 }
 
 // NetworkConfig configures RandomNetwork.
