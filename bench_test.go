@@ -155,10 +155,11 @@ func BenchmarkMaintenance(b *testing.B) {
 				m := mobility.NewMaintainer(inst.Net.G, k, gateway.ACLMST)
 				members, heads, reclustered := 0, 0, 0
 				for _, node := range rng.Perm(100)[:50] {
-					rep, err := m.Depart(node)
+					reps, err := m.ApplyBatch(context.Background(), []mobility.Event{{Kind: mobility.EventLeave, Node: node}})
 					if err != nil {
 						b.Fatal(err)
 					}
+					rep := reps[0]
 					switch rep.Role {
 					case mobility.RoleMember:
 						members++
@@ -175,6 +176,112 @@ func BenchmarkMaintenance(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(memberFrac/float64(b.N), "member_frac")
 			b.ReportMetric(recluster/float64(b.N), "reclustered_per_head")
+		})
+	}
+}
+
+// churnTrace pre-generates a deterministic, liveness-consistent batch
+// sequence of Leave/Join/Move events over g: nodes depart, rejoin with
+// their original (still-alive) radio links, and move onto random subsets
+// of them.
+func churnTrace(g *Graph, batches, batchSize int, rng *rand.Rand) [][]Event {
+	n := g.N()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	liveNbrs := func(v int) []int {
+		var out []int
+		for _, w := range g.Neighbors(v) {
+			if alive[w] {
+				out = append(out, w)
+			}
+		}
+		return out
+	}
+	var dead []int
+	trace := make([][]Event, batches)
+	for b := range trace {
+		batch := make([]Event, 0, batchSize)
+		for len(batch) < batchSize {
+			switch {
+			case len(dead) > 0 && rng.Intn(3) == 0:
+				v := dead[len(dead)-1]
+				dead = dead[:len(dead)-1]
+				alive[v] = true
+				batch = append(batch, Join(v, liveNbrs(v)...))
+			case rng.Intn(2) == 0:
+				v := rng.Intn(n)
+				if !alive[v] {
+					continue
+				}
+				nbrs := liveNbrs(v)
+				rng.Shuffle(len(nbrs), func(i, j int) { nbrs[i], nbrs[j] = nbrs[j], nbrs[i] })
+				batch = append(batch, Move(v, nbrs[:(len(nbrs)+1)/2]...))
+			default:
+				v := rng.Intn(n)
+				if !alive[v] {
+					continue
+				}
+				alive[v] = false
+				dead = append(dead, v)
+				batch = append(batch, Leave(v))
+			}
+		}
+		trace[b] = batch
+	}
+	return trace
+}
+
+// BenchmarkApplyChurn measures the incremental-maintenance path: one
+// Build plus a batched Leave/Join/Move trace through Engine.Apply per
+// iteration (N=150, AC-LMST), against the rebuild-per-batch baseline.
+// Compare ns/op to see what §3.3's local repair buys over rebuilding.
+func BenchmarkApplyChurn(b *testing.B) {
+	const batches, batchSize = 10, 5
+	for _, k := range []int{1, 2} {
+		net, err := RandomNetwork(NetworkConfig{N: 150, AvgDegree: 6, Seed: int64(41 + k)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := net.Graph()
+		trace := churnTrace(g, batches, batchSize, rand.New(rand.NewSource(int64(k)*43)))
+		ctx := context.Background()
+		b.Run(fmt.Sprintf("k=%d/incremental", k), func(b *testing.B) {
+			e, err := NewEngine(g, WithK(k), WithAlgorithm(ACLMST))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Build(ctx); err != nil {
+					b.Fatal(err)
+				}
+				for _, batch := range trace {
+					if _, err := e.Apply(ctx, batch...); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("k=%d/rebuild", k), func(b *testing.B) {
+			e, err := NewEngine(g, WithK(k), WithAlgorithm(ACLMST))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// The rebuild baseline pays one full Build per batch (it
+				// cannot reuse repairs; the graph here stays the full
+				// network, an optimistic floor for its cost).
+				for range trace {
+					if _, err := e.Build(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
 		})
 	}
 }

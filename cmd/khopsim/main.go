@@ -8,6 +8,7 @@
 //	khopsim -fig 7            # Figure 7 (a)+(b): heads and CDS vs k
 //	khopsim -fig overhead     # protocol transmissions vs k (extension)
 //	khopsim -fig maintenance  # §3.3 dynamic repair costs (extension)
+//	khopsim -fig churn        # full churn: join/leave/move repair locality
 //	khopsim -fig ablation     # affiliation/priority/keep-rule ablations
 //	khopsim -fig broadcast    # CDS broadcast savings (extension)
 //	khopsim -fig routing      # hierarchical routing stretch (extension)
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		figFlag  = flag.String("fig", "", "figure to regenerate: 5, 6, 7, overhead, maintenance, ablation, all")
+		figFlag  = flag.String("fig", "", "figure to regenerate: 5, 6, 7, overhead, maintenance, churn, ablation, broadcast, routing, energy, stability, comparison, robustness, all")
 		claims   = flag.Bool("claims", false, "evaluate the paper's summarized conclusions against fresh sweeps")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		seed     = flag.Int64("seed", 1, "base random seed")
@@ -74,6 +75,8 @@ func main() {
 		err = app.overhead()
 	case "maintenance":
 		err = app.maintenance()
+	case "churn":
+		err = app.churn()
 	case "ablation":
 		err = app.ablations()
 	case "broadcast":
@@ -92,7 +95,7 @@ func main() {
 		for _, f := range []func() error{
 			func() error { return app.cdsFigures(5) },
 			func() error { return app.cdsFigures(6) },
-			app.fig7, app.overhead, app.maintenance, app.ablations,
+			app.fig7, app.overhead, app.maintenance, app.churn, app.ablations,
 			app.broadcast, app.routing, app.energy, app.stability, app.comparison,
 			app.robustness,
 		} {
@@ -178,6 +181,25 @@ func (a *app) maintenance() error {
 			res.N, res.K, res.Departures,
 			100*res.MemberFrac, 100*res.GatewayFrac, res.MeanReselectedHeads,
 			100*res.HeadFrac, res.MeanReclustered)
+	}
+	fmt.Println()
+	return nil
+}
+
+func (a *app) churn() error {
+	const events, batch, runs = 60, 5, 10
+	for _, k := range []int{1, 2, 3} {
+		res, err := experiment.Churn(100, 6, k, events, batch, runs, a.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Churn (N=%d, k=%d, %d events in batches of %d): leave %.0f%%, join %.0f%%, move %.0f%%\n",
+			res.N, res.K, events, res.BatchSize,
+			100*res.LeaveFrac, 100*res.JoinFrac, 100*res.MoveFrac)
+		fmt.Printf("  repair locality: %.2f nodes re-clustered, %.2f heads re-selected per event (%.1f%% of a full rebuild)\n",
+			res.MeanReclustered, res.MeanReselectedHeads, 100*res.LocalityFrac)
+		fmt.Printf("  gateway re-selections: %d coalesced runs, %d saved by batching; final CDS %.1f vs %.1f rebuilt\n",
+			res.GatewayRuns, res.GatewayRunsSaved, res.FinalCDS, res.RebuildCDS)
 	}
 	fmt.Println()
 	return nil

@@ -35,10 +35,20 @@
 // results themselves.
 //
 // As the network churns, the same engine repairs the structure
-// incrementally instead of rebuilding (§3.3 of the paper):
+// incrementally instead of rebuilding (§3.3 of the paper). The full
+// event set is supported — Leave (a node switches off), Join (a
+// departed node switches back on and affiliates with a head within k
+// hops, or becomes one), and Move (an atomic leave+join that keeps the
+// repair local) — and a batch of events coalesces its gateway repairs
+// into a single selection re-run:
 //
-//	reports, _ := engine.Apply(ctx, khop.Leave(v))
+//	reports, _ := engine.Apply(ctx, khop.Leave(v), khop.Join(w, 3, 9), khop.Move(u, 17))
 //	cur := engine.Result() // the repaired structure
+//
+// Each RepairReport carries the event kind, the repair scope, and the
+// batch's coalescing stats. Join and Move add radio links, which may
+// pull two heads within k hops of each other; Result.IndependentHeads
+// turns false once that guarantee can no longer be made.
 //
 // Every Result is self-contained: NewRouter and NewBroadcastPlan build
 // the hierarchical-routing and CDS-broadcast applications from it

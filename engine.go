@@ -358,78 +358,143 @@ func (e *Engine) Alive(v int) bool {
 	return e.maint.Alive(v)
 }
 
-// Event is an incremental topology change for Engine.Apply. Construct
-// events with Leave; Join and Move are the planned extensions.
+// Event is an incremental topology change for Engine.Apply: the full
+// §3.3 churn event set. Construct events with Leave, Join, and Move.
 type Event struct {
-	kind eventKind
-	node int
+	kind      eventKind
+	node      int
+	neighbors []int
 }
 
 type eventKind int
 
-const eventLeave eventKind = iota
+const (
+	eventLeave eventKind = iota
+	eventJoin
+	eventMove
+)
 
 // Leave is the departure of node v: it switches off or moves away, per
 // the paper's §3.3 dynamic-maintenance scenario.
 func Leave(v int) Event { return Event{kind: eventLeave, node: v} }
+
+// Join is the arrival of a previously departed node v: it switches back
+// on with the given radio links and affiliates per §3's rules — with the
+// nearest clusterhead within k hops (free for the CDS), or, when none is
+// in reach, as a new clusterhead (triggering gateway re-selection).
+// Every neighbor must be an alive node; a Join with no neighbors is a
+// node switching on in radio silence, which heads its own singleton
+// cluster.
+func Join(v int, neighbors ...int) Event {
+	return Event{kind: eventJoin, node: v, neighbors: neighbors}
+}
+
+// Move relocates alive node v: its old radio links are replaced by the
+// given ones in one atomic leave+join, so the repair scope stays local —
+// one repair pass re-affiliates the mover (and anyone its old links
+// stranded) instead of paying a full departure plus a full arrival.
+func Move(v int, neighbors ...int) Event {
+	return Event{kind: eventMove, node: v, neighbors: neighbors}
+}
 
 // String implements fmt.Stringer.
 func (ev Event) String() string {
 	switch ev.kind {
 	case eventLeave:
 		return fmt.Sprintf("leave(%d)", ev.node)
+	case eventJoin:
+		return fmt.Sprintf("join(%d, nbrs=%v)", ev.node, ev.neighbors)
+	case eventMove:
+		return fmt.Sprintf("move(%d, nbrs=%v)", ev.node, ev.neighbors)
 	default:
 		return fmt.Sprintf("event(%d, %d)", int(ev.kind), ev.node)
 	}
 }
 
+// mobilityKind maps the facade event kinds onto the maintainer's.
+func (k eventKind) mobilityKind() EventKind {
+	switch k {
+	case eventJoin:
+		return EventJoin
+	case eventMove:
+		return EventMove
+	default:
+		return EventLeave
+	}
+}
+
 // Apply incrementally maintains the last built structure through the
-// given events, per §3.3: a member departure is free, a gateway
-// departure re-runs gateway selection for the affected heads, and a
-// clusterhead departure re-clusters the orphans first. One RepairReport
-// is returned per event; Result reflects the repaired structure
-// afterwards.
+// given events, per §3.3: events touching plain members are free, a
+// gateway departure or move re-runs gateway selection for the affected
+// heads, a clusterhead departure or move re-clusters the orphans first,
+// and an arrival affiliates with a head within k hops or becomes a new
+// head. One RepairReport is returned per event; Result reflects the
+// repaired structure afterwards.
+//
+// Events are applied as one batch with the gateway repairs coalesced:
+// however many events of the batch dirtied the gateway structure, the
+// selection re-runs once at the end (reusing every gateway path the
+// batch did not touch), and each report carries the batch's coalescing
+// stats. Join and Move add radio links, which can pull two previously
+// independent heads within k hops of each other, so after the first such
+// event Result.IndependentHeads turns false (Leave-only churn preserves
+// independence).
 //
 // Apply needs a successful Build first and aborts mid-sequence — with
 // the already-applied repairs reported, and Result reflecting them —
-// when ctx is cancelled or an event fails. The engine's own graph is
-// never mutated: maintenance runs on a private copy, so Build always
-// rebuilds from the full network.
+// when ctx is cancelled or an event fails. Malformed events (nodes or
+// neighbors outside [0, N), self-neighbors) are rejected up front before
+// anything mutates. The engine's own graph is never mutated: maintenance
+// runs on a private copy, so Build always rebuilds from the full
+// network.
 func (e *Engine) Apply(ctx context.Context, events ...Event) ([]RepairReport, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.built == nil {
 		return nil, fmt.Errorf("khop: Apply needs a successful Build first")
 	}
+	// Validate shapes before any event mutates the maintained structure,
+	// so a malformed batch is rejected whole with a descriptive error
+	// instead of panicking in the graph layer partway through.
+	// Liveness-dependent checks (double leaves, joins of alive nodes,
+	// departed neighbors) stay with the maintainer, which knows the
+	// liveness state mid-batch.
+	n := e.g.N()
+	for _, ev := range events {
+		if ev.node < 0 || ev.node >= n {
+			return nil, fmt.Errorf("khop: %v: node out of range [0,%d)", ev, n)
+		}
+		for _, w := range ev.neighbors {
+			if w < 0 || w >= n {
+				return nil, fmt.Errorf("khop: %v: neighbor %d out of range [0,%d)", ev, w, n)
+			}
+			if w == ev.node {
+				return nil, fmt.Errorf("khop: %v: node cannot neighbor itself", ev)
+			}
+		}
+	}
 	if e.maint == nil {
 		e.maint = mobility.NewMaintainerFrom(e.g.g, e.built.cfg.k, e.built.cfg.algorithm, e.built.c, e.built.gres)
 	}
-	reports := make([]RepairReport, 0, len(events))
-	var firstErr error
-loop:
-	for _, ev := range events {
-		if err := ctx.Err(); err != nil {
-			firstErr = err
-			break
-		}
-		switch ev.kind {
-		case eventLeave:
-			rep, err := e.maint.Depart(ev.node)
-			if err != nil {
-				firstErr = err
-				break loop
-			}
-			reports = append(reports, rep)
-		default:
-			firstErr = fmt.Errorf("khop: unsupported event %v", ev)
-			break loop
-		}
+	batch := make([]mobility.Event, len(events))
+	for i, ev := range events {
+		batch[i] = mobility.Event{Kind: ev.kind.mobilityKind(), Node: ev.node, Neighbors: ev.neighbors}
 	}
+	reports, firstErr := e.maint.ApplyBatch(ctx, batch)
 	// Refresh even when the batch stopped early, so Result never goes
 	// stale behind repairs that did apply; the refresh itself runs under
 	// a background context for the same reason.
 	if len(reports) > 0 {
-		if err := e.refreshFromMaintainer(context.Background()); err != nil && firstErr == nil {
+		// Independence is forfeited only by events that actually added
+		// radio links; a zero-neighbor Join or Move (radio silence)
+		// removes edges at most and keeps every head pair > k hops apart.
+		edgesAdded := false
+		for i := range reports {
+			if reports[i].Kind != EventLeave && len(events[i].neighbors) > 0 {
+				edgesAdded = true
+			}
+		}
+		if err := e.refreshFromMaintainer(context.Background(), edgesAdded); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -437,22 +502,28 @@ loop:
 }
 
 // refreshFromMaintainer rebuilds the public Result view from the
-// maintainer's repaired internal structures. Callers hold e.mu.
-func (e *Engine) refreshFromMaintainer(ctx context.Context) error {
+// maintainer's repaired internal structures. Callers hold e.mu;
+// edgesAdded reports whether the batch added radio links (Join/Move),
+// which forfeits the k-hop-independence guarantee.
+func (e *Engine) refreshFromMaintainer(ctx context.Context, edgesAdded bool) error {
 	// The maintainer replaces Res exactly when a repair re-ran gateway
-	// selection; while it is untouched (member departures, which §3.3
-	// keeps free) the previous neighbor selection still describes the
+	// selection; while it is untouched (member events, which §3.3 keeps
+	// free) the previous neighbor selection still describes the
 	// structure, so skip the whole-graph recompute.
 	if e.maint.Res != e.curGres {
-		sel, err := core.SelectionForCtx(ctx, e.maint.G, e.maint.C, e.built.cfg.algorithm, nil)
-		if err != nil {
-			return err
+		sel := e.maint.Sel
+		if sel == nil {
+			var err error
+			sel, err = core.SelectionForCtx(ctx, e.maint.G, e.maint.C, e.built.cfg.algorithm, nil)
+			if err != nil {
+				return err
+			}
 		}
 		e.curSel = sel
 		e.curGres = e.maint.Res
 	}
 	res := assemble(e.maint.C, e.curSel, e.maint.Res, Options{K: e.built.cfg.k, Algorithm: e.built.cfg.algorithm})
-	res.IndependentHeads = e.cur == nil || e.cur.IndependentHeads
+	res.IndependentHeads = (e.cur == nil || e.cur.IndependentHeads) && !edgesAdded
 	e.cur = res
 	return nil
 }

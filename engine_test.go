@@ -180,10 +180,11 @@ func TestEngineApplyMatchesMobility(t *testing.T) {
 		if err != nil {
 			t.Fatalf("leave(%d): %v", node, err)
 		}
-		wantRep, err := m.Depart(node)
+		wantReps, err := m.ApplyBatch(context.Background(), []mobility.Event{{Kind: mobility.EventLeave, Node: node}})
 		if err != nil {
-			t.Fatalf("mobility depart(%d): %v", node, err)
+			t.Fatalf("mobility leave(%d): %v", node, err)
 		}
+		wantRep := wantReps[0]
 		if len(reps) != 1 || reps[0] != wantRep {
 			t.Fatalf("leave(%d): report %+v, mobility says %+v", node, reps, wantRep)
 		}
@@ -205,7 +206,7 @@ func TestEngineApplyMatchesMobility(t *testing.T) {
 	} else if len(reps) != 1 {
 		t.Fatalf("expected the first leave to be reported, got %d reports", len(reps))
 	}
-	if _, err := m.Depart(7); err != nil {
+	if _, err := m.ApplyBatch(context.Background(), []mobility.Event{{Kind: mobility.EventLeave, Node: 7}}); err != nil {
 		t.Fatal(err)
 	}
 	cur := e.Result()

@@ -172,9 +172,12 @@ func RunCtx(ctx context.Context, g *graph.Graph, opt Options, s *Scratch) (*Clus
 			}
 		}
 		if len(declared) == 0 {
-			// Cannot happen: the globally best-ranked undecided node
-			// always wins its own neighborhood. Guard anyway.
-			panic("cluster: election round made no progress")
+			// With a totally ordered priority this cannot happen: the
+			// globally best-ranked undecided node always wins its own
+			// neighborhood. A custom Priority whose ranks are inconsistent
+			// across calls (or otherwise non-total) can stall every node;
+			// report that instead of looping forever.
+			return nil, fmt.Errorf("cluster: election round %d made no progress (%d nodes undecided; Priority must induce a total order)", rounds, remaining)
 		}
 		// Phase 2: affiliation. Every undecided node that heard ≥ 1
 		// declaration joins. Heads join themselves at distance 0.
@@ -215,6 +218,42 @@ func RunCtx(ctx context.Context, g *graph.Graph, opt Options, s *Scratch) (*Clus
 		DistToHead: distToHead,
 		Rounds:     rounds,
 	}, nil
+}
+
+// Affiliate re-attaches a single node to an existing clustering without
+// a whole-graph election: the churn-maintenance entry point (§3.3). It
+// applies the paper's affiliation rule in isolation — v joins the
+// nearest head of heads reachable within k hops in g, ties broken by
+// lowest head ID — and reports ok=false when no head is in reach, in
+// which case the caller promotes v to a head of its own (the Join
+// repair's second branch). heads must not contain v itself. s provides
+// reusable BFS buffers; nil is valid. The walk visits nodes in
+// nondecreasing distance, so it stops one layer past the first hit.
+func Affiliate(g *graph.Graph, s *graph.Scratch, heads []int, v, k int) (head, dist int, ok bool) {
+	headSet := make(map[int]bool, len(heads))
+	for _, h := range heads {
+		headSet[h] = true
+	}
+	return AffiliateIn(g, s, headSet, v, k)
+}
+
+// AffiliateIn is Affiliate with the candidate head set prebuilt, for
+// callers that re-affiliate many nodes against the same heads (the
+// churn repair loop) and should not rebuild the set per node. The walk
+// visits nodes in nondecreasing distance, so it stops one layer past
+// the first hit.
+func AffiliateIn(g *graph.Graph, s *graph.Scratch, heads map[int]bool, v, k int) (head, dist int, ok bool) {
+	head, dist = -1, k+1
+	g.EachWithin(s, v, k, func(w, d int) bool {
+		if head != -1 && d > dist {
+			return false
+		}
+		if heads[w] && (head == -1 || d < dist || (d == dist && w < head)) {
+			head, dist = w, d
+		}
+		return true
+	})
+	return head, dist, head >= 0
 }
 
 type offer struct {

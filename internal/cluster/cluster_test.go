@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -404,5 +406,51 @@ func TestClusteringQuickPaths(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestAffiliateSingleNode(t *testing.T) {
+	// Path 0-1-2-3-4-5, k=2: heads {0, 4} (say). Node 2 is 2 hops from 0
+	// and 2 from 4 — the tie breaks to the lower head ID.
+	g := pathGraph(6)
+	if h, d, ok := Affiliate(g, nil, []int{0, 4}, 2, 2); !ok || h != 0 || d != 2 {
+		t.Fatalf("Affiliate(2) = (%d, %d, %v), want (0, 2, true)", h, d, ok)
+	}
+	// Node 3 is nearer to 4 than to 0.
+	if h, d, ok := Affiliate(g, nil, []int{0, 4}, 3, 2); !ok || h != 4 || d != 1 {
+		t.Fatalf("Affiliate(3) = (%d, %d, %v), want (4, 1, true)", h, d, ok)
+	}
+	// Node 5 with k=1 reaches only head 4.
+	if h, _, ok := Affiliate(g, nil, []int{0, 4}, 5, 1); !ok || h != 4 {
+		t.Fatalf("Affiliate(5, k=1) = (%d, _, %v), want (4, true)", h, ok)
+	}
+	// No head within reach.
+	if _, _, ok := Affiliate(g, nil, []int{0}, 5, 2); ok {
+		t.Fatal("Affiliate found an out-of-reach head")
+	}
+	// No heads at all.
+	if _, _, ok := Affiliate(g, nil, nil, 2, 2); ok {
+		t.Fatal("Affiliate found a head in an empty head set")
+	}
+}
+
+// decayingPriority hands out a strictly better rank on every call, so no
+// node ever believes it wins its neighborhood: the degenerate non-total
+// order that must surface as an error, not a panic or an infinite loop.
+type decayingPriority struct{ val float64 }
+
+func (p *decayingPriority) Rank(v int) Rank {
+	p.val--
+	return Rank{Value: p.val, ID: v}
+}
+
+func TestRunCtxStalledElectionReturnsError(t *testing.T) {
+	g := pathGraph(8)
+	_, err := RunCtx(context.Background(), g, Options{K: 1, Priority: &decayingPriority{}}, nil)
+	if err == nil {
+		t.Fatal("stalled election returned no error")
+	}
+	if !strings.Contains(err.Error(), "no progress") {
+		t.Fatalf("unexpected error: %v", err)
 	}
 }

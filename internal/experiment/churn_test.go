@@ -1,0 +1,50 @@
+package experiment
+
+import "testing"
+
+func TestChurnExperiment(t *testing.T) {
+	res, err := Churn(60, 6, 2, 24, 4, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != 2*24 {
+		t.Fatalf("events=%d, want 48", res.Events)
+	}
+	total := res.LeaveFrac + res.JoinFrac + res.MoveFrac
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("event fractions sum to %v", total)
+	}
+	if res.MoveFrac <= 0 {
+		t.Fatal("no moves drawn in 48 events — implausible for the 30% move mix")
+	}
+	// The locality headline: incremental repair must touch far fewer
+	// nodes than rebuilding everything every event would.
+	if res.LocalityFrac <= 0 || res.LocalityFrac > 0.5 {
+		t.Fatalf("locality fraction %v outside (0, 0.5]", res.LocalityFrac)
+	}
+	// Batching must have coalesced at least some gateway re-runs: with 4
+	// events per batch, dirty events outnumber actual selection runs.
+	if res.GatewayRuns <= 0 {
+		t.Fatal("no gateway re-selections at all — implausible under churn")
+	}
+	if res.GatewayRunsSaved <= 0 {
+		t.Fatal("batching saved no gateway re-selections")
+	}
+	if res.FinalCDS <= 0 || res.RebuildCDS <= 0 {
+		t.Fatalf("CDS sizes: final=%v rebuild=%v", res.FinalCDS, res.RebuildCDS)
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	a, err := Churn(50, 6, 1, 16, 4, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Churn(50, 6, 1, 16, 4, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", *a, *b)
+	}
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -134,10 +135,11 @@ func Maintenance(n int, degree float64, k int, runs int, seed int64) (*Maintenan
 		m := mobility.NewMaintainer(inst.Net.G, k, gateway.ACLMST)
 		order := rng.Perm(n)
 		for _, node := range order[:n/2] {
-			rep, err := m.Depart(node)
+			reps, err := m.ApplyBatch(context.Background(), []mobility.Event{{Kind: mobility.EventLeave, Node: node}})
 			if err != nil {
 				return nil, err
 			}
+			rep := reps[0]
 			out.Departures++
 			switch rep.Role {
 			case mobility.RoleMember:

@@ -81,6 +81,19 @@ type Result struct {
 	// CDS is the connected dominating set: clusterheads ∪ gateways,
 	// sorted ascending.
 	CDS []int
+
+	// lmst caches what the LMSTGA stage's per-head decisions depended on
+	// (the virtual graph and each head's kept on-tree neighbors), so an
+	// incremental re-run (RunSelectedFrom) recomputes local MSTs only
+	// for heads whose virtual neighborhood changed. Nil for non-LMST
+	// algorithms and for Results assembled outside this package.
+	lmst *lmstState
+}
+
+// lmstState is the memo of one LMSTGA run.
+type lmstState struct {
+	vg   *graph.WGraph
+	kept map[int][]int // head -> on-tree neighbor heads of its local MST
 }
 
 // NumGateways returns the number of distinct gateway nodes.
@@ -124,11 +137,49 @@ func RunCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, algo Alg
 // that need the selection themselves and should not pay for it twice.
 // GMST connects all head pairs centrally and ignores sel.
 func RunSelectedCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, algo Algorithm, s *graph.Scratch) (*Result, error) {
+	return runSelected(ctx, g, c, sel, algo, s, nil, nil)
+}
+
+// RunSelectedFrom is RunSelectedCtx for incremental repair: it re-runs
+// gateway selection after a local topology change, reusing from prev the
+// gateway paths of virtual links the change did not touch. A cached path
+// is kept when the link is still selected, neither endpoint head is in
+// dirty (the head set whose neighborhoods the repair invalidated), and
+// every edge of the path still exists in g — so after events touching a
+// few heads, only links incident to those heads (or with severed paths)
+// pay for a fresh shortest-path computation, the §3.3 locality argument.
+//
+// Reused paths were shortest when first computed; a later Join can
+// introduce a shorter alternative that only a full re-run would find.
+// That keeps repairs local at the cost of (bounded) path staleness,
+// exactly the trade the paper makes for maintenance. GMST, centralized
+// by definition, ignores prev and recomputes from scratch.
+func RunSelectedFrom(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, algo Algorithm, s *graph.Scratch, prev *Result, dirty map[int]bool) (*Result, error) {
+	var cache map[[2]int][]int
+	if prev != nil && algo != GMST {
+		cache = make(map[[2]int][]int, len(prev.Paths))
+		for link, path := range prev.Paths {
+			if dirty[link[0]] || dirty[link[1]] {
+				continue
+			}
+			if pathIntact(g, path) {
+				cache[link] = path
+			}
+		}
+	}
+	var prevLMST *lmstState
+	if prev != nil {
+		prevLMST = prev.lmst
+	}
+	return runSelected(ctx, g, c, sel, algo, s, cache, prevLMST)
+}
+
+func runSelected(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, algo Algorithm, s *graph.Scratch, cache map[[2]int][]int, prev *lmstState) (*Result, error) {
 	switch algo {
 	case NCMesh, ACMesh:
-		return meshCtx(ctx, g, c, sel, algo, s)
+		return meshCtx(ctx, g, c, sel, algo, s, cache)
 	case NCLMST, ACLMST:
-		return lmstCtx(ctx, g, c, sel, algo, KeepUnion, s)
+		return lmstCtx(ctx, g, c, sel, algo, KeepUnion, s, cache, prev)
 	case GMST:
 		return globalMSTCtx(ctx, g, c, s)
 	default:
@@ -136,21 +187,41 @@ func RunSelectedCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, 
 	}
 }
 
+// pathIntact reports whether every hop of path is still an edge of g.
+func pathIntact(g *graph.Graph, path []int) bool {
+	for i := 1; i < len(path); i++ {
+		if !g.HasEdge(path[i-1], path[i]) {
+			return false
+		}
+	}
+	return len(path) > 0
+}
+
+// cachedPath returns the cached path for the pair (u, v) or computes a
+// fresh shortest path. Cached paths are stored canonically (smaller head
+// first), matching how selection pairs are enumerated.
+func cachedPath(g *graph.Graph, s *graph.Scratch, cache map[[2]int][]int, u, v int) []int {
+	if p, ok := cache[canon(u, v)]; ok {
+		return p
+	}
+	return g.ShortestPathScratch(s, u, v)
+}
+
 // Mesh marks, for every selected neighbor head pair, the intermediate
 // nodes of the deterministic shortest path between the two heads as
 // gateways (the mesh-based scheme: exactly one gateway path per pair).
 func Mesh(g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm) *Result {
-	res, _ := meshCtx(context.Background(), g, c, sel, label, nil)
+	res, _ := meshCtx(context.Background(), g, c, sel, label, nil, nil)
 	return res
 }
 
-func meshCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, s *graph.Scratch) (*Result, error) {
+func meshCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, s *graph.Scratch, cache map[[2]int][]int) (*Result, error) {
 	res := newResult(label)
 	for _, pair := range sel.Pairs() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		path := g.ShortestPathScratch(s, pair[0], pair[1])
+		path := cachedPath(g, s, cache, pair[0], pair[1])
 		if path == nil {
 			continue // disconnected G; callers use connected instances
 		}
@@ -187,25 +258,43 @@ func (k KeepRule) String() string {
 // local MST, and keeps the virtual links from u to its on-tree
 // neighbors. Gateways are the intermediate nodes of kept links.
 func LMST(g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, keep KeepRule) *Result {
-	res, _ := lmstCtx(context.Background(), g, c, sel, label, keep, nil)
+	res, _ := lmstCtx(context.Background(), g, c, sel, label, keep, nil, nil, nil)
 	return res
 }
 
-func lmstCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, keep KeepRule, s *graph.Scratch) (*Result, error) {
-	vg, paths, err := virtualGraphCtx(ctx, g, sel, s)
+func lmstCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, keep KeepRule, s *graph.Scratch, cache map[[2]int][]int, prev *lmstState) (*Result, error) {
+	vg, paths, err := virtualGraphCtx(ctx, g, sel, s, cache)
 	if err != nil {
 		return nil, err
 	}
 
+	// A head's local MST depends only on the virtual links among itself
+	// and its virtual neighbors, so an incremental re-run recomputes only
+	// heads whose local view differs from the memoized previous run and
+	// reuses everyone else's kept set verbatim.
+	incremental := prev != nil && prev.vg != nil
+	var changed map[int]bool
+	if incremental {
+		changed = changedHeads(prev.vg, vg)
+	}
+
 	// keepVotes[link] counts how many endpoints kept the link (1 or 2).
 	keepVotes := make(map[[2]int]int)
+	kept := make(map[int][]int, vg.NumVertices())
 	for _, u := range vg.Vertices() {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		local := append([]int{u}, vg.Neighbors(u)...)
-		sub := vg.Subgraph(local)
-		for _, v := range sub.MSTRooted(u) {
+		var onTree []int
+		if incremental && !changed[u] {
+			onTree = prev.kept[u]
+		} else {
+			local := append([]int{u}, vg.Neighbors(u)...)
+			sub := vg.Subgraph(local)
+			onTree = sub.MSTRooted(u)
+		}
+		kept[u] = onTree
+		for _, v := range onTree {
 			keepVotes[canon(u, v)]++
 		}
 	}
@@ -220,8 +309,54 @@ func lmstCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *nc
 			res.addLink(link[0], link[1], paths[link])
 		}
 	}
+	res.lmst = &lmstState{vg: vg, kept: kept}
 	res.finish(c)
 	return res, nil
+}
+
+// changedHeads returns the heads whose local LMST view differs between
+// two virtual graphs: the endpoints of every added, removed, or
+// reweighted virtual link, plus every head adjacent (in either graph) to
+// both endpoints of such a link — the link lies inside that head's local
+// subgraph even though it is not incident to it.
+func changedHeads(oldVG, newVG *graph.WGraph) map[int]bool {
+	oldEdges := make(map[[2]int]int)
+	for _, e := range oldVG.Edges() {
+		oldEdges[[2]int{e.U, e.V}] = e.Weight
+	}
+	var diffs [][2]int
+	for _, e := range newVG.Edges() {
+		link := [2]int{e.U, e.V}
+		if w, ok := oldEdges[link]; !ok || w != e.Weight {
+			diffs = append(diffs, link)
+		}
+		delete(oldEdges, link)
+	}
+	for link := range oldEdges {
+		diffs = append(diffs, link)
+	}
+
+	changed := make(map[int]bool, 2*len(diffs))
+	markCommon := func(vg *graph.WGraph, a, b int) {
+		if !vg.HasVertex(a) || !vg.HasVertex(b) {
+			return
+		}
+		for _, u := range vg.Neighbors(a) {
+			if u == b {
+				continue
+			}
+			if _, ok := vg.Weight(u, b); ok {
+				changed[u] = true
+			}
+		}
+	}
+	for _, link := range diffs {
+		changed[link[0]] = true
+		changed[link[1]] = true
+		markCommon(oldVG, link[0], link[1])
+		markCommon(newVG, link[0], link[1])
+	}
+	return changed
 }
 
 // GlobalMST computes the centralized lower-bound baseline: a minimum
@@ -268,11 +403,11 @@ func globalMSTCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, s 
 // returns the underlying path of each virtual link keyed by canonical
 // pair.
 func VirtualGraph(g *graph.Graph, sel *ncr.Selection) (*graph.WGraph, map[[2]int][]int) {
-	vg, paths, _ := virtualGraphCtx(context.Background(), g, sel, nil)
+	vg, paths, _ := virtualGraphCtx(context.Background(), g, sel, nil, nil)
 	return vg, paths
 }
 
-func virtualGraphCtx(ctx context.Context, g *graph.Graph, sel *ncr.Selection, s *graph.Scratch) (*graph.WGraph, map[[2]int][]int, error) {
+func virtualGraphCtx(ctx context.Context, g *graph.Graph, sel *ncr.Selection, s *graph.Scratch, cache map[[2]int][]int) (*graph.WGraph, map[[2]int][]int, error) {
 	vg := graph.NewWGraph()
 	for h := range sel.Neighbors {
 		vg.AddVertex(h)
@@ -282,7 +417,7 @@ func virtualGraphCtx(ctx context.Context, g *graph.Graph, sel *ncr.Selection, s 
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		path := g.ShortestPathScratch(s, pair[0], pair[1])
+		path := cachedPath(g, s, cache, pair[0], pair[1])
 		if path == nil {
 			continue
 		}

@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -328,6 +329,93 @@ func TestWuLouSelectionConnects(t *testing.T) {
 		nc := Mesh(g, c, ncr.NC(g, c), NCMesh).CDSSize()
 		if !(ac <= wl && wl <= nc) {
 			t.Fatalf("seed %d: CDS sizes AC=%d WuLou=%d NC=%d not sandwiched", seed, ac, wl, nc)
+		}
+	}
+}
+
+// TestRunSelectedFromMatchesFullRun: with an unchanged graph and no
+// dirty heads, the incremental entry point must reproduce the full run
+// exactly — every cached path is intact and every memoized local MST
+// decision is reused as-is.
+func TestRunSelectedFromMatchesFullRun(t *testing.T) {
+	for _, algo := range Algorithms {
+		g, c := testInstance(t, 90, 7, 2, 211)
+		sel, err := ncr.SelectCtx(context.Background(), g, c, ruleOf(algo), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := RunSelectedCtx(context.Background(), g, c, sel, algo, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc, err := RunSelectedFrom(context.Background(), g, c, sel, algo, nil, full, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(inc.Gateways, full.Gateways) || !reflect.DeepEqual(inc.CDS, full.CDS) ||
+			!reflect.DeepEqual(inc.Paths, full.Paths) {
+			t.Fatalf("%v: incremental no-op re-run diverged from the full run", algo)
+		}
+	}
+}
+
+func ruleOf(algo Algorithm) ncr.Rule {
+	switch algo {
+	case ACMesh, ACLMST:
+		return ncr.RuleANCR
+	default:
+		return ncr.RuleNC
+	}
+}
+
+// TestRunSelectedFromAfterRemoval: sever a gateway's edges, reselect,
+// and re-run incrementally. Links whose paths broke (or touch dirty
+// heads) are recomputed; the repaired structure passes the same
+// invariants as a fresh run, and its kept LMST decisions match a run
+// without the memo (same virtual graph ⇒ same local MSTs).
+func TestRunSelectedFromAfterRemoval(t *testing.T) {
+	for _, algo := range []Algorithm{ACLMST, NCLMST, ACMesh} {
+		g, c := testInstance(t, 90, 7, 2, 223)
+		sel := ncr.Select(g, c, ruleOf(algo))
+		before, err := RunSelectedCtx(context.Background(), g, c, sel, algo, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(before.Gateways) == 0 {
+			t.Skipf("%v: no gateways on this instance", algo)
+		}
+		gw := before.Gateways[0]
+		g.RemoveVertexEdges(gw)
+
+		dirty := map[int]bool{}
+		for link, path := range before.Paths {
+			for _, v := range path {
+				if v == gw {
+					dirty[link[0]] = true
+					dirty[link[1]] = true
+				}
+			}
+		}
+		inc, err := RunSelectedFrom(context.Background(), g, c, sel, algo, nil, before, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The memo must not change the outcome: a run with the same
+		// inputs but no previous state is the ground truth.
+		cold, err := RunSelectedFrom(context.Background(), g, c, sel, algo, nil, &Result{Paths: before.Paths}, dirty)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(inc.Gateways, cold.Gateways) || !reflect.DeepEqual(inc.Paths, cold.Paths) {
+			t.Fatalf("%v: memoized incremental run diverged from the memo-free run", algo)
+		}
+		// No reused path may traverse the severed node.
+		for link, path := range inc.Paths {
+			for _, v := range path {
+				if v == gw {
+					t.Fatalf("%v: link %v still routed through severed node %d", algo, link, gw)
+				}
+			}
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package mobility
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -342,5 +343,214 @@ func TestNewMaintainerDoesNotMutateInput(t *testing.T) {
 	}
 	if g.M() != edgesBefore {
 		t.Fatal("maintainer mutated the caller's graph")
+	}
+}
+
+func TestJoinBackAsMember(t *testing.T) {
+	g := testGraph(t, 80, 7, 37)
+	m := NewMaintainer(g, 2, gateway.ACLMST)
+	// Depart a plain member, then join it back with its original links.
+	var member = -1
+	for v := 0; v < g.N(); v++ {
+		if Classify(m.C, m.Res, v) == RoleMember {
+			member = v
+			break
+		}
+	}
+	if member < 0 {
+		t.Skip("no plain member on this instance")
+	}
+	nbrs := append([]int(nil), g.Neighbors(member)...)
+	if _, err := m.Depart(member); err != nil {
+		t.Fatal(err)
+	}
+	alive := nbrs[:0]
+	for _, w := range nbrs {
+		if m.Alive(w) {
+			alive = append(alive, w)
+		}
+	}
+	reps, err := m.ApplyBatch(context.Background(), []Event{{Kind: EventJoin, Node: member, Neighbors: alive}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reps[0]
+	if rep.Kind != EventJoin || !m.Alive(member) {
+		t.Fatalf("join report %+v, alive=%v", rep, m.Alive(member))
+	}
+	if rep.Role == RoleMember && rep.GatewayDirty {
+		t.Fatalf("member join dirtied the gateways: %+v", rep)
+	}
+	checkMaintained(t, m)
+}
+
+func TestJoinInRadioSilenceBecomesHead(t *testing.T) {
+	g := testGraph(t, 40, 6, 41)
+	m := NewMaintainer(g, 2, gateway.ACLMST)
+	if _, err := m.Depart(11); err != nil {
+		t.Fatal(err)
+	}
+	reps, err := m.ApplyBatch(context.Background(), []Event{{Kind: EventJoin, Node: 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reps[0]
+	if rep.Role != RoleHead || rep.NewHeads != 1 || !rep.GatewayDirty {
+		t.Fatalf("silent join report %+v", rep)
+	}
+	if m.C.Head[11] != 11 {
+		t.Fatalf("node 11 heads %d, want itself", m.C.Head[11])
+	}
+	checkMaintained(t, m)
+}
+
+func TestMovePreservesInvariants(t *testing.T) {
+	for _, k := range []int{1, 2} {
+		g := testGraph(t, 60, 7, int64(43+k))
+		m := NewMaintainer(g, k, gateway.ACLMST)
+		rng := rand.New(rand.NewSource(int64(k) * 47))
+		for step := 0; step < 15; step++ {
+			v := rng.Intn(g.N())
+			// Move v onto the (alive) neighborhood of another random node.
+			anchor := rng.Intn(g.N())
+			var nbrs []int
+			for _, w := range g.Neighbors(anchor) {
+				if w != v && m.Alive(w) {
+					nbrs = append(nbrs, w)
+				}
+			}
+			if m.Alive(anchor) && anchor != v {
+				nbrs = append(nbrs, anchor)
+			}
+			reps, err := m.ApplyBatch(context.Background(), []Event{{Kind: EventMove, Node: v, Neighbors: nbrs}})
+			if err != nil {
+				t.Fatalf("k=%d move(%d): %v", k, v, err)
+			}
+			if reps[0].Kind != EventMove {
+				t.Fatalf("kind=%v", reps[0].Kind)
+			}
+			checkMaintained(t, m)
+		}
+	}
+}
+
+func TestApplyBatchCoalescesGatewayRuns(t *testing.T) {
+	g := testGraph(t, 80, 7, 53)
+	m := NewMaintainer(g, 2, gateway.ACLMST)
+	// Two head departures in one batch: both dirty the gateway
+	// structure, but the batch pays for one selection re-run.
+	if len(m.C.Heads) < 3 {
+		t.Skip("not enough heads")
+	}
+	evs := []Event{
+		{Kind: EventLeave, Node: m.C.Heads[0]},
+		{Kind: EventLeave, Node: m.C.Heads[1]},
+	}
+	reps, err := m.ApplyBatch(context.Background(), evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rep := range reps {
+		if !rep.GatewayDirty {
+			t.Fatalf("report %d: head departure not gateway-dirty: %+v", i, rep)
+		}
+		if rep.BatchGatewayRuns != 1 || rep.BatchGatewaySaved != 1 {
+			t.Fatalf("report %d: coalescing stats %+v, want 1 run and 1 saved", i, rep)
+		}
+	}
+	checkMaintained(t, m)
+}
+
+func TestApplyBatchEventErrors(t *testing.T) {
+	g := testGraph(t, 40, 6, 59)
+	m := NewMaintainer(g, 1, gateway.ACLMST)
+	ctx := context.Background()
+	bad := [][]Event{
+		{{Kind: EventJoin, Node: 0}},                              // join of an alive node
+		{{Kind: EventMove, Node: 0, Neighbors: []int{0}}},         // self-neighbor
+		{{Kind: EventMove, Node: 0, Neighbors: []int{99}}},        // neighbor out of range
+		{{Kind: EventLeave, Node: -1}},                            // node out of range
+		{{Kind: EventLeave, Node: 40}},                            // node out of range
+		{{Kind: EventMove, Node: 39, Neighbors: []int{0, 1, -1}}}, // negative neighbor
+		{{Kind: EventKind(9), Node: 0}},                           // unknown kind
+	}
+	for i, evs := range bad {
+		if _, err := m.ApplyBatch(ctx, evs); err == nil {
+			t.Errorf("case %d (%v): accepted", i, evs[0])
+		}
+	}
+	// Dead nodes cannot move and cannot be neighbors.
+	if _, err := m.Depart(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ApplyBatch(ctx, []Event{{Kind: EventMove, Node: 5, Neighbors: []int{1}}}); err == nil {
+		t.Error("move of a departed node accepted")
+	}
+	if _, err := m.ApplyBatch(ctx, []Event{{Kind: EventMove, Node: 1, Neighbors: []int{5}}}); err == nil {
+		t.Error("departed neighbor accepted")
+	}
+	checkMaintained(t, m)
+}
+
+func TestApplyBatchStopsOnCancelledContext(t *testing.T) {
+	g := testGraph(t, 40, 6, 61)
+	m := NewMaintainer(g, 1, gateway.ACLMST)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	reps, err := m.ApplyBatch(ctx, []Event{{Kind: EventLeave, Node: 3}})
+	if err == nil || len(reps) != 0 {
+		t.Fatalf("cancelled batch: reps=%d err=%v", len(reps), err)
+	}
+	if !m.Alive(3) {
+		t.Fatal("event applied despite cancelled context")
+	}
+}
+
+// TestChurnManyInvariants is the full-churn stress test: random leaves,
+// joins, and moves in batches, with the maintained structure verified
+// after every batch.
+func TestChurnManyInvariants(t *testing.T) {
+	for _, k := range []int{1, 2, 3} {
+		g := testGraph(t, 60, 7, int64(67+k))
+		m := NewMaintainer(g, k, gateway.ACLMST)
+		rng := rand.New(rand.NewSource(int64(k) * 71))
+		alive := make([]bool, g.N())
+		for i := range alive {
+			alive[i] = true
+		}
+		liveNbrs := func(v int) []int {
+			var out []int
+			for _, w := range g.Neighbors(v) {
+				if alive[w] {
+					out = append(out, w)
+				}
+			}
+			return out
+		}
+		for batchNo := 0; batchNo < 12; batchNo++ {
+			var batch []Event
+			for len(batch) < 4 {
+				v := rng.Intn(g.N())
+				switch {
+				case !alive[v]:
+					alive[v] = true
+					batch = append(batch, Event{Kind: EventJoin, Node: v, Neighbors: liveNbrs(v)})
+				case rng.Intn(2) == 0:
+					alive[v] = false
+					batch = append(batch, Event{Kind: EventLeave, Node: v})
+				default:
+					batch = append(batch, Event{Kind: EventMove, Node: v, Neighbors: liveNbrs(v)})
+				}
+			}
+			if _, err := m.ApplyBatch(context.Background(), batch); err != nil {
+				t.Fatalf("k=%d batch %d: %v", k, batchNo, err)
+			}
+			checkMaintained(t, m)
+			for v := range alive {
+				if alive[v] != m.Alive(v) {
+					t.Fatalf("k=%d: liveness of %d diverged", k, v)
+				}
+			}
+		}
 	}
 }

@@ -18,7 +18,18 @@ const (
 	RoleHead    = mobility.RoleHead
 )
 
-// RepairReport quantifies the repair triggered by one departure.
+// EventKind identifies which churn event a RepairReport repaired.
+type EventKind = mobility.EventKind
+
+// Churn event kinds, mirrored into RepairReport.Kind.
+const (
+	EventLeave = mobility.EventLeave
+	EventJoin  = mobility.EventJoin
+	EventMove  = mobility.EventMove
+)
+
+// RepairReport quantifies the repair triggered by one churn event,
+// including the batch's gateway-coalescing stats.
 type RepairReport = mobility.RepairReport
 
 // Maintainer keeps a connected k-hop clustering repaired as nodes leave
@@ -51,6 +62,10 @@ func NewMaintainer(g *Graph, k int, algo Algorithm) *Maintainer {
 
 // Depart removes node from the network, repairs the clustering and
 // gateway structure, and reports the repair scope.
+//
+// Deprecated: use batched Engine.Apply(ctx, Leave(node), ...), which
+// coalesces the gateway repairs of many events into one selection re-run
+// and extends to Join and Move.
 func (m *Maintainer) Depart(node int) (RepairReport, error) {
 	reps, err := m.e.Apply(context.Background(), Leave(node))
 	if err != nil {
