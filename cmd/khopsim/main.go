@@ -1,5 +1,5 @@
 // Command khopsim regenerates the paper's evaluation figures and the
-// extension experiments as text tables or CSV.
+// extension experiments as text tables, CSV, or machine-readable JSON.
 //
 // Usage:
 //
@@ -19,27 +19,48 @@
 //	khopsim -claims           # check the paper's §4 conclusions
 //	khopsim -fig all          # everything above
 //
-// Flags -runs/-minruns trade precision for speed; -csv switches output
-// format; -seed fixes the randomness.
+// The figure names, their one-line descriptions, and the -fig
+// dispatcher all come from one registry (internal/experiment.Registry);
+// a test keeps this comment in sync with it.
+//
+// Trials run on a deterministic worker pool: -parallel N picks the
+// worker count (default all cores) and any value produces bitwise
+// identical output, because every trial derives its randomness from
+// (seed, configuration, trial index) and the adaptive stopping rule
+// consumes results in trial-index order. -json emits the versioned
+// machine-readable figure document CI's golden gate diffs; -csv
+// switches to CSV tables. Flags -runs/-minruns trade precision for
+// speed; -seed fixes the randomness; -progress reports trial counts on
+// stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 )
 
 func main() {
+	var names []string
+	for _, w := range experiment.Registry() {
+		names = append(names, w.Name)
+	}
 	var (
-		figFlag  = flag.String("fig", "", "figure to regenerate: 5, 6, 7, overhead, maintenance, churn, ablation, broadcast, routing, energy, stability, comparison, robustness, all")
+		figFlag  = flag.String("fig", "", "figure to regenerate: "+strings.Join(names, ", ")+", all")
 		claims   = flag.Bool("claims", false, "evaluate the paper's summarized conclusions against fresh sweeps")
 		csvOut   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut  = flag.Bool("json", false, "emit the versioned JSON figure document (stable bytes for a fixed seed)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		maxRuns  = flag.Int("runs", 100, "maximum repetitions per configuration")
 		minRuns  = flag.Int("minruns", 20, "minimum repetitions per configuration")
+		parallel = flag.Int("parallel", 0, "trial workers (0 = all cores); output is identical for any value")
+		progress = flag.Bool("progress", false, "report per-configuration trial counts on stderr")
 		overN    = flag.Int("overhead-n", 100, "node count for the overhead experiment")
 		overD    = flag.Float64("overhead-d", 6, "average degree for the overhead experiment")
 		overRuns = flag.Int("overhead-runs", 20, "repetitions for the overhead experiment")
@@ -58,74 +79,66 @@ func main() {
 	}
 	stop.MinRuns = *minRuns
 
-	app := &app{csv: *csvOut, seed: *seed, stop: stop,
-		overN: *overN, overD: *overD, overRuns: *overRuns}
+	cfg := experiment.RunConfig{
+		Seed:         *seed,
+		Stop:         stop,
+		Parallel:     *parallel,
+		OverheadN:    *overN,
+		OverheadD:    *overD,
+		OverheadRuns: *overRuns,
+	}
+	if *progress {
+		cfg.Progress = func(done int) { fmt.Fprintf(os.Stderr, "\r%6d trials", done) }
+	}
 
-	var err error
-	switch *figFlag {
-	case "":
-		// claims only
-	case "5":
-		err = app.cdsFigures(5)
-	case "6":
-		err = app.cdsFigures(6)
-	case "7":
-		err = app.fig7()
-	case "overhead":
-		err = app.overhead()
-	case "maintenance":
-		err = app.maintenance()
-	case "churn":
-		err = app.churn()
-	case "ablation":
-		err = app.ablations()
-	case "broadcast":
-		err = app.broadcast()
-	case "routing":
-		err = app.routing()
-	case "energy":
-		err = app.energy()
-	case "stability":
-		err = app.stability()
-	case "comparison":
-		err = app.comparison()
-	case "robustness":
-		err = app.robustness()
-	case "all":
-		for _, f := range []func() error{
-			func() error { return app.cdsFigures(5) },
-			func() error { return app.cdsFigures(6) },
-			app.fig7, app.overhead, app.maintenance, app.churn, app.ablations,
-			app.broadcast, app.routing, app.energy, app.stability, app.comparison,
-			app.robustness,
-		} {
-			if err = f(); err != nil {
-				break
-			}
-		}
-	default:
-		err = fmt.Errorf("unknown figure %q", *figFlag)
-	}
-	if err == nil && *claims {
-		err = app.claims()
-	}
-	if err != nil {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
+	if err := run(ctx, cfg, *figFlag, *claims, *csvOut, *jsonOut, names); err != nil {
 		fmt.Fprintln(os.Stderr, "khopsim:", err)
 		os.Exit(1)
 	}
 }
 
-type app struct {
-	csv      bool
-	seed     int64
-	stop     metrics.StopRule
-	overN    int
-	overD    float64
-	overRuns int
+func run(ctx context.Context, cfg experiment.RunConfig, figFlag string, claims, csvOut, jsonOut bool, all []string) error {
+	var names []string
+	switch figFlag {
+	case "":
+		// claims only
+	case "all":
+		names = all
+	default:
+		names = []string{figFlag}
+	}
+
+	if len(names) > 0 {
+		doc, err := experiment.RunWorkloads(ctx, names, cfg)
+		if err != nil {
+			return err
+		}
+		if cfg.Progress != nil {
+			fmt.Fprintln(os.Stderr)
+		}
+		if jsonOut {
+			if err := doc.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			for _, fig := range doc.Figures {
+				if err := emit(fig, csvOut); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if claims {
+		return runClaims(ctx, cfg)
+	}
+	return nil
 }
 
-func (a *app) emit(fig *experiment.Figure) error {
-	if a.csv {
+func emit(fig *experiment.Figure, csvOut bool) error {
+	if csvOut {
 		return fig.WriteCSV(os.Stdout)
 	}
 	if err := fig.WriteTable(os.Stdout); err != nil {
@@ -135,155 +148,12 @@ func (a *app) emit(fig *experiment.Figure) error {
 	return nil
 }
 
-func (a *app) cdsFigures(id int) error {
-	gen := experiment.Fig5
-	if id == 6 {
-		gen = experiment.Fig6
-	}
-	figs, err := gen(a.seed, a.stop)
+func runClaims(ctx context.Context, cfg experiment.RunConfig) error {
+	figs5, err := experiment.Fig5(ctx, cfg)
 	if err != nil {
 		return err
 	}
-	for _, fig := range figs {
-		if err := a.emit(fig); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (a *app) fig7() error {
-	heads, cds, err := experiment.Fig7(a.seed, a.stop)
-	if err != nil {
-		return err
-	}
-	if err := a.emit(heads); err != nil {
-		return err
-	}
-	return a.emit(cds)
-}
-
-func (a *app) overhead() error {
-	fig, err := experiment.Overhead(a.overN, a.overD, nil, a.overRuns, a.seed)
-	if err != nil {
-		return err
-	}
-	return a.emit(fig)
-}
-
-func (a *app) maintenance() error {
-	for _, k := range []int{1, 2, 3} {
-		res, err := experiment.Maintenance(100, 6, k, 10, a.seed)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("Maintenance (N=%d, k=%d, %d departures): member %.1f%%, gateway %.1f%% (mean %.1f heads re-select), head %.1f%% (mean %.1f nodes re-clustered)\n",
-			res.N, res.K, res.Departures,
-			100*res.MemberFrac, 100*res.GatewayFrac, res.MeanReselectedHeads,
-			100*res.HeadFrac, res.MeanReclustered)
-	}
-	fmt.Println()
-	return nil
-}
-
-func (a *app) churn() error {
-	const events, batch, runs = 60, 5, 10
-	for _, k := range []int{1, 2, 3} {
-		res, err := experiment.Churn(100, 6, k, events, batch, runs, a.seed)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("Churn (N=%d, k=%d, %d events in batches of %d): leave %.0f%%, join %.0f%%, move %.0f%%\n",
-			res.N, res.K, events, res.BatchSize,
-			100*res.LeaveFrac, 100*res.JoinFrac, 100*res.MoveFrac)
-		fmt.Printf("  repair locality: %.2f nodes re-clustered, %.2f heads re-selected per event (%.1f%% of a full rebuild)\n",
-			res.MeanReclustered, res.MeanReselectedHeads, 100*res.LocalityFrac)
-		fmt.Printf("  gateway re-selections: %d coalesced runs, %d saved by batching; final CDS %.1f vs %.1f rebuilt\n",
-			res.GatewayRuns, res.GatewayRunsSaved, res.FinalCDS, res.RebuildCDS)
-	}
-	fmt.Println()
-	return nil
-}
-
-func (a *app) ablations() error {
-	aff, err := experiment.AblationAffiliation(6, 2, a.stop, a.seed)
-	if err != nil {
-		return err
-	}
-	if err := a.emit(aff); err != nil {
-		return err
-	}
-	prio, err := experiment.AblationPriority(6, 2, a.stop, a.seed)
-	if err != nil {
-		return err
-	}
-	if err := a.emit(prio); err != nil {
-		return err
-	}
-	keep, err := experiment.AblationKeepRule(6, 2, a.stop, a.seed)
-	if err != nil {
-		return err
-	}
-	return a.emit(keep)
-}
-
-func (a *app) broadcast() error {
-	fig, err := experiment.BroadcastSavings(150, 8, nil, 20, a.seed)
-	if err != nil {
-		return err
-	}
-	return a.emit(fig)
-}
-
-func (a *app) routing() error {
-	stretch, tables, err := experiment.RoutingStretch(100, 7, nil, 10, 50, a.seed)
-	if err != nil {
-		return err
-	}
-	if err := a.emit(stretch); err != nil {
-		return err
-	}
-	return a.emit(tables)
-}
-
-func (a *app) energy() error {
-	fig, err := experiment.EnergyLifetime(100, 7, nil, 10, a.seed)
-	if err != nil {
-		return err
-	}
-	return a.emit(fig)
-}
-
-func (a *app) stability() error {
-	fig, err := experiment.Stability(100, 6, nil, 5, 2, 20, a.seed)
-	if err != nil {
-		return err
-	}
-	return a.emit(fig)
-}
-
-func (a *app) comparison() error {
-	fig, err := experiment.ClusteringComparison(6, 2, a.stop, a.seed)
-	if err != nil {
-		return err
-	}
-	return a.emit(fig)
-}
-
-func (a *app) robustness() error {
-	fig, err := experiment.Robustness(80, 6, 2, nil, 20, a.seed)
-	if err != nil {
-		return err
-	}
-	return a.emit(fig)
-}
-
-func (a *app) claims() error {
-	figs5, err := experiment.Fig5(a.seed, a.stop)
-	if err != nil {
-		return err
-	}
-	heads7, cds7, err := experiment.Fig7(a.seed, a.stop)
+	heads7, cds7, err := experiment.Fig7(ctx, cfg)
 	if err != nil {
 		return err
 	}

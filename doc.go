@@ -60,5 +60,12 @@
 // produce identical results.
 //
 // See the examples directory for runnable programs and cmd/khopsim for
-// the paper's full evaluation harness.
+// the paper's full evaluation harness. The harness runs every
+// Monte-Carlo sweep on a deterministic worker pool (khopsim -parallel N,
+// default all cores): each trial derives its randomness from (seed,
+// configuration, trial index) and the adaptive stopping rule consumes
+// results in trial-index order, so any worker count produces bitwise
+// identical figures. khopsim -json emits those figures as a versioned
+// machine-readable document that CI diffs against committed golden
+// copies under testdata/golden.
 package khop

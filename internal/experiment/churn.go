@@ -108,6 +108,15 @@ func (s *churnState) nextEvent() mobility.Event {
 	}
 }
 
+// churnTrial is the per-run tally one churn trial reports.
+type churnTrial struct {
+	events, leaves, joins, moves int
+	reclusterSum, reselectSum    float64
+	aliveSum                     float64
+	gatewayRuns, gatewaySaved    int
+	finalCDS, rebuildCDS         float64
+}
+
 // Churn runs the full-churn workload: events random arrivals, departures
 // and movements applied through mobility.ApplyBatch in batches of
 // batchSize, averaged over runs. It reports repair locality (nodes
@@ -115,7 +124,7 @@ func (s *churnState) nextEvent() mobility.Event {
 // the gateway re-selections saved by batching, and the CDS drift of the
 // maintained structure versus a from-scratch rebuild of the final
 // topology.
-func Churn(n int, degree float64, k, events, batchSize, runs int, seed int64) (*ChurnResult, error) {
+func Churn(ctx context.Context, cfg RunConfig, n int, degree float64, k, events, batchSize, runs int) (*ChurnResult, error) {
 	if batchSize < 1 {
 		batchSize = 1
 	}
@@ -123,59 +132,79 @@ func Churn(n int, degree float64, k, events, batchSize, runs int, seed int64) (*
 	var leaves, joins, moves int
 	var reclusterSum, reselectSum, aliveSum float64
 	var finalCDSSum, rebuildCDSSum float64
-	for r := 0; r < runs; r++ {
-		rng := rand.New(rand.NewSource(seed ^ int64(r)<<22))
-		inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
-		if err != nil {
-			return nil, err
-		}
-		m := mobility.NewMaintainer(inst.Net.G, k, gateway.ACLMST)
-		st := &churnState{
-			pos:   append([]geom.Point(nil), inst.Net.Pos...),
-			alive: make([]bool, n),
-			rng:   rng,
-			net:   inst.Net,
-		}
-		for v := range st.alive {
-			st.alive[v] = true
-		}
-		for done := 0; done < events; {
-			batch := make([]mobility.Event, 0, batchSize)
-			for len(batch) < batchSize && done+len(batch) < events {
-				batch = append(batch, st.nextEvent())
-			}
-			reps, err := m.ApplyBatch(context.Background(), batch)
+	r := cfg.runner(fmt.Sprintf("churn/n=%d/d=%g/k=%d/e=%d/b=%d", n, degree, k, events, batchSize))
+	consumed, err := RunTrials(ctx, r,
+		func(ctx context.Context, _ int, rng *rand.Rand) (churnTrial, error) {
+			var t churnTrial
+			inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
 			if err != nil {
-				return nil, fmt.Errorf("experiment: churn run %d: %w", r, err)
+				return t, err
 			}
-			aliveNow := 0
-			for _, a := range st.alive {
-				if a {
-					aliveNow++
+			m := mobility.NewMaintainer(inst.Net.G, k, gateway.ACLMST)
+			st := &churnState{
+				pos:   append([]geom.Point(nil), inst.Net.Pos...),
+				alive: make([]bool, n),
+				rng:   rng,
+				net:   inst.Net,
+			}
+			for v := range st.alive {
+				st.alive[v] = true
+			}
+			for done := 0; done < events; {
+				batch := make([]mobility.Event, 0, batchSize)
+				for len(batch) < batchSize && done+len(batch) < events {
+					batch = append(batch, st.nextEvent())
 				}
-			}
-			for _, rep := range reps {
-				out.Events++
-				switch rep.Kind {
-				case mobility.EventLeave:
-					leaves++
-				case mobility.EventJoin:
-					joins++
-				case mobility.EventMove:
-					moves++
+				reps, err := m.ApplyBatch(ctx, batch)
+				if err != nil {
+					return t, fmt.Errorf("churn: %w", err)
 				}
-				reclusterSum += float64(rep.ReclusteredNodes)
-				reselectSum += float64(rep.ReselectedHeads)
-				aliveSum += float64(aliveNow)
+				aliveNow := 0
+				for _, a := range st.alive {
+					if a {
+						aliveNow++
+					}
+				}
+				for _, rep := range reps {
+					t.events++
+					switch rep.Kind {
+					case mobility.EventLeave:
+						t.leaves++
+					case mobility.EventJoin:
+						t.joins++
+					case mobility.EventMove:
+						t.moves++
+					}
+					t.reclusterSum += float64(rep.ReclusteredNodes)
+					t.reselectSum += float64(rep.ReselectedHeads)
+					t.aliveSum += float64(aliveNow)
+				}
+				if len(reps) > 0 {
+					t.gatewayRuns += reps[0].BatchGatewayRuns
+					t.gatewaySaved += reps[0].BatchGatewaySaved
+				}
+				done += len(batch)
 			}
-			if len(reps) > 0 {
-				out.GatewayRuns += reps[0].BatchGatewayRuns
-				out.GatewayRunsSaved += reps[0].BatchGatewaySaved
-			}
-			done += len(batch)
-		}
-		finalCDSSum += float64(len(m.Res.CDS))
-		rebuildCDSSum += float64(rebuildCDSSize(st, k))
+			t.finalCDS = float64(len(m.Res.CDS))
+			t.rebuildCDS = float64(rebuildCDSSize(st, k))
+			return t, nil
+		},
+		func(idx int, t churnTrial) (bool, error) {
+			out.Events += t.events
+			leaves += t.leaves
+			joins += t.joins
+			moves += t.moves
+			reclusterSum += t.reclusterSum
+			reselectSum += t.reselectSum
+			aliveSum += t.aliveSum
+			out.GatewayRuns += t.gatewayRuns
+			out.GatewayRunsSaved += t.gatewaySaved
+			finalCDSSum += t.finalCDS
+			rebuildCDSSum += t.rebuildCDS
+			return idx+1 >= runs, nil
+		})
+	if err != nil {
+		return nil, fmt.Errorf("experiment: churn: %w", err)
 	}
 	total := float64(out.Events)
 	if total > 0 {
@@ -188,11 +217,49 @@ func Churn(n int, degree float64, k, events, batchSize, runs int, seed int64) (*
 	if aliveSum > 0 {
 		out.LocalityFrac = reclusterSum / aliveSum
 	}
-	if runs > 0 {
-		out.FinalCDS = finalCDSSum / float64(runs)
-		out.RebuildCDS = rebuildCDSSum / float64(runs)
+	if consumed > 0 {
+		out.FinalCDS = finalCDSSum / float64(consumed)
+		out.RebuildCDS = rebuildCDSSum / float64(consumed)
 	}
 	return out, nil
+}
+
+// ChurnFigure renders the full-churn workload at khopsim's defaults
+// (N=100, D=6, 60 events in batches of 5, 10 runs) as a figure over k,
+// sharing the table/CSV/JSON output paths with the paper's figures.
+func ChurnFigure(ctx context.Context, cfg RunConfig) (*Figure, error) {
+	const events, batch, runs = 60, 5, 10
+	fig := &Figure{
+		ID:     "churn",
+		Title:  fmt.Sprintf("Full churn: repair locality and CDS drift (N=100, D=6, %d events, batches of %d)", events, batch),
+		XLabel: "k",
+		YLabel: "per-event / per-trace value",
+	}
+	series := []Series{
+		{Label: "leave frac"}, {Label: "join frac"}, {Label: "move frac"},
+		{Label: "reclustered per event"}, {Label: "reselected heads per event"},
+		{Label: "locality frac"},
+		{Label: "gateway runs"}, {Label: "gateway runs saved"},
+		{Label: "final CDS"}, {Label: "rebuilt CDS"},
+	}
+	for _, k := range []int{1, 2, 3} {
+		res, err := Churn(ctx, cfg, 100, 6, k, events, batch, runs)
+		if err != nil {
+			return nil, err
+		}
+		vals := []float64{
+			res.LeaveFrac, res.JoinFrac, res.MoveFrac,
+			res.MeanReclustered, res.MeanReselectedHeads,
+			res.LocalityFrac,
+			float64(res.GatewayRuns), float64(res.GatewayRunsSaved),
+			res.FinalCDS, res.RebuildCDS,
+		}
+		for i := range series {
+			series[i].Points = append(series[i].Points, Point{N: k, Mean: vals[i], Runs: res.Events})
+		}
+	}
+	fig.Series = series
+	return fig, nil
 }
 
 // rebuildCDSSize clusters the final topology from scratch and returns

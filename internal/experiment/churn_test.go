@@ -1,9 +1,12 @@
 package experiment
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestChurnExperiment(t *testing.T) {
-	res, err := Churn(60, 6, 2, 24, 4, 2, 1)
+	res, err := Churn(context.Background(), RunConfig{Seed: 1}, 60, 6, 2, 24, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,11 +39,11 @@ func TestChurnExperiment(t *testing.T) {
 }
 
 func TestChurnDeterministic(t *testing.T) {
-	a, err := Churn(50, 6, 1, 16, 4, 1, 7)
+	a, err := Churn(context.Background(), RunConfig{Seed: 7}, 50, 6, 1, 16, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Churn(50, 6, 1, 16, 4, 1, 7)
+	b, err := Churn(context.Background(), RunConfig{Seed: 7}, 50, 6, 1, 16, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

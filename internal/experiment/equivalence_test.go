@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestParallelSerialEquivalence is the tentpole guarantee: for every
+// sweep type, running trials on one worker and on many workers yields
+// identical Figure values — not statistically close, identical.
+func TestParallelSerialEquivalence(t *testing.T) {
+	ctx := context.Background()
+	stop := metrics.StopRule{MinRuns: 3, MaxRuns: 5, Level: 0.90, RelWidth: 0.01}
+	cases := []struct {
+		name string
+		gen  func(parallel int) (any, error)
+	}{
+		{"CDSSweep", func(p int) (any, error) {
+			cfg := fastConfig(2, 6)
+			cfg.Parallel = p
+			return CDSSweep(ctx, cfg)
+		}},
+		{"HeadsAndCDSSweep", func(p int) (any, error) {
+			cfg := fastConfig(3, 6)
+			cfg.Parallel = p
+			h, c, err := HeadsAndCDSSweep(ctx, cfg)
+			return []Series{h, c}, err
+		}},
+		{"Overhead", func(p int) (any, error) {
+			return Overhead(ctx, RunConfig{Seed: 1, Parallel: p}, 50, 6, []int{1, 2}, 4)
+		}},
+		{"Maintenance", func(p int) (any, error) {
+			return Maintenance(ctx, RunConfig{Seed: 1, Parallel: p}, 60, 6, 2, 3)
+		}},
+		{"Churn", func(p int) (any, error) {
+			return Churn(ctx, RunConfig{Seed: 1, Parallel: p}, 50, 6, 2, 16, 4, 3)
+		}},
+		{"AblationAffiliation", func(p int) (any, error) {
+			return AblationAffiliation(ctx, RunConfig{Seed: 1, Stop: stop, Parallel: p}, 6, 2)
+		}},
+		{"AblationKeepRule", func(p int) (any, error) {
+			return AblationKeepRule(ctx, RunConfig{Seed: 1, Stop: stop, Parallel: p}, 6, 2)
+		}},
+		{"BroadcastSavings", func(p int) (any, error) {
+			return BroadcastSavings(ctx, RunConfig{Seed: 1, Parallel: p}, 60, 7, []int{1, 2}, 3)
+		}},
+		{"RoutingStretch", func(p int) (any, error) {
+			a, b, err := RoutingStretch(ctx, RunConfig{Seed: 1, Parallel: p}, 60, 7, []int{1, 2}, 2, 10)
+			return []*Figure{a, b}, err
+		}},
+		{"EnergyLifetime", func(p int) (any, error) {
+			return EnergyLifetime(ctx, RunConfig{Seed: 1, Parallel: p}, 60, 7, []int{2}, 3)
+		}},
+		{"Stability", func(p int) (any, error) {
+			// Includes discarded (disconnected) snapshots, exercising the
+			// skip path's determinism too.
+			return Stability(ctx, RunConfig{Seed: 1, Parallel: p}, 60, 7, []int{1, 2}, 3, 2, 4)
+		}},
+		{"ClusteringComparison", func(p int) (any, error) {
+			return ClusteringComparison(ctx, RunConfig{Seed: 1, Stop: stop, Parallel: p}, 6, 2)
+		}},
+		{"Robustness", func(p int) (any, error) {
+			return Robustness(ctx, RunConfig{Seed: 1, Parallel: p}, 50, 6, 2, []float64{0, 0.2}, 3)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, err := tc.gen(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{4, 7} {
+				parallel, err := tc.gen(par)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(serial, parallel) {
+					t.Fatalf("parallel=%d result differs from serial:\nserial:   %+v\nparallel: %+v",
+						par, serial, parallel)
+				}
+			}
+		})
+	}
+}
+
+// TestSweepCancellation checks a real sweep aborts once its context is
+// cancelled instead of running to completion.
+func TestSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CDSSweep(ctx, fastConfig(2, 6)); err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+	if _, err := RunWorkloads(ctx, []string{"churn"}, RunConfig{Seed: 1}); err == nil {
+		t.Fatal("cancelled RunWorkloads returned no error")
+	}
+}

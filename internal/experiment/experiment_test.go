@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -18,16 +19,15 @@ func fastStop() metrics.StopRule {
 
 func fastConfig(k int, degree float64) SweepConfig {
 	return SweepConfig{
-		Ns:     []int{50, 100},
-		Degree: degree,
-		K:      k,
-		Stop:   fastStop(),
-		Seed:   1,
+		RunConfig: RunConfig{Stop: fastStop(), Seed: 1},
+		Ns:        []int{50, 100},
+		Degree:    degree,
+		K:         k,
 	}
 }
 
 func TestCDSSweepStructure(t *testing.T) {
-	fig, err := CDSSweep(fastConfig(2, 6))
+	fig, err := CDSSweep(context.Background(), fastConfig(2, 6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,11 +53,11 @@ func TestCDSSweepStructure(t *testing.T) {
 }
 
 func TestCDSSweepDeterministic(t *testing.T) {
-	a, err := CDSSweep(fastConfig(2, 6))
+	a, err := CDSSweep(context.Background(), fastConfig(2, 6))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := CDSSweep(fastConfig(2, 6))
+	b, err := CDSSweep(context.Background(), fastConfig(2, 6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestCDSSweepDeterministic(t *testing.T) {
 func TestCDSSweepOrdering(t *testing.T) {
 	cfg := fastConfig(2, 6)
 	cfg.Stop = metrics.StopRule{MinRuns: 10, MaxRuns: 15, Level: 0.9, RelWidth: 0.01}
-	fig, err := CDSSweep(cfg)
+	fig, err := CDSSweep(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestCDSSweepOrdering(t *testing.T) {
 }
 
 func TestHeadsAndCDSSweep(t *testing.T) {
-	heads, cdsSize, err := HeadsAndCDSSweep(fastConfig(3, 6))
+	heads, cdsSize, err := HeadsAndCDSSweep(context.Background(), fastConfig(3, 6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestHeadsAndCDSSweep(t *testing.T) {
 }
 
 func TestFig7KOrdering(t *testing.T) {
-	heads, _, err := Fig7(1, fastStop())
+	heads, _, err := Fig7(context.Background(), RunConfig{Seed: 1, Stop: fastStop()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestFig7KOrdering(t *testing.T) {
 }
 
 func TestOverheadGrowsWithK(t *testing.T) {
-	fig, err := Overhead(60, 6, []int{1, 3}, 3, 1)
+	fig, err := Overhead(context.Background(), RunConfig{Seed: 1}, 60, 6, []int{1, 3}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestOverheadGrowsWithK(t *testing.T) {
 }
 
 func TestMaintenanceExperiment(t *testing.T) {
-	res, err := Maintenance(60, 6, 2, 2, 1)
+	res, err := Maintenance(context.Background(), RunConfig{Seed: 1}, 60, 6, 2, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,21 +153,21 @@ func TestMaintenanceExperiment(t *testing.T) {
 
 func TestAblations(t *testing.T) {
 	stop := metrics.StopRule{MinRuns: 2, MaxRuns: 3, Level: 0.9, RelWidth: 0.01}
-	aff, err := AblationAffiliation(6, 2, stop, 1)
+	aff, err := AblationAffiliation(context.Background(), RunConfig{Seed: 1, Stop: stop}, 6, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(aff.Series) != 3 {
 		t.Fatalf("affiliation series=%d", len(aff.Series))
 	}
-	prio, err := AblationPriority(6, 2, stop, 1)
+	prio, err := AblationPriority(context.Background(), RunConfig{Seed: 1, Stop: stop}, 6, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(prio.Series) != 2 {
 		t.Fatalf("priority series=%d", len(prio.Series))
 	}
-	keep, err := AblationKeepRule(6, 2, stop, 1)
+	keep, err := AblationKeepRule(context.Background(), RunConfig{Seed: 1, Stop: stop}, 6, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestAblations(t *testing.T) {
 }
 
 func TestWriteTable(t *testing.T) {
-	fig, err := CDSSweep(fastConfig(1, 6))
+	fig, err := CDSSweep(context.Background(), fastConfig(1, 6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestWriteTable(t *testing.T) {
 }
 
 func TestWriteCSV(t *testing.T) {
-	fig, err := CDSSweep(fastConfig(1, 6))
+	fig, err := CDSSweep(context.Background(), fastConfig(1, 6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,11 +242,11 @@ func TestCheckClaimsOnRealSweep(t *testing.T) {
 		t.Skip("full claim sweep in short mode")
 	}
 	stop := metrics.StopRule{MinRuns: 8, MaxRuns: 12, Level: 0.9, RelWidth: 0.01}
-	figs5, err := Fig5(1, stop)
+	figs5, err := Fig5(context.Background(), RunConfig{Seed: 1, Stop: stop})
 	if err != nil {
 		t.Fatal(err)
 	}
-	heads7, cds7, err := Fig7(1, stop)
+	heads7, cds7, err := Fig7(context.Background(), RunConfig{Seed: 1, Stop: stop})
 	if err != nil {
 		t.Fatal(err)
 	}

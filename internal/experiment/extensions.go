@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -18,7 +19,7 @@ import (
 // BroadcastSavings measures the motivating application: transmissions of
 // CDS-confined broadcast relative to blind flooding, per k, at the given
 // N and D (mean over runs, random sources).
-func BroadcastSavings(n int, degree float64, ks []int, runs int, seed int64) (*Figure, error) {
+func BroadcastSavings(ctx context.Context, cfg RunConfig, n int, degree float64, ks []int, runs int) (*Figure, error) {
 	if len(ks) == 0 {
 		ks = []int{1, 2, 3, 4}
 	}
@@ -31,21 +32,29 @@ func BroadcastSavings(n int, degree float64, ks []int, runs int, seed int64) (*F
 	cdsSeries := Series{Label: "CDS broadcast"}
 	blindSeries := Series{Label: "blind flooding"}
 	for _, k := range ks {
-		rng := rand.New(rand.NewSource(seed ^ int64(k)<<30))
 		cdsS, blindS := &metrics.Sample{}, &metrics.Sample{}
-		for r := 0; r < runs; r++ {
-			inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
-			if err != nil {
-				return nil, err
-			}
-			res := gateway.Run(inst.Net.G, inst.C, gateway.ACLMST)
-			src := rng.Intn(n)
-			blind, cds, _ := broadcast.Compare(inst.Net.G, inst.C, res, src)
-			if !cds.Covered {
-				return nil, fmt.Errorf("experiment: CDS broadcast failed to cover (k=%d run=%d)", k, r)
-			}
-			cdsS.Add(float64(cds.Transmissions))
-			blindS.Add(float64(blind.Transmissions))
+		r := cfg.runner(fmt.Sprintf("broadcast/n=%d/d=%g/k=%d", n, degree, k))
+		_, err := RunTrials(ctx, r,
+			func(_ context.Context, _ int, rng *rand.Rand) ([2]float64, error) {
+				inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
+				if err != nil {
+					return [2]float64{}, err
+				}
+				res := gateway.Run(inst.Net.G, inst.C, gateway.ACLMST)
+				src := rng.Intn(n)
+				blind, cds, _ := broadcast.Compare(inst.Net.G, inst.C, res, src)
+				if !cds.Covered {
+					return [2]float64{}, fmt.Errorf("CDS broadcast failed to cover (k=%d)", k)
+				}
+				return [2]float64{float64(cds.Transmissions), float64(blind.Transmissions)}, nil
+			},
+			func(idx int, v [2]float64) (bool, error) {
+				cdsS.Add(v[0])
+				blindS.Add(v[1])
+				return idx+1 >= runs, nil
+			})
+		if err != nil {
+			return nil, err
 		}
 		cdsSeries.Points = append(cdsSeries.Points, Point{N: k, Mean: cdsS.Mean(), CI: cdsS.CI(0.9), Runs: cdsS.N()})
 		blindSeries.Points = append(blindSeries.Points, Point{N: k, Mean: blindS.Mean(), CI: blindS.CI(0.9), Runs: blindS.N()})
@@ -56,7 +65,7 @@ func BroadcastSavings(n int, degree float64, ks []int, runs int, seed int64) (*F
 
 // RoutingStretch measures hierarchical routing's path stretch and
 // routing-table footprint per k.
-func RoutingStretch(n int, degree float64, ks []int, runs, pairs int, seed int64) (*Figure, *Figure, error) {
+func RoutingStretch(ctx context.Context, cfg RunConfig, n int, degree float64, ks []int, runs, pairs int) (*Figure, *Figure, error) {
 	if len(ks) == 0 {
 		ks = []int{1, 2, 3, 4}
 	}
@@ -76,26 +85,44 @@ func RoutingStretch(n int, degree float64, ks []int, runs, pairs int, seed int64
 	hierSeries := Series{Label: "hierarchical"}
 	flatSeries := Series{Label: "flat link-state"}
 	for _, k := range ks {
-		rng := rand.New(rand.NewSource(seed ^ int64(k)<<28))
 		st, hi, fl := &metrics.Sample{}, &metrics.Sample{}, &metrics.Sample{}
-		for r := 0; r < runs; r++ {
-			inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
-			if err != nil {
-				return nil, nil, err
-			}
-			res := gateway.Run(inst.Net.G, inst.C, gateway.ACLMST)
-			router := routing.New(inst.Net.G, inst.C, res)
-			for p := 0; p < pairs; p++ {
-				src, dst := rng.Intn(n), rng.Intn(n)
-				s, err := router.Stretch(src, dst)
+		r := cfg.runner(fmt.Sprintf("routing/n=%d/d=%g/k=%d", n, degree, k))
+		type routingTrial struct {
+			stretch    *metrics.Sample
+			flat, hier float64
+		}
+		_, err := RunTrials(ctx, r,
+			func(_ context.Context, _ int, rng *rand.Rand) (routingTrial, error) {
+				var t routingTrial
+				inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
 				if err != nil {
-					return nil, nil, err
+					return t, err
 				}
-				st.Add(s)
-			}
-			flat, hier := router.TableSizes()
-			fl.Add(float64(flat))
-			hi.Add(float64(hier))
+				res := gateway.Run(inst.Net.G, inst.C, gateway.ACLMST)
+				router := routing.New(inst.Net.G, inst.C, res)
+				t.stretch = &metrics.Sample{}
+				for p := 0; p < pairs; p++ {
+					src, dst := rng.Intn(n), rng.Intn(n)
+					s, err := router.Stretch(src, dst)
+					if err != nil {
+						return t, err
+					}
+					t.stretch.Add(s)
+				}
+				flat, hier := router.TableSizes()
+				t.flat, t.hier = float64(flat), float64(hier)
+				return t, nil
+			},
+			func(idx int, t routingTrial) (bool, error) {
+				// Per-pair observations merge in trial order, matching
+				// what sequential Adds would have produced.
+				st.Merge(t.stretch)
+				fl.Add(t.flat)
+				hi.Add(t.hier)
+				return idx+1 >= runs, nil
+			})
+		if err != nil {
+			return nil, nil, err
 		}
 		stretchSeries.Points = append(stretchSeries.Points, Point{N: k, Mean: st.Mean(), CI: st.CI(0.9), Runs: st.N()})
 		hierSeries.Points = append(hierSeries.Points, Point{N: k, Mean: hi.Mean(), CI: hi.CI(0.9), Runs: hi.N()})
@@ -106,9 +133,19 @@ func RoutingStretch(n int, degree float64, ks []int, runs, pairs int, seed int64
 	return stretchFig, tableFig, nil
 }
 
+// RoutingFigures bundles RoutingStretch's two panels at khopsim's
+// defaults (N=100, D=7, 10 runs × 50 pairs).
+func RoutingFigures(ctx context.Context, cfg RunConfig) ([]*Figure, error) {
+	stretch, tables, err := RoutingStretch(ctx, cfg, 100, 7, nil, 10, 50)
+	if err != nil {
+		return nil, err
+	}
+	return []*Figure{stretch, tables}, nil
+}
+
 // EnergyLifetime measures time-to-first-death under static lowest-ID
 // clustering vs energy-rotated clustering (§3.3), per k.
-func EnergyLifetime(n int, degree float64, ks []int, runs int, seed int64) (*Figure, error) {
+func EnergyLifetime(ctx context.Context, cfg RunConfig, n int, degree float64, ks []int, runs int) (*Figure, error) {
 	if len(ks) == 0 {
 		ks = []int{1, 2, 3}
 	}
@@ -122,18 +159,28 @@ func EnergyLifetime(n int, degree float64, ks []int, runs int, seed int64) (*Fig
 	for _, policy := range []energy.Policy{energy.PolicyStatic, energy.PolicyRotate} {
 		series := Series{Label: policy.String()}
 		for _, k := range ks {
-			rng := rand.New(rand.NewSource(seed ^ int64(k)<<26))
 			s := &metrics.Sample{}
-			for r := 0; r < runs; r++ {
-				inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
-				if err != nil {
-					return nil, err
-				}
-				lt, err := energy.Lifetime(inst.Net.G, k, gateway.ACLMST, model, policy, 1000)
-				if err != nil {
-					return nil, err
-				}
-				s.Add(float64(lt))
+			// Key excludes the policy: both policies face identical
+			// networks per trial index (paired comparison).
+			r := cfg.runner(fmt.Sprintf("energy/n=%d/d=%g/k=%d", n, degree, k))
+			_, err := RunTrials(ctx, r,
+				func(_ context.Context, _ int, rng *rand.Rand) (float64, error) {
+					inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
+					if err != nil {
+						return 0, err
+					}
+					lt, err := energy.Lifetime(inst.Net.G, k, gateway.ACLMST, model, policy, 1000)
+					if err != nil {
+						return 0, err
+					}
+					return float64(lt), nil
+				},
+				func(idx int, v float64) (bool, error) {
+					s.Add(v)
+					return idx+1 >= runs, nil
+				})
+			if err != nil {
+				return nil, err
 			}
 			series.Points = append(series.Points, Point{N: k, Mean: s.Mean(), CI: s.CI(0.9), Runs: s.N()})
 		}
@@ -146,7 +193,7 @@ func EnergyLifetime(n int, degree float64, ks []int, runs int, seed int64) (*Fig
 // system" argument: after every node moves for the given time under
 // random waypoint, what fraction of clusterheads survive re-clustering
 // and what fraction of nodes keep their head, per k.
-func Stability(n int, degree float64, ks []int, moveTime, speed float64, runs int, seed int64) (*Figure, error) {
+func Stability(ctx context.Context, cfg RunConfig, n int, degree float64, ks []int, moveTime, speed float64, runs int) (*Figure, error) {
 	if len(ks) == 0 {
 		ks = []int{1, 2, 3, 4}
 	}
@@ -160,39 +207,57 @@ func Stability(n int, degree float64, ks []int, moveTime, speed float64, runs in
 	headSeries := Series{Label: "heads retained"}
 	memberSeries := Series{Label: "membership retained"}
 	for _, k := range ks {
-		rng := rand.New(rand.NewSource(seed ^ int64(k)<<24))
 		hs, ms := &metrics.Sample{}, &metrics.Sample{}
-		for r := 0; r < runs; r++ {
-			inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
-			if err != nil {
-				return nil, err
-			}
-			w := mobility.Waypoint{Field: inst.Net.Field, MinSpeed: speed, MaxSpeed: speed}
-			st := w.NewState(inst.Net.Pos, rng)
-			w.Step(st, moveTime, rng)
-			after := udg.Build(st.Pos, inst.Net.Range)
-			if !after.Connected() {
-				continue // stability is only meaningful on connected snapshots
-			}
-			c2 := cluster.Run(after, cluster.Options{K: k})
-			isHead2 := make(map[int]bool, len(c2.Heads))
-			for _, h := range c2.Heads {
-				isHead2[h] = true
-			}
-			kept := 0
-			for _, h := range inst.C.Heads {
-				if isHead2[h] {
-					kept++
+		r := cfg.runner(fmt.Sprintf("stability/n=%d/d=%g/k=%d/t=%g/v=%g", n, degree, k, moveTime, speed))
+		type stabilityTrial struct {
+			heads, members float64
+			connected      bool
+		}
+		_, err := RunTrials(ctx, r,
+			func(_ context.Context, _ int, rng *rand.Rand) (stabilityTrial, error) {
+				var t stabilityTrial
+				inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
+				if err != nil {
+					return t, err
 				}
-			}
-			hs.Add(float64(kept) / float64(len(inst.C.Heads)))
-			same := 0
-			for v := range c2.Head {
-				if c2.Head[v] == inst.C.Head[v] {
-					same++
+				w := mobility.Waypoint{Field: inst.Net.Field, MinSpeed: speed, MaxSpeed: speed}
+				st := w.NewState(inst.Net.Pos, rng)
+				w.Step(st, moveTime, rng)
+				after := udg.Build(st.Pos, inst.Net.Range)
+				if !after.Connected() {
+					return t, nil // stability is only meaningful on connected snapshots
 				}
-			}
-			ms.Add(float64(same) / float64(n))
+				t.connected = true
+				c2 := cluster.Run(after, cluster.Options{K: k})
+				isHead2 := make(map[int]bool, len(c2.Heads))
+				for _, h := range c2.Heads {
+					isHead2[h] = true
+				}
+				kept := 0
+				for _, h := range inst.C.Heads {
+					if isHead2[h] {
+						kept++
+					}
+				}
+				t.heads = float64(kept) / float64(len(inst.C.Heads))
+				same := 0
+				for v := range c2.Head {
+					if c2.Head[v] == inst.C.Head[v] {
+						same++
+					}
+				}
+				t.members = float64(same) / float64(n)
+				return t, nil
+			},
+			func(idx int, t stabilityTrial) (bool, error) {
+				if t.connected {
+					hs.Add(t.heads)
+					ms.Add(t.members)
+				}
+				return idx+1 >= runs, nil
+			})
+		if err != nil {
+			return nil, err
 		}
 		headSeries.Points = append(headSeries.Points, Point{N: k, Mean: hs.Mean(), CI: hs.CI(0.9), Runs: hs.N()})
 		memberSeries.Points = append(memberSeries.Points, Point{N: k, Mean: ms.Mean(), CI: ms.CI(0.9), Runs: ms.N()})
@@ -205,7 +270,8 @@ func Stability(n int, degree float64, ks []int, moveTime, speed float64, runs in
 // clustering against Max-Min d-cluster formation [2] on identical
 // instances: head counts and the CDS size that AC-LMST builds on top of
 // each.
-func ClusteringComparison(degree float64, k int, stop metrics.StopRule, seed int64) (*Figure, error) {
+func ClusteringComparison(ctx context.Context, cfg RunConfig, degree float64, k int) (*Figure, error) {
+	cfg = cfg.withDefaults()
 	fig := &Figure{
 		ID:     "clustering-comparison",
 		Title:  fmt.Sprintf("Lowest-ID k-hop clustering vs Max-Min d-cluster (D=%g, k=d=%d, AC-LMST)", degree, k),
@@ -217,24 +283,37 @@ func ClusteringComparison(degree float64, k int, stop metrics.StopRule, seed int
 	lowHeads := Series{Label: "lowest-id heads"}
 	mmHeads := Series{Label: "max-min heads"}
 	for _, n := range DefaultNs {
-		rng := rand.New(rand.NewSource(seed ^ int64(n)<<20))
 		ls, msamp := &metrics.Sample{}, &metrics.Sample{}
 		lh, mh := &metrics.Sample{}, &metrics.Sample{}
-		for !allDone(stop, []*metrics.Sample{ls, msamp}) {
-			inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
-			if err != nil {
-				return nil, err
-			}
-			ls.Add(float64(gateway.Run(inst.Net.G, inst.C, gateway.ACLMST).CDSSize()))
-			lh.Add(float64(inst.C.NumClusters()))
-			mmC := maxmin.Run(inst.Net.G, k)
-			msamp.Add(float64(gateway.Run(inst.Net.G, mmC, gateway.ACLMST).CDSSize()))
-			mh.Add(float64(mmC.NumClusters()))
+		r := cfg.runner(fmt.Sprintf("comparison/d=%g/k=%d/n=%d", degree, k, n))
+		_, err := RunTrials(ctx, r,
+			func(_ context.Context, _ int, rng *rand.Rand) ([4]float64, error) {
+				inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
+				if err != nil {
+					return [4]float64{}, err
+				}
+				mmC := maxmin.Run(inst.Net.G, k)
+				return [4]float64{
+					float64(gateway.Run(inst.Net.G, inst.C, gateway.ACLMST).CDSSize()),
+					float64(inst.C.NumClusters()),
+					float64(gateway.Run(inst.Net.G, mmC, gateway.ACLMST).CDSSize()),
+					float64(mmC.NumClusters()),
+				}, nil
+			},
+			func(_ int, v [4]float64) (bool, error) {
+				ls.Add(v[0])
+				lh.Add(v[1])
+				msamp.Add(v[2])
+				mh.Add(v[3])
+				return allDone(cfg.Stop, []*metrics.Sample{ls, msamp}), nil
+			})
+		if err != nil {
+			return nil, err
 		}
-		lowID.Points = append(lowID.Points, Point{N: n, Mean: ls.Mean(), CI: ls.CI(stop.Level), Runs: ls.N()})
-		mm.Points = append(mm.Points, Point{N: n, Mean: msamp.Mean(), CI: msamp.CI(stop.Level), Runs: msamp.N()})
-		lowHeads.Points = append(lowHeads.Points, Point{N: n, Mean: lh.Mean(), CI: lh.CI(stop.Level), Runs: lh.N()})
-		mmHeads.Points = append(mmHeads.Points, Point{N: n, Mean: mh.Mean(), CI: mh.CI(stop.Level), Runs: mh.N()})
+		lowID.Points = append(lowID.Points, Point{N: n, Mean: ls.Mean(), CI: ls.CI(cfg.Stop.Level), Runs: ls.N()})
+		mm.Points = append(mm.Points, Point{N: n, Mean: msamp.Mean(), CI: msamp.CI(cfg.Stop.Level), Runs: msamp.N()})
+		lowHeads.Points = append(lowHeads.Points, Point{N: n, Mean: lh.Mean(), CI: lh.CI(cfg.Stop.Level), Runs: lh.N()})
+		mmHeads.Points = append(mmHeads.Points, Point{N: n, Mean: mh.Mean(), CI: mh.CI(cfg.Stop.Level), Runs: mh.N()})
 	}
 	fig.Series = []Series{lowID, mm, lowHeads, mmHeads}
 	return fig, nil

@@ -1,13 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/metrics"
 )
 
 func TestBroadcastSavingsExperiment(t *testing.T) {
-	fig, err := BroadcastSavings(60, 7, []int{1, 2}, 3, 1)
+	fig, err := BroadcastSavings(context.Background(), RunConfig{Seed: 1}, 60, 7, []int{1, 2}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,7 +28,7 @@ func TestBroadcastSavingsExperiment(t *testing.T) {
 }
 
 func TestRoutingStretchExperiment(t *testing.T) {
-	stretch, tables, err := RoutingStretch(60, 7, []int{1, 3}, 2, 20, 1)
+	stretch, tables, err := RoutingStretch(context.Background(), RunConfig{Seed: 1}, 60, 7, []int{1, 3}, 2, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestRoutingStretchExperiment(t *testing.T) {
 }
 
 func TestEnergyLifetimeExperiment(t *testing.T) {
-	fig, err := EnergyLifetime(60, 7, []int{2}, 3, 1)
+	fig, err := EnergyLifetime(context.Background(), RunConfig{Seed: 1}, 60, 7, []int{2}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestEnergyLifetimeExperiment(t *testing.T) {
 }
 
 func TestStabilityExperiment(t *testing.T) {
-	fig, err := Stability(60, 7, []int{1, 2}, 3, 2, 4, 1)
+	fig, err := Stability(context.Background(), RunConfig{Seed: 1}, 60, 7, []int{1, 2}, 3, 2, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestStabilityExperiment(t *testing.T) {
 
 func TestClusteringComparisonExperiment(t *testing.T) {
 	stop := metrics.StopRule{MinRuns: 2, MaxRuns: 3, Level: 0.9, RelWidth: 0.01}
-	fig, err := ClusteringComparison(6, 2, stop, 1)
+	fig, err := ClusteringComparison(context.Background(), RunConfig{Seed: 1, Stop: stop}, 6, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestClusteringComparisonExperiment(t *testing.T) {
 }
 
 func TestRobustnessExperiment(t *testing.T) {
-	fig, err := Robustness(50, 6, 2, []float64{0, 0.3}, 4, 1)
+	fig, err := Robustness(context.Background(), RunConfig{Seed: 1}, 50, 6, 2, []float64{0, 0.3}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// The machine-readable figure schema. CI's golden-figure job diffs
+// byte-for-byte against committed documents, so the encoding must be
+// stable: fixed field order (Go struct order), two-space indentation,
+// a trailing newline, and no non-finite numbers. Any change to the
+// document shape must bump SchemaVersion.
+const (
+	// SchemaName identifies the document family.
+	SchemaName = "khopsim/figures"
+	// SchemaVersion is the current document revision. v1: schema,
+	// version, seed, workloads, figures[{id,title,xlabel,ylabel,
+	// series[{label,points[{x,mean,ci90,runs}]}]}].
+	SchemaVersion = 1
+)
+
+// Document is the versioned JSON envelope around a khopsim run: which
+// workloads ran, under which seed, and every figure they produced.
+type Document struct {
+	Schema    string    `json:"schema"`
+	Version   int       `json:"version"`
+	Seed      int64     `json:"seed"`
+	Workloads []string  `json:"workloads"`
+	Figures   []*Figure `json:"figures"`
+}
+
+// NewDocument returns an empty current-version document.
+func NewDocument(seed int64) *Document {
+	return &Document{Schema: SchemaName, Version: SchemaVersion, Seed: seed}
+}
+
+// WriteJSON emits the document in the stable on-disk encoding.
+func (d *Document) WriteJSON(w io.Writer) error {
+	out := *d
+	out.Figures = sanitizeFigures(d.Figures)
+	buf, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiment: encode document: %w", err)
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}
+
+// sanitizeFigures replaces non-finite confidence intervals (a Sample
+// with fewer than two observations reports ±Inf) with zero, copying any
+// figure it touches; encoding/json rejects NaN and ±Inf.
+func sanitizeFigures(figs []*Figure) []*Figure {
+	out := make([]*Figure, len(figs))
+	for i, f := range figs {
+		out[i] = f
+		if !figureFinite(f) {
+			cp := *f
+			cp.Series = make([]Series, len(f.Series))
+			for si, s := range f.Series {
+				cp.Series[si] = s
+				cp.Series[si].Points = make([]Point, len(s.Points))
+				copy(cp.Series[si].Points, s.Points)
+				for pi := range cp.Series[si].Points {
+					p := &cp.Series[si].Points[pi]
+					if !finite(p.CI) {
+						p.CI = 0
+					}
+					if !finite(p.Mean) {
+						p.Mean = 0
+					}
+				}
+			}
+			out[i] = &cp
+		}
+	}
+	return out
+}
+
+func figureFinite(f *Figure) bool {
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !finite(p.CI) || !finite(p.Mean) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

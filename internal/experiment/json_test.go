@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONStableBytes(t *testing.T) {
+	gen := func(parallel int) []byte {
+		cfg := fastConfig(1, 6)
+		cfg.Parallel = parallel
+		fig, err := CDSSweep(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := NewDocument(cfg.Seed)
+		doc.Workloads = append(doc.Workloads, "5")
+		doc.Figures = append(doc.Figures, fig)
+		var buf bytes.Buffer
+		if err := doc.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b, c := gen(1), gen(1), gen(6)
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical serial runs produced different JSON bytes")
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("serial and parallel runs produced different JSON bytes")
+	}
+	if !bytes.HasSuffix(a, []byte("\n")) {
+		t.Fatal("document must end with a newline for clean diffs")
+	}
+}
+
+func TestWriteJSONEnvelope(t *testing.T) {
+	doc := NewDocument(9)
+	doc.Workloads = []string{"churn"}
+	doc.Figures = []*Figure{{ID: "churn", Title: "t", XLabel: "k", YLabel: "y",
+		Series: []Series{{Label: "s", Points: []Point{{N: 1, Mean: 2.5, CI: 0.5, Runs: 3}}}}}}
+	var buf bytes.Buffer
+	if err := doc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round Document
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if round.Schema != SchemaName || round.Version != SchemaVersion || round.Seed != 9 {
+		t.Fatalf("envelope %+v", round)
+	}
+	p := round.Figures[0].Series[0].Points[0]
+	if p.N != 1 || p.Mean != 2.5 || p.CI != 0.5 || p.Runs != 3 {
+		t.Fatalf("point %+v did not round-trip", p)
+	}
+	for _, field := range []string{`"schema"`, `"version"`, `"x"`, `"mean"`, `"ci90"`, `"runs"`} {
+		if !strings.Contains(buf.String(), field) {
+			t.Errorf("document missing field %s:\n%s", field, buf.String())
+		}
+	}
+}
+
+// TestWriteJSONSanitizesNonFinite: a single-run sample reports an
+// infinite CI, which encoding/json rejects; WriteJSON must emit zero
+// instead and must not mutate the caller's figure.
+func TestWriteJSONSanitizesNonFinite(t *testing.T) {
+	fig := &Figure{ID: "x", Series: []Series{{Label: "s",
+		Points: []Point{{N: 1, Mean: 2, CI: math.Inf(1), Runs: 1}}}}}
+	doc := NewDocument(1)
+	doc.Figures = []*Figure{fig}
+	var buf bytes.Buffer
+	if err := doc.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON with non-finite CI: %v", err)
+	}
+	var round Document
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if ci := round.Figures[0].Series[0].Points[0].CI; ci != 0 {
+		t.Fatalf("sanitized ci90=%v, want 0", ci)
+	}
+	if !math.IsInf(fig.Series[0].Points[0].CI, 1) {
+		t.Fatal("WriteJSON mutated the caller's figure")
+	}
+}

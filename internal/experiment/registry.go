@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// RunConfig bundles the execution knobs shared by every workload: the
+// base seed, the adaptive stopping rule, the trial worker count, and an
+// optional progress callback. It is the single surface cmd/khopsim's
+// flags map onto.
+type RunConfig struct {
+	Seed     int64
+	Stop     metrics.StopRule
+	Parallel int            // trial workers; <= 0 = all cores
+	Progress func(done int) // optional, called in trial-index order
+
+	// Knobs of the overhead experiment (khopsim -overhead-*).
+	OverheadN    int
+	OverheadD    float64
+	OverheadRuns int
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Stop == (metrics.StopRule{}) {
+		c.Stop = metrics.PaperStopRule()
+	}
+	if c.OverheadN == 0 {
+		c.OverheadN = 100
+	}
+	if c.OverheadD == 0 {
+		c.OverheadD = 6
+	}
+	if c.OverheadRuns == 0 {
+		c.OverheadRuns = 20
+	}
+	return c
+}
+
+func (c RunConfig) runner(key string) Runner {
+	return Runner{Seed: c.Seed, Key: key, Parallel: c.Parallel, Progress: c.Progress}
+}
+
+// Workload is one entry of the figure registry: a named, documented
+// figure generator. The registry is the single source of truth for
+// khopsim's -fig dispatcher, its usage text, and its doc comment (a
+// test enforces the latter), and for which figures land in the JSON
+// document.
+type Workload struct {
+	Name        string
+	Description string
+	Run         func(ctx context.Context, cfg RunConfig) ([]*Figure, error)
+}
+
+// Registry lists every workload khopsim can regenerate, in `-fig all`
+// order. Names are stable: they are CLI arguments and JSON content.
+func Registry() []Workload {
+	return []Workload{
+		{"5", "Figure 5 (a)–(d): CDS size, D=6", Fig5},
+		{"6", "Figure 6 (a)–(d): CDS size, D=10", Fig6},
+		{"7", "Figure 7 (a)+(b): heads and CDS vs k", fig7Workload},
+		{"overhead", "protocol transmissions vs k (extension)", overheadWorkload},
+		{"maintenance", "§3.3 dynamic repair costs (extension)", singleFigure(MaintenanceFigure)},
+		{"churn", "full churn: join/leave/move repair locality", singleFigure(ChurnFigure)},
+		{"ablation", "affiliation/priority/keep-rule ablations", AblationFigures},
+		{"broadcast", "CDS broadcast savings (extension)", singleFigure(broadcastWorkload)},
+		{"routing", "hierarchical routing stretch (extension)", RoutingFigures},
+		{"energy", "lifetime, static vs rotate (extension)", singleFigure(energyWorkload)},
+		{"stability", "structure stability under movement", singleFigure(stabilityWorkload)},
+		{"comparison", "lowest-ID vs Max-Min clustering", singleFigure(comparisonWorkload)},
+		{"robustness", "guarantee survival under message loss", singleFigure(robustnessWorkload)},
+	}
+}
+
+// WorkloadByName returns the registry entry with the given name, or nil.
+func WorkloadByName(name string) *Workload {
+	for _, w := range Registry() {
+		if w.Name == name {
+			return &w
+		}
+	}
+	return nil
+}
+
+// RunWorkloads executes the named workloads in order and collects their
+// figures into one versioned document. Output is deterministic in
+// (names, cfg): the same inputs produce a byte-identical document for
+// any cfg.Parallel.
+func RunWorkloads(ctx context.Context, names []string, cfg RunConfig) (*Document, error) {
+	doc := NewDocument(cfg.Seed)
+	for _, name := range names {
+		w := WorkloadByName(name)
+		if w == nil {
+			return nil, fmt.Errorf("unknown figure %q", name)
+		}
+		figs, err := w.Run(ctx, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		doc.Workloads = append(doc.Workloads, name)
+		doc.Figures = append(doc.Figures, figs...)
+	}
+	return doc, nil
+}
+
+// AllWorkloadNames returns the registry names in `-fig all` order.
+func AllWorkloadNames() []string {
+	reg := Registry()
+	names := make([]string, len(reg))
+	for i, w := range reg {
+		names[i] = w.Name
+	}
+	return names
+}
+
+func singleFigure(f func(context.Context, RunConfig) (*Figure, error)) func(context.Context, RunConfig) ([]*Figure, error) {
+	return func(ctx context.Context, cfg RunConfig) ([]*Figure, error) {
+		fig, err := f(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return []*Figure{fig}, nil
+	}
+}
+
+func fig7Workload(ctx context.Context, cfg RunConfig) ([]*Figure, error) {
+	heads, cds, err := Fig7(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return []*Figure{heads, cds}, nil
+}
+
+func overheadWorkload(ctx context.Context, cfg RunConfig) ([]*Figure, error) {
+	cfg = cfg.withDefaults()
+	fig, err := Overhead(ctx, cfg, cfg.OverheadN, cfg.OverheadD, nil, cfg.OverheadRuns)
+	if err != nil {
+		return nil, err
+	}
+	return []*Figure{fig}, nil
+}
+
+func broadcastWorkload(ctx context.Context, cfg RunConfig) (*Figure, error) {
+	return BroadcastSavings(ctx, cfg, 150, 8, nil, 20)
+}
+
+func energyWorkload(ctx context.Context, cfg RunConfig) (*Figure, error) {
+	return EnergyLifetime(ctx, cfg, 100, 7, nil, 10)
+}
+
+func stabilityWorkload(ctx context.Context, cfg RunConfig) (*Figure, error) {
+	return Stability(ctx, cfg, 100, 6, nil, 5, 2, 20)
+}
+
+func comparisonWorkload(ctx context.Context, cfg RunConfig) (*Figure, error) {
+	return ClusteringComparison(ctx, cfg, 6, 2)
+}
+
+func robustnessWorkload(ctx context.Context, cfg RunConfig) (*Figure, error) {
+	return Robustness(ctx, cfg, 80, 6, 2, nil, 20)
+}

@@ -1,0 +1,171 @@
+package experiment
+
+import (
+	"context"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+	"testing"
+)
+
+// entryPointCoverage maps every exported figure-producing entry point of
+// this package to the registry workload that exercises it. The AST scan
+// in TestRegistryCoversEveryEntryPoint fails when a new entry point is
+// added without a row here, and the test fails when a row names a
+// workload the registry does not define — so the registry, the CLI, and
+// this table cannot drift apart silently.
+var entryPointCoverage = map[string]string{
+	"CDSSweep":             "5",
+	"HeadsAndCDSSweep":     "7",
+	"Fig5":                 "5",
+	"Fig6":                 "6",
+	"Fig7":                 "7",
+	"Overhead":             "overhead",
+	"Maintenance":          "maintenance",
+	"MaintenanceFigure":    "maintenance",
+	"Churn":                "churn",
+	"ChurnFigure":          "churn",
+	"AblationAffiliation":  "ablation",
+	"AblationPriority":     "ablation",
+	"AblationKeepRule":     "ablation",
+	"AblationFigures":      "ablation",
+	"BroadcastSavings":     "broadcast",
+	"RoutingStretch":       "routing",
+	"RoutingFigures":       "routing",
+	"EnergyLifetime":       "energy",
+	"Stability":            "stability",
+	"ClusteringComparison": "comparison",
+	"Robustness":           "robustness",
+}
+
+// figureProducingFuncs scans the package source for exported top-level
+// functions whose results involve the experiment result types.
+func figureProducingFuncs(t *testing.T) []string {
+	t.Helper()
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultTypes := map[string]bool{
+		"Figure": true, "Series": true,
+		"MaintenanceResult": true, "ChurnResult": true,
+	}
+	fset := token.NewFileSet()
+	var names []string
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, e.Name(), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv != nil || !fn.Name.IsExported() || fn.Type.Results == nil {
+				continue
+			}
+			produces := false
+			for _, res := range fn.Type.Results.List {
+				ast.Inspect(res.Type, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok && resultTypes[id.Name] {
+						produces = true
+					}
+					return true
+				})
+			}
+			if produces {
+				names = append(names, fn.Name.Name)
+			}
+		}
+	}
+	return names
+}
+
+func TestRegistryCoversEveryEntryPoint(t *testing.T) {
+	registered := map[string]bool{}
+	for _, w := range Registry() {
+		registered[w.Name] = true
+	}
+	funcs := figureProducingFuncs(t)
+	if len(funcs) < 15 {
+		t.Fatalf("AST scan found only %d figure-producing entry points (%v) — scan broken?", len(funcs), funcs)
+	}
+	for _, name := range funcs {
+		workload, ok := entryPointCoverage[name]
+		if !ok {
+			t.Errorf("entry point %s is not covered by any registry workload; add it to the registry and entryPointCoverage", name)
+			continue
+		}
+		if !registered[workload] {
+			t.Errorf("entry point %s claims workload %q, which the registry does not define", name, workload)
+		}
+	}
+	// Every registry workload must cover at least one entry point, and
+	// the coverage table must not mention functions that no longer exist.
+	existing := map[string]bool{}
+	for _, name := range funcs {
+		existing[name] = true
+	}
+	coveredWorkloads := map[string]bool{}
+	for fn, workload := range entryPointCoverage {
+		if !existing[fn] {
+			t.Errorf("entryPointCoverage names %s, which no longer exists", fn)
+		}
+		coveredWorkloads[workload] = true
+	}
+	for _, w := range Registry() {
+		if !coveredWorkloads[w.Name] {
+			t.Errorf("registry workload %q covers no entry point", w.Name)
+		}
+	}
+}
+
+func TestRegistryNamesUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, w := range Registry() {
+		if w.Name == "" || w.Description == "" || w.Run == nil {
+			t.Fatalf("incomplete registry entry %+v", w)
+		}
+		if w.Name == "all" {
+			t.Fatal("registry must not define the reserved name \"all\"")
+		}
+		if seen[w.Name] {
+			t.Fatalf("duplicate registry name %q", w.Name)
+		}
+		seen[w.Name] = true
+		if got := WorkloadByName(w.Name); got == nil || got.Name != w.Name {
+			t.Fatalf("WorkloadByName(%q) = %v", w.Name, got)
+		}
+	}
+	if WorkloadByName("no-such-figure") != nil {
+		t.Fatal("WorkloadByName on unknown name returned non-nil")
+	}
+}
+
+func TestRunWorkloadsUnknownName(t *testing.T) {
+	if _, err := RunWorkloads(context.Background(), []string{"nope"}, RunConfig{Seed: 1}); err == nil {
+		t.Fatal("unknown workload name did not error")
+	}
+}
+
+func TestRunWorkloadsDocument(t *testing.T) {
+	doc, err := RunWorkloads(context.Background(), []string{"churn", "maintenance"}, RunConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != SchemaName || doc.Version != SchemaVersion || doc.Seed != 1 {
+		t.Fatalf("document envelope %+v", doc)
+	}
+	if len(doc.Workloads) != 2 || doc.Workloads[0] != "churn" || doc.Workloads[1] != "maintenance" {
+		t.Fatalf("workloads %v", doc.Workloads)
+	}
+	if len(doc.Figures) != 2 {
+		t.Fatalf("figures=%d, want 2", len(doc.Figures))
+	}
+	if doc.Figures[0].ID != "churn" || doc.Figures[1].ID != "maintenance" {
+		t.Fatalf("figure IDs %s, %s", doc.Figures[0].ID, doc.Figures[1].ID)
+	}
+}

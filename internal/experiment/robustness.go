@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -16,7 +17,7 @@ import (
 // each of the paper's guarantees survives. Under the ideal MAC the paper
 // assumes (loss 0) everything holds by construction; the interesting
 // question is how gracefully the localized protocol degrades.
-func Robustness(n int, degree float64, k int, lossRates []float64, runs int, seed int64) (*Figure, error) {
+func Robustness(ctx context.Context, cfg RunConfig, n int, degree float64, k int, lossRates []float64, runs int) (*Figure, error) {
 	if len(lossRates) == 0 {
 		lossRates = []float64{0, 0.01, 0.02, 0.05, 0.10, 0.20}
 	}
@@ -29,32 +30,46 @@ func Robustness(n int, degree float64, k int, lossRates []float64, runs int, see
 	domination := Series{Label: "k-hop domination"}
 	independence := Series{Label: "k-hop independence"}
 	connected := Series{Label: "heads connected"}
+	// The instance and loss-realization keys exclude the loss rate, so
+	// every rate faces the same networks and the same per-trial loss
+	// seed — the paired comparison the serial code achieved by reusing
+	// one RNG per rate.
+	instKey := fmt.Sprintf("robustness/n=%d/d=%g/k=%d", n, degree, k)
 	for _, rate := range lossRates {
-		rng := rand.New(rand.NewSource(seed))
 		dom, ind, con := &metrics.Sample{}, &metrics.Sample{}, &metrics.Sample{}
-		for r := 0; r < runs; r++ {
-			inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
-			if err != nil {
-				return nil, err
-			}
-			res, err := proto.Run(inst.Net.G, proto.Options{
-				K:        k,
-				Rule:     ncr.RuleANCR,
-				UseLMST:  true,
-				Loss:     rate,
-				LossSeed: seed ^ int64(r)<<16,
+		r := cfg.runner(instKey)
+		_, err := RunTrials(ctx, r,
+			func(_ context.Context, idx int, rng *rand.Rand) ([3]float64, error) {
+				inst, err := NewInstance(n, degree, k, cluster.AffiliationID, nil, rng)
+				if err != nil {
+					return [3]float64{}, err
+				}
+				res, err := proto.Run(inst.Net.G, proto.Options{
+					K:        k,
+					Rule:     ncr.RuleANCR,
+					UseLMST:  true,
+					Loss:     rate,
+					LossSeed: TrialSeed(cfg.Seed, instKey+"/loss", idx),
+				})
+				if err != nil {
+					// Election failed to converge under extreme loss: every
+					// guarantee is counted as violated for this run.
+					return [3]float64{}, nil
+				}
+				return [3]float64{
+					boolTo01(cds.CheckDominatingSet(inst.Net.G, res.Clustering.Heads, k) == nil),
+					boolTo01(cds.CheckIndependentSet(inst.Net.G, res.Clustering.Heads, k) == nil),
+					boolTo01(cds.CheckHeadsConnected(inst.Net.G, res.CDS, res.Clustering.Heads) == nil),
+				}, nil
+			},
+			func(idx int, v [3]float64) (bool, error) {
+				dom.Add(v[0])
+				ind.Add(v[1])
+				con.Add(v[2])
+				return idx+1 >= runs, nil
 			})
-			if err != nil {
-				// Election failed to converge under extreme loss: every
-				// guarantee is counted as violated for this run.
-				dom.Add(0)
-				ind.Add(0)
-				con.Add(0)
-				continue
-			}
-			dom.Add(boolTo01(cds.CheckDominatingSet(inst.Net.G, res.Clustering.Heads, k) == nil))
-			ind.Add(boolTo01(cds.CheckIndependentSet(inst.Net.G, res.Clustering.Heads, k) == nil))
-			con.Add(boolTo01(cds.CheckHeadsConnected(inst.Net.G, res.CDS, res.Clustering.Heads) == nil))
+		if err != nil {
+			return nil, err
 		}
 		x := int(rate * 100)
 		domination.Points = append(domination.Points, Point{N: x, Mean: dom.Mean(), CI: dom.CI(0.9), Runs: dom.N()})

@@ -1,0 +1,37 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// BenchmarkSweepParallel measures the worker-pool speedup on a
+// Figure-5-sized sweep (one subfigure: all algorithms, the paper's full
+// x-axis, 20 fixed repetitions). Compare the serial and all-cores
+// sub-benchmarks; on an 8-core machine the pool target is ≥ 3×. Output
+// equality between the two is enforced by TestParallelSerialEquivalence.
+func BenchmarkSweepParallel(b *testing.B) {
+	workers := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		workers = append(workers, n)
+	}
+	for _, par := range workers {
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			cfg := SweepConfig{
+				RunConfig: RunConfig{Stop: metrics.FixedRuns(20), Seed: 1, Parallel: par},
+				Degree:    6,
+				K:         2,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := CDSSweep(context.Background(), cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

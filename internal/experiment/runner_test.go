@@ -1,0 +1,204 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// collectTrials runs a simple value-producing trial to completion and
+// returns the consumed values in order.
+func collectTrials(t *testing.T, parallel, total int) []float64 {
+	t.Helper()
+	var got []float64
+	r := Runner{Seed: 42, Key: "runner-test", Parallel: parallel}
+	n, err := RunTrials(context.Background(), r,
+		func(_ context.Context, idx int, rng *rand.Rand) (float64, error) {
+			return float64(idx) + rng.Float64(), nil
+		},
+		func(idx int, v float64) (bool, error) {
+			got = append(got, v)
+			return idx+1 >= total, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != total {
+		t.Fatalf("consumed %d trials, want %d", n, total)
+	}
+	return got
+}
+
+func TestRunTrialsParallelMatchesSerial(t *testing.T) {
+	want := collectTrials(t, 1, 23)
+	for _, par := range []int{2, 3, 8} {
+		got := collectTrials(t, par, 23)
+		if len(got) != len(want) {
+			t.Fatalf("parallel=%d consumed %d values, want %d", par, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("parallel=%d value %d = %v, want %v", par, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRunTrialsAdaptiveStop checks that a data-dependent stopping rule
+// sees the same prefix under speculation: trials computed past the stop
+// point are discarded, never consumed.
+func TestRunTrialsAdaptiveStop(t *testing.T) {
+	run := func(parallel int) (vals []float64) {
+		r := Runner{Seed: 7, Key: "adaptive", Parallel: parallel}
+		sum := 0.0
+		if _, err := RunTrials(context.Background(), r,
+			func(_ context.Context, _ int, rng *rand.Rand) (float64, error) {
+				return rng.Float64(), nil
+			},
+			func(_ int, v float64) (bool, error) {
+				vals = append(vals, v)
+				sum += v
+				return sum > 3, nil
+			}); err != nil {
+			t.Fatal(err)
+		}
+		return vals
+	}
+	want := run(1)
+	for _, par := range []int{2, 5} {
+		got := run(par)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Fatalf("parallel=%d consumed %v, want %v", par, got, want)
+		}
+	}
+}
+
+func TestRunTrialsTrialError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, par := range []int{1, 4} {
+		r := Runner{Seed: 1, Key: "err", Parallel: par}
+		consumed := 0
+		_, err := RunTrials(context.Background(), r,
+			func(_ context.Context, idx int, _ *rand.Rand) (int, error) {
+				if idx == 5 {
+					return 0, sentinel
+				}
+				return idx, nil
+			},
+			func(idx int, _ int) (bool, error) {
+				consumed++
+				return false, nil
+			})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("parallel=%d err=%v, want wrapped sentinel", par, err)
+		}
+		if !strings.Contains(err.Error(), "trial 5") {
+			t.Fatalf("parallel=%d error %q does not name the failing trial", par, err)
+		}
+		if consumed != 5 {
+			t.Fatalf("parallel=%d consumed %d trials before the error, want 5", par, consumed)
+		}
+	}
+}
+
+func TestRunTrialsConsumeError(t *testing.T) {
+	sentinel := errors.New("consume failed")
+	for _, par := range []int{1, 3} {
+		r := Runner{Seed: 1, Key: "consume-err", Parallel: par}
+		_, err := RunTrials(context.Background(), r,
+			func(_ context.Context, idx int, _ *rand.Rand) (int, error) { return idx, nil },
+			func(idx int, _ int) (bool, error) {
+				if idx == 2 {
+					return false, sentinel
+				}
+				return false, nil
+			})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("parallel=%d err=%v", par, err)
+		}
+	}
+}
+
+// TestRunTrialsCancellation cancels mid-sweep and checks the call
+// returns promptly with ctx.Err() and that no worker goroutines
+// outlive it (run under -race to catch leaked writers too).
+func TestRunTrialsCancellation(t *testing.T) {
+	for _, par := range []int{1, 6} {
+		before := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		r := Runner{Seed: 1, Key: "cancel", Parallel: par}
+		started := make(chan struct{}, 64)
+		done := make(chan error, 1)
+		go func() {
+			_, err := RunTrials(ctx, r,
+				func(ctx context.Context, idx int, _ *rand.Rand) (int, error) {
+					started <- struct{}{}
+					<-ctx.Done() // a long trial that honors cancellation
+					return 0, ctx.Err()
+				},
+				func(int, int) (bool, error) { return false, nil })
+			done <- err
+		}()
+		<-started
+		cancel()
+		select {
+		case err := <-done:
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("parallel=%d err=%v, want context.Canceled", par, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("parallel=%d: RunTrials did not return after cancel", par)
+		}
+		// All workers must have been joined before RunTrials returned.
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if g := runtime.NumGoroutine(); g > before {
+			t.Fatalf("parallel=%d: %d goroutines before, %d after cancellation", par, before, g)
+		}
+	}
+}
+
+func TestRunTrialsProgressInOrder(t *testing.T) {
+	var seen []int
+	r := Runner{Seed: 3, Key: "progress", Parallel: 4,
+		Progress: func(done int) { seen = append(seen, done) }}
+	if _, err := RunTrials(context.Background(), r,
+		func(_ context.Context, idx int, _ *rand.Rand) (int, error) { return idx, nil },
+		func(idx int, _ int) (bool, error) { return idx+1 >= 9, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 9 {
+		t.Fatalf("progress called %d times, want 9", len(seen))
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress[%d]=%d, want %d", i, d, i+1)
+		}
+	}
+}
+
+func TestTrialSeedIndependence(t *testing.T) {
+	seen := map[int64]string{}
+	for _, base := range []int64{1, 2} {
+		for _, key := range []string{"a", "b", "cds/d=6/k=2/n=100"} {
+			for trial := 0; trial < 100; trial++ {
+				s := TrialSeed(base, key, trial)
+				id := fmt.Sprintf("base=%d key=%s trial=%d", base, key, trial)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: %s and %s both map to %d", prev, id, s)
+				}
+				seen[s] = id
+			}
+		}
+	}
+	if TrialSeed(1, "x", 0) != TrialSeed(1, "x", 0) {
+		t.Fatal("TrialSeed not deterministic")
+	}
+}

@@ -4,11 +4,15 @@
 // figure (Figures 5, 6, 7), plus the extension experiments (protocol
 // overhead vs k, dynamic maintenance cost).
 //
-// All randomness is derived from an explicit base seed; a given
-// (seed, configuration) pair reproduces identical numbers.
+// All randomness is derived from an explicit base seed: every trial of
+// every sweep point owns a rand.Rand seeded from (base seed, sweep-point
+// key, trial index), so a given (seed, configuration) pair reproduces
+// identical numbers regardless of how many workers run the trials — see
+// Runner.
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -21,40 +25,41 @@ import (
 // Point is one x-position of a series: the sample mean of the metric at
 // node count N with its 90% confidence half-width and repetition count.
 type Point struct {
-	N    int
-	Mean float64
-	CI   float64
-	Runs int
+	N    int     `json:"x"`
+	Mean float64 `json:"mean"`
+	CI   float64 `json:"ci90"`
+	Runs int     `json:"runs"`
 }
 
 // Series is one labeled curve of a figure.
 type Series struct {
-	Label  string
-	Points []Point
+	Label  string  `json:"label"`
+	Points []Point `json:"points"`
 }
 
 // Figure is a reproduced figure: several series over the same x-axis.
 type Figure struct {
-	ID     string
-	Title  string
-	XLabel string
-	YLabel string
-	Series []Series
+	ID     string   `json:"id"`
+	Title  string   `json:"title"`
+	XLabel string   `json:"xlabel"`
+	YLabel string   `json:"ylabel"`
+	Series []Series `json:"series"`
 }
 
 // DefaultNs is the paper's x-axis: 50 to 200 nodes.
 var DefaultNs = []int{50, 75, 100, 125, 150, 175, 200}
 
-// SweepConfig parameterizes one CDS-size sweep (one subfigure).
+// SweepConfig parameterizes one CDS-size sweep (one subfigure): the
+// sweep-specific shape plus the embedded cross-workload execution knobs
+// (seed, stopping rule, worker count, progress).
 type SweepConfig struct {
+	RunConfig
 	Ns          []int
 	Degree      float64
 	K           int
 	Algorithms  []gateway.Algorithm
 	Affiliation cluster.Affiliation
 	Priority    cluster.Priority // nil = lowest ID
-	Stop        metrics.StopRule
-	Seed        int64
 }
 
 func (c SweepConfig) withDefaults() SweepConfig {
@@ -64,9 +69,7 @@ func (c SweepConfig) withDefaults() SweepConfig {
 	if len(c.Algorithms) == 0 {
 		c.Algorithms = gateway.Algorithms
 	}
-	if c.Stop == (metrics.StopRule{}) {
-		c.Stop = metrics.PaperStopRule()
-	}
+	c.RunConfig = c.RunConfig.withDefaults()
 	return c
 }
 
@@ -89,8 +92,9 @@ func NewInstance(n int, degree float64, k int, aff cluster.Affiliation, prio clu
 }
 
 // CDSSweep measures mean CDS size (clusterheads + gateways) per
-// algorithm across node counts: one subfigure of Figures 5/6.
-func CDSSweep(cfg SweepConfig) (*Figure, error) {
+// algorithm across node counts: one subfigure of Figures 5/6. Trials
+// run on the worker pool; the result is identical for any worker count.
+func CDSSweep(ctx context.Context, cfg SweepConfig) (*Figure, error) {
 	cfg = cfg.withDefaults()
 	fig := &Figure{
 		ID:     fmt.Sprintf("cds-k%d-d%g", cfg.K, cfg.Degree),
@@ -103,20 +107,31 @@ func CDSSweep(cfg SweepConfig) (*Figure, error) {
 		series[i].Label = algo.String()
 	}
 	for _, n := range cfg.Ns {
-		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(n)<<20 ^ int64(cfg.K)<<40))
 		samples := make([]*metrics.Sample, len(cfg.Algorithms))
 		for i := range samples {
 			samples[i] = &metrics.Sample{}
 		}
-		for !allDone(cfg.Stop, samples) {
-			inst, err := NewInstance(n, cfg.Degree, cfg.K, cfg.Affiliation, cfg.Priority, rng)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: N=%d: %w", n, err)
-			}
-			for i, algo := range cfg.Algorithms {
-				res := gateway.Run(inst.Net.G, inst.C, algo)
-				samples[i].Add(float64(res.CDSSize()))
-			}
+		r := cfg.runner(fmt.Sprintf("cds/d=%g/k=%d/n=%d", cfg.Degree, cfg.K, n))
+		_, err := RunTrials(ctx, r,
+			func(_ context.Context, _ int, rng *rand.Rand) ([]float64, error) {
+				inst, err := NewInstance(n, cfg.Degree, cfg.K, cfg.Affiliation, cfg.Priority, rng)
+				if err != nil {
+					return nil, err
+				}
+				vals := make([]float64, len(cfg.Algorithms))
+				for i, algo := range cfg.Algorithms {
+					vals[i] = float64(gateway.Run(inst.Net.G, inst.C, algo).CDSSize())
+				}
+				return vals, nil
+			},
+			func(_ int, vals []float64) (bool, error) {
+				for i := range samples {
+					samples[i].Add(vals[i])
+				}
+				return allDone(cfg.Stop, samples), nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: N=%d: %w", n, err)
 		}
 		for i := range samples {
 			series[i].Points = append(series[i].Points, Point{
@@ -145,21 +160,29 @@ func allDone(rule metrics.StopRule, samples []*metrics.Sample) bool {
 
 // HeadsAndCDSSweep measures, for one k, the mean number of clusterheads
 // and the mean CDS size under AC-LMST (Figure 7's two panels share this).
-func HeadsAndCDSSweep(cfg SweepConfig) (heads, cdsSize Series, err error) {
+func HeadsAndCDSSweep(ctx context.Context, cfg SweepConfig) (heads, cdsSize Series, err error) {
 	cfg = cfg.withDefaults()
 	heads.Label = fmt.Sprintf("k=%d", cfg.K)
 	cdsSize.Label = heads.Label
 	for _, n := range cfg.Ns {
-		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(n)<<20 ^ int64(cfg.K)<<40))
 		hs, cs := &metrics.Sample{}, &metrics.Sample{}
-		for !allDone(cfg.Stop, []*metrics.Sample{hs, cs}) {
-			inst, ierr := NewInstance(n, cfg.Degree, cfg.K, cfg.Affiliation, cfg.Priority, rng)
-			if ierr != nil {
-				return heads, cdsSize, fmt.Errorf("experiment: N=%d: %w", n, ierr)
-			}
-			res := gateway.Run(inst.Net.G, inst.C, gateway.ACLMST)
-			hs.Add(float64(inst.C.NumClusters()))
-			cs.Add(float64(res.CDSSize()))
+		r := cfg.runner(fmt.Sprintf("heads/d=%g/k=%d/n=%d", cfg.Degree, cfg.K, n))
+		_, rerr := RunTrials(ctx, r,
+			func(_ context.Context, _ int, rng *rand.Rand) ([2]float64, error) {
+				inst, err := NewInstance(n, cfg.Degree, cfg.K, cfg.Affiliation, cfg.Priority, rng)
+				if err != nil {
+					return [2]float64{}, err
+				}
+				res := gateway.Run(inst.Net.G, inst.C, gateway.ACLMST)
+				return [2]float64{float64(inst.C.NumClusters()), float64(res.CDSSize())}, nil
+			},
+			func(_ int, v [2]float64) (bool, error) {
+				hs.Add(v[0])
+				cs.Add(v[1])
+				return allDone(cfg.Stop, []*metrics.Sample{hs, cs}), nil
+			})
+		if rerr != nil {
+			return heads, cdsSize, fmt.Errorf("experiment: N=%d: %w", n, rerr)
 		}
 		heads.Points = append(heads.Points, Point{N: n, Mean: hs.Mean(), CI: hs.CI(cfg.Stop.Level), Runs: hs.N()})
 		cdsSize.Points = append(cdsSize.Points, Point{N: n, Mean: cs.Mean(), CI: cs.CI(cfg.Stop.Level), Runs: cs.N()})

@@ -27,6 +27,28 @@ func (s *Sample) Add(x float64) {
 	s.m2 += delta * (x - s.mean)
 }
 
+// Merge folds other into s as if other's observations had been Added to
+// s, using the pairwise (Chan et al.) combination of Welford states. The
+// combined mean and variance are order-independent up to floating-point
+// rounding: merging A into B and B into A agree to machine precision,
+// which lets parallel workers accumulate partial samples and combine
+// them in any order. other is left unchanged.
+func (s *Sample) Merge(other *Sample) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n := s.n + other.n
+	na, nb, nn := float64(s.n), float64(other.n), float64(n)
+	delta := other.mean - s.mean
+	s.mean += delta * nb / nn
+	s.m2 += other.m2 + delta*delta*na*nb/nn
+	s.n = n
+}
+
 // N returns the number of observations.
 func (s *Sample) N() int { return s.n }
 
@@ -89,6 +111,13 @@ type StopRule struct {
 // most 100, stop early when the 90% CI is within ±1% of the mean.
 func PaperStopRule() StopRule {
 	return StopRule{MinRuns: 20, MaxRuns: 100, Level: 0.90, RelWidth: 0.01}
+}
+
+// FixedRuns returns a StopRule that runs exactly n repetitions with the
+// paper's 90% confidence level, for experiments whose repetition count
+// is a parameter rather than adaptive.
+func FixedRuns(n int) StopRule {
+	return StopRule{MinRuns: n, MaxRuns: n, Level: 0.90}
 }
 
 // Done reports whether sampling may stop.

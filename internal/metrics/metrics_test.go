@@ -24,6 +24,97 @@ func TestSampleMeanAndVariance(t *testing.T) {
 	}
 }
 
+// TestSampleMergeMatchesSequentialAdd: merging partial samples must
+// reproduce what Adding all observations into one sample would have,
+// for any split point.
+func TestSampleMergeMatchesSequentialAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*10 + 50
+	}
+	var whole Sample
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	for _, split := range []int{0, 1, 37, 100, 199, 200} {
+		var a, b Sample
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		a.Merge(&b)
+		if a.N() != whole.N() {
+			t.Fatalf("split %d: N=%d want %d", split, a.N(), whole.N())
+		}
+		if math.Abs(a.Mean()-whole.Mean()) > 1e-9 {
+			t.Fatalf("split %d: mean %v want %v", split, a.Mean(), whole.Mean())
+		}
+		if math.Abs(a.Variance()-whole.Variance()) > 1e-9 {
+			t.Fatalf("split %d: variance %v want %v", split, a.Variance(), whole.Variance())
+		}
+	}
+}
+
+// TestSampleMergeOrderIndependent: A merged into B and B merged into A
+// agree to machine precision, so parallel partials can combine in any
+// order.
+func TestSampleMergeOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mk := func(n int, loc float64) *Sample {
+		s := &Sample{}
+		for i := 0; i < n; i++ {
+			s.Add(rng.NormFloat64() + loc)
+		}
+		return s
+	}
+	a1, b1 := mk(17, 5), mk(60, -3)
+	a2, b2 := *a1, *b1
+	a1.Merge(b1)
+	b2.Merge(&a2)
+	if a1.N() != b2.N() {
+		t.Fatalf("N %d vs %d", a1.N(), b2.N())
+	}
+	if math.Abs(a1.Mean()-b2.Mean()) > 1e-12 {
+		t.Fatalf("mean %v vs %v", a1.Mean(), b2.Mean())
+	}
+	if math.Abs(a1.Variance()-b2.Variance()) > 1e-12 {
+		t.Fatalf("variance %v vs %v", a1.Variance(), b2.Variance())
+	}
+}
+
+func TestSampleMergeEmpty(t *testing.T) {
+	var empty, s Sample
+	s.Add(1)
+	s.Add(3)
+	before := s
+	s.Merge(&empty)
+	if s != before {
+		t.Fatal("merging an empty sample changed the receiver")
+	}
+	empty.Merge(&s)
+	if empty != s {
+		t.Fatal("merging into an empty sample did not copy the source")
+	}
+}
+
+func TestFixedRuns(t *testing.T) {
+	rule := FixedRuns(3)
+	var s Sample
+	for i := 0; i < 2; i++ {
+		if rule.Done(&s) {
+			t.Fatalf("rule done after %d of 3 runs", s.N())
+		}
+		s.Add(float64(i))
+	}
+	s.Add(9)
+	if !rule.Done(&s) {
+		t.Fatal("rule not done after 3 runs")
+	}
+}
+
 func TestSampleWelfordMatchesNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	var s Sample
