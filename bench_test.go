@@ -495,6 +495,43 @@ func BenchmarkPublicBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildParallel measures the sharded single-build pipeline at
+// production scale: one 10k- and one 50k-node grid-indexed deployment
+// (D=10, no connectivity filter — at these sizes connected instances
+// are vanishingly rare and the pipeline handles components), built
+// serially and with WithParallel(8). On a multi-core machine the
+// workers=8 legs should run ≥3× faster than workers=1 at N=50k; on
+// fewer cores they chiefly prove the sharded path's overhead stays
+// small. Every leg reuses its engine, so the per-worker scratch pools
+// are warm — the steady-state rebuild regime.
+func BenchmarkBuildParallel(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{10000, 50000} {
+		net, err := RandomNetwork(NetworkConfig{N: n, AvgDegree: 10, Seed: 1, AllowDisconnected: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := net.Graph()
+		for _, workers := range []int{1, 8} {
+			b.Run(fmt.Sprintf("N=%dk/workers=%d", n/1000, workers), func(b *testing.B) {
+				e, err := NewEngine(g, WithK(2), WithAlgorithm(ACLMST), WithParallel(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Build(ctx); err != nil { // warm the scratch pools
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.Build(ctx); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkEngineReuse quantifies the unified engine's buffer pooling:
 // the same N=150, k=2, AC-LMST build repeated through one reused Engine
 // (warm sync.Pool of per-build scratch) versus the per-call baseline

@@ -16,6 +16,7 @@
 //	khopsim -fig stability    # structure stability under movement
 //	khopsim -fig comparison   # lowest-ID vs Max-Min clustering
 //	khopsim -fig robustness   # guarantee survival under message loss
+//	khopsim -fig scale        # single-build wall time vs N, serial vs parallel
 //	khopsim -claims           # check the paper's §4 conclusions
 //	khopsim -fig all          # everything above
 //
@@ -64,6 +65,9 @@ func main() {
 		overN    = flag.Int("overhead-n", 100, "node count for the overhead experiment")
 		overD    = flag.Float64("overhead-d", 6, "average degree for the overhead experiment")
 		overRuns = flag.Int("overhead-runs", 20, "repetitions for the overhead experiment")
+		scaleMax = flag.Int("scale-max", 25000, "largest N of the scale experiment's ladder (100000 runs it all)")
+		scaleRun = flag.Int("scale-runs", 3, "repetitions per N for the scale experiment")
+		scaleWrk = flag.Int("scale-workers", 0, "parallel-build workers for the scale experiment (0 = all cores)")
 	)
 	flag.Parse()
 
@@ -86,6 +90,9 @@ func main() {
 		OverheadN:    *overN,
 		OverheadD:    *overD,
 		OverheadRuns: *overRuns,
+		ScaleMaxN:    *scaleMax,
+		ScaleRuns:    *scaleRun,
+		ScaleWorkers: *scaleWrk,
 	}
 	if *progress {
 		cfg.Progress = func(done int) { fmt.Fprintf(os.Stderr, "\r%6d trials", done) }

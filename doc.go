@@ -22,6 +22,18 @@
 //	res, _ := engine.Build(context.Background())
 //	fmt.Println(res.Heads, res.Gateways)
 //
+// Scaling a single build: WithParallel(n) shards every build phase —
+// election rounds, neighbor selection, gateway path and local-MST
+// fan-outs — across n workers (0 = all cores) with per-worker pooled
+// scratch, producing a Result bitwise identical to a serial build:
+//
+//	engine, _ := khop.NewEngine(net.Graph(), khop.WithK(2), khop.WithParallel(8))
+//
+// At 10⁴–10⁵ nodes generate deployments with AllowDisconnected (the
+// pipeline handles components; connected instances are vanishingly
+// rare at that scale); `khopsim -fig scale` reports build wall time vs
+// N for both paths.
+//
 // The five pipelines of the paper's evaluation — NC-Mesh, AC-Mesh,
 // NC-LMST, AC-LMST (the headline algorithm), and the centralized G-MST
 // lower bound — are selected with WithAlgorithm. WithMode picks how the
@@ -52,8 +64,11 @@
 //
 // Every Result is self-contained: NewRouter and NewBroadcastPlan build
 // the hierarchical-routing and CDS-broadcast applications from it
-// directly, whatever mode produced it, and Result.Verify checks the
-// paper's structural guarantees.
+// directly, whatever mode produced it. VerifyResult machine-checks the
+// paper's invariants on any built or maintained Result — domination,
+// independence, CDS composition and per-component connectivity, and
+// every gateway path edge by edge — and is the recommended assertion
+// in downstream tests (Result.Verify is the method form).
 //
 // The previous entry points — Build, BuildDistributed, BuildMaxMin, and
 // NewMaintainer — remain as deprecated wrappers over the Engine and

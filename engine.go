@@ -3,6 +3,7 @@ package khop
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/cluster"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/maxmin"
 	"repro/internal/mobility"
 	"repro/internal/ncr"
+	"repro/internal/partition"
 	"repro/internal/proto"
 )
 
@@ -59,10 +61,19 @@ type engineConfig struct {
 	mode        Mode
 	seed        int64
 	loss        float64
+	parallel    int
 }
 
 func defaultConfig() engineConfig {
-	return engineConfig{k: 1, algorithm: ACLMST}
+	return engineConfig{k: 1, algorithm: ACLMST, parallel: 1}
+}
+
+// workers resolves the configured parallelism to a worker count.
+func (c *engineConfig) workers() int {
+	if c.parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.parallel
 }
 
 // Option configures an Engine (see NewEngine) or a single build (see
@@ -96,6 +107,21 @@ func WithMode(m Mode) Option { return func(c *engineConfig) { c.mode = m } }
 // ignore it; today it drives the distributed protocol's message-loss
 // injection (see WithLoss).
 func WithSeed(seed int64) Option { return func(c *engineConfig) { c.seed = seed } }
+
+// WithParallel shards every phase of a build — election rounds,
+// neighbor clusterhead selection, gateway path and local-MST fan-outs —
+// across n workers, each with its own pooled traversal scratch (default
+// 1, serial; n <= 0 means all CPU cores). The paper's construction is
+// local — every decision reads a bounded ball around one node — so
+// phases split into independent read-only walks whose outputs merge in
+// a fixed order: the Result is bitwise identical to a serial build for
+// any n, and goldens, differential tests, and incremental maintenance
+// are unaffected by the worker count. A custom WithPriority rank
+// function must be safe for concurrent use (the built-in priorities
+// are). In Distributed mode the protocol itself already runs one
+// goroutine per node; n applies to the centralized gateway-path
+// materialization pass.
+func WithParallel(n int) Option { return func(c *engineConfig) { c.parallel = n } }
 
 // WithLoss injects per-delivery message loss with the given probability
 // into Distributed builds (default 0, the paper's ideal MAC). With loss
@@ -225,6 +251,9 @@ func (e *Engine) Build(ctx context.Context, overrides ...Option) (*Result, error
 
 	s := e.scratch.Get().(*core.Scratch)
 	defer e.scratch.Put(s)
+	// Each in-flight build owns its scratch, so it owns the pool's
+	// per-worker buffers too; concurrent Builds never share workers.
+	pool := s.Par(cfg.workers())
 
 	var (
 		out  *core.Output
@@ -239,11 +268,12 @@ func (e *Engine) Build(ctx context.Context, overrides ...Option) (*Result, error
 			Priority:    cfg.priority,
 			Affiliation: cfg.affiliation,
 			Scratch:     s,
+			Pool:        pool,
 		})
 	case Distributed:
-		out, cost, err = e.buildDistributed(ctx, cfg, s)
+		out, cost, err = e.buildDistributed(ctx, cfg, s, pool)
 	case MaxMin:
-		out, err = e.buildMaxMin(ctx, cfg, s)
+		out, err = e.buildMaxMin(ctx, cfg, s, pool)
 	}
 	if err != nil {
 		return nil, err
@@ -268,7 +298,7 @@ func (e *Engine) Build(ctx context.Context, overrides ...Option) (*Result, error
 // protocol's own clustering — the two implementations are equivalent
 // (see the equivalence tests), so this only adds the path bookkeeping
 // the protocol does not transmit, keeping the Result self-contained.
-func (e *Engine) buildDistributed(ctx context.Context, cfg engineConfig, s *core.Scratch) (*core.Output, *Cost, error) {
+func (e *Engine) buildDistributed(ctx context.Context, cfg engineConfig, s *core.Scratch, pool *partition.Pool) (*core.Output, *Cost, error) {
 	popt, err := proto.AlgorithmOptions(cfg.k, cfg.algorithm)
 	if err != nil {
 		return nil, nil, err
@@ -295,7 +325,7 @@ func (e *Engine) buildDistributed(ctx context.Context, cfg engineConfig, s *core
 		CDS:       pres.CDS,
 	}
 	if cfg.loss == 0 {
-		central, err := gateway.RunSelectedCtx(ctx, e.g.g, pres.Clustering, pres.Selection, cfg.algorithm, s.BFS())
+		central, err := gateway.RunSelectedPar(ctx, e.g.g, pres.Clustering, pres.Selection, cfg.algorithm, s.BFS(), pool)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -319,16 +349,16 @@ func (e *Engine) buildDistributed(ctx context.Context, cfg engineConfig, s *core
 	return out, cost, nil
 }
 
-func (e *Engine) buildMaxMin(ctx context.Context, cfg engineConfig, s *core.Scratch) (*core.Output, error) {
-	c, err := maxmin.RunCtx(ctx, e.g.g, cfg.k, s.BFS())
+func (e *Engine) buildMaxMin(ctx context.Context, cfg engineConfig, s *core.Scratch, pool *partition.Pool) (*core.Output, error) {
+	c, err := maxmin.RunPar(ctx, e.g.g, cfg.k, s.BFS(), pool)
 	if err != nil {
 		return nil, err
 	}
-	sel, err := core.SelectionForCtx(ctx, e.g.g, c, cfg.algorithm, s.BFS())
+	sel, err := core.SelectionForPar(ctx, e.g.g, c, cfg.algorithm, s.BFS(), pool)
 	if err != nil {
 		return nil, err
 	}
-	gres, err := gateway.RunSelectedCtx(ctx, e.g.g, c, sel, cfg.algorithm, s.BFS())
+	gres, err := gateway.RunSelectedPar(ctx, e.g.g, c, sel, cfg.algorithm, s.BFS(), pool)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,157 @@
+package khop
+
+import (
+	"context"
+	"testing"
+)
+
+// churnOracle decodes a fuzz payload into a valid churn event stream
+// against its own liveness view, mirroring every event on a shadow copy
+// of the graph so the maintained structure can be verified against the
+// topology it actually describes.
+type churnOracle struct {
+	net    *Network
+	g      *Graph // engine's input graph (never mutated by Apply)
+	shadow *Graph // replayed topology: what the maintainer sees
+	alive  []bool
+}
+
+func newChurnOracle(t *testing.T, seed int64, n int) *churnOracle {
+	t.Helper()
+	net, err := RandomNetwork(NetworkConfig{N: n, AvgDegree: 8, Seed: seed})
+	if err != nil {
+		t.Skipf("no connected instance: %v", err)
+	}
+	g := net.Graph()
+	shadow := &Graph{g: g.g.Clone()}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	return &churnOracle{net: net, g: g, shadow: shadow, alive: alive}
+}
+
+// decode turns (op, node) byte pairs into the next valid event, or
+// ok=false when the pair is a no-op for the current liveness state.
+// Join and Move reconnect the node to its alive original radio
+// neighbors — the node switching back on (or returning) at its old
+// position — which exercises adoption, promotion, and stranding.
+func (o *churnOracle) decode(op, rawNode byte) (Event, bool) {
+	node := int(rawNode) % len(o.alive)
+	switch op % 3 {
+	case 0: // leave
+		if !o.alive[node] {
+			return Event{}, false
+		}
+		o.alive[node] = false
+		o.shadow.g.RemoveVertexEdges(node)
+		return Leave(node), true
+	case 1: // join
+		if o.alive[node] {
+			return Event{}, false
+		}
+		nbrs := o.aliveNeighbors(node)
+		o.alive[node] = true
+		for _, w := range nbrs {
+			o.shadow.g.AddEdge(node, w)
+		}
+		return Join(node, nbrs...), true
+	default: // move
+		if !o.alive[node] {
+			return Event{}, false
+		}
+		nbrs := o.aliveNeighbors(node)
+		o.shadow.g.RemoveVertexEdges(node)
+		for _, w := range nbrs {
+			o.shadow.g.AddEdge(node, w)
+		}
+		return Move(node, nbrs...), true
+	}
+}
+
+// aliveNeighbors returns node's radio neighbors in the original
+// deployment that are currently alive (and not node itself).
+func (o *churnOracle) aliveNeighbors(node int) []int {
+	var out []int
+	for _, w := range o.net.Graph().Neighbors(node) {
+		if o.alive[w] && w != node {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// FuzzApplyChurn drives Engine.Apply with decoded random Join/Leave/
+// Move sequences: after every batch the maintained Result must pass
+// VerifyResult against the replayed topology, and a from-scratch
+// rebuild on that same topology must satisfy the same invariants — the
+// incremental path may drift structurally (the paper's trade) but never
+// below the paper's guarantees.
+func FuzzApplyChurn(f *testing.F) {
+	f.Add(int64(1), []byte{0, 3, 1, 3, 2, 7, 0, 12, 0, 13, 1, 12})
+	f.Add(int64(7), []byte{0, 0, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6})
+	f.Add(int64(3), []byte{2, 9, 2, 9, 2, 9, 0, 9, 1, 9})
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		if len(script) > 64 {
+			script = script[:64]
+		}
+		const n, k = 36, 2
+		o := newChurnOracle(t, seed%512, n)
+		e, err := NewEngine(o.g, WithK(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		if _, err := e.Build(ctx); err != nil {
+			t.Fatal(err)
+		}
+
+		var batch []Event
+		flush := func() {
+			if len(batch) == 0 {
+				return
+			}
+			if _, err := e.Apply(ctx, batch...); err != nil {
+				t.Fatalf("apply %v: %v", batch, err)
+			}
+			batch = batch[:0]
+			res := e.Result()
+			if err := VerifyResult(o.shadow, res); err != nil {
+				t.Fatalf("incremental result violates invariants: %v", err)
+			}
+			// Liveness must agree between engine and oracle.
+			for v := 0; v < n; v++ {
+				if e.Alive(v) != o.alive[v] {
+					t.Fatalf("liveness of %d: engine=%v oracle=%v", v, e.Alive(v), o.alive[v])
+				}
+			}
+		}
+		for i := 0; i+1 < len(script); i += 2 {
+			ev, ok := o.decode(script[i], script[i+1])
+			if !ok {
+				continue
+			}
+			batch = append(batch, ev)
+			if len(batch) == 4 {
+				flush()
+			}
+		}
+		flush()
+
+		// Rebuild-from-scratch on the churned topology: the same
+		// invariant suite must hold for a fresh build too (departed
+		// nodes are isolated vertices there and become singleton heads,
+		// which VerifyResult accepts as alive — the rebuild's view).
+		fresh, err := NewEngine(o.shadow, WithK(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fresh.Build(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyResult(o.shadow, res); err != nil {
+			t.Fatalf("rebuild-from-scratch violates invariants: %v", err)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/partition"
 )
 
 // Affiliation selects which cluster a node joins when it hears more than
@@ -84,6 +85,16 @@ type Options struct {
 	K           int         // cluster radius in hops (k ≥ 1)
 	Priority    Priority    // election priority; nil means LowestID
 	Affiliation Affiliation // member affiliation rule
+	// Pool, when non-nil with more than one worker, shards each election
+	// round's per-node ball walks across the pool. Every node's
+	// declaration check reads only its own k-hop ball against the frozen
+	// round state, so nodes whose balls don't intersect genuinely elect
+	// concurrently, and overlapping balls read the same immutable state —
+	// boundary conflicts resolve exactly as they do serially, by priority
+	// in the next round. The clustering is bitwise identical to a serial
+	// run. Priority.Rank must be safe for concurrent use (the built-in
+	// priorities are).
+	Pool *partition.Pool
 }
 
 // Scratch holds the reusable working memory of a clustering run: the
@@ -95,6 +106,11 @@ type Scratch struct {
 	BFS    *graph.Scratch
 	offers []offer
 	sizes  []int
+	// Per-worker buffers of a parallel run (Options.Pool), reused across
+	// rounds and builds so the sharded phases allocate as little as the
+	// serial ones.
+	parDeclared [][]int
+	parOffers   [][]offer
 }
 
 // NewScratch returns a Scratch whose buffers grow on first use.
@@ -147,28 +163,28 @@ func RunCtx(ctx context.Context, g *graph.Graph, opt Options, s *Scratch) (*Clus
 		rounds++
 		// Phase 1: simultaneous declarations. A node declares iff its
 		// rank beats every other undecided node within its k-hop ball.
+		// The round state (head) is frozen during this phase, so the
+		// per-node checks are independent and shard across the pool when
+		// one is configured; shards merge in node-ID order, which is the
+		// serial order.
 		var declared []int
-		for u := 0; u < n; u++ {
-			if head[u] != undecided {
-				continue
-			}
-			if err := ctx.Err(); err != nil {
+		if opt.Pool.Workers() > 1 {
+			var err error
+			declared, err = declareRoundParallel(ctx, g, opt, s, prio, head)
+			if err != nil {
 				return nil, err
 			}
-			ru := prio.Rank(u)
-			wins := true
-			g.EachWithin(s.BFS, u, opt.K, func(v, _ int) bool {
-				if v == u || head[v] != undecided {
-					return true
+		} else {
+			for u := 0; u < n; u++ {
+				if head[u] != undecided {
+					continue
 				}
-				if prio.Rank(v).Better(ru) {
-					wins = false
-					return false
+				if err := ctx.Err(); err != nil {
+					return nil, err
 				}
-				return true
-			})
-			if wins {
-				declared = append(declared, u)
+				if declares(g, s.BFS, prio, head, u, opt.K) {
+					declared = append(declared, u)
+				}
 			}
 		}
 		if len(declared) == 0 {
@@ -190,16 +206,21 @@ func RunCtx(ctx context.Context, g *graph.Graph, opt Options, s *Scratch) (*Clus
 			distToHead[h] = 0
 			remaining--
 		}
-		for _, h := range declared {
-			if err := ctx.Err(); err != nil {
+		// The per-head offer walks only read head (all declarations are
+		// already marked), so they shard too; the offer multiset is
+		// identical however it is collected, and joinAll's total sort on
+		// the unique (node, head) keys erases the collection order.
+		if opt.Pool.Workers() > 1 {
+			if err := offerRoundParallel(ctx, g, opt, s, declared, head); err != nil {
 				return nil, err
 			}
-			g.EachWithin(s.BFS, h, opt.K, func(v, d int) bool {
-				if v != h && head[v] == undecided {
-					s.offers = append(s.offers, offer{node: v, head: h, dist: d})
+		} else {
+			for _, h := range declared {
+				if err := ctx.Err(); err != nil {
+					return nil, err
 				}
-				return true
-			})
+				collectOffers(g, s.BFS, head, h, opt.K, &s.offers)
+			}
 		}
 		joinAll(s, head, distToHead, opt.Affiliation, &remaining)
 	}
@@ -218,6 +239,114 @@ func RunCtx(ctx context.Context, g *graph.Graph, opt Options, s *Scratch) (*Clus
 		DistToHead: distToHead,
 		Rounds:     rounds,
 	}, nil
+}
+
+// declares reports whether undecided node u wins its k-hop ball this
+// round: no other undecided node within k hops ranks better. It reads
+// head and the graph only, so concurrent calls (one scratch each) are
+// safe during a declaration phase.
+func declares(g *graph.Graph, bs *graph.Scratch, prio Priority, head []int, u, k int) bool {
+	const undecided = -1
+	ru := prio.Rank(u)
+	wins := true
+	g.EachWithin(bs, u, k, func(v, _ int) bool {
+		if v == u || head[v] != undecided {
+			return true
+		}
+		if prio.Rank(v).Better(ru) {
+			wins = false
+			return false
+		}
+		return true
+	})
+	return wins
+}
+
+// collectOffers appends to out the offers head h extends this round:
+// one per still-undecided node within k hops.
+func collectOffers(g *graph.Graph, bs *graph.Scratch, head []int, h, k int, out *[]offer) {
+	const undecided = -1
+	g.EachWithin(bs, h, k, func(v, d int) bool {
+		if v != h && head[v] == undecided {
+			*out = append(*out, offer{node: v, head: h, dist: d})
+		}
+		return true
+	})
+}
+
+// declareRoundParallel runs one declaration phase sharded across the
+// pool and merges the per-shard winner lists in shard (= node-ID)
+// order, reproducing the serial list exactly.
+func declareRoundParallel(ctx context.Context, g *graph.Graph, opt Options, s *Scratch, prio Priority, head []int) ([]int, error) {
+	const undecided = -1
+	w := opt.Pool.Workers()
+	for len(s.parDeclared) < w {
+		s.parDeclared = append(s.parDeclared, nil)
+	}
+	decl := s.parDeclared
+	// Reset every worker slot first: a round with fewer items than
+	// workers runs fewer shards, and a stale slot from the previous
+	// round must not leak into this round's merge.
+	for i := range decl[:w] {
+		decl[i] = decl[i][:0]
+	}
+	err := opt.Pool.Shard(ctx, g.N(), func(shard int, bs *graph.Scratch, r partition.Range) error {
+		out := decl[shard][:0]
+		for u := r.Start; u < r.End; u++ {
+			if head[u] != undecided {
+				continue
+			}
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if declares(g, bs, prio, head, u, opt.K) {
+				out = append(out, u)
+			}
+		}
+		decl[shard] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var declared []int
+	for _, part := range decl[:w] {
+		declared = append(declared, part...)
+	}
+	return declared, nil
+}
+
+// offerRoundParallel collects the round's offers sharded over the
+// declared heads, concatenating the per-shard lists into s.offers.
+func offerRoundParallel(ctx context.Context, g *graph.Graph, opt Options, s *Scratch, declared, head []int) error {
+	w := opt.Pool.Workers()
+	for len(s.parOffers) < w {
+		s.parOffers = append(s.parOffers, nil)
+	}
+	offs := s.parOffers
+	// As in declareRoundParallel: clear stale slots from rounds that ran
+	// more shards than this one will.
+	for i := range offs[:w] {
+		offs[i] = offs[i][:0]
+	}
+	err := opt.Pool.Shard(ctx, len(declared), func(shard int, bs *graph.Scratch, r partition.Range) error {
+		out := offs[shard][:0]
+		for _, h := range declared[r.Start:r.End] {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			collectOffers(g, bs, head, h, opt.K, &out)
+		}
+		offs[shard] = out
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, part := range offs[:w] {
+		s.offers = append(s.offers, part...)
+	}
+	return nil
 }
 
 // Affiliate re-attaches a single node to an existing clustering without

@@ -15,6 +15,7 @@ import (
 	"repro/internal/gateway"
 	"repro/internal/graph"
 	"repro/internal/ncr"
+	"repro/internal/partition"
 )
 
 // Options configures a pipeline run.
@@ -27,6 +28,12 @@ type Options struct {
 	// pipeline's BFS hot loops run in. Engines pool Scratches across
 	// builds so steady-state rebuilds stay near-zero-alloc.
 	Scratch *Scratch
+	// Pool, when non-nil with more than one worker, shards every phase
+	// of the build — election rounds, neighbor selection, gateway path
+	// and LMST fan-outs — across its workers, producing output bitwise
+	// identical to a serial build. Obtain one from Scratch.Par so the
+	// per-worker buffers pool with the rest of the build's memory.
+	Pool *partition.Pool
 }
 
 // Scratch bundles the per-build working memory of the whole pipeline:
@@ -37,6 +44,7 @@ type Options struct {
 type Scratch struct {
 	cluster *cluster.Scratch
 	bfs     *graph.Scratch
+	par     *partition.Pool
 }
 
 // NewScratch returns a Scratch whose buffers grow on first use.
@@ -48,6 +56,22 @@ func NewScratch() *Scratch {
 // BFS exposes the scratch's shared BFS buffers for pipeline stages that
 // run outside BuildCtx (the engine's Max-Min and distributed modes).
 func (s *Scratch) BFS() *graph.Scratch { return s.bfs }
+
+// Par returns the scratch's worker pool sized to the given worker
+// count, creating it on first use; workers <= 1 returns nil (serial).
+// The pool's per-worker buffers are retained with the Scratch, so a
+// pooled Scratch keeps parallel rebuilds warm too.
+func (s *Scratch) Par(workers int) *partition.Pool {
+	if workers <= 1 {
+		return nil
+	}
+	if s.par == nil {
+		s.par = partition.NewPool(workers)
+	} else {
+		s.par.SetWorkers(workers)
+	}
+	return s.par
+}
 
 // Output bundles the three stages' results.
 type Output struct {
@@ -75,15 +99,16 @@ func BuildCtx(ctx context.Context, g *graph.Graph, opt Options) (*Output, error)
 		K:           opt.K,
 		Priority:    opt.Priority,
 		Affiliation: opt.Affiliation,
+		Pool:        opt.Pool,
 	}, s.cluster)
 	if err != nil {
 		return nil, err
 	}
-	sel, err := SelectionForCtx(ctx, g, c, opt.Algorithm, s.bfs)
+	sel, err := SelectionForPar(ctx, g, c, opt.Algorithm, s.bfs, opt.Pool)
 	if err != nil {
 		return nil, err
 	}
-	res, err := gateway.RunSelectedCtx(ctx, g, c, sel, opt.Algorithm, s.bfs)
+	res, err := gateway.RunSelectedPar(ctx, g, c, sel, opt.Algorithm, s.bfs, opt.Pool)
 	if err != nil {
 		return nil, err
 	}
@@ -101,10 +126,16 @@ func SelectionFor(g *graph.Graph, c *cluster.Clustering, algo gateway.Algorithm)
 // SelectionForCtx is SelectionFor with cancellation and reusable BFS
 // buffers (nil is valid).
 func SelectionForCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, algo gateway.Algorithm, s *graph.Scratch) (*ncr.Selection, error) {
+	return SelectionForPar(ctx, g, c, algo, s, nil)
+}
+
+// SelectionForPar is SelectionForCtx with the selection walks sharded
+// across pool's workers (nil pool = serial, identical output).
+func SelectionForPar(ctx context.Context, g *graph.Graph, c *cluster.Clustering, algo gateway.Algorithm, s *graph.Scratch, pool *partition.Pool) (*ncr.Selection, error) {
 	rule := ncr.RuleNC
 	switch algo {
 	case gateway.ACMesh, gateway.ACLMST:
 		rule = ncr.RuleANCR
 	}
-	return ncr.SelectCtx(ctx, g, c, rule, s)
+	return ncr.SelectPar(ctx, g, c, rule, s, pool)
 }

@@ -21,6 +21,13 @@ type RunConfig struct {
 	OverheadN    int
 	OverheadD    float64
 	OverheadRuns int
+
+	// Knobs of the single-build scale experiment (khopsim -scale-*):
+	// the largest N of the ladder, repetitions per N, and the parallel
+	// build's worker count (<= 0 = all cores).
+	ScaleMaxN    int
+	ScaleRuns    int
+	ScaleWorkers int
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -35,6 +42,12 @@ func (c RunConfig) withDefaults() RunConfig {
 	}
 	if c.OverheadRuns == 0 {
 		c.OverheadRuns = 20
+	}
+	if c.ScaleMaxN == 0 {
+		c.ScaleMaxN = 25000
+	}
+	if c.ScaleRuns == 0 {
+		c.ScaleRuns = 3
 	}
 	return c
 }
@@ -71,6 +84,7 @@ func Registry() []Workload {
 		{"stability", "structure stability under movement", singleFigure(stabilityWorkload)},
 		{"comparison", "lowest-ID vs Max-Min clustering", singleFigure(comparisonWorkload)},
 		{"robustness", "guarantee survival under message loss", singleFigure(robustnessWorkload)},
+		{"scale", "single-build wall time vs N, serial vs parallel", singleFigure(scaleWorkload)},
 	}
 }
 
@@ -160,4 +174,8 @@ func comparisonWorkload(ctx context.Context, cfg RunConfig) (*Figure, error) {
 
 func robustnessWorkload(ctx context.Context, cfg RunConfig) (*Figure, error) {
 	return Robustness(ctx, cfg, 80, 6, 2, nil, 20)
+}
+
+func scaleWorkload(ctx context.Context, cfg RunConfig) (*Figure, error) {
+	return ScaleFigure(ctx, cfg)
 }

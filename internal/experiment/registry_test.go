@@ -38,6 +38,7 @@ var entryPointCoverage = map[string]string{
 	"Stability":            "stability",
 	"ClusteringComparison": "comparison",
 	"Robustness":           "robustness",
+	"ScaleFigure":          "scale",
 }
 
 // figureProducingFuncs scans the package source for exported top-level

@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gateway"
+	"repro/internal/metrics"
+	"repro/internal/udg"
+)
+
+// scaleNs is the single-build scale ladder; ScaleFigure keeps the rungs
+// at or below RunConfig.ScaleMaxN (`khopsim -scale-max 100000` runs the
+// full ladder).
+var scaleNs = []int{1000, 2500, 5000, 10000, 25000, 50000, 100000}
+
+// ScaleFigure measures single-build wall time vs N for the serial and
+// the WithParallel build paths on large grid-indexed unit-disk
+// deployments, the workload behind `khopsim -fig scale`. Unlike the
+// Monte-Carlo sweeps this figure reports wall-clock milliseconds, so
+// its numbers are machine-dependent (and excluded from the golden
+// gate); the deployments themselves, and the structures both paths
+// build on them, remain seed-deterministic — each trial asserts the
+// parallel build's head and CDS counts match the serial build's.
+//
+// Deployments use the grid-indexed udg.Build without the connectivity
+// filter: at these sizes a connected instance at moderate degree is
+// vanishingly rare (the connectivity threshold grows like log N), and
+// the pipeline handles components — exactly the regime a
+// production-scale deployment lives in.
+func ScaleFigure(ctx context.Context, cfg RunConfig) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	workers := cfg.ScaleWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	fig := &Figure{
+		ID:     "scale",
+		Title:  fmt.Sprintf("Single-build wall time vs N (D=10, k=2, AC-LMST, %d workers)", workers),
+		XLabel: "Number of nodes",
+		YLabel: "Build wall time [ms]",
+	}
+	serial := Series{Label: "serial"}
+	parallel := Series{Label: fmt.Sprintf("parallel (%d workers)", workers)}
+	// One warm scratch per path, exactly like an engine's steady state.
+	ss, ps := core.NewScratch(), core.NewScratch()
+	for _, n := range scaleNs {
+		if n > cfg.ScaleMaxN {
+			continue
+		}
+		sSample, pSample := &metrics.Sample{}, &metrics.Sample{}
+		r := cfg.runner(fmt.Sprintf("scale/n=%d", n))
+		// Trials time the build, so they must not race each other for
+		// cores: run them sequentially whatever -parallel says; the
+		// parallelism under test is inside the build.
+		r.Parallel = 1
+		_, err := RunTrials(ctx, r,
+			func(ctx context.Context, _ int, rng *rand.Rand) ([2]float64, error) {
+				net, err := udg.Generate(udg.Config{N: n, AvgDegree: 10}, rng)
+				if err != nil {
+					return [2]float64{}, err
+				}
+				build := func(s *core.Scratch, workers int) (*core.Output, float64, error) {
+					start := time.Now()
+					out, err := core.BuildCtx(ctx, net.G, core.Options{
+						K:         2,
+						Algorithm: gateway.ACLMST,
+						Scratch:   s,
+						Pool:      s.Par(workers),
+					})
+					return out, float64(time.Since(start).Microseconds()) / 1000, err
+				}
+				sOut, sMS, err := build(ss, 1)
+				if err != nil {
+					return [2]float64{}, err
+				}
+				pOut, pMS, err := build(ps, workers)
+				if err != nil {
+					return [2]float64{}, err
+				}
+				// Full set equality, not just cardinality: at these sizes
+				// this is the only parallel-vs-serial check on
+				// production-scale graphs, and an equal-cardinality
+				// divergence must not slip through.
+				if !reflect.DeepEqual(sOut.Clustering.Heads, pOut.Clustering.Heads) {
+					return [2]float64{}, fmt.Errorf("N=%d: parallel build elected a different head set than serial", n)
+				}
+				if !reflect.DeepEqual(sOut.Gateway.CDS, pOut.Gateway.CDS) {
+					return [2]float64{}, fmt.Errorf("N=%d: parallel build selected a different CDS than serial", n)
+				}
+				return [2]float64{sMS, pMS}, nil
+			},
+			func(idx int, v [2]float64) (bool, error) {
+				sSample.Add(v[0])
+				pSample.Add(v[1])
+				return idx+1 >= cfg.ScaleRuns, nil
+			})
+		if err != nil {
+			return nil, fmt.Errorf("scale: N=%d: %w", n, err)
+		}
+		serial.Points = append(serial.Points, Point{N: n, Mean: sSample.Mean(), CI: sSample.CI(0.90), Runs: sSample.N()})
+		parallel.Points = append(parallel.Points, Point{N: n, Mean: pSample.Mean(), CI: pSample.CI(0.90), Runs: pSample.N()})
+	}
+	fig.Series = []Series{serial, parallel}
+	return fig, nil
+}

@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"context"
+	"testing"
+)
+
+// TestScaleFigureSmall runs the scale workload at a test-sized ladder:
+// the figure must carry both series with matching x-axes, positive
+// timings, and the in-trial serial/parallel structure cross-check must
+// hold (a mismatch fails the build with an error).
+func TestScaleFigureSmall(t *testing.T) {
+	cfg := RunConfig{Seed: 1, ScaleMaxN: 2500, ScaleRuns: 2, ScaleWorkers: 4}
+	fig, err := ScaleFigure(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series=%d, want 2", len(fig.Series))
+	}
+	serial, parallel := fig.Series[0], fig.Series[1]
+	if len(serial.Points) != 2 || len(parallel.Points) != 2 { // N=1000, 2500
+		t.Fatalf("points: serial=%d parallel=%d, want 2 each", len(serial.Points), len(parallel.Points))
+	}
+	for i := range serial.Points {
+		if serial.Points[i].N != parallel.Points[i].N {
+			t.Fatalf("x-axis mismatch at %d: %d vs %d", i, serial.Points[i].N, parallel.Points[i].N)
+		}
+		if serial.Points[i].Mean <= 0 || parallel.Points[i].Mean <= 0 {
+			t.Fatalf("non-positive wall time at N=%d", serial.Points[i].N)
+		}
+		if serial.Points[i].Runs != cfg.ScaleRuns {
+			t.Fatalf("runs=%d, want %d", serial.Points[i].Runs, cfg.ScaleRuns)
+		}
+	}
+}
+
+// TestScaleFigureCancellation: the workload aborts promptly on a
+// cancelled context.
+func TestScaleFigureCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ScaleFigure(ctx, RunConfig{Seed: 1, ScaleMaxN: 1000, ScaleRuns: 1}); err == nil {
+		t.Fatal("cancelled scale workload returned no error")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/graph"
 	"repro/internal/ncr"
+	"repro/internal/partition"
 )
 
 // Algorithm identifies a complete gateway-selection pipeline.
@@ -120,7 +121,7 @@ func RunCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, algo Alg
 	case ACMesh, ACLMST:
 		rule = ncr.RuleANCR
 	case GMST:
-		return globalMSTCtx(ctx, g, c, s)
+		return globalMSTCtx(ctx, g, c, s, nil)
 	case NCMesh, NCLMST:
 	default:
 		panic(fmt.Sprintf("gateway: unknown algorithm %d", int(algo)))
@@ -137,7 +138,18 @@ func RunCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, algo Alg
 // that need the selection themselves and should not pay for it twice.
 // GMST connects all head pairs centrally and ignores sel.
 func RunSelectedCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, algo Algorithm, s *graph.Scratch) (*Result, error) {
-	return runSelected(ctx, g, c, sel, algo, s, nil, nil)
+	return runSelected(ctx, g, c, sel, algo, s, nil, nil, nil)
+}
+
+// RunSelectedPar is RunSelectedCtx with the per-pair shortest-path
+// computations, the per-head local MSTs (LMSTGA), and G-MST's per-head
+// distance passes sharded across pool's workers. The Result — links,
+// paths, gateways, CDS — is identical to a serial run for any worker
+// count: every sharded item is an independent read-only computation
+// whose outputs merge in the serial order. A nil pool (or one worker)
+// is the serial path.
+func RunSelectedPar(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, algo Algorithm, s *graph.Scratch, pool *partition.Pool) (*Result, error) {
+	return runSelected(ctx, g, c, sel, algo, s, nil, nil, pool)
 }
 
 // RunSelectedFrom is RunSelectedCtx for incremental repair: it re-runs
@@ -171,20 +183,51 @@ func RunSelectedFrom(ctx context.Context, g *graph.Graph, c *cluster.Clustering,
 	if prev != nil {
 		prevLMST = prev.lmst
 	}
-	return runSelected(ctx, g, c, sel, algo, s, cache, prevLMST)
+	return runSelected(ctx, g, c, sel, algo, s, cache, prevLMST, nil)
 }
 
-func runSelected(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, algo Algorithm, s *graph.Scratch, cache map[[2]int][]int, prev *lmstState) (*Result, error) {
+func runSelected(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, algo Algorithm, s *graph.Scratch, cache map[[2]int][]int, prev *lmstState, pool *partition.Pool) (*Result, error) {
 	switch algo {
 	case NCMesh, ACMesh:
-		return meshCtx(ctx, g, c, sel, algo, s, cache)
+		return meshCtx(ctx, g, c, sel, algo, s, cache, pool)
 	case NCLMST, ACLMST:
-		return lmstCtx(ctx, g, c, sel, algo, KeepUnion, s, cache, prev)
+		return lmstCtx(ctx, g, c, sel, algo, KeepUnion, s, cache, prev, pool)
 	case GMST:
-		return globalMSTCtx(ctx, g, c, s)
+		return globalMSTCtx(ctx, g, c, s, pool)
 	default:
 		panic(fmt.Sprintf("gateway: unknown algorithm %d", int(algo)))
 	}
+}
+
+// shortestPaths computes the deterministic shortest path of every pair,
+// sharded across pool's workers (serial with a nil pool or one worker,
+// preserving the original per-pair cancellation points). Each shard
+// writes only its own slots of the result, so the path set cannot
+// depend on scheduling; cached paths short-circuit exactly as serially.
+func shortestPaths(ctx context.Context, g *graph.Graph, pairs [][2]int, s *graph.Scratch, cache map[[2]int][]int, pool *partition.Pool) ([][]int, error) {
+	out := make([][]int, len(pairs))
+	if pool.Workers() <= 1 {
+		for i, pair := range pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			out[i] = cachedPath(g, s, cache, pair[0], pair[1])
+		}
+		return out, nil
+	}
+	err := pool.Shard(ctx, len(pairs), func(_ int, bs *graph.Scratch, r partition.Range) error {
+		for i := r.Start; i < r.End; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			out[i] = cachedPath(g, bs, cache, pairs[i][0], pairs[i][1])
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // pathIntact reports whether every hop of path is still an edge of g.
@@ -211,21 +254,22 @@ func cachedPath(g *graph.Graph, s *graph.Scratch, cache map[[2]int][]int, u, v i
 // nodes of the deterministic shortest path between the two heads as
 // gateways (the mesh-based scheme: exactly one gateway path per pair).
 func Mesh(g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm) *Result {
-	res, _ := meshCtx(context.Background(), g, c, sel, label, nil, nil)
+	res, _ := meshCtx(context.Background(), g, c, sel, label, nil, nil, nil)
 	return res
 }
 
-func meshCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, s *graph.Scratch, cache map[[2]int][]int) (*Result, error) {
+func meshCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, s *graph.Scratch, cache map[[2]int][]int, pool *partition.Pool) (*Result, error) {
 	res := newResult(label)
-	for _, pair := range sel.Pairs() {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		path := cachedPath(g, s, cache, pair[0], pair[1])
-		if path == nil {
+	pairs := sel.Pairs()
+	paths, err := shortestPaths(ctx, g, pairs, s, cache, pool)
+	if err != nil {
+		return nil, err
+	}
+	for i, pair := range pairs {
+		if paths[i] == nil {
 			continue // disconnected G; callers use connected instances
 		}
-		res.addLink(pair[0], pair[1], path)
+		res.addLink(pair[0], pair[1], paths[i])
 	}
 	res.finish(c)
 	return res, nil
@@ -258,12 +302,12 @@ func (k KeepRule) String() string {
 // local MST, and keeps the virtual links from u to its on-tree
 // neighbors. Gateways are the intermediate nodes of kept links.
 func LMST(g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, keep KeepRule) *Result {
-	res, _ := lmstCtx(context.Background(), g, c, sel, label, keep, nil, nil, nil)
+	res, _ := lmstCtx(context.Background(), g, c, sel, label, keep, nil, nil, nil, nil)
 	return res
 }
 
-func lmstCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, keep KeepRule, s *graph.Scratch, cache map[[2]int][]int, prev *lmstState) (*Result, error) {
-	vg, paths, err := virtualGraphCtx(ctx, g, sel, s, cache)
+func lmstCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, keep KeepRule, s *graph.Scratch, cache map[[2]int][]int, prev *lmstState, pool *partition.Pool) (*Result, error) {
+	vg, paths, err := virtualGraphCtx(ctx, g, sel, s, cache, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -278,23 +322,47 @@ func lmstCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *nc
 		changed = changedHeads(prev.vg, vg)
 	}
 
+	// Each head's local MST reads only its own neighborhood of the (now
+	// frozen) virtual graph — the LMSTGA locality — so the per-head
+	// decisions shard across the pool, each shard writing its own slots.
+	verts := vg.Vertices()
+	onTreeOf := make([][]int, len(verts))
+	localMST := func(u int) []int {
+		if incremental && !changed[u] {
+			return prev.kept[u]
+		}
+		local := append([]int{u}, vg.Neighbors(u)...)
+		sub := vg.Subgraph(local)
+		return sub.MSTRooted(u)
+	}
+	if pool.Workers() > 1 {
+		err := pool.Shard(ctx, len(verts), func(_ int, _ *graph.Scratch, r partition.Range) error {
+			for i := r.Start; i < r.End; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				onTreeOf[i] = localMST(verts[i])
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for i, u := range verts {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			onTreeOf[i] = localMST(u)
+		}
+	}
+
 	// keepVotes[link] counts how many endpoints kept the link (1 or 2).
 	keepVotes := make(map[[2]int]int)
 	kept := make(map[int][]int, vg.NumVertices())
-	for _, u := range vg.Vertices() {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		var onTree []int
-		if incremental && !changed[u] {
-			onTree = prev.kept[u]
-		} else {
-			local := append([]int{u}, vg.Neighbors(u)...)
-			sub := vg.Subgraph(local)
-			onTree = sub.MSTRooted(u)
-		}
-		kept[u] = onTree
-		for _, v := range onTree {
+	for i, u := range verts {
+		kept[u] = onTreeOf[i]
+		for _, v := range onTreeOf[i] {
 			keepVotes[canon(u, v)]++
 		}
 	}
@@ -364,34 +432,70 @@ func changedHeads(oldVG, newVG *graph.WGraph) map[int]bool {
 // (weight = hop distance, ID tiebreak), with intermediate path nodes as
 // gateways.
 func GlobalMST(g *graph.Graph, c *cluster.Clustering) *Result {
-	res, _ := globalMSTCtx(context.Background(), g, c, nil)
+	res, _ := globalMSTCtx(context.Background(), g, c, nil, nil)
 	return res
 }
 
-func globalMSTCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, s *graph.Scratch) (*Result, error) {
-	vg := graph.NewWGraph()
-	for i, u := range c.Heads {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		vg.AddVertex(u)
-		dist := g.BFSScratch(s, u)
+func globalMSTCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, s *graph.Scratch, pool *partition.Pool) (*Result, error) {
+	// Head-to-head distances: one whole-graph BFS per head, sharded
+	// across the pool (each shard owns its rows of dists), then merged
+	// into the virtual graph in head order — the serial construction.
+	dists := make([][]graph.WEdge, len(c.Heads))
+	headDists := func(bs *graph.Scratch, i int) []graph.WEdge {
+		u := c.Heads[i]
+		dist := g.BFSScratch(bs, u)
+		var row []graph.WEdge
 		for _, v := range c.Heads[i+1:] {
 			if d := dist.Dist(v); d != graph.Unreachable {
-				vg.AddEdge(u, v, d)
+				row = append(row, graph.WEdge{U: u, V: v, Weight: d})
 			}
+		}
+		return row
+	}
+	if pool.Workers() > 1 {
+		err := pool.Shard(ctx, len(c.Heads), func(_ int, bs *graph.Scratch, r partition.Range) error {
+			for i := r.Start; i < r.End; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				dists[i] = headDists(bs, i)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for i := range c.Heads {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			dists[i] = headDists(s, i)
+		}
+	}
+	vg := graph.NewWGraph()
+	for i, u := range c.Heads {
+		vg.AddVertex(u)
+		for _, e := range dists[i] {
+			vg.AddEdge(e.U, e.V, e.Weight)
 		}
 	}
 	res := newResult(GMST)
 	// Paths are only materialized for the |H|-1 chosen tree edges; the
 	// deterministic tie-breaking makes the path independent of when it is
-	// computed, so this matches building every pair's path up front.
-	for _, e := range vg.MST() {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		link := canon(e.U, e.V)
-		res.addLink(link[0], link[1], g.ShortestPathScratch(s, link[0], link[1]))
+	// computed, so this matches building every pair's path up front. The
+	// per-edge path computations shard like any other pair fan-out.
+	mst := vg.MST()
+	links := make([][2]int, len(mst))
+	for i, e := range mst {
+		links[i] = canon(e.U, e.V)
+	}
+	paths, err := shortestPaths(ctx, g, links, s, nil, pool)
+	if err != nil {
+		return nil, err
+	}
+	for i, link := range links {
+		res.addLink(link[0], link[1], paths[i])
 	}
 	res.finish(c)
 	return res, nil
@@ -403,21 +507,23 @@ func globalMSTCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, s 
 // returns the underlying path of each virtual link keyed by canonical
 // pair.
 func VirtualGraph(g *graph.Graph, sel *ncr.Selection) (*graph.WGraph, map[[2]int][]int) {
-	vg, paths, _ := virtualGraphCtx(context.Background(), g, sel, nil, nil)
+	vg, paths, _ := virtualGraphCtx(context.Background(), g, sel, nil, nil, nil)
 	return vg, paths
 }
 
-func virtualGraphCtx(ctx context.Context, g *graph.Graph, sel *ncr.Selection, s *graph.Scratch, cache map[[2]int][]int) (*graph.WGraph, map[[2]int][]int, error) {
+func virtualGraphCtx(ctx context.Context, g *graph.Graph, sel *ncr.Selection, s *graph.Scratch, cache map[[2]int][]int, pool *partition.Pool) (*graph.WGraph, map[[2]int][]int, error) {
 	vg := graph.NewWGraph()
 	for h := range sel.Neighbors {
 		vg.AddVertex(h)
 	}
+	pairs := sel.Pairs()
+	pairPaths, err := shortestPaths(ctx, g, pairs, s, cache, pool)
+	if err != nil {
+		return nil, nil, err
+	}
 	paths := make(map[[2]int][]int)
-	for _, pair := range sel.Pairs() {
-		if err := ctx.Err(); err != nil {
-			return nil, nil, err
-		}
-		path := cachedPath(g, s, cache, pair[0], pair[1])
+	for i, pair := range pairs {
+		path := pairPaths[i]
 		if path == nil {
 			continue
 		}

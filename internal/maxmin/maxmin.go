@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
+	"repro/internal/partition"
 )
 
 // Run executes Max-Min d-cluster formation on g. The graph should be
@@ -48,6 +49,16 @@ func Run(g *graph.Graph, d int) *cluster.Clustering {
 // RunCtx is Run with cancellation between flood rounds and reusable BFS
 // buffers (nil is valid) for the final distance-to-head pass.
 func RunCtx(ctx context.Context, g *graph.Graph, d int, s *graph.Scratch) (*cluster.Clustering, error) {
+	return RunPar(ctx, g, d, s, nil)
+}
+
+// RunPar is RunCtx with each synchronous flood round (and the final
+// election and distance passes) sharded across pool's workers. A flood
+// round reads the previous round's winners and writes each node's slot
+// exclusively — the synchronous-round structure *is* the partition — so
+// the clustering is identical to a serial run for any worker count. A
+// nil pool (or one worker) is the serial path.
+func RunPar(ctx context.Context, g *graph.Graph, d int, s *graph.Scratch, pool *partition.Pool) (*cluster.Clustering, error) {
 	if d < 1 {
 		panic(fmt.Sprintf("maxmin: d must be ≥ 1, got %d", d))
 	}
@@ -59,48 +70,73 @@ func RunCtx(ctx context.Context, g *graph.Graph, d int, s *graph.Scratch) (*clus
 	maxLog := make([][]int, n) // per-node Floodmax winners, per round
 	minLog := make([][]int, n)
 
-	// Floodmax: d synchronous rounds of "adopt the largest winner among
-	// yourself and your neighbors".
-	for r := 0; r < d; r++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	// flood runs one synchronous round: next[v] and log[v] are written
+	// only by v's shard, winner is frozen for the round.
+	flood := func(log [][]int, better func(a, b int) bool) error {
 		next := make([]int, n)
-		for v := 0; v < n; v++ {
-			best := winner[v]
-			for _, u := range g.Neighbors(v) {
-				if winner[u] > best {
-					best = winner[u]
+		round := func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				best := winner[v]
+				for _, u := range g.Neighbors(v) {
+					if better(winner[u], best) {
+						best = winner[u]
+					}
 				}
+				next[v] = best
+				log[v] = append(log[v], best)
 			}
-			next[v] = best
-			maxLog[v] = append(maxLog[v], best)
+		}
+		if pool.Workers() > 1 {
+			err := pool.Shard(ctx, n, func(_ int, _ *graph.Scratch, r partition.Range) error {
+				round(r.Start, r.End)
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+		} else {
+			round(0, n)
 		}
 		winner = next
+		return nil
 	}
 
-	// Floodmin: d rounds of "adopt the smallest".
+	// Floodmax: d synchronous rounds of "adopt the largest winner among
+	// yourself and your neighbors"; then Floodmin: d rounds of "adopt
+	// the smallest".
 	for r := 0; r < d; r++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		next := make([]int, n)
-		for v := 0; v < n; v++ {
-			best := winner[v]
-			for _, u := range g.Neighbors(v) {
-				if winner[u] < best {
-					best = winner[u]
-				}
-			}
-			next[v] = best
-			minLog[v] = append(minLog[v], best)
+		if err := flood(maxLog, func(a, b int) bool { return a > b }); err != nil {
+			return nil, err
 		}
-		winner = next
+	}
+	for r := 0; r < d; r++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := flood(minLog, func(a, b int) bool { return a < b }); err != nil {
+			return nil, err
+		}
 	}
 
 	head := make([]int, n)
-	for v := 0; v < n; v++ {
-		head[v] = elect(v, maxLog[v], minLog[v])
+	electRange := func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			head[v] = elect(v, maxLog[v], minLog[v])
+		}
+	}
+	if pool.Workers() > 1 {
+		err := pool.Shard(ctx, n, func(_ int, _ *graph.Scratch, r partition.Range) error {
+			electRange(r.Start, r.End)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		electRange(0, n)
 	}
 
 	// Consistency pass: every node selected by someone must head itself
@@ -120,16 +156,36 @@ func RunCtx(ctx context.Context, g *graph.Graph, d int, s *graph.Scratch) (*clus
 	}
 	sort.Ints(heads)
 
+	// Distance-to-head: one BFS per head, writing only its own members'
+	// slots (Head is a function, so members partition across heads).
 	distToHead := make([]int, n)
-	for _, h := range heads {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		dist := g.BFSScratch(s, h)
+	headDist := func(bs *graph.Scratch, h int) {
+		dist := g.BFSScratch(bs, h)
 		for v := 0; v < n; v++ {
 			if head[v] == h {
 				distToHead[v] = dist.Dist(v)
 			}
+		}
+	}
+	if pool.Workers() > 1 {
+		err := pool.Shard(ctx, len(heads), func(_ int, bs *graph.Scratch, r partition.Range) error {
+			for i := r.Start; i < r.End; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				headDist(bs, heads[i])
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		for _, h := range heads {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			headDist(s, h)
 		}
 	}
 

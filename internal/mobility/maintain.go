@@ -339,9 +339,15 @@ func (m *Maintainer) applyJoin(node int, neighbors []int) (RepairReport, map[int
 	rep := RepairReport{Kind: EventJoin, Node: node, ReclusteredNodes: 1}
 	if h, d, ok := cluster.Affiliate(m.G, m.scratch, m.survivingHeads(), node, m.K); ok {
 		// Adoption: the arrival affiliates with an existing cluster — free
-		// for the CDS, exactly like a member departure in reverse.
+		// for the CDS, exactly like a member departure in reverse — unless
+		// its new links bridge foreign clusters (see adjacencyDirty).
 		rep.Role = RoleMember
 		m.C = m.withAssignment(node, h, d)
+		if dirty := m.adjacencyDirty(node, neighbors); dirty != nil {
+			rep.GatewayDirty = true
+			rep.ReselectedHeads = len(dirty)
+			return rep, dirty, nil
+		}
 		return rep, nil, nil
 	}
 	// No head within k hops: the arrival declares itself clusterhead.
@@ -404,7 +410,47 @@ func (m *Maintainer) applyMove(node int, neighbors []int) (RepairReport, map[int
 		rep.ReselectedHeads = len(m.C.Heads)
 	}
 	rep.GatewayDirty = role != RoleMember || reclustered > 0
+	// Even a plain member's relocation can bridge foreign clusters with
+	// its new links; those heads must re-run gateway selection.
+	if adj := m.adjacencyDirty(node, neighbors); adj != nil {
+		rep.GatewayDirty = true
+		if dirty == nil {
+			dirty = adj
+		} else {
+			for h := range adj {
+				dirty[h] = true
+			}
+		}
+		// Keep the reported repair scope in sync with the merged set (a
+		// head move already reports the whole head set).
+		if role != RoleHead {
+			rep.ReselectedHeads = len(dirty)
+		}
+	}
 	return rep, dirty, nil
+}
+
+// adjacencyDirty returns the heads whose clusters gained a radio
+// adjacency through node's new links — node's own head plus the head of
+// every new neighbor assigned to a different cluster — or nil when all
+// links stay inside node's cluster. §3.3 treats member-level events as
+// free for the CDS, but that argument covers departures only: an added
+// inter-cluster edge changes the adjacent-cluster graph and can even
+// merge two components of G, so the affected heads must re-run gateway
+// selection or the merged components stay unwired. Call after the
+// clustering reflects the event.
+func (m *Maintainer) adjacencyDirty(node int, neighbors []int) map[int]bool {
+	h := m.C.Head[node]
+	var dirty map[int]bool
+	for _, w := range neighbors {
+		if hw := m.C.Head[w]; hw != h {
+			if dirty == nil {
+				dirty = map[int]bool{h: true}
+			}
+			dirty[hw] = true
+		}
+	}
+	return dirty
 }
 
 // checkNeighbors validates a Join/Move neighbor list before any

@@ -378,8 +378,21 @@ func TestJoinBackAsMember(t *testing.T) {
 	if rep.Kind != EventJoin || !m.Alive(member) {
 		t.Fatalf("join report %+v, alive=%v", rep, m.Alive(member))
 	}
-	if rep.Role == RoleMember && rep.GatewayDirty {
-		t.Fatalf("member join dirtied the gateways: %+v", rep)
+	// A member join is free for the CDS exactly when all its links stay
+	// inside its own cluster; links bridging foreign clusters change the
+	// adjacent-cluster graph and must re-run gateway selection (the
+	// invariant-suite fuzzer found the unconditional-free version lets a
+	// component merge go unwired).
+	if rep.Role == RoleMember {
+		bridges := false
+		for _, w := range alive {
+			if m.C.Head[w] != m.C.Head[member] {
+				bridges = true
+			}
+		}
+		if rep.GatewayDirty != bridges {
+			t.Fatalf("member join GatewayDirty=%v, bridging links=%v: %+v", rep.GatewayDirty, bridges, rep)
+		}
 	}
 	checkMaintained(t, m)
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/graph"
+	"repro/internal/partition"
 )
 
 // Rule identifies a neighbor clusterhead selection rule.
@@ -96,11 +97,19 @@ func Select(g *graph.Graph, c *cluster.Clustering, rule Rule) *Selection {
 // SelectCtx runs the given rule, honoring cancellation between per-head
 // neighborhood walks and reusing s's BFS buffers (nil is valid).
 func SelectCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, rule Rule, s *graph.Scratch) (*Selection, error) {
+	return SelectPar(ctx, g, c, rule, s, nil)
+}
+
+// SelectPar is SelectCtx with the per-head neighborhood walks (NC) or
+// the edge scan (A-NCR) sharded across pool's workers; the selection is
+// identical to a serial run for any worker count. A nil pool (or one
+// worker) is the serial path.
+func SelectPar(ctx context.Context, g *graph.Graph, c *cluster.Clustering, rule Rule, s *graph.Scratch, pool *partition.Pool) (*Selection, error) {
 	switch rule {
 	case RuleNC:
-		return ncCtx(ctx, g, c, s)
+		return ncCtx(ctx, g, c, s, pool)
 	case RuleANCR:
-		return ancrCtx(ctx, g, c)
+		return ancrCtx(ctx, g, c, pool)
 	case RuleWuLou:
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -115,26 +124,50 @@ func SelectCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, rule 
 // 2k+1 hops in G. This is the baseline every prior scheme uses and is a
 // supergraph of the A-NCR selection.
 func NC(g *graph.Graph, c *cluster.Clustering) *Selection {
-	sel, _ := ncCtx(context.Background(), g, c, nil)
+	sel, _ := ncCtx(context.Background(), g, c, nil, nil)
 	return sel
 }
 
-func ncCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, s *graph.Scratch) (*Selection, error) {
+func ncCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, s *graph.Scratch, pool *partition.Pool) (*Selection, error) {
 	radius := 2*c.K + 1
 	sel := &Selection{Rule: RuleNC, K: c.K, Neighbors: make(map[int][]int, len(c.Heads))}
-	for _, h := range c.Heads {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	ncHead := func(bs *graph.Scratch, h int) []int {
 		var nbs []int
-		g.EachWithin(s, h, radius, func(v, _ int) bool {
+		g.EachWithin(bs, h, radius, func(v, _ int) bool {
 			if v != h && c.IsHead(v) {
 				nbs = append(nbs, v)
 			}
 			return true
 		})
 		sort.Ints(nbs)
-		sel.Neighbors[h] = nbs
+		return nbs
+	}
+	if pool.Workers() > 1 {
+		// Each head's 2k+1-hop walk is independent and read-only; shard
+		// the head list, each shard writing its own slots of nbsOf.
+		nbsOf := make([][]int, len(c.Heads))
+		err := pool.Shard(ctx, len(c.Heads), func(_ int, bs *graph.Scratch, r partition.Range) error {
+			for i := r.Start; i < r.End; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				nbsOf[i] = ncHead(bs, c.Heads[i])
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i, h := range c.Heads {
+			sel.Neighbors[h] = nbsOf[i]
+		}
+		return sel, nil
+	}
+	for _, h := range c.Heads {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sel.Neighbors[h] = ncHead(s, h)
 	}
 	return sel, nil
 }
@@ -146,32 +179,55 @@ func ncCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, s *graph.
 // distributed rule works too — border members detect foreign neighbors
 // and report the foreign head to their own head.
 func ANCR(g *graph.Graph, c *cluster.Clustering) *Selection {
-	sel, _ := ancrCtx(context.Background(), g, c)
+	sel, _ := ancrCtx(context.Background(), g, c, nil)
 	return sel
 }
 
-func ancrCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering) (*Selection, error) {
+func ancrCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, pool *partition.Pool) (*Selection, error) {
 	sel := &Selection{Rule: RuleANCR, K: c.K, Neighbors: make(map[int][]int, len(c.Heads))}
+	scanRange := func(adj map[[2]int]bool, lo, hi int) error {
+		for u := lo; u < hi; u++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			hu := c.Head[u]
+			for _, v := range g.Neighbors(u) {
+				if u > v {
+					continue // visit each undirected edge once
+				}
+				hv := c.Head[v]
+				if hu == hv {
+					continue
+				}
+				a, b := hu, hv
+				if a > b {
+					a, b = b, a
+				}
+				adj[[2]int{a, b}] = true
+			}
+		}
+		return nil
+	}
 	adj := make(map[[2]int]bool)
-	for u := 0; u < g.N(); u++ {
-		if err := ctx.Err(); err != nil {
+	if pool.Workers() > 1 {
+		// The adjacency relation is a set: shard the edge scan by node
+		// range into per-shard sets and union them — order-free, so the
+		// merged set is identical to the serial one.
+		parts := make([]map[[2]int]bool, pool.Workers())
+		err := pool.Shard(ctx, g.N(), func(shard int, _ *graph.Scratch, r partition.Range) error {
+			parts[shard] = make(map[[2]int]bool)
+			return scanRange(parts[shard], r.Start, r.End)
+		})
+		if err != nil {
 			return nil, err
 		}
-		hu := c.Head[u]
-		for _, v := range g.Neighbors(u) {
-			if u > v {
-				continue // visit each undirected edge once
+		for _, part := range parts {
+			for pair := range part {
+				adj[pair] = true
 			}
-			hv := c.Head[v]
-			if hu == hv {
-				continue
-			}
-			a, b := hu, hv
-			if a > b {
-				a, b = b, a
-			}
-			adj[[2]int{a, b}] = true
 		}
+	} else if err := scanRange(adj, 0, g.N()); err != nil {
+		return nil, err
 	}
 	for _, h := range c.Heads {
 		sel.Neighbors[h] = nil

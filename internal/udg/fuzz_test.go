@@ -1,0 +1,46 @@
+package udg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzUDGBuild cross-checks the grid-indexed unit-disk construction
+// against the O(n²) all-pairs oracle: for any placement and range, the
+// two must produce the same edge set. The grid puts nodes in r×r cells
+// and scans 3×3 neighborhoods; boundary cases (nodes exactly at
+// distance r, on cell borders, negative cells never arising, r larger
+// than the field) are exactly what fuzzing varies.
+func FuzzUDGBuild(f *testing.F) {
+	f.Add(int64(1), uint8(30), uint16(180))
+	f.Add(int64(2), uint8(1), uint16(1))
+	f.Add(int64(3), uint8(64), uint16(1600)) // range exceeding the field
+	f.Add(int64(4), uint8(7), uint16(0))
+	f.Fuzz(func(t *testing.T, seed int64, rawN uint8, rawR uint16) {
+		n := int(rawN)%64 + 1
+		r := float64(rawR%3000)/10 + 0.05 // 0.05 .. ~300 on a 100×100 field
+		rng := rand.New(rand.NewSource(seed))
+		pos := RandomPlacement(n, DefaultField(), rng)
+
+		g := Build(pos, r)
+
+		edges := 0
+		r2 := r * r
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				want := pos[i].Dist2(pos[j]) <= r2
+				if got := g.HasEdge(i, j); got != want {
+					t.Fatalf("edge (%d,%d): grid=%v oracle=%v (dist=%g r=%g)",
+						i, j, got, want, math.Sqrt(pos[i].Dist2(pos[j])), r)
+				}
+				if want {
+					edges++
+				}
+			}
+		}
+		if g.M() != edges {
+			t.Fatalf("edge count %d, oracle %d", g.M(), edges)
+		}
+	})
+}

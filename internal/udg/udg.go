@@ -78,7 +78,11 @@ func Generate(c Config, rng *rand.Rand) (*Network, error) {
 			return &Network{Pos: pos, Range: r, Field: c.Field, G: g}, nil
 		}
 	}
-	return nil, ErrDisconnected
+	// Wrap with the attempted configuration: a bare sentinel loses the
+	// context callers need to see why connectivity was unreachable (a
+	// sweep naming only "could not generate" is undebuggable).
+	return nil, fmt.Errorf("udg: N=%d, avg degree %g, range %.4g, %d tries: %w",
+		c.N, c.AvgDegree, r, c.MaxTries, ErrDisconnected)
 }
 
 // RandomPlacement scatters n nodes uniformly at random over field.

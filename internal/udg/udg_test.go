@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -194,6 +195,13 @@ func TestGenerateErrors(t *testing.T) {
 	_, err := Generate(Config{N: 50, Range: 0.5, RequireConnected: true, MaxTries: 5}, rng)
 	if !errors.Is(err, ErrDisconnected) {
 		t.Errorf("want ErrDisconnected, got %v", err)
+	}
+	// The wrapped error must carry the attempted configuration, not just
+	// the bare sentinel.
+	for _, want := range []string{"N=50", "range 0.5", "5 tries"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
 	}
 }
 

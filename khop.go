@@ -3,9 +3,9 @@ package khop
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 
-	"repro/internal/cds"
 	"repro/internal/cluster"
 	"repro/internal/gateway"
 	"repro/internal/graph"
@@ -199,27 +199,14 @@ type PhaseCost struct {
 }
 
 // Verify checks the paper's guarantees on a built result: heads form a
-// k-hop dominating and independent set, clusters are well-formed, and the
-// CDS connects all heads and dominates the graph within k hops. It
+// k-hop dominating and independent set, clusters are well-formed, and
+// the CDS connects all heads and dominates the graph within k hops. It
 // returns nil when all hold; intended for tests and debugging.
-func (r *Result) Verify(g *Graph) error {
-	c := &cluster.Clustering{K: r.K, Head: r.HeadOf, Heads: r.Heads, DistToHead: r.DistToHead}
-	if err := cds.CheckClustering(g.g, c); err != nil {
-		return err
-	}
-	if err := cds.CheckDominatingSet(g.g, r.Heads, r.K); err != nil {
-		return err
-	}
-	if r.IndependentHeads {
-		if err := cds.CheckIndependentSet(g.g, r.Heads, r.K); err != nil {
-			return err
-		}
-	}
-	if err := cds.CheckHeadsConnected(g.g, r.CDS, r.Heads); err != nil {
-		return err
-	}
-	return cds.CheckKHopCDS(g.g, r.CDS, r.K)
-}
+//
+// Verify is VerifyResult with the arguments flipped; see VerifyResult
+// for the full invariant list (including the edge-by-edge gateway-path
+// checks and churn awareness).
+func (r *Result) Verify(g *Graph) error { return VerifyResult(g, r) }
 
 func assemble(c *cluster.Clustering, sel *ncr.Selection, res *gateway.Result, opt Options) *Result {
 	return &Result{
@@ -292,7 +279,10 @@ func RandomNetwork(cfg NetworkConfig) (*Network, error) {
 	}, rng)
 	if err != nil {
 		if errors.Is(err, udg.ErrDisconnected) {
-			return nil, ErrDisconnected
+			// Keep the sentinel matchable with errors.Is while carrying
+			// the attempted configuration in the message.
+			return nil, fmt.Errorf("khop: N=%d, avg degree %g, seed %d: %w",
+				cfg.N, cfg.AvgDegree, cfg.Seed, ErrDisconnected)
 		}
 		return nil, err
 	}

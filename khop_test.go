@@ -1,7 +1,9 @@
 package khop
 
 import (
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -83,8 +85,14 @@ func TestRandomNetworkDisconnectedError(t *testing.T) {
 	if err == nil {
 		t.Skip("sparse network happened to be connected")
 	}
-	if err != ErrDisconnected {
+	if !errors.Is(err, ErrDisconnected) {
 		t.Fatalf("err=%v", err)
+	}
+	// The wrap carries the attempted configuration (N, degree, seed).
+	for _, want := range []string{"N=30", "degree 1.2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
 	}
 	// AllowDisconnected must succeed.
 	if _, err := RandomNetwork(NetworkConfig{N: 30, AvgDegree: 1.2, Seed: 1, AllowDisconnected: true}); err != nil {

@@ -1,0 +1,266 @@
+package khop
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// VerifyResult machine-checks the paper's invariants on a built (or
+// incrementally maintained) Result against the network graph it
+// describes:
+//
+//   - clusters are well-formed: every node's head is a listed
+//     clusterhead within K hops, recorded join distances are consistent,
+//     and the Heads list is sorted, unique, and self-heading;
+//   - the heads k-hop dominate the graph (implied by the above, checked
+//     directly);
+//   - when Result.IndependentHeads is set, heads are pairwise more than
+//     K hops apart;
+//   - NeighborHeads is a symmetric relation between listed heads;
+//   - CDS is exactly Heads ∪ Gateways (sorted, duplicate-free, the two
+//     sets disjoint);
+//   - every gateway path is valid edge by edge — canonical head
+//     endpoints, every hop an existing edge — and the gateway set is
+//     exactly the non-head interior nodes of those paths;
+//   - heads that share a connected component of g are connected inside
+//     the subgraph induced by the CDS (Theorem 2, per component).
+//
+// It is the recommended assertion for downstream tests: every mode
+// (Centralized, Distributed, MaxMin), every algorithm, and both the
+// serial and WithParallel build paths must keep it green, as must every
+// Engine.Apply repair.
+//
+// Churn-aware: a node the engine has removed (Engine.Apply with Leave)
+// is left in the Result as an inert self-headed, unlisted, edge-less
+// slot; VerifyResult recognizes such slots as departed and verifies the
+// invariants over the alive nodes. Lossy Distributed results carry
+// degraded marks and no paths by design; they are outside this
+// checker's scope (as they are outside NewRouter's).
+func VerifyResult(g *Graph, r *Result) error {
+	if r == nil {
+		return fmt.Errorf("khop: verify: nil result")
+	}
+	n := g.N()
+	if r.K < 1 {
+		return fmt.Errorf("khop: verify: K=%d < 1", r.K)
+	}
+	if len(r.HeadOf) != n || len(r.DistToHead) != n {
+		return fmt.Errorf("khop: verify: HeadOf/DistToHead cover %d/%d nodes, graph has %d",
+			len(r.HeadOf), len(r.DistToHead), n)
+	}
+
+	// The head list: sorted, unique, self-heading.
+	listed := make([]bool, n)
+	for i, h := range r.Heads {
+		if h < 0 || h >= n {
+			return fmt.Errorf("khop: verify: head %d out of range [0,%d)", h, n)
+		}
+		if i > 0 && r.Heads[i-1] >= h {
+			return fmt.Errorf("khop: verify: Heads not sorted/unique at %d", h)
+		}
+		if r.HeadOf[h] != h {
+			return fmt.Errorf("khop: verify: listed head %d does not head itself", h)
+		}
+		listed[h] = true
+	}
+
+	// Departed slots (Engine.Apply convention): self-headed, unlisted,
+	// and edge-less. Anything else self-headed but unlisted is corrupt.
+	alive := make([]bool, n)
+	for v := 0; v < n; v++ {
+		alive[v] = !(r.HeadOf[v] == v && !listed[v] && g.g.Degree(v) == 0)
+	}
+
+	// Membership: every alive node joined a listed head within K hops of
+	// it, with a consistent recorded distance. One ball walk per head
+	// covers all its members; the same walks check domination and (via
+	// seen) that no member's head is out of reach.
+	s := graph.NewScratch()
+	distToOwn := make([]int, n)
+	for v := range distToOwn {
+		distToOwn[v] = -1
+	}
+	for _, h := range r.Heads {
+		g.g.EachWithin(s, h, r.K, func(v, d int) bool {
+			if r.HeadOf[v] == h {
+				distToOwn[v] = d
+			}
+			return true
+		})
+	}
+	for v := 0; v < n; v++ {
+		if !alive[v] {
+			continue
+		}
+		h := r.HeadOf[v]
+		if h < 0 || h >= n || !listed[h] {
+			return fmt.Errorf("khop: verify: node %d joined %d, which is not a listed head", v, h)
+		}
+		if distToOwn[v] < 0 {
+			return fmt.Errorf("khop: verify: member %d is more than K=%d hops from its head %d", v, r.K, h)
+		}
+		if r.DistToHead[v] < distToOwn[v] || r.DistToHead[v] > r.K {
+			return fmt.Errorf("khop: verify: member %d recorded join distance %d, shortest is %d (K=%d)",
+				v, r.DistToHead[v], distToOwn[v], r.K)
+		}
+	}
+
+	// Independence: when the flag is set, no head sees another head
+	// within K hops.
+	if r.IndependentHeads {
+		for _, h := range r.Heads {
+			var conflict error
+			g.g.EachWithin(s, h, r.K, func(v, d int) bool {
+				if v != h && listed[v] {
+					conflict = fmt.Errorf("khop: verify: IndependentHeads set, but heads %d and %d are only %d ≤ K hops apart", h, v, d)
+					return false
+				}
+				return true
+			})
+			if conflict != nil {
+				return conflict
+			}
+		}
+	}
+
+	// NeighborHeads: a symmetric relation between listed heads.
+	for h, nbs := range r.NeighborHeads {
+		if h < 0 || h >= n || !listed[h] {
+			return fmt.Errorf("khop: verify: NeighborHeads keyed by non-head %d", h)
+		}
+		for _, v := range nbs {
+			if v < 0 || v >= n || !listed[v] {
+				return fmt.Errorf("khop: verify: head %d selects non-head neighbor %d", h, v)
+			}
+			back, ok := r.NeighborHeads[v]
+			if !ok || !contains(back, h) {
+				return fmt.Errorf("khop: verify: neighbor selection not symmetric: %d selects %d", h, v)
+			}
+		}
+	}
+
+	// CDS composition: exactly Heads ∪ Gateways, disjoint and sorted.
+	inGateways := make([]bool, n)
+	for i, v := range r.Gateways {
+		if v < 0 || v >= n {
+			return fmt.Errorf("khop: verify: gateway %d out of range [0,%d)", v, n)
+		}
+		if i > 0 && r.Gateways[i-1] >= v {
+			return fmt.Errorf("khop: verify: Gateways not sorted/unique at %d", v)
+		}
+		if listed[v] {
+			return fmt.Errorf("khop: verify: gateway %d is also a clusterhead", v)
+		}
+		inGateways[v] = true
+	}
+	want := append(append([]int(nil), r.Heads...), r.Gateways...)
+	sort.Ints(want)
+	if len(want) != len(r.CDS) {
+		return fmt.Errorf("khop: verify: CDS has %d nodes, Heads ∪ Gateways has %d", len(r.CDS), len(want))
+	}
+	inCDS := make([]bool, n)
+	for i, v := range r.CDS {
+		if v != want[i] {
+			return fmt.Errorf("khop: verify: CDS[%d] = %d, want %d (CDS must be sorted Heads ∪ Gateways)", i, v, want[i])
+		}
+		inCDS[v] = true
+	}
+
+	// Gateway paths: canonical head endpoints, every hop a real edge,
+	// and the gateway set exactly the union of non-head interior nodes.
+	used := make([]bool, n)
+	for link, path := range r.GatewayPaths {
+		u, v := link[0], link[1]
+		if u >= v || u < 0 || v >= n || !listed[u] || !listed[v] {
+			return fmt.Errorf("khop: verify: gateway link {%d,%d} is not a canonical head pair", u, v)
+		}
+		if len(path) < 2 || path[0] != u || path[len(path)-1] != v {
+			return fmt.Errorf("khop: verify: path for {%d,%d} has endpoints %v", u, v, path)
+		}
+		for i := 1; i < len(path); i++ {
+			a, b := path[i-1], path[i]
+			if a < 0 || a >= n || b < 0 || b >= n || !g.g.HasEdge(a, b) {
+				return fmt.Errorf("khop: verify: path for {%d,%d} uses missing edge (%d,%d)", u, v, a, b)
+			}
+		}
+		for _, w := range path[1 : len(path)-1] {
+			if !listed[w] {
+				if !inGateways[w] {
+					return fmt.Errorf("khop: verify: path for {%d,%d} crosses %d, which is neither head nor gateway", u, v, w)
+				}
+				used[w] = true
+			}
+		}
+	}
+	for _, v := range r.Gateways {
+		if !used[v] {
+			return fmt.Errorf("khop: verify: gateway %d lies on no gateway path", v)
+		}
+	}
+
+	// Connectivity (Theorem 2, per component): heads sharing a connected
+	// component of g must be connected inside the CDS-induced subgraph.
+	comp := components(g.g, alive)
+	cdsComp := cdsComponents(g.g, r.CDS, inCDS)
+	firstHead := make(map[int]int) // g-component -> representative head
+	for _, h := range r.Heads {
+		rep, ok := firstHead[comp[h]]
+		if !ok {
+			firstHead[comp[h]] = h
+			continue
+		}
+		if cdsComp.Find(rep) != cdsComp.Find(h) {
+			return fmt.Errorf("khop: verify: heads %d and %d share a component of the graph but are disconnected inside the CDS", rep, h)
+		}
+	}
+	return nil
+}
+
+// components labels each alive vertex with a connected-component ID.
+func components(g *graph.Graph, alive []bool) []int {
+	comp := make([]int, g.N())
+	for v := range comp {
+		comp[v] = -1
+	}
+	next := 0
+	var stack []int
+	for v := 0; v < g.N(); v++ {
+		if comp[v] >= 0 || !alive[v] {
+			continue
+		}
+		comp[v] = next
+		stack = append(stack[:0], v)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range g.Neighbors(u) {
+				if comp[w] < 0 {
+					comp[w] = next
+					stack = append(stack, w)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// cdsComponents unions CDS nodes along edges interior to the CDS.
+func cdsComponents(g *graph.Graph, cds []int, inCDS []bool) *graph.UnionFind {
+	uf := graph.NewUnionFind(g.N())
+	for _, u := range cds {
+		for _, v := range g.Neighbors(u) {
+			if inCDS[v] {
+				uf.Union(u, v)
+			}
+		}
+	}
+	return uf
+}
+
+func contains(sorted []int, v int) bool {
+	i := sort.SearchInts(sorted, v)
+	return i < len(sorted) && sorted[i] == v
+}
