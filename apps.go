@@ -88,9 +88,14 @@ func (r *Router) TableSizes() (flat, hierarchical int) { return r.r.TableSizes()
 // a Result was assembled from. The paths and links are rebuilt from
 // GatewayPaths; a multi-cluster Result without them cannot be
 // reconstructed faithfully (the backbone would silently come out empty),
-// so that case is an explicit error instead of a broken structure.
+// so that case is an explicit error instead of a broken structure. The
+// one legitimately path-less multi-head shape — a NeighborHeads map
+// that selects no pair at all, i.e. every head alone in its own
+// component — reconstructs faithfully to an empty backbone and is
+// allowed through (snapshots of disconnected deployments restore this
+// way).
 func (r *Result) internals() (*cluster.Clustering, *gateway.Result, error) {
-	if len(r.Heads) > 1 && len(r.GatewayPaths) == 0 {
+	if len(r.Heads) > 1 && len(r.GatewayPaths) == 0 && !emptyBackbone(r) {
 		return nil, nil, ErrNoGatewayPaths
 	}
 	c := &cluster.Clustering{
@@ -110,4 +115,19 @@ func (r *Result) internals() (*cluster.Clustering, *gateway.Result, error) {
 	}
 	graph.SortWEdges(gres.Links)
 	return c, gres, nil
+}
+
+// emptyBackbone reports whether r's neighbor selection is present and
+// selects no head pair — the only shape for which "no gateway paths"
+// is the truth rather than missing data.
+func emptyBackbone(r *Result) bool {
+	if len(r.NeighborHeads) == 0 {
+		return false
+	}
+	for _, nbs := range r.NeighborHeads {
+		if len(nbs) > 0 {
+			return false
+		}
+	}
+	return true
 }

@@ -1,0 +1,35 @@
+package khop_test
+
+import (
+	"context"
+	"fmt"
+
+	khop "repro"
+)
+
+// ExampleNewRouter routes hierarchically over a built Result: inside
+// the source cluster to its head, across the clusterhead backbone via
+// the gateway paths, then down into the destination cluster. Members
+// keep one routing entry; only heads keep backbone state.
+func ExampleNewRouter() {
+	net, _ := khop.RandomNetwork(khop.NetworkConfig{N: 60, AvgDegree: 6, Seed: 1})
+	engine, _ := khop.NewEngine(net.Graph(), khop.WithK(2), khop.WithAlgorithm(khop.ACLMST))
+	res, err := engine.Build(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	router, err := khop.NewRouter(net.Graph(), res)
+	if err != nil {
+		panic(err)
+	}
+	route, err := router.Route(2, 50)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("route 2→50: %v (%d hops)\n", route, len(route)-1)
+	flat, hier := router.TableSizes()
+	fmt.Printf("routing entries network-wide: flat=%d hierarchical=%d\n", flat, hier)
+	// Output:
+	// route 2→50: [2 5 0 52 31 38 1 58 50] (8 hops)
+	// routing entries network-wide: flat=3540 hierarchical=160
+}

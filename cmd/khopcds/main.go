@@ -34,17 +34,8 @@ func main() {
 	}
 }
 
-func parseAlgo(s string) (khop.Algorithm, error) {
-	for _, a := range []khop.Algorithm{khop.NCMesh, khop.ACMesh, khop.NCLMST, khop.ACLMST, khop.GMST} {
-		if a.String() == s {
-			return a, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown algorithm %q", s)
-}
-
 func run(n int, d float64, k int, seed int64, algoName string, dist, terse bool) error {
-	algo, err := parseAlgo(algoName)
+	algo, err := khop.AlgorithmByName(algoName)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,112 @@
+// Command khopd serves khop deployments over HTTP: build connected
+// k-hop clusterings as named deployments, apply churn batches, answer
+// routing and broadcast queries, and snapshot every deployment to the
+// versioned .khop format so a deployment survives restarts.
+//
+// Usage:
+//
+//	khopd -addr :8080 -state-dir /var/lib/khopd
+//
+// On startup every *.khop file in -state-dir is restored (after a
+// checksum and khop.VerifyResult check); on SIGINT/SIGTERM the server
+// shuts down gracefully — in-flight requests drain, then every
+// deployment is snapshotted back to -state-dir.
+//
+// A quick session against a running server:
+//
+//	curl -X POST localhost:8080/deployments -d '{"id":"prod","n":200,"avg_degree":6,"seed":1,"k":2}'
+//	curl -X POST localhost:8080/deployments/prod/events -d '{"events":[{"kind":"leave","node":7}]}'
+//	curl 'localhost:8080/deployments/prod/route?src=3&dst=150'
+//	curl -o prod.khop localhost:8080/deployments/prod/snapshot
+//
+// See internal/server for the full API and ARCHITECTURE.md for how the
+// deployment layer sits on the engine.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		stateDir = flag.String("state-dir", "", "directory of *.khop snapshots: loaded at startup, rewritten on graceful shutdown (empty = no persistence)")
+		parallel = flag.Int("parallel", 0, "workers per deployment build (0 = all cores)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	logger := log.New(os.Stderr, "khopd: ", log.LstdFlags)
+	if err := run(ctx, logger, *addr, *stateDir, *parallel, *drain, nil); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+// run wires the deployment server to an HTTP listener and blocks until
+// ctx is cancelled, then drains and (with a state dir) persists. When
+// ready is non-nil it receives the bound address once the listener is
+// up — the tests use it to talk to a :0 listener.
+func run(ctx context.Context, logger *log.Logger, addr, stateDir string, parallel int, drain time.Duration, ready chan<- string) error {
+	srv := server.New(server.Config{Parallel: parallel, Log: logger})
+	if stateDir != "" {
+		if err := srv.LoadDir(stateDir); err != nil {
+			return fmt.Errorf("loading %s: %w", stateDir, err)
+		}
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	logger.Printf("serving on %s (state dir %q)", ln.Addr(), stateDir)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down: draining for up to %v", drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	var errs []error
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		// A blown drain window must not cost the state: SaveDir is safe
+		// here (it waits on each deployment's lock, so any still-running
+		// churn handler finishes first) and the churn applied since the
+		// last persist would otherwise be silently lost.
+		errs = append(errs, fmt.Errorf("shutdown: %w", err))
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		errs = append(errs, err)
+	}
+	if stateDir != "" {
+		if err := srv.SaveDir(stateDir); err != nil {
+			errs = append(errs, fmt.Errorf("persisting %s: %w", stateDir, err))
+		} else {
+			logger.Printf("deployments persisted to %s", stateDir)
+		}
+	}
+	return errors.Join(errs...)
+}

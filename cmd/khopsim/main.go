@@ -33,6 +33,13 @@
 // switches to CSV tables. Flags -runs/-minruns trade precision for
 // speed; -seed fixes the randomness; -progress reports trial counts on
 // stderr.
+//
+// -snapshot out.khop additionally builds one deployment — sized by
+// -snapshot-n/-snapshot-d/-snapshot-k/-snapshot-algo, seeded by -seed —
+// and writes it in the versioned snapshot format (internal/codec), so a
+// figure workload's network can be reused as a khopd deployment
+// (restore it with POST /deployments/{id}/snapshot). It combines with
+// -fig/-claims or stands alone.
 package main
 
 import (
@@ -43,6 +50,8 @@ import (
 	"os/signal"
 	"strings"
 
+	khop "repro"
+	"repro/internal/codec"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 )
@@ -68,10 +77,15 @@ func main() {
 		scaleMax = flag.Int("scale-max", 25000, "largest N of the scale experiment's ladder (100000 runs it all)")
 		scaleRun = flag.Int("scale-runs", 3, "repetitions per N for the scale experiment")
 		scaleWrk = flag.Int("scale-workers", 0, "parallel-build workers for the scale experiment (0 = all cores)")
+		snapOut  = flag.String("snapshot", "", "write a reusable khopd deployment snapshot (.khop) to this path")
+		snapN    = flag.Int("snapshot-n", 100, "node count for the -snapshot deployment")
+		snapD    = flag.Float64("snapshot-d", 6, "average degree for the -snapshot deployment")
+		snapK    = flag.Int("snapshot-k", 2, "cluster radius for the -snapshot deployment")
+		snapAlgo = flag.String("snapshot-algo", "AC-LMST", "algorithm for the -snapshot deployment")
 	)
 	flag.Parse()
 
-	if *figFlag == "" && !*claims {
+	if *figFlag == "" && !*claims && *snapOut == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -105,6 +119,49 @@ func main() {
 		fmt.Fprintln(os.Stderr, "khopsim:", err)
 		os.Exit(1)
 	}
+	if *snapOut != "" {
+		err := writeSnapshot(ctx, *snapOut, *snapN, *snapD, *snapK, *snapAlgo, *seed, cfg.Parallel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "khopsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote deployment snapshot %s (n=%d, d=%g, k=%d, %s, seed %d)\n",
+			*snapOut, *snapN, *snapD, *snapK, *snapAlgo, *seed)
+	}
+}
+
+// writeSnapshot builds one deployment with the evaluation generator and
+// persists it in the versioned snapshot format, ready for khopd.
+func writeSnapshot(ctx context.Context, path string, n int, d float64, k int, algoName string, seed int64, parallel int) error {
+	algo, err := khop.AlgorithmByName(algoName)
+	if err != nil {
+		return err
+	}
+	net, err := khop.RandomNetwork(khop.NetworkConfig{N: n, AvgDegree: d, Seed: seed})
+	if err != nil {
+		return err
+	}
+	eng, err := khop.NewEngine(net.Graph(),
+		khop.WithK(k), khop.WithAlgorithm(algo), khop.WithParallel(parallel))
+	if err != nil {
+		return err
+	}
+	if _, err := eng.Build(ctx); err != nil {
+		return err
+	}
+	snap, err := codec.FromEngine(eng, khop.Centralized)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := codec.Encode(f, snap); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func run(ctx context.Context, cfg experiment.RunConfig, figFlag string, claims, csvOut, jsonOut bool, all []string) error {

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 
+	khop "repro"
+	"repro/internal/codec"
 	"repro/internal/experiment"
 	"repro/internal/metrics"
 )
@@ -105,5 +107,36 @@ func TestGoldenFigures(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestWriteSnapshot drives the -snapshot path: the emitted file must be
+// a decodable, verified deployment that restores into a live engine —
+// the reuse contract khopd depends on.
+func TestWriteSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dep.khop")
+	if err := writeSnapshot(context.Background(), path, 80, 6, 2, "AC-LMST", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := codec.DecodeBytes(raw) // checksum + VerifyResult
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.K != 2 || snap.Algorithm != khop.ACLMST || snap.Graph.N() != 80 {
+		t.Fatalf("snapshot header drifted: k=%d algo=%v n=%d", snap.K, snap.Algorithm, snap.Graph.N())
+	}
+	eng, err := snap.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(eng.Result().Heads); got == 0 {
+		t.Fatal("restored engine has no heads")
+	}
+	if err := writeSnapshot(context.Background(), path, 80, 6, 2, "Steiner", 1, 0); err == nil {
+		t.Fatal("unknown algorithm accepted")
 	}
 }

@@ -70,12 +70,24 @@
 // every gateway path edge by edge — and is the recommended assertion
 // in downstream tests (Result.Verify is the method form).
 //
+// Deployments outlive processes: Engine.CurrentGraph captures the
+// maintained topology, internal/codec encodes (graph, Result, options)
+// as a versioned checksummed snapshot, and RestoreEngine resumes
+// queries and incremental maintenance from one — departed nodes stay
+// departed — without a rebuild. cmd/khopd serves many such deployments
+// over HTTP (build, churn, route, broadcast, snapshot) and persists
+// them across restarts; cmd/khopsim -snapshot emits the same format.
+//
 // The previous entry points — Build, BuildDistributed, BuildMaxMin, and
 // NewMaintainer — remain as deprecated wrappers over the Engine and
 // produce identical results.
 //
-// See the examples directory for runnable programs and cmd/khopsim for
-// the paper's full evaluation harness. The harness runs every
+// The runnable Example functions in this package's test files show
+// tested usage of Engine.Build, Engine.Apply, VerifyResult, and
+// NewRouter; ARCHITECTURE.md (repository root) maps the paper's
+// sections onto the internal packages and states the determinism
+// contract. See the examples directory for complete programs and
+// cmd/khopsim for the paper's full evaluation harness. The harness runs every
 // Monte-Carlo sweep on a deterministic worker pool (khopsim -parallel N,
 // default all cores): each trial derives its randomness from (seed,
 // configuration, trial index) and the adaptive stopping rule consumes

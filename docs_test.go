@@ -1,0 +1,76 @@
+package khop_test
+
+// Documentation gates, run by CI's docs job: the README's figure table
+// must be exactly what internal/experiment.Registry says (the same
+// single-source-of-truth rule TestDocCommentMatchesRegistry enforces
+// for khopsim's doc comment), and every relative markdown link in the
+// top-level documents must resolve to a real file.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+)
+
+var (
+	tableBegin = regexp.MustCompile(`<!-- figure-table:begin[^>]*-->`)
+	tableEnd   = "<!-- figure-table:end -->"
+)
+
+func TestReadmeFigureTableMatchesRegistry(t *testing.T) {
+	raw, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc := tableBegin.FindIndex(raw)
+	if loc == nil {
+		t.Fatal("README.md has no figure-table:begin marker")
+	}
+	rest := string(raw[loc[1]:])
+	end := strings.Index(rest, tableEnd)
+	if end < 0 {
+		t.Fatal("README.md has no figure-table:end marker")
+	}
+	got := strings.TrimSpace(rest[:end])
+
+	var b strings.Builder
+	b.WriteString("| `-fig` name | Description |\n|---|---|\n")
+	for _, w := range experiment.Registry() {
+		fmt.Fprintf(&b, "| `%s` | %s |\n", w.Name, w.Description)
+	}
+	want := strings.TrimSpace(b.String())
+	if got != want {
+		t.Errorf("README figure table is out of sync with experiment.Registry.\n--- README ---\n%s\n--- registry ---\n%s", got, want)
+	}
+}
+
+// markdownLink matches [text](target); targets with a scheme are
+// skipped (no network in CI), anchors are stripped.
+var markdownLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestMarkdownLinks(t *testing.T) {
+	for _, doc := range []string{"README.md", "ARCHITECTURE.md", "CHANGES.md"} {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		for _, m := range markdownLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // pure anchor
+			}
+			if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+				t.Errorf("%s links to %q, which does not exist", doc, target)
+			}
+		}
+	}
+}

@@ -374,6 +374,70 @@ func (e *Engine) Result() *Result {
 	return e.cur
 }
 
+// CurrentGraph returns a copy of the topology the Engine's current
+// Result describes: the graph it was constructed with, with every
+// applied churn event folded in (departed nodes are edge-less slots,
+// Join/Move links are present). Before any Apply it is simply a copy of
+// the construction graph. The copy is the caller's to keep — snapshot
+// it, diff it, mutate it — without racing ongoing Apply calls.
+//
+// CurrentGraph and Result together are a consistent pair only when no
+// Apply runs between the two calls; callers that need an atomic view
+// (e.g. a snapshot under concurrent churn) must serialize externally.
+func (e *Engine) CurrentGraph() *Graph {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.maint != nil {
+		return &Graph{g: e.maint.G.Clone()}
+	}
+	return &Graph{g: e.g.g.Clone()}
+}
+
+// RestoreEngine reconstructs an Engine around a previously built Result
+// — typically one decoded from a snapshot (see internal/codec) — so a
+// deployment survives process restarts: queries and incremental Apply
+// continue from the restored structure without a rebuild. g must be the
+// topology the Result describes (Engine.CurrentGraph at snapshot time),
+// and opts must restate at least the K and Algorithm the Result echoes;
+// a mismatch is rejected, as is a Result that fails VerifyResult or
+// carries no GatewayPaths.
+//
+// Departed nodes in the restored topology (edge-less self-headed slots,
+// the Engine.Apply convention) stay departed: Alive reports false for
+// them and a Join brings them back, exactly as before the restart. A
+// fresh Build on a restored engine rebuilds from the restored topology,
+// where departed nodes are isolated vertices (each would come back as a
+// singleton head) — restart churned deployments through Apply, not
+// Build.
+func RestoreEngine(g *Graph, res *Result, opts ...Option) (*Engine, error) {
+	e, err := NewEngine(g, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("khop: restore: nil result")
+	}
+	if e.cfg.k != res.K || e.cfg.algorithm != res.Algorithm {
+		return nil, fmt.Errorf("khop: restore: engine options (K=%d, %v) do not match the result (K=%d, %v)",
+			e.cfg.k, e.cfg.algorithm, res.K, res.Algorithm)
+	}
+	if err := VerifyResult(g, res); err != nil {
+		return nil, fmt.Errorf("khop: restore: %w", err)
+	}
+	c, gres, err := res.internals()
+	if err != nil {
+		return nil, fmt.Errorf("khop: restore: %w", err)
+	}
+	e.built = &builtState{c: c, gres: gres, cfg: e.cfg}
+	e.cur = res
+	e.curSel = &ncr.Selection{K: res.K, Neighbors: res.NeighborHeads}
+	e.curGres = gres
+	// Adopt the maintainer eagerly (Build creates it lazily) so liveness
+	// queries and the first Apply see the restored departed slots.
+	e.maint = mobility.NewMaintainerFrom(e.g.g, e.cfg.k, e.cfg.algorithm, c, gres)
+	return e, nil
+}
+
 // Alive reports whether node v is still part of the maintained network
 // (every in-range node is alive until an applied Leave removes it).
 func (e *Engine) Alive(v int) bool {

@@ -1,0 +1,91 @@
+package khop_test
+
+import (
+	"context"
+	"fmt"
+
+	khop "repro"
+)
+
+// ExampleEngine_Build builds the paper's headline structure (AC-LMST,
+// k = 2) on the evaluation setup's random unit-disk network.
+func ExampleEngine_Build() {
+	net, err := khop.RandomNetwork(khop.NetworkConfig{N: 60, AvgDegree: 6, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	engine, err := khop.NewEngine(net.Graph(),
+		khop.WithK(2), khop.WithAlgorithm(khop.ACLMST))
+	if err != nil {
+		panic(err)
+	}
+	res, err := engine.Build(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("heads=%d gateways=%d cds=%d\n", len(res.Heads), len(res.Gateways), len(res.CDS))
+	fmt.Println("independent heads:", res.IndependentHeads)
+	// Output:
+	// heads=8 gateways=16 cds=24
+	// independent heads: true
+}
+
+// ExampleEngine_Apply repairs the built structure through one churn
+// batch — a departure, a re-arrival, and a move — instead of
+// rebuilding (§3.3); the batch coalesces its gateway repairs into a
+// single selection re-run.
+func ExampleEngine_Apply() {
+	net, _ := khop.RandomNetwork(khop.NetworkConfig{N: 60, AvgDegree: 6, Seed: 1})
+	engine, _ := khop.NewEngine(net.Graph(), khop.WithK(2), khop.WithAlgorithm(khop.ACLMST))
+	if _, err := engine.Build(context.Background()); err != nil {
+		panic(err)
+	}
+	reports, err := engine.Apply(context.Background(),
+		khop.Leave(7),        // switches off (it was a clusterhead)
+		khop.Join(7, 10, 11), // back on, now linked to 10 and 11
+		khop.Move(9, 21, 22), // relocates next to 21 and 22
+	)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range reports {
+		fmt.Printf("%v node=%d role=%v gateway-dirty=%v\n", r.Kind, r.Node, r.Role, r.GatewayDirty)
+	}
+	cur := engine.Result()
+	fmt.Printf("now %d heads, independent=%v\n", len(cur.Heads), cur.IndependentHeads)
+	// Output:
+	// leave node=7 role=head gateway-dirty=true
+	// join node=7 role=member gateway-dirty=true
+	// move node=9 role=member gateway-dirty=true
+	// now 9 heads, independent=false
+}
+
+// ExampleVerifyResult machine-checks the paper's invariants — k-hop
+// domination, head independence, CDS composition and connectivity,
+// every gateway path edge by edge — on fresh, churned, and corrupted
+// results.
+func ExampleVerifyResult() {
+	net, _ := khop.RandomNetwork(khop.NetworkConfig{N: 60, AvgDegree: 6, Seed: 1})
+	engine, _ := khop.NewEngine(net.Graph(), khop.WithK(2))
+	res, err := engine.Build(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("fresh build verifies:", khop.VerifyResult(net.Graph(), res) == nil)
+
+	// After churn, verify the maintained result against the maintained
+	// topology (departed nodes are edge-less slots in both).
+	if _, err := engine.Apply(context.Background(), khop.Leave(7)); err != nil {
+		panic(err)
+	}
+	fmt.Println("after churn verifies:", khop.VerifyResult(engine.CurrentGraph(), engine.Result()) == nil)
+
+	// A tampered result is caught.
+	broken := *res
+	broken.CDS = broken.CDS[:len(broken.CDS)-1]
+	fmt.Println("tampered result verifies:", khop.VerifyResult(net.Graph(), &broken) == nil)
+	// Output:
+	// fresh build verifies: true
+	// after churn verifies: true
+	// tampered result verifies: false
+}

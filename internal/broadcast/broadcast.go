@@ -98,6 +98,12 @@ func NewPlan(g *graph.Graph, c *cluster.Clustering, res *gateway.Result) *Plan {
 	}
 	for v, h := range c.Head {
 		d := distFrom[h]
+		if d == nil {
+			// v is a departed slot (self-headed but not a listed head —
+			// the maintenance convention): it is off the air and needs
+			// no dissemination path.
+			continue
+		}
 		for cur := v; d[cur] > 1; {
 			// Smallest-ID neighbor one hop closer to the head — the same
 			// parent the declare-flood tree uses, so a deployment pays

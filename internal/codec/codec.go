@@ -1,0 +1,530 @@
+// Package codec is the versioned, byte-stable snapshot format for built
+// deployments: one encoded blob carries the engine options, the network
+// topology, and the khop.Result built on it, so a deployment survives
+// process restarts and can be shipped between machines (the .khop files
+// cmd/khopd serves and cmd/khopsim emits).
+//
+// Format (version 1, all integers as varints — unsigned for counts and
+// node ids, zigzag for possibly-negative values):
+//
+//	magic    "KHOPSNAP" (8 bytes)
+//	version  uvarint (currently 1)
+//	options  K, Algorithm, Mode
+//	graph    N, M, then the M edges as (u, v) pairs in ascending order
+//	result   Heads, HeadOf, DistToHead, NeighborHeads, Gateways, CDS,
+//	         GatewayPaths, IndependentHeads, optional Cost (with phases)
+//	checksum FNV-1a 64 over everything above, little-endian (8 bytes)
+//
+// Every collection is written in a canonical order (sorted keys, sorted
+// neighbor lists), so encoding the same snapshot always produces the
+// same bytes: snapshots can be diffed, content-addressed, and committed
+// as goldens. Decode rejects a wrong magic, an unknown version, any
+// truncation or trailing garbage, and a checksum mismatch — and then
+// machine-checks the decoded structure with khop.VerifyResult, so a
+// snapshot that decodes cleanly is known to uphold the paper's
+// invariants before anything serves queries from it.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	khop "repro"
+)
+
+// Version is the current snapshot format version. Any change to the
+// byte layout bumps it; Decode rejects versions it does not know.
+const Version = 1
+
+var magic = [8]byte{'K', 'H', 'O', 'P', 'S', 'N', 'A', 'P'}
+
+// Sentinel errors for the distinguishable failure classes. Decode wraps
+// them with positional detail; match with errors.Is.
+var (
+	// ErrFormat: the bytes are not a well-formed snapshot (bad magic,
+	// unknown version, truncation, trailing garbage, out-of-range ids).
+	ErrFormat = errors.New("codec: malformed snapshot")
+	// ErrChecksum: well-formed framing but the payload hash does not
+	// match — the snapshot was corrupted in storage or transit.
+	ErrChecksum = errors.New("codec: checksum mismatch")
+	// ErrVerify: the snapshot decoded but its Result fails
+	// khop.VerifyResult against its graph.
+	ErrVerify = errors.New("codec: snapshot failed invariant verification")
+)
+
+// Snapshot is one deployment's persistent state: the options the engine
+// was configured with, the current topology (with churn folded in —
+// Engine.CurrentGraph), and the Result describing it.
+type Snapshot struct {
+	K         int
+	Algorithm khop.Algorithm
+	Mode      khop.Mode
+	Graph     *khop.Graph
+	Result    *khop.Result
+}
+
+// FromEngine captures a deployment engine's current state. The caller
+// must serialize against concurrent Apply calls (the deployment server
+// holds its per-deployment lock); mode is recorded in the header but
+// does not affect restore.
+func FromEngine(e *khop.Engine, mode khop.Mode) (*Snapshot, error) {
+	res := e.Result()
+	if res == nil {
+		return nil, fmt.Errorf("codec: engine has no built result to snapshot")
+	}
+	if len(res.Heads) > 1 && len(res.GatewayPaths) == 0 && len(res.Gateways) > 0 {
+		// A lossy Distributed build: its degraded gateway marks carry no
+		// paths, so the snapshot could never decode (Decode runs
+		// VerifyResult, which demands a path under every gateway).
+		// Reject at capture time instead of writing a poison blob. A
+		// path-less result with no gateways either — every head alone in
+		// its component — is legitimate and restores to an empty backbone.
+		return nil, fmt.Errorf("codec: result carries no gateway paths (lossy distributed build?); not snapshotable")
+	}
+	return &Snapshot{
+		K:         res.K,
+		Algorithm: res.Algorithm,
+		Mode:      mode,
+		Graph:     e.CurrentGraph(),
+		Result:    res,
+	}, nil
+}
+
+// Restore reconstructs a live engine from the snapshot: queries and
+// incremental Apply continue where the snapshot left off (departed
+// nodes stay departed until a Join). Extra options — WithParallel for
+// the restored host's core count, typically — apply on top of the
+// snapshot's own.
+func (s *Snapshot) Restore(opts ...khop.Option) (*khop.Engine, error) {
+	base := []khop.Option{
+		khop.WithK(s.K),
+		khop.WithAlgorithm(s.Algorithm),
+		khop.WithMode(s.Mode),
+	}
+	return khop.RestoreEngine(s.Graph, s.Result, append(base, opts...)...)
+}
+
+// Encode writes the snapshot to w in the versioned byte-stable format.
+func Encode(w io.Writer, s *Snapshot) error {
+	if s.Graph == nil || s.Result == nil {
+		return fmt.Errorf("codec: encode: snapshot needs a graph and a result")
+	}
+	buf := appendSnapshot(nil, s)
+	h := fnv.New64a()
+	h.Write(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, h.Sum64())
+	_, err := w.Write(buf)
+	return err
+}
+
+func appendSnapshot(b []byte, s *Snapshot) []byte {
+	b = append(b, magic[:]...)
+	b = binary.AppendUvarint(b, Version)
+
+	// Options.
+	b = binary.AppendUvarint(b, uint64(s.K))
+	b = binary.AppendUvarint(b, uint64(s.Algorithm))
+	b = binary.AppendUvarint(b, uint64(s.Mode))
+
+	// Graph: N, M, edges ascending. Graph.Edges already walks u
+	// ascending with sorted adjacency, but sort defensively — byte
+	// stability must not depend on an internal iteration order.
+	g, r := s.Graph, s.Result
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	b = binary.AppendUvarint(b, uint64(g.N()))
+	b = binary.AppendUvarint(b, uint64(len(edges)))
+	for _, e := range edges {
+		b = binary.AppendUvarint(b, uint64(e[0]))
+		b = binary.AppendUvarint(b, uint64(e[1]))
+	}
+
+	// Result.
+	b = appendUintSlice(b, r.Heads)
+	for _, h := range r.HeadOf { // fixed length n, no count prefix
+		b = binary.AppendUvarint(b, uint64(h))
+	}
+	for _, d := range r.DistToHead {
+		b = binary.AppendVarint(b, int64(d))
+	}
+	b = appendIntListMap(b, r.NeighborHeads)
+	b = appendUintSlice(b, r.Gateways)
+	b = appendUintSlice(b, r.CDS)
+	b = appendPaths(b, r.GatewayPaths)
+	b = appendBool(b, r.IndependentHeads)
+	if r.Cost == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = appendCostStats(b, r.Cost.Rounds, r.Cost.Transmissions, r.Cost.Deliveries)
+		b = binary.AppendUvarint(b, uint64(len(r.Cost.Phases)))
+		for _, ph := range r.Cost.Phases {
+			b = binary.AppendUvarint(b, uint64(len(ph.Name)))
+			b = append(b, ph.Name...)
+			b = appendCostStats(b, ph.Rounds, ph.Transmissions, ph.Deliveries)
+		}
+	}
+	return b
+}
+
+func appendUintSlice(b []byte, s []int) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	for _, v := range s {
+		b = binary.AppendUvarint(b, uint64(v))
+	}
+	return b
+}
+
+func appendIntListMap(b []byte, m map[int][]int) []byte {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	b = binary.AppendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		vals := append([]int(nil), m[k]...)
+		sort.Ints(vals)
+		b = binary.AppendUvarint(b, uint64(k))
+		b = appendUintSlice(b, vals)
+	}
+	return b
+}
+
+func appendPaths(b []byte, paths map[[2]int][]int) []byte {
+	keys := make([][2]int, 0, len(paths))
+	for k := range paths {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	b = binary.AppendUvarint(b, uint64(len(keys)))
+	for _, k := range keys {
+		b = binary.AppendUvarint(b, uint64(k[0]))
+		b = binary.AppendUvarint(b, uint64(k[1]))
+		b = appendUintSlice(b, paths[k])
+	}
+	return b
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendCostStats(b []byte, rounds, tx, deliveries int) []byte {
+	b = binary.AppendVarint(b, int64(rounds))
+	b = binary.AppendVarint(b, int64(tx))
+	b = binary.AppendVarint(b, int64(deliveries))
+	return b
+}
+
+// Decode reads one snapshot from r, rejecting malformed bytes
+// (ErrFormat), corrupted payloads (ErrChecksum), and structures that
+// fail the paper's invariants (ErrVerify wraps the khop.VerifyResult
+// error). A nil error means the snapshot is complete, authentic to the
+// byte, and verified safe to serve from.
+func Decode(r io.Reader) (*Snapshot, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("codec: decode: %w", err)
+	}
+	return DecodeBytes(raw)
+}
+
+// DecodeBytes is Decode over an in-memory snapshot.
+func DecodeBytes(raw []byte) (*Snapshot, error) {
+	if len(raw) < len(magic)+1+8 {
+		return nil, fmt.Errorf("%w: %d bytes is too short", ErrFormat, len(raw))
+	}
+	payload, sum := raw[:len(raw)-8], raw[len(raw)-8:]
+	h := fnv.New64a()
+	h.Write(payload)
+	if got, want := h.Sum64(), binary.LittleEndian.Uint64(sum); got != want {
+		return nil, fmt.Errorf("%w: computed %016x, stored %016x", ErrChecksum, got, want)
+	}
+	d := &decoder{b: payload}
+	var m [8]byte
+	copy(m[:], d.bytes(len(magic), "magic"))
+	if d.err == nil && m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, m[:])
+	}
+	if v := d.uint("version"); d.err == nil && v != Version {
+		return nil, fmt.Errorf("%w: unknown version %d (this build reads %d)", ErrFormat, v, Version)
+	}
+
+	s := &Snapshot{}
+	s.K = d.uint("K")
+	s.Algorithm = khop.Algorithm(d.uint("algorithm"))
+	s.Mode = khop.Mode(d.uint("mode"))
+	if d.err == nil {
+		switch s.Algorithm {
+		case khop.NCMesh, khop.ACMesh, khop.NCLMST, khop.ACLMST, khop.GMST:
+		default:
+			return nil, fmt.Errorf("%w: unknown algorithm %d", ErrFormat, int(s.Algorithm))
+		}
+		switch s.Mode {
+		case khop.Centralized, khop.Distributed, khop.MaxMin:
+		default:
+			return nil, fmt.Errorf("%w: unknown mode %d", ErrFormat, int(s.Mode))
+		}
+	}
+
+	n := d.uint("N")
+	if d.err == nil && n > maxNodes {
+		return nil, fmt.Errorf("%w: node count %d exceeds the %d limit", ErrFormat, n, maxNodes)
+	}
+	// Any valid payload spends at least one byte per node in HeadOf and
+	// one in DistToHead; a forged header claiming a huge N with a short
+	// payload must fail *before* the O(n) allocations below, not after.
+	if d.err == nil && len(d.b) < 2*n {
+		return nil, fmt.Errorf("%w: node count %d impossible for a %d-byte payload", ErrFormat, n, len(d.b))
+	}
+	var g *khop.Graph
+	if d.err == nil {
+		g = khop.NewGraph(n)
+		mEdges := d.uint("M")
+		prev := [2]int{-1, -1}
+		for i := 0; i < mEdges && d.err == nil; i++ {
+			u := d.node(n, "edge endpoint")
+			v := d.node(n, "edge endpoint")
+			if d.err == nil && (u >= v || u < prev[0] || (u == prev[0] && v <= prev[1])) {
+				// Strictly ascending (u < v, lexicographic) is the one
+				// canonical order: any decodable snapshot re-encodes to
+				// identical bytes.
+				return nil, fmt.Errorf("%w: edges not in canonical ascending order at (%d,%d)", ErrFormat, u, v)
+			}
+			if d.err == nil {
+				g.AddEdge(u, v)
+				prev = [2]int{u, v}
+			}
+		}
+	}
+	s.Graph = g
+
+	res := &khop.Result{K: s.K, Algorithm: s.Algorithm}
+	res.Heads = d.nodeSlice(n, "Heads")
+	res.HeadOf = make([]int, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		res.HeadOf[i] = d.node(n, "HeadOf")
+	}
+	res.DistToHead = make([]int, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		res.DistToHead[i] = d.int("DistToHead")
+	}
+	res.NeighborHeads = d.intListMap(n, "NeighborHeads")
+	res.Gateways = d.nodeSlice(n, "Gateways")
+	res.CDS = d.nodeSlice(n, "CDS")
+	res.GatewayPaths = d.paths(n, "GatewayPaths")
+	res.IndependentHeads = d.bool("IndependentHeads")
+	if d.bool("Cost present") {
+		cost := &khop.Cost{}
+		cost.Rounds, cost.Transmissions, cost.Deliveries = d.costStats("Cost")
+		phases := d.uint("Cost phases")
+		for i := 0; i < phases && d.err == nil; i++ {
+			var ph khop.PhaseCost
+			ph.Name = string(d.bytes(d.uint("phase name length"), "phase name"))
+			ph.Rounds, ph.Transmissions, ph.Deliveries = d.costStats("phase")
+			cost.Phases = append(cost.Phases, ph)
+		}
+		res.Cost = cost
+	}
+	s.Result = res
+
+	if d.err != nil {
+		return nil, d.err
+	}
+	// A canonical-order check VerifyResult does not subsume, so that
+	// every decodable snapshot re-encodes to identical bytes. (Map key
+	// wire order is enforced ascending by the decoders themselves, and
+	// Heads/Gateways/CDS sortedness is VerifyResult's.)
+	for k, vals := range res.NeighborHeads {
+		for i := 1; i < len(vals); i++ {
+			if vals[i-1] >= vals[i] {
+				return nil, fmt.Errorf("%w: NeighborHeads[%d] not sorted/unique", ErrFormat, k)
+			}
+		}
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the snapshot", ErrFormat, len(d.b))
+	}
+	if err := khop.VerifyResult(s.Graph, s.Result); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrVerify, err)
+	}
+	return s, nil
+}
+
+// maxNodes bounds decoded node counts so a hostile header cannot make
+// the decoder allocate arbitrarily (together with the payload-length
+// cross-check, which bounds n by the actual bytes supplied). Still 40×
+// above any deployment this reproduction targets (the scale ladder
+// tops out at 10⁵).
+const maxNodes = 4 << 20
+
+// decoder is a cursor over the payload with sticky error handling.
+type decoder struct {
+	b   []byte
+	err error
+}
+
+func (d *decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated or oversized varint reading %s", ErrFormat, what)
+	}
+}
+
+func (d *decoder) bytes(n int, what string) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.b) {
+		d.fail(what)
+		return nil
+	}
+	out := d.b[:n]
+	d.b = d.b[n:]
+	return out
+}
+
+func (d *decoder) uint(what string) int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 || v > 1<<53 {
+		d.fail(what)
+		return 0
+	}
+	d.b = d.b[n:]
+	return int(v)
+}
+
+func (d *decoder) int(what string) int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b)
+	if n <= 0 {
+		d.fail(what)
+		return 0
+	}
+	d.b = d.b[n:]
+	return int(v)
+}
+
+// node reads a node id and range-checks it against n.
+func (d *decoder) node(n int, what string) int {
+	v := d.uint(what)
+	if d.err == nil && v >= n {
+		d.err = fmt.Errorf("%w: %s %d out of range [0,%d)", ErrFormat, what, v, n)
+	}
+	return v
+}
+
+func (d *decoder) nodeSlice(n int, what string) []int {
+	count := d.uint(what)
+	if d.err != nil {
+		return nil
+	}
+	if count > n {
+		d.err = fmt.Errorf("%w: %s lists %d nodes, graph has %d", ErrFormat, what, count, n)
+		return nil
+	}
+	out := make([]int, 0, count)
+	for i := 0; i < count && d.err == nil; i++ {
+		out = append(out, d.node(n, what))
+	}
+	return out
+}
+
+func (d *decoder) bool(what string) bool {
+	b := d.bytes(1, what)
+	if d.err != nil {
+		return false
+	}
+	switch b[0] {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.err = fmt.Errorf("%w: %s byte %d is not 0/1", ErrFormat, what, b[0])
+		return false
+	}
+}
+
+func (d *decoder) intListMap(n int, what string) map[int][]int {
+	count := d.uint(what)
+	if d.err == nil && count > len(d.b)/2 {
+		// Each entry costs at least two payload bytes; don't pre-size
+		// the map from a forged count the payload cannot back.
+		d.err = fmt.Errorf("%w: %s count %d impossible for the remaining payload", ErrFormat, what, count)
+		return nil
+	}
+	out := make(map[int][]int, count)
+	prev := -1
+	for i := 0; i < count && d.err == nil; i++ {
+		k := d.node(n, what+" key")
+		vals := d.nodeSlice(n, what+" values")
+		if d.err == nil {
+			if k <= prev {
+				// Strictly ascending keys are the canonical wire order
+				// (Encode sorts): enforcing it on decode keeps the
+				// canonical-form property — any decodable snapshot
+				// re-encodes to identical bytes.
+				d.err = fmt.Errorf("%w: %s keys not in canonical ascending order at %d", ErrFormat, what, k)
+				return nil
+			}
+			prev = k
+			out[k] = vals
+		}
+	}
+	return out
+}
+
+func (d *decoder) paths(n int, what string) map[[2]int][]int {
+	count := d.uint(what)
+	if d.err == nil && count > len(d.b)/3 {
+		// Each entry costs at least three payload bytes (two endpoints
+		// and a length); same forged-count guard as intListMap.
+		d.err = fmt.Errorf("%w: %s count %d impossible for the remaining payload", ErrFormat, what, count)
+		return nil
+	}
+	out := make(map[[2]int][]int, count)
+	prev := [2]int{-1, -1}
+	for i := 0; i < count && d.err == nil; i++ {
+		u := d.node(n, what+" endpoint")
+		v := d.node(n, what+" endpoint")
+		path := d.nodeSlice(n, what+" path")
+		if d.err == nil {
+			key := [2]int{u, v}
+			if u < prev[0] || (u == prev[0] && v <= prev[1]) {
+				// Same canonical-order rule as intListMap keys.
+				d.err = fmt.Errorf("%w: %s keys not in canonical ascending order at (%d,%d)", ErrFormat, what, u, v)
+				return nil
+			}
+			prev = key
+			out[key] = path
+		}
+	}
+	return out
+}
+
+func (d *decoder) costStats(what string) (rounds, tx, deliveries int) {
+	return d.int(what + " rounds"), d.int(what + " transmissions"), d.int(what + " deliveries")
+}

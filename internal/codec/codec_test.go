@@ -1,0 +1,316 @@
+package codec
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	khop "repro"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden snapshot under testdata/golden/")
+
+// buildSnapshot is the shared recipe: a deterministic deployment with a
+// churn batch applied, so the snapshot exercises departed slots and
+// Join/Move edges, not just a fresh build.
+func buildSnapshot(t testing.TB) (*Snapshot, *khop.Engine) {
+	t.Helper()
+	net, err := khop.RandomNetwork(khop.NetworkConfig{N: 60, AvgDegree: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := khop.NewEngine(net.Graph(), khop.WithK(2), khop.WithAlgorithm(khop.ACLMST))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Build(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(context.Background(), khop.Leave(5), khop.Leave(17), khop.Move(9, 21, 22)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromEngine(e, khop.Centralized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, e
+}
+
+func encodeBytes(t testing.TB, s *Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, _ := buildSnapshot(t)
+	raw := encodeBytes(t, s)
+
+	got, err := DecodeBytes(raw)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.K != s.K || got.Algorithm != s.Algorithm || got.Mode != s.Mode {
+		t.Fatalf("options drifted: got (%d,%v,%v), want (%d,%v,%v)",
+			got.K, got.Algorithm, got.Mode, s.K, s.Algorithm, s.Mode)
+	}
+	if !reflect.DeepEqual(got.Graph.Edges(), s.Graph.Edges()) || got.Graph.N() != s.Graph.N() {
+		t.Fatal("graph drifted through the round trip")
+	}
+	for _, cmp := range []struct {
+		name      string
+		got, want any
+	}{
+		{"Heads", got.Result.Heads, s.Result.Heads},
+		{"HeadOf", got.Result.HeadOf, s.Result.HeadOf},
+		{"DistToHead", got.Result.DistToHead, s.Result.DistToHead},
+		{"Gateways", got.Result.Gateways, s.Result.Gateways},
+		{"CDS", got.Result.CDS, s.Result.CDS},
+		{"GatewayPaths", got.Result.GatewayPaths, s.Result.GatewayPaths},
+		{"NeighborHeads", got.Result.NeighborHeads, s.Result.NeighborHeads},
+	} {
+		if !reflect.DeepEqual(cmp.got, cmp.want) {
+			t.Errorf("%s drifted: got %v, want %v", cmp.name, cmp.got, cmp.want)
+		}
+	}
+	if got.Result.IndependentHeads != s.Result.IndependentHeads {
+		t.Error("IndependentHeads drifted")
+	}
+
+	// Byte stability: re-encoding the decoded snapshot reproduces the
+	// exact bytes.
+	if again := encodeBytes(t, got); !bytes.Equal(again, raw) {
+		t.Fatal("decode → encode is not byte-identical")
+	}
+}
+
+func TestRestoreContinuesChurn(t *testing.T) {
+	s, orig := buildSnapshot(t)
+	got, err := DecodeBytes(encodeBytes(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := got.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Departed slots survive the restart.
+	for _, v := range []int{5, 17} {
+		if e.Alive(v) {
+			t.Errorf("node %d departed before the snapshot but restored alive", v)
+		}
+	}
+	if !reflect.DeepEqual(e.Result().Heads, orig.Result().Heads) {
+		t.Fatal("restored heads differ from the snapshotted engine's")
+	}
+	// And churn continues: the departed node can rejoin, and the
+	// repaired structure still verifies.
+	if _, err := e.Apply(context.Background(), khop.Join(5, 1, 2)); err != nil {
+		t.Fatalf("Join after restore: %v", err)
+	}
+	if err := khop.VerifyResult(e.CurrentGraph(), e.Result()); err != nil {
+		t.Fatalf("post-restore repair broke the invariants: %v", err)
+	}
+}
+
+func TestCostRoundTrip(t *testing.T) {
+	net, err := khop.RandomNetwork(khop.NetworkConfig{N: 40, AvgDegree: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := khop.NewEngine(net.Graph(), khop.WithK(2), khop.WithMode(khop.Distributed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Build(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromEngine(e, khop.Distributed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBytes(encodeBytes(t, s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Result.Cost, s.Result.Cost) {
+		t.Fatalf("Cost drifted: got %+v, want %+v", got.Result.Cost, s.Result.Cost)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	s, _ := buildSnapshot(t)
+	raw := encodeBytes(t, s)
+
+	// Any single flipped bit in the frame must be rejected — almost
+	// always by the checksum; a flip inside the stored checksum itself
+	// also mismatches.
+	for i := 0; i < len(raw); i += 7 { // stride keeps the sweep fast
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x40
+		if _, err := DecodeBytes(bad); err == nil {
+			t.Fatalf("decode accepted a snapshot with byte %d corrupted", i)
+		}
+	}
+
+	// Truncations at every prefix length.
+	for _, n := range []int{0, 4, 8, len(raw) / 2, len(raw) - 1} {
+		if _, err := DecodeBytes(raw[:n]); err == nil {
+			t.Fatalf("decode accepted a %d-byte truncation", n)
+		}
+	}
+
+	// Trailing garbage breaks the frame even when the payload is intact.
+	if _, err := DecodeBytes(append(append([]byte(nil), raw...), 0xEE)); err == nil {
+		t.Fatal("decode accepted trailing garbage")
+	}
+
+	reseal := func(mutate func([]byte)) []byte {
+		payload := append([]byte(nil), raw[:len(raw)-8]...)
+		mutate(payload)
+		h := fnv.New64a()
+		h.Write(payload)
+		return binary.LittleEndian.AppendUint64(payload, h.Sum64())
+	}
+
+	// A wrong magic or version with a *valid* checksum is a format
+	// error, distinguishable from corruption.
+	if _, err := DecodeBytes(reseal(func(p []byte) { p[0] = 'X' })); !errors.Is(err, ErrFormat) {
+		t.Fatalf("bad magic: got %v, want ErrFormat", err)
+	}
+	if _, err := DecodeBytes(reseal(func(p []byte) { p[8] = Version + 1 })); !errors.Is(err, ErrFormat) {
+		t.Fatalf("unknown version: got %v, want ErrFormat", err)
+	}
+	// Checksum damage without payload damage is ErrChecksum.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-1] ^= 0xFF
+	if _, err := DecodeBytes(bad); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("checksum damage: got %v, want ErrChecksum", err)
+	}
+}
+
+func TestDecodeRejectsInvariantViolations(t *testing.T) {
+	s, _ := buildSnapshot(t)
+	// Break an invariant VerifyResult owns — reroute a member to a
+	// non-head — and reseal the checksum, so only the verification layer
+	// can catch it.
+	victim := -1
+	for v, h := range s.Result.HeadOf {
+		if h != v {
+			victim = v
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no member found")
+	}
+	broken := *s.Result
+	broken.HeadOf = append([]int(nil), s.Result.HeadOf...)
+	broken.HeadOf[victim] = victim // self-headed but unlisted and connected
+	bs := *s
+	bs.Result = &broken
+	if _, err := DecodeBytes(encodeBytes(t, &bs)); !errors.Is(err, ErrVerify) {
+		t.Fatalf("got %v, want ErrVerify", err)
+	}
+}
+
+// goldenPath is the pinned snapshot CI's golden job diffs; see
+// testdata/golden/README.md for regeneration.
+var goldenPath = filepath.Join("..", "..", "testdata", "golden", "deploy.khop")
+
+func TestGoldenSnapshot(t *testing.T) {
+	s, _ := buildSnapshot(t)
+	raw := encodeBytes(t, s)
+	if *update {
+		if err := os.WriteFile(goldenPath, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./internal/codec -run TestGoldenSnapshot -update)", err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatalf("snapshot encoding drifted from %s (%d vs %d bytes) — if intentional, bump codec.Version and regenerate with -update",
+			goldenPath, len(raw), len(want))
+	}
+	// The committed artifact itself must stay loadable and verified.
+	if _, err := DecodeBytes(want); err != nil {
+		t.Fatalf("golden snapshot no longer decodes: %v", err)
+	}
+}
+
+// TestDecodeRejectsNonCanonicalKeyOrder hand-crafts a blob whose
+// NeighborHeads keys arrive descending with a valid checksum: the
+// decoder must reject it, or non-canonical blobs would decode cleanly
+// yet re-encode to different bytes, breaking the canonical-form
+// property the fuzz target asserts.
+func TestDecodeRejectsNonCanonicalKeyOrder(t *testing.T) {
+	b := append([]byte{}, magic[:]...)
+	b = binary.AppendUvarint(b, Version)
+	b = binary.AppendUvarint(b, 1)                   // K
+	b = binary.AppendUvarint(b, uint64(khop.ACLMST)) // algorithm
+	b = binary.AppendUvarint(b, 0)                   // mode
+	b = binary.AppendUvarint(b, 3)                   // N
+	b = binary.AppendUvarint(b, 0)                   // M (no edges)
+	b = appendUintSlice(b, []int{1, 2})              // Heads
+	for _, h := range []int{0, 1, 2} {               // HeadOf
+		b = binary.AppendUvarint(b, uint64(h))
+	}
+	for i := 0; i < 3; i++ { // DistToHead
+		b = binary.AppendVarint(b, 0)
+	}
+	b = binary.AppendUvarint(b, 2) // NeighborHeads: two keys, descending
+	b = binary.AppendUvarint(b, 2)
+	b = appendUintSlice(b, nil)
+	b = binary.AppendUvarint(b, 1)
+	b = appendUintSlice(b, nil)
+	h := fnv.New64a()
+	h.Write(b)
+	b = binary.LittleEndian.AppendUint64(b, h.Sum64())
+	if _, err := DecodeBytes(b); !errors.Is(err, ErrFormat) {
+		t.Fatalf("descending NeighborHeads keys: got %v, want ErrFormat", err)
+	}
+}
+
+// TestDecodeRejectsForgedHugeHeader pins the allocation guard: a tiny
+// blob whose header claims a huge node count (with a valid checksum —
+// FNV is not cryptographic and trivially recomputed) must be rejected
+// by the payload-length cross-check before any O(n) allocation.
+func TestDecodeRejectsForgedHugeHeader(t *testing.T) {
+	b := append([]byte{}, magic[:]...)
+	b = binary.AppendUvarint(b, Version)
+	b = binary.AppendUvarint(b, 1)                   // K
+	b = binary.AppendUvarint(b, uint64(khop.ACLMST)) // algorithm
+	b = binary.AppendUvarint(b, 0)                   // mode
+	b = binary.AppendUvarint(b, maxNodes)            // N: forged, nothing backs it
+	h := fnv.New64a()
+	h.Write(b)
+	b = binary.LittleEndian.AppendUint64(b, h.Sum64())
+	if _, err := DecodeBytes(b); !errors.Is(err, ErrFormat) {
+		t.Fatalf("forged huge-N header: got %v, want ErrFormat", err)
+	}
+	// And over the limit entirely.
+	b2 := append([]byte{}, magic[:]...)
+	b2 = binary.AppendUvarint(b2, Version)
+	b2 = binary.AppendUvarint(b2, 1)
+	b2 = binary.AppendUvarint(b2, uint64(khop.ACLMST))
+	b2 = binary.AppendUvarint(b2, 0)
+	b2 = binary.AppendUvarint(b2, maxNodes+1)
+	h = fnv.New64a()
+	h.Write(b2)
+	b2 = binary.LittleEndian.AppendUint64(b2, h.Sum64())
+	if _, err := DecodeBytes(b2); !errors.Is(err, ErrFormat) {
+		t.Fatalf("over-limit N: got %v, want ErrFormat", err)
+	}
+}

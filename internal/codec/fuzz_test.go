@@ -1,0 +1,81 @@
+package codec
+
+import (
+	"bytes"
+	"context"
+	"hash/fnv"
+	"testing"
+
+	khop "repro"
+)
+
+// FuzzCodecRoundTrip drives both directions of the codec:
+//
+//   - construction: the input bytes pick a deployment (seed, size, k,
+//     algorithm) and a corruption site; the built snapshot must survive
+//     decode(encode(x)) with identical bytes and a green VerifyResult,
+//     while the corrupted copy must be rejected;
+//   - destruction: the input bytes are also fed to DecodeBytes raw —
+//     arbitrary input must never panic, and anything that *does* decode
+//     must re-encode byte-identically (the canonical-form property).
+func FuzzCodecRoundTrip(f *testing.F) {
+	s, _ := buildSnapshot(f)
+	f.Add(encodeBytes(f, s), int64(1))
+	f.Add([]byte("KHOPSNAP"), int64(7))
+	f.Add([]byte{}, int64(42))
+
+	f.Fuzz(func(t *testing.T, data []byte, seed int64) {
+		// Destruction half: arbitrary bytes.
+		if snap, err := DecodeBytes(data); err == nil {
+			again := encodeBytes(t, snap)
+			if !bytes.Equal(again, data) {
+				t.Fatal("non-canonical bytes decoded cleanly: re-encode differs")
+			}
+		}
+
+		// Construction half: a small deterministic deployment derived
+		// from the fuzzed parameters.
+		h := fnv.New64a()
+		h.Write(data)
+		mix := int64(h.Sum64()>>1) ^ seed
+		n := 10 + int(uint64(mix)%41) // 10..50 nodes
+		k := 1 + int(uint64(mix)>>8%3)
+		algos := []khop.Algorithm{khop.NCMesh, khop.ACMesh, khop.NCLMST, khop.ACLMST, khop.GMST}
+		algo := algos[uint64(mix)>>16%uint64(len(algos))]
+		net, err := khop.RandomNetwork(khop.NetworkConfig{
+			N: n, AvgDegree: 6, Seed: mix, AllowDisconnected: true,
+		})
+		if err != nil {
+			t.Skip("degenerate deployment parameters")
+		}
+		e, err := khop.NewEngine(net.Graph(), khop.WithK(k), khop.WithAlgorithm(algo))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Build(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := FromEngine(e, khop.Centralized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := encodeBytes(t, snap)
+		back, err := DecodeBytes(raw)
+		if err != nil {
+			t.Fatalf("decode(encode(x)): %v", err)
+		}
+		if again := encodeBytes(t, back); !bytes.Equal(again, raw) {
+			t.Fatal("decode(encode(x)) re-encodes to different bytes")
+		}
+
+		// Corrupt one payload byte at a fuzz-chosen site: the checksum
+		// (or, if the attacker fixes that, the format/verify layers —
+		// exercised by the destruction half) must reject it.
+		pos := int(uint64(mix) % uint64(len(raw)))
+		bad := append([]byte(nil), raw...)
+		bad[pos] ^= 0x01
+		if _, err := DecodeBytes(bad); err == nil {
+			t.Fatalf("corrupted byte %d of %d accepted", pos, len(raw))
+		}
+	})
+}

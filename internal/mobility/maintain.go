@@ -175,9 +175,20 @@ func NewMaintainerFrom(g *graph.Graph, k int, algo gateway.Algorithm, c *cluster
 }
 
 func adopt(gc *graph.Graph, k int, algo gateway.Algorithm, c *cluster.Clustering, res *gateway.Result) *Maintainer {
+	// Liveness is inferred from the adopted structure, so a clustering
+	// that already carries departed slots — self-headed, unlisted,
+	// edge-less, the convention every Leave repair writes and a restored
+	// snapshot carries — resumes with those nodes dead: Alive reports
+	// false and only a Join brings them back. A freshly built structure
+	// has no such slot (isolated vertices head singleton clusters and are
+	// listed), so everything starts alive there, as before.
+	listed := make([]bool, gc.N())
+	for _, h := range c.Heads {
+		listed[h] = true
+	}
 	alive := make([]bool, gc.N())
 	for i := range alive {
-		alive[i] = true
+		alive[i] = !(c.Head[i] == i && !listed[i] && gc.Degree(i) == 0)
 	}
 	return &Maintainer{
 		G:       gc,

@@ -567,3 +567,53 @@ func TestChurnManyInvariants(t *testing.T) {
 		}
 	}
 }
+
+// TestAdoptInfersDepartedSlots pins the restore contract: adopting a
+// structure that already carries departed slots (self-headed, unlisted,
+// edge-less — what a snapshot of a churned deployment looks like)
+// resumes with those nodes dead, so a double Leave still errors and a
+// Join still brings them back; and adopting a fresh structure keeps
+// everyone alive, including isolated singleton heads, which are listed.
+func TestAdoptInfersDepartedSlots(t *testing.T) {
+	g := testGraph(t, 60, 6, 9)
+	m1 := NewMaintainer(g, 2, gateway.ACLMST)
+	if _, err := m1.ApplyBatch(context.Background(), []Event{
+		{Kind: EventLeave, Node: 5},
+		{Kind: EventLeave, Node: 17},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-adopt the churned structure, as a snapshot restore does.
+	m2 := NewMaintainerFrom(m1.G, m1.K, m1.Algo, m1.C, m1.Res)
+	for _, v := range []int{5, 17} {
+		if m2.Alive(v) {
+			t.Errorf("departed slot %d adopted as alive", v)
+		}
+	}
+	if m2.Alive(3) != true {
+		t.Error("alive member adopted as dead")
+	}
+	if _, err := m2.ApplyBatch(context.Background(), []Event{{Kind: EventLeave, Node: 5}}); err == nil {
+		t.Error("double leave accepted after re-adoption")
+	}
+	if _, err := m2.ApplyBatch(context.Background(), []Event{{Kind: EventJoin, Node: 5, Neighbors: []int{1, 2}}}); err != nil {
+		t.Errorf("join of a departed slot rejected after re-adoption: %v", err)
+	}
+	if !m2.Alive(5) {
+		t.Error("rejoined node not alive")
+	}
+
+	// A fresh build with an isolated vertex: the isolated node heads a
+	// listed singleton cluster, so it must adopt as alive.
+	iso := graph.New(4)
+	iso.AddEdge(0, 1)
+	iso.AddEdge(1, 2)
+	c := cluster.Run(iso, cluster.Options{K: 1})
+	m3 := NewMaintainerFrom(iso, 1, gateway.ACLMST, c, gateway.Run(iso, c, gateway.ACLMST))
+	for v := 0; v < 4; v++ {
+		if !m3.Alive(v) {
+			t.Errorf("fresh adoption marked node %d dead", v)
+		}
+	}
+}

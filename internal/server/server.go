@@ -1,0 +1,676 @@
+// Package server is the khopd deployment server: a long-running HTTP/JSON
+// facade over many named khop deployments, each an Engine plus its
+// application structures (hierarchical router, CDS broadcast plan), with
+// snapshot persistence through internal/codec.
+//
+// API (all bodies JSON unless noted):
+//
+//	POST   /deployments                  build a deployment (random network or explicit edges)
+//	GET    /deployments                  list deployment summaries
+//	GET    /deployments/{id}             one deployment's summary
+//	DELETE /deployments/{id}             drop a deployment
+//	POST   /deployments/{id}/events      apply a churn batch (Join/Leave/Move) through Engine.Apply
+//	GET    /deployments/{id}/route       ?src=&dst= — hierarchical route
+//	GET    /deployments/{id}/broadcast   ?src= — simulate a CDS-confined broadcast
+//	GET    /deployments/{id}/cds         the current structure (heads, gateways, CDS)
+//	GET    /deployments/{id}/snapshot    the deployment as a .khop blob (application/octet-stream)
+//	POST   /deployments/{id}/snapshot    restore a deployment from a .khop blob
+//	GET    /healthz                      liveness probe
+//
+// Concurrency: the deployment map takes a server-level RWMutex; each
+// deployment has its own RWMutex so reads — route and broadcast queries,
+// structure dumps, snapshot encodes — proceed concurrently with each
+// other while churn batches (and restores) serialize behind a write
+// lock. A snapshot taken under the read lock is therefore always a
+// consistent (graph, result) pair, even under concurrent churn on other
+// deployments.
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	khop "repro"
+	"repro/internal/codec"
+)
+
+// maxBodyBytes bounds request bodies (event batches, snapshots). A
+// 100k-node snapshot is a few MB; 64 MiB leaves generous headroom.
+const maxBodyBytes = 64 << 20
+
+// idPattern keeps deployment ids filesystem- and URL-safe, so they can
+// double as snapshot filenames in the state directory.
+var idPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// Config configures a Server.
+type Config struct {
+	// Parallel is the worker count for deployment builds
+	// (khop.WithParallel; 0 = all cores).
+	Parallel int
+	// Log receives one line per mutating request; nil discards.
+	Log *log.Logger
+}
+
+// Server manages named deployments. Create one with New, mount
+// Handler on an http.Server, and stop accepting traffic with the
+// http.Server's own graceful Shutdown; SaveDir then persists every
+// deployment for the next process.
+type Server struct {
+	cfg Config
+
+	mu   sync.RWMutex
+	deps map[string]*deployment
+}
+
+// New returns an empty Server.
+func New(cfg Config) *Server {
+	return &Server{cfg: cfg, deps: make(map[string]*deployment)}
+}
+
+// deployment is one named engine plus the derived application
+// structures, rebuilt after every churn batch.
+type deployment struct {
+	id string
+	// mode is recorded in emitted snapshot headers: Centralized for
+	// server-built deployments, the snapshot's own mode for restored
+	// ones — a restored Distributed deployment must round-trip as
+	// Distributed, not be silently rewritten.
+	mode khop.Mode
+
+	mu     sync.RWMutex
+	eng    *khop.Engine
+	res    *khop.Result
+	router *khop.Router
+	plan   *khop.BroadcastPlan
+	// appErr is the error building router/plan when the deployment has
+	// no usable backbone (e.g. a fully partitioned topology); queries
+	// report it instead of panicking on a nil router.
+	appErr pairError
+	events int
+}
+
+// pairError carries the independent router/plan construction errors.
+type pairError struct {
+	router, plan error
+}
+
+// refresh rebuilds the derived structures from the engine's current
+// state. Callers hold d.mu for writing.
+func (d *deployment) refresh() {
+	d.res = d.eng.Result()
+	cur := d.eng.CurrentGraph()
+	d.router, d.appErr.router = khop.NewRouter(cur, d.res)
+	d.plan, d.appErr.plan = khop.NewBroadcastPlan(cur, d.res)
+}
+
+// Summary is the JSON shape describing one deployment.
+type Summary struct {
+	ID               string `json:"id"`
+	N                int    `json:"n"`
+	K                int    `json:"k"`
+	Algorithm        string `json:"algorithm"`
+	Heads            int    `json:"heads"`
+	Gateways         int    `json:"gateways"`
+	CDSSize          int    `json:"cds_size"`
+	IndependentHeads bool   `json:"independent_heads"`
+	EventsApplied    int    `json:"events_applied"`
+}
+
+// summaryLocked builds the Summary; callers hold d.mu (either mode).
+func (d *deployment) summaryLocked() Summary {
+	return Summary{
+		ID:               d.id,
+		N:                len(d.res.HeadOf),
+		K:                d.res.K,
+		Algorithm:        d.res.Algorithm.String(),
+		Heads:            len(d.res.Heads),
+		Gateways:         len(d.res.Gateways),
+		CDSSize:          len(d.res.CDS),
+		IndependentHeads: d.res.IndependentHeads,
+		EventsApplied:    d.events,
+	}
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("POST /deployments", s.handleCreate)
+	mux.HandleFunc("GET /deployments", s.handleList)
+	mux.HandleFunc("GET /deployments/{id}", s.withDep(s.handleSummary))
+	mux.HandleFunc("DELETE /deployments/{id}", s.handleDelete)
+	mux.HandleFunc("POST /deployments/{id}/events", s.withDep(s.handleEvents))
+	mux.HandleFunc("GET /deployments/{id}/route", s.withDep(s.handleRoute))
+	mux.HandleFunc("GET /deployments/{id}/broadcast", s.withDep(s.handleBroadcast))
+	mux.HandleFunc("GET /deployments/{id}/cds", s.withDep(s.handleCDS))
+	mux.HandleFunc("GET /deployments/{id}/snapshot", s.withDep(s.handleSnapshotGet))
+	mux.HandleFunc("POST /deployments/{id}/snapshot", s.handleSnapshotPost)
+	return mux
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Log != nil {
+		s.cfg.Log.Printf(format, args...)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// withDep resolves {id} and hands the deployment to h, or 404s.
+func (s *Server) withDep(h func(http.ResponseWriter, *http.Request, *deployment)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		s.mu.RLock()
+		d, ok := s.deps[id]
+		s.mu.RUnlock()
+		if !ok {
+			writeError(w, http.StatusNotFound, "no deployment %q", id)
+			return
+		}
+		h(w, r, d)
+	}
+}
+
+// CreateRequest is the body of POST /deployments: either a random
+// unit-disk deployment (N plus AvgDegree/Seed, the paper's evaluation
+// setup) or an explicit edge list over N vertices.
+type CreateRequest struct {
+	ID        string   `json:"id"`
+	N         int      `json:"n"`
+	AvgDegree float64  `json:"avg_degree"` // default 6; ignored with Edges
+	Seed      int64    `json:"seed"`       // ignored with Edges
+	Edges     [][2]int `json:"edges"`      // explicit topology; nil = random
+	K         int      `json:"k"`          // default 1
+	Algorithm string   `json:"algorithm"`  // default "AC-LMST"
+	// AllowDisconnected skips the random generator's connectivity
+	// filter (recommended beyond ~10⁴ nodes).
+	AllowDisconnected bool `json:"allow_disconnected"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if !idPattern.MatchString(req.ID) {
+		writeError(w, http.StatusBadRequest, "deployment id must match %s", idPattern)
+		return
+	}
+	if req.N <= 0 {
+		writeError(w, http.StatusBadRequest, "n must be positive")
+		return
+	}
+	algo := khop.ACLMST
+	if req.Algorithm != "" {
+		var err error
+		if algo, err = khop.AlgorithmByName(req.Algorithm); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	k := req.K
+	if k == 0 {
+		k = 1
+	}
+	// Cheap duplicate check before paying for the build; the insert
+	// below re-checks under the same lock for the create/create race.
+	s.mu.RLock()
+	_, exists := s.deps[req.ID]
+	s.mu.RUnlock()
+	if exists {
+		writeError(w, http.StatusConflict, "deployment %q already exists", req.ID)
+		return
+	}
+
+	var g *khop.Graph
+	if req.Edges != nil {
+		g = khop.NewGraph(req.N)
+		for _, e := range req.Edges {
+			if e[0] < 0 || e[0] >= req.N || e[1] < 0 || e[1] >= req.N || e[0] == e[1] {
+				writeError(w, http.StatusBadRequest, "edge (%d,%d) invalid for n=%d", e[0], e[1], req.N)
+				return
+			}
+			g.AddEdge(e[0], e[1])
+		}
+	} else {
+		net, err := khop.RandomNetwork(khop.NetworkConfig{
+			N: req.N, AvgDegree: req.AvgDegree, Seed: req.Seed,
+			AllowDisconnected: req.AllowDisconnected,
+		})
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		g = net.Graph()
+	}
+
+	eng, err := khop.NewEngine(g,
+		khop.WithK(k), khop.WithAlgorithm(algo), khop.WithParallel(s.cfg.Parallel))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, err := eng.Build(r.Context()); err != nil {
+		writeError(w, http.StatusInternalServerError, "build: %v", err)
+		return
+	}
+	d := &deployment{id: req.ID, mode: khop.Centralized, eng: eng}
+	d.refresh()
+
+	s.mu.Lock()
+	if _, exists := s.deps[req.ID]; exists {
+		s.mu.Unlock()
+		writeError(w, http.StatusConflict, "deployment %q already exists", req.ID)
+		return
+	}
+	s.deps[req.ID] = d
+	s.mu.Unlock()
+
+	s.logf("created deployment %q: n=%d k=%d algo=%v", req.ID, req.N, k, algo)
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	writeJSON(w, http.StatusCreated, d.summaryLocked())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	deps := make([]*deployment, 0, len(s.deps))
+	for _, d := range s.deps {
+		deps = append(deps, d)
+	}
+	s.mu.RUnlock()
+	sort.Slice(deps, func(i, j int) bool { return deps[i].id < deps[j].id })
+	out := make([]Summary, len(deps))
+	for i, d := range deps {
+		d.mu.RLock()
+		out[i] = d.summaryLocked()
+		d.mu.RUnlock()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deployments": out})
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, _ *http.Request, d *deployment) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	writeJSON(w, http.StatusOK, d.summaryLocked())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	_, ok := s.deps[id]
+	delete(s.deps, id)
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no deployment %q", id)
+		return
+	}
+	s.logf("deleted deployment %q", id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// EventRequest is one churn event in a POST .../events batch.
+type EventRequest struct {
+	Kind      string `json:"kind"` // "leave", "join", or "move"
+	Node      int    `json:"node"`
+	Neighbors []int  `json:"neighbors,omitempty"`
+}
+
+// ReportResponse mirrors khop.RepairReport for the wire.
+type ReportResponse struct {
+	Kind              string `json:"kind"`
+	Node              int    `json:"node"`
+	Role              string `json:"role"`
+	ReclusteredNodes  int    `json:"reclustered_nodes"`
+	ReselectedHeads   int    `json:"reselected_heads"`
+	NewHeads          int    `json:"new_heads"`
+	GatewayDirty      bool   `json:"gateway_dirty"`
+	BatchGatewayRuns  int    `json:"batch_gateway_runs"`
+	BatchGatewaySaved int    `json:"batch_gateway_saved"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, d *deployment) {
+	var req struct {
+		Events []EventRequest `json:"events"`
+	}
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Events) == 0 {
+		writeError(w, http.StatusBadRequest, "empty event batch")
+		return
+	}
+	batch := make([]khop.Event, len(req.Events))
+	for i, ev := range req.Events {
+		switch strings.ToLower(ev.Kind) {
+		case "leave":
+			batch[i] = khop.Leave(ev.Node)
+		case "join":
+			batch[i] = khop.Join(ev.Node, ev.Neighbors...)
+		case "move":
+			batch[i] = khop.Move(ev.Node, ev.Neighbors...)
+		default:
+			writeError(w, http.StatusBadRequest, "event %d: unknown kind %q (want leave, join, or move)", i, ev.Kind)
+			return
+		}
+	}
+
+	d.mu.Lock()
+	reports, err := d.eng.Apply(r.Context(), batch...)
+	d.events += len(reports)
+	// Refresh even on a mid-batch error: the engine's Result already
+	// reflects the repairs that did apply.
+	if len(reports) > 0 {
+		d.refresh()
+	}
+	out := make([]ReportResponse, len(reports))
+	for i, rep := range reports {
+		out[i] = ReportResponse{
+			Kind:              rep.Kind.String(),
+			Node:              rep.Node,
+			Role:              rep.Role.String(),
+			ReclusteredNodes:  rep.ReclusteredNodes,
+			ReselectedHeads:   rep.ReselectedHeads,
+			NewHeads:          rep.NewHeads,
+			GatewayDirty:      rep.GatewayDirty,
+			BatchGatewayRuns:  rep.BatchGatewayRuns,
+			BatchGatewaySaved: rep.BatchGatewaySaved,
+		}
+	}
+	sum := d.summaryLocked()
+	d.mu.Unlock()
+
+	if err != nil {
+		// Partial application is real state: report what applied
+		// alongside the error so the client can reconcile.
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
+			"error":   err.Error(),
+			"applied": len(reports),
+			"reports": out,
+			"summary": sum,
+		})
+		return
+	}
+	s.logf("deployment %q: applied %d events", d.id, len(reports))
+	writeJSON(w, http.StatusOK, map[string]any{"reports": out, "summary": sum})
+}
+
+func queryInt(r *http.Request, name string) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("query parameter %q: %v", name, err)
+	}
+	return v, nil
+}
+
+func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request, d *deployment) {
+	src, err := queryInt(r, "src")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	dst, err := queryInt(r, "dst")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.appErr.router != nil {
+		writeError(w, http.StatusConflict, "deployment has no routable backbone: %v", d.appErr.router)
+		return
+	}
+	if n := len(d.res.HeadOf); src < 0 || src >= n || dst < 0 || dst >= n {
+		writeError(w, http.StatusBadRequest, "src/dst must be in [0,%d)", len(d.res.HeadOf))
+		return
+	}
+	route, err := d.router.Route(src, dst)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"src": src, "dst": dst, "route": route, "hops": len(route) - 1,
+	})
+}
+
+func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request, d *deployment) {
+	src, err := queryInt(r, "src")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.appErr.plan != nil {
+		writeError(w, http.StatusConflict, "deployment has no broadcast plan: %v", d.appErr.plan)
+		return
+	}
+	if src < 0 || src >= len(d.res.HeadOf) {
+		writeError(w, http.StatusBadRequest, "src %d out of range [0,%d)", src, len(d.res.HeadOf))
+		return
+	}
+	stats := d.plan.Broadcast(src)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"src":           src,
+		"forwarders":    d.plan.ForwarderCount(),
+		"transmissions": stats.Transmissions,
+		"reached":       stats.Reached,
+		"covered":       stats.Covered,
+		"rounds":        stats.Rounds,
+	})
+}
+
+func (s *Server) handleCDS(w http.ResponseWriter, _ *http.Request, d *deployment) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"k":                 d.res.K,
+		"algorithm":         d.res.Algorithm.String(),
+		"heads":             d.res.Heads,
+		"gateways":          d.res.Gateways,
+		"cds":               d.res.CDS,
+		"independent_heads": d.res.IndependentHeads,
+	})
+}
+
+func (s *Server) handleSnapshotGet(w http.ResponseWriter, _ *http.Request, d *deployment) {
+	d.mu.RLock()
+	raw, err := d.snapshotLocked()
+	d.mu.RUnlock()
+	if err != nil {
+		writeError(w, http.StatusConflict, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", d.id+".khop"))
+	w.Write(raw)
+}
+
+// snapshotLocked encodes the deployment; callers hold d.mu (read mode
+// suffices — churn serializes behind the write lock, so the
+// graph/result pair is consistent).
+func (d *deployment) snapshotLocked() ([]byte, error) {
+	snap, err := codec.FromEngine(d.eng, d.mode)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := codec.Encode(&buf, snap); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !idPattern.MatchString(id) {
+		writeError(w, http.StatusBadRequest, "deployment id must match %s", idPattern)
+		return
+	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading snapshot body: %v", err)
+		return
+	}
+	d, err := s.restore(id, raw)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errExists) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	s.logf("restored deployment %q from snapshot (%d bytes)", id, len(raw))
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	writeJSON(w, http.StatusCreated, d.summaryLocked())
+}
+
+var errExists = errors.New("deployment already exists")
+
+// restore decodes and verifies a snapshot (codec.Decode runs
+// khop.VerifyResult) and registers it under id.
+func (s *Server) restore(id string, raw []byte) (*deployment, error) {
+	snap, err := codec.DecodeBytes(raw)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := snap.Restore(khop.WithParallel(s.cfg.Parallel))
+	if err != nil {
+		return nil, err
+	}
+	d := &deployment{id: id, mode: snap.Mode, eng: eng}
+	d.refresh()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.deps[id]; exists {
+		return nil, fmt.Errorf("%w: %q", errExists, id)
+	}
+	s.deps[id] = d
+	return d, nil
+}
+
+// SaveDir writes every deployment to dir as <id>.khop (atomically, via
+// a temp file and rename), for reload with LoadDir after a restart.
+// Typically called after the http.Server's graceful Shutdown has
+// drained in-flight churn.
+func (s *Server) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	deps := make([]*deployment, 0, len(s.deps))
+	for _, d := range s.deps {
+		deps = append(deps, d)
+	}
+	s.mu.RUnlock()
+	for _, d := range deps {
+		d.mu.RLock()
+		raw, err := d.snapshotLocked()
+		d.mu.RUnlock()
+		if err != nil {
+			return fmt.Errorf("snapshot %q: %w", d.id, err)
+		}
+		tmp, err := os.CreateTemp(dir, d.id+".*.tmp")
+		if err != nil {
+			return err
+		}
+		_, werr := tmp.Write(raw)
+		cerr := tmp.Close()
+		if werr != nil || cerr != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("write snapshot %q: %w", d.id, errors.Join(werr, cerr))
+		}
+		if err := os.Rename(tmp.Name(), filepath.Join(dir, d.id+".khop")); err != nil {
+			os.Remove(tmp.Name())
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir restores every *.khop file in dir (the file base name is the
+// deployment id). Missing dir is not an error — a first boot simply
+// has nothing to load. A snapshot that fails to load (corruption,
+// invalid id, unreadable file) is skipped with a logged warning rather
+// than aborting startup: one bit-rotted file must not take every
+// healthy deployment on the same server down with it.
+func (s *Server) LoadDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".khop") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		id := strings.TrimSuffix(name, ".khop")
+		if !idPattern.MatchString(id) {
+			s.logf("skipping snapshot %s: invalid deployment id %q", path, id)
+			continue
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			s.logf("skipping snapshot %s: %v", path, err)
+			continue
+		}
+		if _, err := s.restore(id, raw); err != nil {
+			s.logf("skipping snapshot %s: %v", path, err)
+			continue
+		}
+		s.logf("loaded deployment %q from %s", id, path)
+	}
+	return nil
+}
+
+// decodeBody strictly decodes a JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// One JSON value per body; trailing content is a client bug.
+	if dec.More() {
+		return fmt.Errorf("trailing content after the JSON body")
+	}
+	return nil
+}

@@ -1,0 +1,349 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	khop "repro"
+	"repro/internal/codec"
+)
+
+// do issues one request against ts and decodes the JSON response.
+func do(t *testing.T, ts *httptest.Server, method, path string, body any, wantStatus int, out any) {
+	t.Helper()
+	var rd io.Reader
+	switch b := body.(type) {
+	case nil:
+	case []byte:
+		rd = bytes.NewReader(b)
+	default:
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d; body: %s", method, path, resp.StatusCode, wantStatus, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: decoding %q: %v", method, path, raw, err)
+		}
+	}
+}
+
+// fetchBytes GETs a raw (non-JSON) body.
+func fetchBytes(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, raw)
+	}
+	return raw
+}
+
+type routeResponse struct {
+	Src   int   `json:"src"`
+	Dst   int   `json:"dst"`
+	Route []int `json:"route"`
+	Hops  int   `json:"hops"`
+}
+
+var createBody = CreateRequest{
+	ID: "prod", N: 80, AvgDegree: 6, Seed: 7, K: 2, Algorithm: "AC-LMST",
+}
+
+// TestEndToEndRestart is the khopd acceptance path: build over HTTP,
+// churn, snapshot, "restart" (a fresh Server), restore the snapshot —
+// which runs khop.VerifyResult inside codec.Decode — and require
+// byte-identical routing and structure answers pre/post restart.
+func TestEndToEndRestart(t *testing.T) {
+	ts1 := httptest.NewServer(New(Config{}).Handler())
+	defer ts1.Close()
+
+	var sum Summary
+	do(t, ts1, "POST", "/deployments", createBody, http.StatusCreated, &sum)
+	if sum.ID != "prod" || sum.Heads == 0 || sum.CDSSize == 0 {
+		t.Fatalf("implausible create summary: %+v", sum)
+	}
+
+	// Churn: a departure, a rejoin elsewhere, and a move.
+	events := map[string]any{"events": []EventRequest{
+		{Kind: "leave", Node: 5},
+		{Kind: "leave", Node: 17},
+		{Kind: "join", Node: 5, Neighbors: []int{1, 2}},
+		{Kind: "move", Node: 9, Neighbors: []int{21, 22}},
+	}}
+	var applied struct {
+		Reports []ReportResponse `json:"reports"`
+		Summary Summary          `json:"summary"`
+	}
+	do(t, ts1, "POST", "/deployments/prod/events", events, http.StatusOK, &applied)
+	if len(applied.Reports) != 4 {
+		t.Fatalf("applied %d events, want 4", len(applied.Reports))
+	}
+	if applied.Summary.EventsApplied != 4 {
+		t.Fatalf("summary says %d events applied, want 4", applied.Summary.EventsApplied)
+	}
+
+	// Routing answers before the restart.
+	pairs := [][2]int{{0, 70}, {3, 44}, {12, 63}, {30, 55}}
+	before := make([]routeResponse, len(pairs))
+	for i, p := range pairs {
+		do(t, ts1, "GET", fmt.Sprintf("/deployments/prod/route?src=%d&dst=%d", p[0], p[1]),
+			nil, http.StatusOK, &before[i])
+	}
+	var cdsBefore map[string]any
+	do(t, ts1, "GET", "/deployments/prod/cds", nil, http.StatusOK, &cdsBefore)
+
+	snap := fetchBytes(t, ts1, "/deployments/prod/snapshot")
+	// The wire blob is a verified snapshot in its own right.
+	if _, err := codec.DecodeBytes(snap); err != nil {
+		t.Fatalf("served snapshot does not decode: %v", err)
+	}
+
+	// "Restart": a brand-new server process, state restored from the blob.
+	ts2 := httptest.NewServer(New(Config{}).Handler())
+	defer ts2.Close()
+	var restored Summary
+	do(t, ts2, "POST", "/deployments/prod/snapshot", snap, http.StatusCreated, &restored)
+	if restored.Heads != applied.Summary.Heads || restored.CDSSize != applied.Summary.CDSSize {
+		t.Fatalf("restored summary %+v does not match pre-restart %+v", restored, applied.Summary)
+	}
+
+	for i, p := range pairs {
+		var after routeResponse
+		do(t, ts2, "GET", fmt.Sprintf("/deployments/prod/route?src=%d&dst=%d", p[0], p[1]),
+			nil, http.StatusOK, &after)
+		if !reflect.DeepEqual(after, before[i]) {
+			t.Errorf("route %v changed across restart: %+v -> %+v", p, before[i], after)
+		}
+	}
+	var cdsAfter map[string]any
+	do(t, ts2, "GET", "/deployments/prod/cds", nil, http.StatusOK, &cdsAfter)
+	if !reflect.DeepEqual(cdsAfter, cdsBefore) {
+		t.Error("CDS structure changed across restart")
+	}
+
+	// Churn keeps working on the restored deployment, including a
+	// rejoin of the node that was departed at snapshot time.
+	more := map[string]any{"events": []EventRequest{
+		{Kind: "join", Node: 17, Neighbors: []int{40, 41}},
+	}}
+	do(t, ts2, "POST", "/deployments/prod/events", more, http.StatusOK, nil)
+}
+
+func TestSaveDirLoadDirRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "state")
+	s1 := New(Config{})
+	ts1 := httptest.NewServer(s1.Handler())
+	defer ts1.Close()
+	do(t, ts1, "POST", "/deployments", createBody, http.StatusCreated, nil)
+	second := createBody
+	second.ID = "edge-eu.1"
+	second.Seed = 11
+	do(t, ts1, "POST", "/deployments", second, http.StatusCreated, nil)
+	do(t, ts1, "POST", "/deployments/prod/events", map[string]any{"events": []EventRequest{
+		{Kind: "leave", Node: 3},
+	}}, http.StatusOK, nil)
+	if err := s1.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"prod.khop", "edge-eu.1.khop"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("SaveDir did not write %s: %v", f, err)
+		}
+	}
+
+	// A corrupt snapshot in the state dir must not take the healthy
+	// deployments down with it: LoadDir skips it with a warning.
+	if err := os.WriteFile(filepath.Join(dir, "rotted.khop"), []byte("bit rot"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := New(Config{})
+	if err := s2.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	var list struct {
+		Deployments []Summary `json:"deployments"`
+	}
+	do(t, ts2, "GET", "/deployments", nil, http.StatusOK, &list)
+	if len(list.Deployments) != 2 {
+		t.Fatalf("loaded %d deployments, want 2", len(list.Deployments))
+	}
+	if list.Deployments[0].ID != "edge-eu.1" || list.Deployments[1].ID != "prod" {
+		t.Fatalf("unexpected ids: %+v", list.Deployments)
+	}
+
+	// LoadDir on a directory that never existed is a clean first boot.
+	if err := New(Config{}).LoadDir(filepath.Join(t.TempDir(), "nope")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAPIErrors(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	do(t, ts, "POST", "/deployments", createBody, http.StatusCreated, nil)
+
+	cases := []struct {
+		name, method, path string
+		body               any
+		status             int
+	}{
+		{"duplicate id", "POST", "/deployments", createBody, http.StatusConflict},
+		{"bad id", "POST", "/deployments", CreateRequest{ID: "../evil", N: 10}, http.StatusBadRequest},
+		{"zero n", "POST", "/deployments", CreateRequest{ID: "x", N: 0}, http.StatusBadRequest},
+		{"bad algorithm", "POST", "/deployments", CreateRequest{ID: "x", N: 10, Algorithm: "Steiner"}, http.StatusBadRequest},
+		{"bad edge", "POST", "/deployments", CreateRequest{ID: "x", N: 4, Edges: [][2]int{{0, 9}}}, http.StatusBadRequest},
+		{"unknown field", "POST", "/deployments", map[string]any{"id": "x", "n": 10, "nodes": 10}, http.StatusBadRequest},
+		{"unknown deployment", "GET", "/deployments/ghost/cds", nil, http.StatusNotFound},
+		{"delete unknown", "DELETE", "/deployments/ghost", nil, http.StatusNotFound},
+		{"empty batch", "POST", "/deployments/prod/events", map[string]any{"events": []EventRequest{}}, http.StatusBadRequest},
+		{"unknown kind", "POST", "/deployments/prod/events",
+			map[string]any{"events": []EventRequest{{Kind: "explode", Node: 1}}}, http.StatusBadRequest},
+		{"event out of range", "POST", "/deployments/prod/events",
+			map[string]any{"events": []EventRequest{{Kind: "leave", Node: 9999}}}, http.StatusUnprocessableEntity},
+		{"route missing params", "GET", "/deployments/prod/route", nil, http.StatusBadRequest},
+		{"route bad node", "GET", "/deployments/prod/route?src=0&dst=12345", nil, http.StatusBadRequest},
+		{"broadcast bad src", "GET", "/deployments/prod/broadcast?src=-2", nil, http.StatusBadRequest},
+		{"restore garbage", "POST", "/deployments/g2/snapshot", []byte("not a snapshot"), http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			do(t, ts, tc.method, tc.path, tc.body, tc.status, nil)
+		})
+	}
+
+	// Restoring over an existing id conflicts rather than clobbers.
+	snap := fetchBytes(t, ts, "/deployments/prod/snapshot")
+	do(t, ts, "POST", "/deployments/prod/snapshot", snap, http.StatusConflict, nil)
+	// A valid snapshot under a fresh id restores fine.
+	do(t, ts, "POST", "/deployments/prod2/snapshot", snap, http.StatusCreated, nil)
+}
+
+// TestPartialBatchReported pins the partial-application contract: a
+// batch that fails mid-way answers 422 with the repairs that did land.
+func TestPartialBatchReported(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	do(t, ts, "POST", "/deployments", createBody, http.StatusCreated, nil)
+	var resp struct {
+		Error   string           `json:"error"`
+		Applied int              `json:"applied"`
+		Reports []ReportResponse `json:"reports"`
+	}
+	do(t, ts, "POST", "/deployments/prod/events", map[string]any{"events": []EventRequest{
+		{Kind: "leave", Node: 4},
+		{Kind: "leave", Node: 4}, // double leave fails mid-batch
+		{Kind: "leave", Node: 6},
+	}}, http.StatusUnprocessableEntity, &resp)
+	if resp.Applied != 1 || len(resp.Reports) != 1 || resp.Error == "" {
+		t.Fatalf("partial batch: %+v", resp)
+	}
+	// The first leave is real state: node 4 must stay departed.
+	var cds struct {
+		Heads []int `json:"heads"`
+	}
+	do(t, ts, "GET", "/deployments/prod/cds", nil, http.StatusOK, &cds)
+	do(t, ts, "POST", "/deployments/prod/events", map[string]any{"events": []EventRequest{
+		{Kind: "join", Node: 4, Neighbors: []int{1}},
+	}}, http.StatusOK, nil)
+}
+
+func TestBroadcastAndHealth(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	do(t, ts, "POST", "/deployments", createBody, http.StatusCreated, nil)
+	var b struct {
+		Forwarders    int  `json:"forwarders"`
+		Transmissions int  `json:"transmissions"`
+		Reached       int  `json:"reached"`
+		Covered       bool `json:"covered"`
+	}
+	do(t, ts, "GET", "/deployments/prod/broadcast?src=0", nil, http.StatusOK, &b)
+	if !b.Covered || b.Reached != createBody.N {
+		t.Fatalf("CDS broadcast did not cover the network: %+v", b)
+	}
+	if b.Forwarders >= createBody.N {
+		t.Fatalf("broadcast plan saves nothing: %d forwarders of %d nodes", b.Forwarders, createBody.N)
+	}
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+}
+
+// TestRestoredModeRoundTrips pins snapshot header fidelity: a
+// Distributed deployment restored into the server must re-emit its
+// snapshot as Distributed, not be silently rewritten to Centralized.
+func TestRestoredModeRoundTrips(t *testing.T) {
+	net, err := khop.RandomNetwork(khop.NetworkConfig{N: 50, AvgDegree: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := khop.NewEngine(net.Graph(), khop.WithK(2), khop.WithMode(khop.Distributed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Build(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := codec.FromEngine(eng, khop.Distributed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := codec.Encode(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	do(t, ts, "POST", "/deployments/dist/snapshot", buf.Bytes(), http.StatusCreated, nil)
+	back, err := codec.DecodeBytes(fetchBytes(t, ts, "/deployments/dist/snapshot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Mode != khop.Distributed {
+		t.Fatalf("re-emitted snapshot mode = %v, want %v", back.Mode, khop.Distributed)
+	}
+}

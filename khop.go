@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/gateway"
@@ -37,6 +38,13 @@ func (g *Graph) HasEdge(u, v int) bool { return g.g.HasEdge(u, v) }
 // Neighbors returns v's sorted neighbor list (shared; do not modify).
 func (g *Graph) Neighbors(v int) []int { return g.g.Neighbors(v) }
 
+// Edges returns every undirected edge once as (u, v) with u < v, in
+// ascending lexicographic order.
+func (g *Graph) Edges() [][2]int { return g.g.Edges() }
+
+// Degree returns the number of edges incident to v.
+func (g *Graph) Degree(v int) int { return g.g.Degree(v) }
+
 // Connected reports whether the graph is connected.
 func (g *Graph) Connected() bool { return g.g.Connected() }
 
@@ -54,6 +62,20 @@ const (
 	ACLMST = gateway.ACLMST
 	GMST   = gateway.GMST
 )
+
+// AlgorithmByName parses an algorithm's display name ("NC-Mesh",
+// "AC-Mesh", "NC-LMST", "AC-LMST", "G-MST", as printed by
+// Algorithm.String) back into the Algorithm value. The match is
+// case-insensitive. It is the inverse used by the CLI flags and the
+// deployment server's JSON API.
+func AlgorithmByName(name string) (Algorithm, error) {
+	for _, a := range []Algorithm{NCMesh, ACMesh, NCLMST, ACLMST, GMST} {
+		if strings.EqualFold(a.String(), name) {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("khop: unknown algorithm %q (want NC-Mesh, AC-Mesh, NC-LMST, AC-LMST, or G-MST)", name)
+}
 
 // Affiliation is the member-affiliation rule used when a node hears more
 // than one clusterhead declaration.
