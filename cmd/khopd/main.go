@@ -18,6 +18,7 @@
 //	curl -X POST localhost:8080/deployments/prod/events -d '{"events":[{"kind":"leave","node":7}]}'
 //	curl 'localhost:8080/deployments/prod/route?src=3&dst=150'
 //	curl -o prod.khop localhost:8080/deployments/prod/snapshot
+//	curl localhost:8080/metrics   # Prometheus text format; /healthz for JSON health
 //
 // See internal/server for the full API and ARCHITECTURE.md for how the
 // deployment layer sits on the engine.

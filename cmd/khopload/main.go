@@ -1,0 +1,105 @@
+// Command khopload load-tests a running khopd and renders a verdict:
+// it provisions a deployment, offers a committed traffic profile
+// (paced route/broadcast reads plus churn batches, optionally
+// bursting), polls the server's /metrics into a samples.csv
+// timeseries, and writes a versioned summary.json whose "pass" field
+// is the SLO check — CI gates on it, and committed runs under
+// benchmarks/results/ are the host baselines.
+//
+// Usage:
+//
+//	khopd -addr :8080 &
+//	khopload -addr http://127.0.0.1:8080 -profile steady_1k -out bench-out
+//
+// Exit status: 0 when the SLO passed, 2 when the run completed but an
+// SLO check failed, 1 on harness errors (server unreachable, bad
+// flags, unwritable output).
+//
+// Profiles (see internal/loadharness): steady_1k is the sustained
+// mixed-load shape CI smokes on every PR; burst_10k spikes to 10k QPS
+// once per five seconds. -duration shortens any profile, -list prints
+// the catalogue.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/loadharness"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout))
+}
+
+func run(args []string, out *os.File) int {
+	fs := flag.NewFlagSet("khopload", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "http://127.0.0.1:8080", "base URL of the khopd under test")
+		profile  = fs.String("profile", "steady_1k", "load profile name")
+		list     = fs.Bool("list", false, "list the committed profiles and exit")
+		outDir   = fs.String("out", "khopload-out", "directory for samples.csv and summary.json")
+		duration = fs.Duration("duration", 0, "override the profile duration (0 = profile default)")
+		id       = fs.String("deployment", "khopload", "deployment id to provision for the run")
+		keep     = fs.Bool("keep", false, "leave the provisioned deployment on the server afterwards")
+		quiet    = fs.Bool("q", false, "suppress progress logging")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		for _, p := range loadharness.Profiles {
+			fmt.Fprintf(out, "%-12s %4ds  %6g route QPS  burst ×%-4g %5g churn events/s  n=%d\n",
+				p.Name, int(p.Duration.Seconds()), p.RouteQPS, max(p.BurstFactor, 1), p.ChurnEventsPerSec, p.N)
+		}
+		return 0
+	}
+	p, err := loadharness.ProfileByName(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khopload:", err)
+		return 1
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var logger *log.Logger
+	if !*quiet {
+		logger = log.New(os.Stderr, "khopload: ", log.LstdFlags)
+	}
+	sum, err := loadharness.Run(ctx, loadharness.Options{
+		BaseURL:          *addr,
+		Profile:          p,
+		DurationOverride: *duration,
+		OutDir:           *outDir,
+		DeploymentID:     *id,
+		Keep:             *keep,
+		Log:              logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khopload:", err)
+		return 1
+	}
+
+	fmt.Fprintf(out, "profile %s: %.1fs, route %.0f/s achieved (target %.0f/s), p50/p95/p99 = %.1f/%.1f/%.1f ms, %d events applied\n",
+		sum.Profile, sum.DurationSeconds, sum.Route.AchievedQPS, sum.TargetRouteQPS,
+		sum.Route.LatencyMS.P50, sum.Route.LatencyMS.P95, sum.Route.LatencyMS.P99,
+		sum.Server.EventsApplied)
+	for _, c := range sum.Checks {
+		verdict := "ok"
+		if !c.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(out, "  %-14s %10.3f <= %-10.3f %s\n", c.Name, c.Actual, c.Limit, verdict)
+	}
+	if !sum.Pass {
+		fmt.Fprintln(out, "SLO: FAIL")
+		return 2
+	}
+	fmt.Fprintln(out, "SLO: pass")
+	return 0
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/server"
+)
+
+func capture(t *testing.T, args []string) (int, string) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	code := run(args, f)
+	raw, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return code, string(raw)
+}
+
+func TestListProfiles(t *testing.T) {
+	code, out := capture(t, []string{"-list"})
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, name := range []string{"steady_1k", "burst_10k"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestUnknownProfile(t *testing.T) {
+	if code, _ := capture(t, []string{"-profile", "nope"}); code != 1 {
+		t.Fatalf("unknown profile exited %d, want 1", code)
+	}
+}
+
+func TestUnreachableServer(t *testing.T) {
+	if code, _ := capture(t, []string{"-addr", "http://127.0.0.1:1", "-q"}); code != 1 {
+		t.Fatalf("unreachable server exited %d, want 1", code)
+	}
+}
+
+// TestRunAgainstLiveServer is the CLI analogue of the harness e2e
+// test: a shortened steady_1k against an in-process khopd must exit 0
+// and leave the artifacts behind.
+func TestRunAgainstLiveServer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives ~3s of live load")
+	}
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	out := filepath.Join(t.TempDir(), "run")
+
+	code, text := capture(t, []string{
+		"-addr", ts.URL, "-profile", "steady_1k", "-duration", "3s",
+		"-out", out, "-q",
+	})
+	if code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, text)
+	}
+	if !strings.Contains(text, "SLO: pass") {
+		t.Fatalf("verdict line missing:\n%s", text)
+	}
+	for _, f := range []string{"samples.csv", "summary.json"} {
+		if _, err := os.Stat(filepath.Join(out, f)); err != nil {
+			t.Errorf("missing artifact: %v", err)
+		}
+	}
+}

@@ -1,0 +1,510 @@
+package loadharness
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Options configures one harness run.
+type Options struct {
+	// BaseURL is the khopd under test, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	Profile Profile
+	// DurationOverride shortens or stretches the profile (CI smoke runs
+	// use ~15s); zero keeps the profile's duration.
+	DurationOverride time.Duration
+	// OutDir receives samples.csv and summary.json; empty writes no
+	// files (the Summary is still returned).
+	OutDir string
+	// DeploymentID names the deployment the harness provisions
+	// (default "khopload"). An existing deployment with that id is
+	// deleted first, and the harness deletes it again on the way out
+	// unless Keep is set.
+	DeploymentID string
+	Keep         bool
+	// Log receives progress lines; nil discards.
+	Log *log.Logger
+	// Client overrides the HTTP client (tests inject the httptest
+	// client); nil builds one sized for the profile's concurrency.
+	Client *http.Client
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log.Printf(format, args...)
+	}
+}
+
+// opRecorder accumulates one operation class client-side.
+type opRecorder struct {
+	attempts atomic.Uint64
+	errors   atomic.Uint64
+	hist     *telemetry.Histogram
+}
+
+func newOpRecorder() *opRecorder { return &opRecorder{hist: telemetry.NewHistogram()} }
+
+// record counts one completed request; latency lands in the histogram
+// only for successes, so percentiles measure served queries, not the
+// speed of error responses.
+func (r *opRecorder) record(d time.Duration, ok bool) {
+	r.attempts.Add(1)
+	if ok {
+		r.hist.Observe(d)
+	} else {
+		r.errors.Add(1)
+	}
+}
+
+func (r *opRecorder) stats(elapsed time.Duration) OpStats {
+	attempts, errs := r.attempts.Load(), r.errors.Load()
+	qps := 0.0
+	if elapsed > 0 {
+		qps = float64(attempts-errs) / elapsed.Seconds()
+	}
+	toMS := func(q float64) float64 { return r.hist.Quantile(q) * 1e3 }
+	return OpStats{
+		Requests:    attempts,
+		Errors:      errs,
+		AchievedQPS: qps,
+		LatencyMS:   Quantiles{P50: toMS(0.50), P95: toMS(0.95), P99: toMS(0.99)},
+	}
+}
+
+// serverCounters is the slice of a /metrics scrape the harness tracks.
+type serverCounters struct {
+	routeReq, events, batches, gwRuns, gwSaved float64
+	h2xx, h4xx, h5xx                           float64
+}
+
+func readCounters(sc *telemetry.Scrape, id string) serverCounters {
+	dep := map[string]string{"deployment": id}
+	get := func(name string, labels map[string]string) float64 {
+		v, _ := sc.Value(name, labels)
+		return v
+	}
+	return serverCounters{
+		routeReq: get("khopd_route_requests_total", dep),
+		events:   get("khopd_events_applied_total", dep),
+		batches:  get("khopd_event_batches_total", dep),
+		gwRuns:   get("khopd_gateway_runs_total", dep),
+		gwSaved:  get("khopd_gateway_saved_total", dep),
+		h2xx:     get("khopd_http_2xx_total", nil),
+		h4xx:     get("khopd_http_4xx_total", nil),
+		h5xx:     get("khopd_http_5xx_total", nil),
+	}
+}
+
+func delta(final, base float64) uint64 {
+	if d := final - base; d > 0 {
+		return uint64(d)
+	}
+	return 0
+}
+
+// Run drives one profile against a live khopd and returns the verdict.
+// The error is non-nil only for harness failures (server unreachable,
+// provisioning failed, output unwritable); an SLO miss is a returned
+// Summary with Pass == false.
+func Run(ctx context.Context, opt Options) (*Summary, error) {
+	p := opt.Profile
+	if opt.DurationOverride > 0 {
+		p.Duration = opt.DurationOverride
+	}
+	if p.Concurrency <= 0 || p.RouteQPS <= 0 || p.N <= 0 || p.ChurnBatch < 2 {
+		return nil, fmt.Errorf("loadharness: implausible profile %+v", p)
+	}
+	id := opt.DeploymentID
+	if id == "" {
+		id = "khopload"
+	}
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        p.Concurrency + 8,
+				MaxIdleConnsPerHost: p.Concurrency + 8,
+			},
+		}
+	}
+
+	if err := waitReady(ctx, client, opt.BaseURL); err != nil {
+		return nil, err
+	}
+	if err := provision(ctx, client, opt.BaseURL, id, p); err != nil {
+		return nil, err
+	}
+	if !opt.Keep {
+		defer deleteDeployment(client, opt.BaseURL, id)
+	}
+	burst := ""
+	if p.BurstEvery > 0 && p.BurstFactor > 1 {
+		burst = fmt.Sprintf(" (burst ×%g for %v every %v)", p.BurstFactor, p.BurstLen, p.BurstEvery)
+	}
+	opt.logf("profile %s against %s: %v of %g route QPS%s, %g churn events/s, %d workers",
+		p.Name, opt.BaseURL, p.Duration, p.RouteQPS, burst, p.ChurnEventsPerSec, p.Concurrency)
+
+	baseScrape, err := scrapeMetrics(ctx, client, opt.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadharness: initial scrape: %w", err)
+	}
+	base := readCounters(baseScrape, id)
+
+	var (
+		route     = newOpRecorder()
+		broadcast = newOpRecorder()
+		churn     = newOpRecorder()
+	)
+	stable := p.N - p.ChurnBatch // reads stay below the churned range
+	if stable < 2 {
+		return nil, fmt.Errorf("loadharness: profile churns %d of %d nodes, nothing stable to read", p.ChurnBatch, p.N)
+	}
+
+	start := time.Now()
+	runCtx, cancel := context.WithDeadline(ctx, start.Add(p.Duration))
+	defer cancel()
+
+	// Pacer: tokens at the (burst-aware) offered rate. The buffer
+	// bounds backlog; when the workers can't drain it, surplus tokens
+	// are dropped so a stall measures as lost throughput, not as a
+	// post-run thundering herd.
+	tokens := make(chan struct{}, max(256, int(p.RouteQPS)))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		carry, last := 0.0, start
+		for {
+			var now time.Time
+			select {
+			case <-runCtx.Done():
+				return
+			case now = <-tick.C:
+			}
+			carry += p.rateAt(now.Sub(start)) * now.Sub(last).Seconds()
+			last = now
+			for n := int(carry); n > 0; n-- {
+				select {
+				case tokens <- struct{}{}:
+					carry--
+				default:
+					carry = 0
+					n = 0
+				}
+			}
+		}
+	}()
+
+	// Readers: token-paced, response-bounded.
+	for w := 0; w < p.Concurrency; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-tokens:
+				}
+				var url string
+				rec := route
+				if rng.Float64() < p.BroadcastFraction {
+					rec = broadcast
+					url = fmt.Sprintf("%s/deployments/%s/broadcast?src=%d", opt.BaseURL, id, rng.Intn(stable))
+				} else {
+					src := rng.Intn(stable)
+					dst := (src + 1 + rng.Intn(stable-1)) % stable
+					url = fmt.Sprintf("%s/deployments/%s/route?src=%d&dst=%d", opt.BaseURL, id, src, dst)
+				}
+				doTimed(runCtx, client, "GET", url, nil, rec)
+			}
+		}(int64(w) + 1)
+	}
+
+	// Churn writer: leave/join pairs over the reserved top range, one
+	// batch per tick.
+	if p.ChurnEventsPerSec > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			interval := time.Duration(float64(p.ChurnBatch) / p.ChurnEventsPerSec * float64(time.Second))
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			pairs := p.ChurnBatch / 2
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-tick.C:
+				}
+				type ev struct {
+					Kind      string `json:"kind"`
+					Node      int    `json:"node"`
+					Neighbors []int  `json:"neighbors,omitempty"`
+				}
+				events := make([]ev, 0, 2*pairs)
+				for i := 0; i < pairs; i++ {
+					node := p.N - 1 - i
+					events = append(events,
+						ev{Kind: "leave", Node: node},
+						ev{Kind: "join", Node: node, Neighbors: []int{i, i + 1}},
+					)
+				}
+				body, _ := json.Marshal(map[string]any{"events": events})
+				doTimed(runCtx, client, "POST", opt.BaseURL+"/deployments/"+id+"/events", body, churn)
+			}
+		}()
+	}
+
+	// Poller: one samples.csv row per PollEvery, mixing the client's
+	// cumulative view with the server's own counters.
+	rows := [][]string{samplesHeader()}
+	var rowsMu sync.Mutex
+	if p.PollEvery > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tick := time.NewTicker(p.PollEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case <-tick.C:
+				}
+				sc, err := scrapeMetrics(runCtx, client, opt.BaseURL)
+				if err != nil {
+					if runCtx.Err() == nil {
+						opt.logf("poll: %v", err)
+					}
+					continue
+				}
+				row := sampleRow(time.Since(start), route, broadcast, churn, readCounters(sc, id), base)
+				rowsMu.Lock()
+				rows = append(rows, row)
+				rowsMu.Unlock()
+			}
+		}()
+	}
+
+	<-runCtx.Done()
+	if err := ctx.Err(); err != nil {
+		// The parent was cancelled (^C), not the run deadline: still
+		// summarize what happened, but flag the truncation.
+		opt.logf("run interrupted: %v", err)
+	}
+	cancel()
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	finalScrape, err := scrapeMetrics(context.Background(), client, opt.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadharness: final scrape: %w", err)
+	}
+	final := readCounters(finalScrape, id)
+
+	sum := &Summary{
+		Schema:          SummaryName,
+		Version:         SummaryVersion,
+		Profile:         p.Name,
+		TargetRouteQPS:  p.RouteQPS,
+		DurationSeconds: elapsed.Seconds(),
+		Route:           route.stats(elapsed),
+		Broadcast:       broadcast.stats(elapsed),
+		Churn:           churn.stats(elapsed),
+		Server: ServerStats{
+			RouteRequests: delta(final.routeReq, base.routeReq),
+			EventsApplied: delta(final.events, base.events),
+			EventBatches:  delta(final.batches, base.batches),
+			GatewayRuns:   delta(final.gwRuns, base.gwRuns),
+			GatewaySaved:  delta(final.gwSaved, base.gwSaved),
+			HTTP2xx:       delta(final.h2xx, base.h2xx),
+			HTTP4xx:       delta(final.h4xx, base.h4xx),
+			HTTP5xx:       delta(final.h5xx, base.h5xx),
+		},
+	}
+	sum.finalize(p.SLO)
+
+	if opt.OutDir != "" {
+		if err := writeOutputs(opt.OutDir, rows, sum); err != nil {
+			return nil, err
+		}
+		opt.logf("wrote %s and %s", filepath.Join(opt.OutDir, "samples.csv"), filepath.Join(opt.OutDir, "summary.json"))
+	}
+	return sum, nil
+}
+
+// doTimed issues one request and records it into rec. Cancellation of
+// the run deadline mid-flight is not an error — the op just doesn't
+// count.
+func doTimed(ctx context.Context, client *http.Client, method, url string, body []byte, rec *opRecorder) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		rec.record(0, false)
+		return
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	t0 := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			rec.record(0, false)
+		}
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	rec.record(time.Since(t0), resp.StatusCode == http.StatusOK)
+}
+
+func samplesHeader() []string {
+	return []string{
+		"elapsed_s",
+		"route_requests", "route_errors", "route_p50_ms", "route_p95_ms", "route_p99_ms",
+		"broadcast_requests", "churn_batches", "churn_errors",
+		"server_route_requests", "server_events_applied",
+		"server_gateway_runs", "server_gateway_saved", "server_http_5xx",
+	}
+}
+
+func sampleRow(elapsed time.Duration, route, broadcast, churn *opRecorder, cur, base serverCounters) []string {
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', 3, 64) }
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	ms := func(q float64) string { return f(route.hist.Quantile(q) * 1e3) }
+	return []string{
+		f(elapsed.Seconds()),
+		u(route.attempts.Load()), u(route.errors.Load()), ms(0.50), ms(0.95), ms(0.99),
+		u(broadcast.attempts.Load()), u(churn.attempts.Load()), u(churn.errors.Load()),
+		u(delta(cur.routeReq, base.routeReq)), u(delta(cur.events, base.events)),
+		u(delta(cur.gwRuns, base.gwRuns)), u(delta(cur.gwSaved, base.gwSaved)),
+		u(delta(cur.h5xx, base.h5xx)),
+	}
+}
+
+func writeOutputs(dir string, rows [][]string, sum *Summary) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var csvBuf bytes.Buffer
+	w := csv.NewWriter(&csvBuf)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "samples.csv"), csvBuf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	var jsonBuf bytes.Buffer
+	if err := sum.WriteJSON(&jsonBuf); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "summary.json"), jsonBuf.Bytes(), 0o644)
+}
+
+// waitReady polls /healthz until the server reports ok (or ~10s pass):
+// readiness is asserted through the same machine-readable health
+// report operators get.
+func waitReady(ctx context.Context, client *http.Client, baseURL string) error {
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lastErr = func() error {
+			resp, err := client.Get(baseURL + "/healthz")
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			var h struct {
+				Status string `json:"status"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+				return fmt.Errorf("decoding /healthz: %w", err)
+			}
+			if h.Status != "ok" {
+				return fmt.Errorf("/healthz status %q", h.Status)
+			}
+			return nil
+		}()
+		if lastErr == nil {
+			return nil
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("loadharness: khopd at %s never became ready: %w", baseURL, lastErr)
+}
+
+// provision (re)creates the deployment under test.
+func provision(ctx context.Context, client *http.Client, baseURL, id string, p Profile) error {
+	deleteDeployment(client, baseURL, id)
+	body, _ := json.Marshal(map[string]any{
+		"id": id, "n": p.N, "avg_degree": p.AvgDegree, "seed": p.Seed, "k": p.K,
+	})
+	req, err := http.NewRequestWithContext(ctx, "POST", baseURL+"/deployments", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return fmt.Errorf("loadharness: creating deployment %q: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("loadharness: creating deployment %q: status %d: %s", id, resp.StatusCode, raw)
+	}
+	return nil
+}
+
+func deleteDeployment(client *http.Client, baseURL, id string) {
+	req, err := http.NewRequest("DELETE", baseURL+"/deployments/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := client.Do(req); err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+func scrapeMetrics(ctx context.Context, client *http.Client, baseURL string) (*telemetry.Scrape, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", baseURL+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: status %d", resp.StatusCode)
+	}
+	return telemetry.ParseText(resp.Body)
+}

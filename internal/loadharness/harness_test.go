@@ -1,0 +1,274 @@
+package loadharness
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testProfile is a miniature steady profile: small enough to finish in
+// ~2s inside a unit test, shaped like the committed ones.
+func testProfile() Profile {
+	return Profile{
+		Name: "test_tiny",
+		N:    120, AvgDegree: 6, Seed: 3, K: 2,
+		Duration:          2 * time.Second,
+		RouteQPS:          150,
+		BroadcastFraction: 0.1,
+		ChurnEventsPerSec: 20,
+		ChurnBatch:        4,
+		Concurrency:       4,
+		PollEvery:         250 * time.Millisecond,
+		SLO: SLO{
+			RouteP95:     2 * time.Second,
+			RouteP99:     5 * time.Second,
+			ChurnP99:     10 * time.Second,
+			MaxErrorRate: 0.01,
+			MaxServer5xx: 0,
+		},
+	}
+}
+
+// TestHarnessEndToEnd runs the full loop — provision, offer load,
+// poll /metrics, summarize — against an in-process khopd and checks
+// the artifacts.
+func TestHarnessEndToEnd(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	out := filepath.Join(t.TempDir(), "run")
+
+	sum, err := Run(context.Background(), Options{
+		BaseURL: ts.URL,
+		Profile: testProfile(),
+		OutDir:  out,
+		Client:  ts.Client(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sum.Pass {
+		t.Fatalf("tiny profile failed its (very lax) SLO: %+v", sum.Checks)
+	}
+	if sum.Schema != SummaryName || sum.Version != SummaryVersion || sum.Profile != "test_tiny" {
+		t.Fatalf("summary header: %+v", sum)
+	}
+	if sum.Route.Requests == 0 || sum.Route.LatencyMS.P95 <= 0 {
+		t.Fatalf("no route traffic recorded: %+v", sum.Route)
+	}
+	if sum.Broadcast.Requests == 0 {
+		t.Fatalf("no broadcast traffic recorded: %+v", sum.Broadcast)
+	}
+	if sum.Churn.Requests == 0 || sum.Server.EventsApplied == 0 {
+		t.Fatalf("no churn recorded: client %+v server %+v", sum.Churn, sum.Server)
+	}
+	if sum.Server.HTTP5xx != 0 {
+		t.Fatalf("server answered %d 5xx", sum.Server.HTTP5xx)
+	}
+	// The server's own route counter and the client's view agree.
+	if sum.Server.RouteRequests == 0 {
+		t.Fatalf("server route counter stayed zero: %+v", sum.Server)
+	}
+
+	// samples.csv: header plus at least a few polled rows, rectangular.
+	raw, err := os.ReadFile(filepath.Join(out, "samples.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(bytes.NewReader(raw)).ReadAll()
+	if err != nil {
+		t.Fatalf("samples.csv does not parse: %v", err)
+	}
+	if len(records) < 4 {
+		t.Fatalf("samples.csv has %d rows, want >= 4 (header + polls)", len(records))
+	}
+	if got, want := records[0][0], "elapsed_s"; got != want {
+		t.Fatalf("samples.csv header starts %q, want %q", got, want)
+	}
+	for i, rec := range records {
+		if len(rec) != len(samplesHeader()) {
+			t.Fatalf("samples.csv row %d has %d columns, want %d", i, len(rec), len(samplesHeader()))
+		}
+	}
+
+	// summary.json round-trips through the stable encoder.
+	rawSum, err := os.ReadFile(filepath.Join(out, "summary.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sum.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rawSum, buf.Bytes()) {
+		t.Fatal("summary.json on disk differs from re-encoding the returned Summary")
+	}
+
+	// The harness cleans up its deployment.
+	resp, err := ts.Client().Get(ts.URL + "/deployments/khopload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deployment still present after run: status %d", resp.StatusCode)
+	}
+}
+
+// TestHarnessUnreachableServer pins the error path: no khopd, no run.
+func TestHarnessUnreachableServer(t *testing.T) {
+	p := testProfile()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := Run(ctx, Options{
+		BaseURL: "http://127.0.0.1:1", // reserved port, nothing listens
+		Profile: p,
+		Client:  &http.Client{Timeout: 100 * time.Millisecond},
+	})
+	if err == nil {
+		t.Fatal("Run against nothing succeeded")
+	}
+}
+
+// TestSummaryGolden pins the byte-stable encoding: a summary built
+// from fixed values must encode exactly to the committed golden, the
+// same contract experiment.Document has.
+func TestSummaryGolden(t *testing.T) {
+	sum := &Summary{
+		Schema:          SummaryName,
+		Version:         SummaryVersion,
+		Profile:         "steady_1k",
+		TargetRouteQPS:  1000,
+		DurationSeconds: 30.0415,
+		Route: OpStats{
+			Requests: 29847, Errors: 2, AchievedQPS: 992.33333,
+			LatencyMS: Quantiles{P50: 3.1414, P95: 12.25, P99: 48.0001},
+		},
+		Broadcast: OpStats{
+			Requests: 1571, Errors: 0, AchievedQPS: 52.25,
+			LatencyMS: Quantiles{P50: 4.5, P95: 18, P99: 61.5},
+		},
+		Churn: OpStats{
+			Requests: 150, Errors: 1, AchievedQPS: 4.9666,
+			LatencyMS: Quantiles{P50: 22, P95: 141.5, P99: 310.25},
+		},
+		Server: ServerStats{
+			RouteRequests: 29845, EventsApplied: 1192, EventBatches: 149,
+			GatewayRuns: 149, GatewaySaved: 1043,
+			HTTP2xx: 31568, HTTP4xx: 2, HTTP5xx: 0,
+		},
+	}
+	slo := SLO{
+		RouteP95:     150 * time.Millisecond,
+		RouteP99:     500 * time.Millisecond,
+		ChurnP99:     2 * time.Second,
+		MaxErrorRate: 0.01,
+		MaxServer5xx: 0,
+	}
+	sum.finalize(slo)
+	if !sum.Pass {
+		t.Fatalf("fixture unexpectedly fails its SLO: %+v", sum.Checks)
+	}
+
+	var buf bytes.Buffer
+	if err := sum.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden", "summary.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("summary encoding drifted from golden (schema change? bump SummaryVersion and -update):\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	// Determinism: encoding twice is identical.
+	var again bytes.Buffer
+	if err := sum.WriteJSON(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("WriteJSON is not deterministic")
+	}
+}
+
+// TestFinalizeFailsClosed pins the verdict logic on a breached SLO.
+func TestFinalizeFailsClosed(t *testing.T) {
+	sum := &Summary{
+		Route: OpStats{Requests: 100, LatencyMS: Quantiles{P95: 900, P99: 950}},
+		Server: ServerStats{
+			HTTP5xx: 3,
+		},
+	}
+	sum.finalize(SLO{RouteP95: 150 * time.Millisecond, RouteP99: 500 * time.Millisecond,
+		ChurnP99: time.Second, MaxErrorRate: 0.01})
+	if sum.Pass {
+		t.Fatalf("breached SLO passed: %+v", sum.Checks)
+	}
+	failed := map[string]bool{}
+	for _, c := range sum.Checks {
+		if !c.Pass {
+			failed[c.Name] = true
+		}
+	}
+	for _, want := range []string{"route_p95_ms", "route_p99_ms", "server_5xx"} {
+		if !failed[want] {
+			t.Errorf("check %s did not fail: %+v", want, sum.Checks)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"steady_1k", "burst_10k"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != name || p.RouteQPS <= 0 || p.Duration <= 0 || p.Concurrency <= 0 {
+			t.Fatalf("implausible committed profile: %+v", p)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Fatal("unknown profile resolved")
+	}
+}
+
+// TestBurstRate pins the burst cadence arithmetic.
+func TestBurstRate(t *testing.T) {
+	p := Profile{RouteQPS: 100, BurstEvery: 5 * time.Second, BurstLen: time.Second, BurstFactor: 5}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 500}, {500 * time.Millisecond, 500}, {time.Second, 100},
+		{4 * time.Second, 100}, {5 * time.Second, 500}, {6 * time.Second, 100},
+	}
+	for _, c := range cases {
+		if got := p.rateAt(c.at); got != c.want {
+			t.Errorf("rateAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	flat := Profile{RouteQPS: 100}
+	if got := flat.rateAt(time.Second); got != 100 {
+		t.Errorf("flat rateAt = %v", got)
+	}
+}

@@ -1,0 +1,144 @@
+// Package loadharness drives a live khopd with a configurable load
+// profile and turns the run into evidence: a samples.csv timeseries
+// polled from the server's /metrics endpoint and a versioned,
+// byte-stable summary.json holding achieved throughput, client-side
+// latency percentiles per operation class, error budgets, and a
+// pass/fail verdict against the profile's SLO thresholds.
+//
+// The generator is rate-paced but concurrency-bounded ("partially
+// open"): a pacer issues tokens at the profile's offered rate (with
+// optional bursts) and a fixed pool of workers consumes them, each
+// waiting for its response before taking another token. An overloaded
+// server therefore shows up as achieved QPS below target plus rising
+// latency — not as an unbounded connection pile-up that measures the
+// client's socket limits instead of the server.
+package loadharness
+
+import (
+	"fmt"
+	"time"
+)
+
+// SLO is a profile's pass/fail thresholds, checked by Summarize.
+type SLO struct {
+	// RouteP95/RouteP99 bound client-observed route query latency.
+	RouteP95 time.Duration
+	RouteP99 time.Duration
+	// ChurnP99 bounds client-observed churn batch latency (decode +
+	// Engine.Apply + refresh behind the write lock).
+	ChurnP99 time.Duration
+	// MaxErrorRate bounds (route+broadcast+churn errors)/requests.
+	MaxErrorRate float64
+	// MaxServer5xx bounds the server's 5xx count over the run; 0 means
+	// any 5xx fails the run.
+	MaxServer5xx uint64
+}
+
+// Profile is one committed load shape.
+type Profile struct {
+	Name string
+	// What the profile provisions on the server.
+	N         int
+	AvgDegree float64
+	Seed      int64
+	K         int
+
+	Duration time.Duration
+	// RouteQPS is the offered read rate; BroadcastFraction of reads go
+	// to /broadcast instead of /route.
+	RouteQPS          float64
+	BroadcastFraction float64
+	// ChurnEventsPerSec is offered churn, applied in batches of
+	// ChurnBatch events (alternating leave/join over a reserved node
+	// range, so reads always resolve).
+	ChurnEventsPerSec float64
+	ChurnBatch        int
+	// Concurrency bounds in-flight reads (the closed-loop side).
+	Concurrency int
+	// Bursts: every BurstEvery, the offered read rate multiplies by
+	// BurstFactor for BurstLen. Zero BurstEvery disables bursts.
+	BurstEvery  time.Duration
+	BurstLen    time.Duration
+	BurstFactor float64
+	// PollEvery is the /metrics sampling cadence for samples.csv.
+	PollEvery time.Duration
+
+	SLO SLO
+}
+
+// Profiles are the committed load shapes, ordered mild to hostile.
+var Profiles = []Profile{
+	{
+		// steady_1k: sustained mixed read load with background churn —
+		// the "normal day" profile CI gates on (shortened via
+		// -duration).
+		Name: "steady_1k",
+		N:    500, AvgDegree: 6, Seed: 1, K: 2,
+		Duration:          30 * time.Second,
+		RouteQPS:          1000,
+		BroadcastFraction: 0.05,
+		ChurnEventsPerSec: 40,
+		ChurnBatch:        8,
+		Concurrency:       16,
+		PollEvery:         time.Second,
+		SLO: SLO{
+			RouteP95:     150 * time.Millisecond,
+			RouteP99:     500 * time.Millisecond,
+			ChurnP99:     2 * time.Second,
+			MaxErrorRate: 0.01,
+			MaxServer5xx: 0,
+		},
+	},
+	{
+		// burst_10k: 2k QPS baseline spiking to 10k QPS for a second
+		// out of every five, with heavy churn — the failure-mode
+		// finder. Thresholds are looser: the question is whether tail
+		// latency and the error budget survive the bursts, not whether
+		// the steady-state is comfortable.
+		Name: "burst_10k",
+		N:    1000, AvgDegree: 6, Seed: 1, K: 2,
+		Duration:          60 * time.Second,
+		RouteQPS:          2000,
+		BroadcastFraction: 0.05,
+		ChurnEventsPerSec: 200,
+		ChurnBatch:        20,
+		Concurrency:       64,
+		BurstEvery:        5 * time.Second,
+		BurstLen:          time.Second,
+		BurstFactor:       5,
+		PollEvery:         500 * time.Millisecond,
+		SLO: SLO{
+			RouteP95:     500 * time.Millisecond,
+			RouteP99:     2 * time.Second,
+			ChurnP99:     5 * time.Second,
+			MaxErrorRate: 0.02,
+			MaxServer5xx: 0,
+		},
+	},
+}
+
+// ProfileByName finds a committed profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, len(Profiles))
+	for i, p := range Profiles {
+		names[i] = p.Name
+	}
+	return Profile{}, fmt.Errorf("unknown profile %q (have %v)", name, names)
+}
+
+// rateAt returns the offered read rate at elapsed time t, honoring the
+// burst cadence.
+func (p Profile) rateAt(t time.Duration) float64 {
+	if p.BurstEvery <= 0 || p.BurstFactor <= 1 {
+		return p.RouteQPS
+	}
+	if t%p.BurstEvery < p.BurstLen {
+		return p.RouteQPS * p.BurstFactor
+	}
+	return p.RouteQPS
+}

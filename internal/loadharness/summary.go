@@ -1,0 +1,141 @@
+package loadharness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// The summary schema. Like experiment.Document, the encoding is
+// byte-stable — fixed field order (Go struct order), two-space
+// indentation, trailing newline, all floats rounded to three decimals
+// so formatting never depends on accumulated float noise — and any
+// shape change must bump SummaryVersion. CI parses summary.json with
+// jq and archives it; committed host baselines live under
+// benchmarks/results/.
+const (
+	// SummaryName identifies the document family.
+	SummaryName = "khopload/summary"
+	// SummaryVersion is the current revision. v1: schema, version,
+	// profile, target/achieved load, per-op stats {requests, errors,
+	// achieved_qps, latency_ms{p50,p95,p99}}, server counter deltas,
+	// slo checks, pass.
+	SummaryVersion = 1
+)
+
+// Quantiles are client-observed latency percentiles in milliseconds.
+type Quantiles struct {
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+}
+
+// OpStats summarizes one operation class.
+type OpStats struct {
+	Requests    uint64    `json:"requests"`
+	Errors      uint64    `json:"errors"`
+	AchievedQPS float64   `json:"achieved_qps"`
+	LatencyMS   Quantiles `json:"latency_ms"`
+}
+
+// ServerStats are server-side counter deltas over the run, read from
+// /metrics (first scrape vs last), so the harness and any dashboard
+// agree on the numbers by construction.
+type ServerStats struct {
+	RouteRequests uint64 `json:"route_requests"`
+	EventsApplied uint64 `json:"events_applied"`
+	EventBatches  uint64 `json:"event_batches"`
+	GatewayRuns   uint64 `json:"gateway_runs"`
+	GatewaySaved  uint64 `json:"gateway_saved"`
+	HTTP2xx       uint64 `json:"http_2xx"`
+	HTTP4xx       uint64 `json:"http_4xx"`
+	HTTP5xx       uint64 `json:"http_5xx"`
+}
+
+// Check is one SLO threshold comparison.
+type Check struct {
+	Name   string  `json:"name"`
+	Limit  float64 `json:"limit"`
+	Actual float64 `json:"actual"`
+	Pass   bool    `json:"pass"`
+}
+
+// Summary is the versioned verdict document a run emits.
+type Summary struct {
+	Schema          string      `json:"schema"`
+	Version         int         `json:"version"`
+	Profile         string      `json:"profile"`
+	TargetRouteQPS  float64     `json:"target_route_qps"`
+	DurationSeconds float64     `json:"duration_seconds"`
+	Route           OpStats     `json:"route"`
+	Broadcast       OpStats     `json:"broadcast"`
+	Churn           OpStats     `json:"churn_batches"`
+	Server          ServerStats `json:"server"`
+	Checks          []Check     `json:"checks"`
+	Pass            bool        `json:"pass"`
+}
+
+// round3 stabilizes a float for the canonical encoding.
+func round3(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Round(v*1000) / 1000
+}
+
+func (q Quantiles) rounded() Quantiles {
+	return Quantiles{P50: round3(q.P50), P95: round3(q.P95), P99: round3(q.P99)}
+}
+
+func (o OpStats) rounded() OpStats {
+	o.AchievedQPS = round3(o.AchievedQPS)
+	o.LatencyMS = o.LatencyMS.rounded()
+	return o
+}
+
+// finalize applies the SLO checks and rounds every float. The checks
+// compare milliseconds against millisecond limits and rates against
+// rates; each lands in the document so a failing run says which
+// threshold broke and by how much, not just pass: false.
+func (s *Summary) finalize(slo SLO) {
+	s.TargetRouteQPS = round3(s.TargetRouteQPS)
+	s.DurationSeconds = round3(s.DurationSeconds)
+	s.Route = s.Route.rounded()
+	s.Broadcast = s.Broadcast.rounded()
+	s.Churn = s.Churn.rounded()
+
+	requests := s.Route.Requests + s.Broadcast.Requests + s.Churn.Requests
+	errors := s.Route.Errors + s.Broadcast.Errors + s.Churn.Errors
+	errRate := 0.0
+	if requests > 0 {
+		errRate = float64(errors) / float64(requests)
+	}
+	ms := func(d time.Duration) float64 { return round3(float64(d) / float64(time.Millisecond)) }
+	s.Checks = []Check{
+		{Name: "route_p95_ms", Limit: ms(slo.RouteP95), Actual: s.Route.LatencyMS.P95},
+		{Name: "route_p99_ms", Limit: ms(slo.RouteP99), Actual: s.Route.LatencyMS.P99},
+		{Name: "churn_p99_ms", Limit: ms(slo.ChurnP99), Actual: s.Churn.LatencyMS.P99},
+		{Name: "error_rate", Limit: round3(slo.MaxErrorRate), Actual: round3(errRate)},
+		{Name: "server_5xx", Limit: float64(slo.MaxServer5xx), Actual: float64(s.Server.HTTP5xx)},
+	}
+	s.Pass = true
+	for i := range s.Checks {
+		s.Checks[i].Pass = s.Checks[i].Actual <= s.Checks[i].Limit
+		if !s.Checks[i].Pass {
+			s.Pass = false
+		}
+	}
+}
+
+// WriteJSON emits the summary in the stable on-disk encoding.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	buf, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("loadharness: encode summary: %w", err)
+	}
+	buf = append(buf, '\n')
+	_, err = w.Write(buf)
+	return err
+}

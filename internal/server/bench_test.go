@@ -8,6 +8,9 @@ import (
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // BenchmarkServerMixedLoad is the in-process load generator the tentpole
@@ -15,7 +18,10 @@ import (
 // while one writer goroutine applies churn batches to the same
 // deployment, so the per-deployment read/write locking (concurrent
 // queries, serialized churn) is what the number measures. Reported
-// ns/op is per routed query under churn.
+// ns/op is per routed query under churn; p50/p95/p99-ns/op are
+// client-observed per-query latency percentiles from a
+// telemetry.Histogram, so the tail under write-lock contention is
+// visible, not just the mean.
 func BenchmarkServerMixedLoad(b *testing.B) {
 	const (
 		n         = 300
@@ -74,6 +80,7 @@ func BenchmarkServerMixedLoad(b *testing.B) {
 	}()
 
 	var queries atomic.Int64
+	lat := telemetry.NewHistogram()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		client := ts.Client()
@@ -82,12 +89,14 @@ func BenchmarkServerMixedLoad(b *testing.B) {
 			// Deterministic pair stream over the stable node range.
 			src := int(q*31) % (n - batchSize)
 			dst := int(q*17+7) % (n - batchSize)
+			t0 := time.Now()
 			resp, err := client.Get(fmt.Sprintf("%s/deployments/bench/route?src=%d&dst=%d", ts.URL, src, dst))
 			if err != nil {
 				b.Error(err)
 				return
 			}
 			resp.Body.Close()
+			lat.Observe(time.Since(t0))
 			if resp.StatusCode != http.StatusOK {
 				b.Errorf("route %d→%d: status %d", src, dst, resp.StatusCode)
 				return
@@ -95,6 +104,12 @@ func BenchmarkServerMixedLoad(b *testing.B) {
 		}
 	})
 	b.StopTimer()
+	for _, q := range []struct {
+		name string
+		q    float64
+	}{{"p50-ns/op", 0.5}, {"p95-ns/op", 0.95}, {"p99-ns/op", 0.99}} {
+		b.ReportMetric(lat.Quantile(q.q)*float64(time.Second), q.name)
+	}
 	close(stop)
 	if err := <-writerDone; err != nil {
 		b.Fatalf("churn writer: %v", err)

@@ -15,7 +15,9 @@
 //	GET    /deployments/{id}/cds         the current structure (heads, gateways, CDS)
 //	GET    /deployments/{id}/snapshot    the deployment as a .khop blob (application/octet-stream)
 //	POST   /deployments/{id}/snapshot    restore a deployment from a .khop blob
-//	GET    /healthz                      liveness probe
+//	GET    /deployments/{id}/metrics     one deployment's Prometheus exposition
+//	GET    /metrics                      Prometheus exposition (global + per-deployment series)
+//	GET    /healthz                      readiness: version, uptime, per-deployment counts (JSON)
 //
 // Concurrency: the deployment map takes a server-level RWMutex; each
 // deployment has its own RWMutex so reads — route and broadcast queries,
@@ -41,6 +43,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	khop "repro"
 	"repro/internal/codec"
@@ -69,6 +72,7 @@ type Config struct {
 // deployment for the next process.
 type Server struct {
 	cfg Config
+	tel *serverMetrics
 
 	mu   sync.RWMutex
 	deps map[string]*deployment
@@ -76,7 +80,9 @@ type Server struct {
 
 // New returns an empty Server.
 func New(cfg Config) *Server {
-	return &Server{cfg: cfg, deps: make(map[string]*deployment)}
+	s := &Server{cfg: cfg, deps: make(map[string]*deployment)}
+	s.tel = newServerMetrics(s)
+	return s
 }
 
 // deployment is one named engine plus the derived application
@@ -88,6 +94,7 @@ type deployment struct {
 	// ones — a restored Distributed deployment must round-trip as
 	// Distributed, not be silently rewritten.
 	mode khop.Mode
+	met  *depMetrics
 
 	mu     sync.RWMutex
 	eng    *khop.Engine
@@ -126,11 +133,24 @@ type Summary struct {
 	CDSSize          int    `json:"cds_size"`
 	IndependentHeads bool   `json:"independent_heads"`
 	EventsApplied    int    `json:"events_applied"`
+	// Cost is the distributed protocol's message budget (rounds,
+	// transmissions, deliveries); present only for deployments whose
+	// engine ran in Distributed/MaxMin mode (typically restored
+	// snapshots), so operators see what their topology costs on the
+	// wire.
+	Cost *CostSummary `json:"cost,omitempty"`
+}
+
+// CostSummary mirrors khop.Cost for the wire.
+type CostSummary struct {
+	Rounds        int `json:"rounds"`
+	Transmissions int `json:"transmissions"`
+	Deliveries    int `json:"deliveries"`
 }
 
 // summaryLocked builds the Summary; callers hold d.mu (either mode).
 func (d *deployment) summaryLocked() Summary {
-	return Summary{
+	sum := Summary{
 		ID:               d.id,
 		N:                len(d.res.HeadOf),
 		K:                d.res.K,
@@ -141,26 +161,76 @@ func (d *deployment) summaryLocked() Summary {
 		IndependentHeads: d.res.IndependentHeads,
 		EventsApplied:    d.events,
 	}
+	if c := d.res.Cost; c != nil {
+		sum.Cost = &CostSummary{
+			Rounds:        c.Rounds,
+			Transmissions: c.Transmissions,
+			Deliveries:    c.Deliveries,
+		}
+	}
+	return sum
 }
 
 // Handler returns the server's HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		io.WriteString(w, "ok\n")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("POST /deployments", s.handleCreate)
 	mux.HandleFunc("GET /deployments", s.handleList)
 	mux.HandleFunc("GET /deployments/{id}", s.withDep(s.handleSummary))
 	mux.HandleFunc("DELETE /deployments/{id}", s.handleDelete)
 	mux.HandleFunc("POST /deployments/{id}/events", s.withDep(s.handleEvents))
-	mux.HandleFunc("GET /deployments/{id}/route", s.withDep(s.handleRoute))
-	mux.HandleFunc("GET /deployments/{id}/broadcast", s.withDep(s.handleBroadcast))
-	mux.HandleFunc("GET /deployments/{id}/cds", s.withDep(s.handleCDS))
-	mux.HandleFunc("GET /deployments/{id}/snapshot", s.withDep(s.handleSnapshotGet))
+	mux.HandleFunc("GET /deployments/{id}/route", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.route }, s.handleRoute)))
+	mux.HandleFunc("GET /deployments/{id}/broadcast", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.broadcast }, s.handleBroadcast)))
+	mux.HandleFunc("GET /deployments/{id}/cds", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.cds }, s.handleCDS)))
+	mux.HandleFunc("GET /deployments/{id}/snapshot", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.snapshot }, s.handleSnapshotGet)))
 	mux.HandleFunc("POST /deployments/{id}/snapshot", s.handleSnapshotPost)
-	return mux
+	mux.HandleFunc("GET /deployments/{id}/metrics", s.withDep(s.handleDepMetrics))
+	return s.withHTTPMetrics(mux)
+}
+
+// HealthDeployment is one deployment's slice of the health report.
+type HealthDeployment struct {
+	Nodes         int `json:"nodes"`
+	Heads         int `json:"heads"`
+	EventsApplied int `json:"events_applied"`
+}
+
+// Health is the GET /healthz response: enough for a load harness (or
+// an orchestrator) to assert readiness and size before offering load.
+type Health struct {
+	Status        string                      `json:"status"`
+	Version       string                      `json:"version"`
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Deployments   int                         `json:"deployments"`
+	Stats         map[string]HealthDeployment `json:"deployment_stats"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	deps := make([]*deployment, 0, len(s.deps))
+	for _, d := range s.deps {
+		deps = append(deps, d)
+	}
+	s.mu.RUnlock()
+	h := Health{
+		Status:        "ok",
+		Version:       Version,
+		UptimeSeconds: time.Since(s.tel.start).Seconds(),
+		Deployments:   len(deps),
+		Stats:         make(map[string]HealthDeployment, len(deps)),
+	}
+	for _, d := range deps {
+		d.mu.RLock()
+		h.Stats[d.id] = HealthDeployment{
+			Nodes:         len(d.res.HeadOf),
+			Heads:         len(d.res.Heads),
+			EventsApplied: d.events,
+		}
+		d.mu.RUnlock()
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -276,11 +346,13 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	buildStart := time.Now()
 	if _, err := eng.Build(r.Context()); err != nil {
 		writeError(w, http.StatusInternalServerError, "build: %v", err)
 		return
 	}
-	d := &deployment{id: req.ID, mode: khop.Centralized, eng: eng}
+	buildDur := time.Since(buildStart)
+	d := &deployment{id: req.ID, mode: khop.Centralized, met: newDepMetrics(), eng: eng}
 	d.refresh()
 
 	s.mu.Lock()
@@ -292,10 +364,14 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.deps[req.ID] = d
 	s.mu.Unlock()
 
+	s.tel.builds.Observe(buildDur)
+	d.met.lastBuild.Set(buildDur.Microseconds())
 	s.logf("created deployment %q: n=%d k=%d algo=%v", req.ID, req.N, k, algo)
 	d.mu.RLock()
-	defer d.mu.RUnlock()
-	writeJSON(w, http.StatusCreated, d.summaryLocked())
+	sum := d.summaryLocked()
+	d.mu.RUnlock()
+	d.met.observeStructure(sum)
+	writeJSON(w, http.StatusCreated, sum)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -383,7 +459,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, d *deploym
 	}
 
 	d.mu.Lock()
+	applyStart := time.Now()
 	reports, err := d.eng.Apply(r.Context(), batch...)
+	applyDur := time.Since(applyStart)
 	d.events += len(reports)
 	// Refresh even on a mid-batch error: the engine's Result already
 	// reflects the repairs that did apply.
@@ -406,6 +484,22 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, d *deploym
 	}
 	sum := d.summaryLocked()
 	d.mu.Unlock()
+
+	// Recorded strictly after the write lock is released: the churn
+	// critical section pays nothing for instrumentation.
+	m := d.met
+	m.eventBatches.Inc()
+	m.applySecs.Observe(applyDur)
+	m.eventsApplied.Add(uint64(len(reports)))
+	if err != nil {
+		m.eventErrors.Inc()
+	}
+	if n := len(reports); n > 0 {
+		// Every report carries the same batch-level coalescing totals.
+		m.gatewayRuns.Add(uint64(reports[n-1].BatchGatewayRuns))
+		m.gatewaySaved.Add(uint64(reports[n-1].BatchGatewaySaved))
+		m.observeStructure(sum)
+	}
 
 	if err != nil {
 		// Partial application is real state: report what applied
@@ -506,6 +600,7 @@ func (s *Server) handleCDS(w http.ResponseWriter, _ *http.Request, d *deployment
 }
 
 func (s *Server) handleSnapshotGet(w http.ResponseWriter, _ *http.Request, d *deployment) {
+	encStart := time.Now()
 	d.mu.RLock()
 	raw, err := d.snapshotLocked()
 	d.mu.RUnlock()
@@ -513,6 +608,8 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, _ *http.Request, d *de
 		writeError(w, http.StatusConflict, "%v", err)
 		return
 	}
+	d.met.encodeSecs.Observe(time.Since(encStart))
+	d.met.encodeBytes.Add(uint64(len(raw)))
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", d.id+".khop"))
 	w.Write(raw)
@@ -564,22 +661,32 @@ var errExists = errors.New("deployment already exists")
 // restore decodes and verifies a snapshot (codec.Decode runs
 // khop.VerifyResult) and registers it under id.
 func (s *Server) restore(id string, raw []byte) (*deployment, error) {
+	decStart := time.Now()
 	snap, err := codec.DecodeBytes(raw)
 	if err != nil {
 		return nil, err
 	}
+	s.tel.decodeSecs.Observe(time.Since(decStart))
+	s.tel.decodeBytes.Add(uint64(len(raw)))
 	eng, err := snap.Restore(khop.WithParallel(s.cfg.Parallel))
 	if err != nil {
 		return nil, err
 	}
-	d := &deployment{id: id, mode: snap.Mode, eng: eng}
+	d := &deployment{id: id, mode: snap.Mode, met: newDepMetrics(), eng: eng}
+	d.met.lastBuild.Set(-1) // restored, not built here
 	d.refresh()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, exists := s.deps[id]; exists {
+		s.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", errExists, id)
 	}
 	s.deps[id] = d
+	s.mu.Unlock()
+	s.tel.restores.Inc()
+	d.mu.RLock()
+	sum := d.summaryLocked()
+	d.mu.RUnlock()
+	d.met.observeStructure(sum)
 	return d, nil
 }
 
@@ -598,12 +705,15 @@ func (s *Server) SaveDir(dir string) error {
 	}
 	s.mu.RUnlock()
 	for _, d := range deps {
+		encStart := time.Now()
 		d.mu.RLock()
 		raw, err := d.snapshotLocked()
 		d.mu.RUnlock()
 		if err != nil {
 			return fmt.Errorf("snapshot %q: %w", d.id, err)
 		}
+		d.met.encodeSecs.Observe(time.Since(encStart))
+		d.met.encodeBytes.Add(uint64(len(raw)))
 		tmp, err := os.CreateTemp(dir, d.id+".*.tmp")
 		if err != nil {
 			return err

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram's buckets are fixed and log-spaced: 64 upper bounds
+// from 1µs rising by a factor of 10^(1/8) (≈1.334×) per bucket, so the
+// top bound is 10^(-6+63/8) ≈ 74s. Every histogram shares the layout,
+// which keeps Observe allocation-free (an index computation plus two
+// atomic adds) and makes scrapes from different deployments directly
+// comparable. A quantile read is therefore exact to within one bucket
+// ratio: the reported P99 is at most ~33% above the true P99, far
+// inside the factor-of-2+ margins SLO thresholds are set with.
+const (
+	numBuckets   = 64
+	bucketBase   = 1e-6 // smallest upper bound, seconds
+	bucketsPerE1 = 8    // buckets per decade
+)
+
+// bucketBounds[i] is the inclusive upper bound (seconds) of bucket i.
+var bucketBounds = func() [numBuckets]float64 {
+	var b [numBuckets]float64
+	for i := range b {
+		b[i] = bucketBase * math.Pow(10, float64(i)/bucketsPerE1)
+	}
+	return b
+}()
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// wait-free observation. The final slot counts overflow (> top bound).
+type Histogram struct {
+	buckets [numBuckets + 1]atomic.Uint64
+	sumNano atomic.Int64
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// NewHistogram returns a standalone histogram (no Set registration);
+// the load harness and benchmarks record client-side latencies with it.
+func NewHistogram() *Histogram { return newHistogram() }
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveSeconds(d.Seconds())
+}
+
+// ObserveSeconds records one duration given in seconds. Negative
+// observations count into the first bucket.
+func (h *Histogram) ObserveSeconds(s float64) {
+	h.buckets[bucketIndex(s)].Add(1)
+	h.sumNano.Add(int64(s * 1e9))
+}
+
+// bucketIndex finds the first bucket whose upper bound is ≥ s by
+// binary search over the fixed bounds (exact, unlike a float log).
+func bucketIndex(s float64) int {
+	lo, hi := 0, numBuckets // hi = overflow slot
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bucketBounds[mid] >= s {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observations in seconds.
+func (h *Histogram) Sum() float64 {
+	return float64(h.sumNano.Load()) / 1e9
+}
+
+// snapshot returns per-bucket counts and the sum in seconds. Buckets
+// are read individually (each monotone), so a concurrent scrape sees
+// each series non-decreasing even mid-Observe.
+func (h *Histogram) snapshot() ([numBuckets + 1]uint64, float64) {
+	var counts [numBuckets + 1]uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return counts, float64(h.sumNano.Load()) / 1e9
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) in seconds, linearly
+// interpolated inside the bucket holding the target rank. Returns 0
+// with no observations; overflow observations report the top bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	counts, _ := h.snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < target {
+			continue
+		}
+		if i >= numBuckets {
+			return bucketBounds[numBuckets-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bucketBounds[i-1]
+		}
+		hi := bucketBounds[i]
+		return lo + (hi-lo)*(target-prev)/float64(c)
+	}
+	return bucketBounds[numBuckets-1]
+}

@@ -1,0 +1,257 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name (including any
+// _bucket/_sum/_count suffix), its labels, and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Scrape is a parsed Prometheus text exposition.
+type Scrape struct {
+	// Types maps each declared family name to its TYPE.
+	Types map[string]string
+	// Help maps each declared family name to its HELP text.
+	Help map[string]string
+	// Samples in document order.
+	Samples []Sample
+
+	byKey map[string]float64
+}
+
+// ParseText parses a Prometheus text-format (0.0.4) exposition. It is
+// strict about the subset this package emits: every sample must belong
+// to a family declared by a preceding TYPE line (histogram samples via
+// their _bucket/_sum/_count suffixes), and a series (name + label set)
+// may appear only once per scrape.
+func ParseText(r io.Reader) (*Scrape, error) {
+	sc := &Scrape{
+		Types: make(map[string]string),
+		Help:  make(map[string]string),
+		byKey: make(map[string]float64),
+	}
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := sc.parseComment(line); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if sc.familyOf(s.Name) == "" {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding TYPE declaration", lineNo, s.Name)
+		}
+		key := seriesKey(s.Name, s.Labels)
+		if _, dup := sc.byKey[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		sc.byKey[key] = s.Value
+		sc.Samples = append(sc.Samples, s)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+func (sc *Scrape) parseComment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		help := ""
+		if len(fields) == 4 {
+			help = fields[3]
+		}
+		sc.Help[fields[2]] = help
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %q", typ, name)
+		}
+		if prev, ok := sc.Types[name]; ok && prev != typ {
+			return fmt.Errorf("family %q re-declared as %s (was %s)", name, typ, prev)
+		}
+		sc.Types[name] = typ
+	}
+	return nil
+}
+
+// familyOf resolves a sample name to its declared family, honoring
+// histogram suffixes.
+func (sc *Scrape) familyOf(name string) string {
+	if _, ok := sc.Types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, found := strings.CutSuffix(name, suffix)
+		if !found {
+			continue
+		}
+		if t, ok := sc.Types[base]; ok && (t == "histogram" || t == "summary") {
+			return base
+		}
+	}
+	return ""
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("malformed sample %q", line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabels(rest)
+		if err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return s, fmt.Errorf("malformed sample value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses a {name="value",...} block starting at in[0]=='{'
+// and returns the index just past the closing brace.
+func parseLabels(in string) (int, map[string]string, error) {
+	labels := map[string]string{}
+	i := 1 // past '{'
+	for {
+		for i < len(in) && (in[i] == ',' || in[i] == ' ') {
+			i++
+		}
+		if i < len(in) && in[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(in[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("unterminated label block")
+		}
+		name := in[i : i+eq]
+		i += eq + 1
+		if i >= len(in) || in[i] != '"' {
+			return 0, nil, fmt.Errorf("label %q value not quoted", name)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(in) {
+				return 0, nil, fmt.Errorf("unterminated label value for %q", name)
+			}
+			c := in[i]
+			if c == '\\' {
+				if i+1 >= len(in) {
+					return 0, nil, fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch in[i+1] {
+				case 'n':
+					b.WriteByte('\n')
+				case '\\', '"':
+					b.WriteByte(in[i+1])
+				default:
+					return 0, nil, fmt.Errorf("bad escape \\%c in label %q", in[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if _, dup := labels[name]; dup {
+			return 0, nil, fmt.Errorf("duplicate label %q", name)
+		}
+		labels[name] = b.String()
+	}
+}
+
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Value returns the sample with the given name and exactly the given
+// labels (nil matches the empty label set).
+func (sc *Scrape) Value(name string, labels map[string]string) (float64, bool) {
+	v, ok := sc.byKey[seriesKey(name, labels)]
+	return v, ok
+}
+
+// SumAcross sums every sample of name across all label sets — e.g. a
+// per-deployment counter totalled over deployments.
+func (sc *Scrape) SumAcross(name string) float64 {
+	var sum float64
+	for _, s := range sc.Samples {
+		if s.Name == name {
+			sum += s.Value
+		}
+	}
+	return sum
+}

@@ -1,0 +1,288 @@
+// Package telemetry is khopd's dependency-free instrumentation layer:
+// atomic counters and gauges, lock-cheap latency histograms with fixed
+// log-spaced buckets (P50/P95/P99 without sampling), and a Prometheus
+// text-format exposition writer — no client library import.
+//
+// The design constraint is the server's locking story: instrumentation
+// runs on the route/churn hot paths, so every Observe/Inc/Add is a
+// handful of atomic adds with no locks and no allocation. A Set's
+// mutex guards registration only; once a metric handle exists, all
+// updates and reads are wait-free.
+//
+// Exposition is the Prometheus text format version 0.0.4
+// (Content-Type "text/plain; version=0.0.4"). ParseText in this
+// package reads the same format back, so tests (and cmd/khopload's
+// poller) round-trip every scrape through a real parser rather than
+// grepping strings.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// ContentType is the exposition Content-Type Write produces.
+const ContentType = "text/plain; version=0.0.4"
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+type metric struct {
+	name, help string
+	kind       metricKind
+	counter    *Counter
+	gauge      *Gauge
+	gaugeFn    func() float64
+	hist       *Histogram
+}
+
+// Set is a named collection of metrics sharing one exposition. The
+// mutex guards registration; metric updates never take it.
+type Set struct {
+	mu      sync.Mutex
+	byName  map[string]*metric
+	metrics []*metric // registration order; sorted at write time
+}
+
+// NewSet returns an empty Set.
+func NewSet() *Set {
+	return &Set{byName: make(map[string]*metric)}
+}
+
+func (s *Set) register(name, help string, kind metricKind) *metric {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %v (was %v)", name, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		m.counter = &Counter{}
+	case kindGauge:
+		m.gauge = &Gauge{}
+	case kindHistogram:
+		m.hist = newHistogram()
+	}
+	s.byName[name] = m
+	s.metrics = append(s.metrics, m)
+	return m
+}
+
+// Counter registers (or retrieves) a counter.
+func (s *Set) Counter(name, help string) *Counter {
+	return s.register(name, help, kindCounter).counter
+}
+
+// Gauge registers (or retrieves) a gauge.
+func (s *Set) Gauge(name, help string) *Gauge {
+	return s.register(name, help, kindGauge).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time.
+func (s *Set) GaugeFunc(name, help string, fn func() float64) {
+	m := s.register(name, help, kindGaugeFunc)
+	m.gaugeFn = fn
+}
+
+// Histogram registers (or retrieves) a latency histogram.
+func (s *Set) Histogram(name, help string) *Histogram {
+	return s.register(name, help, kindHistogram).hist
+}
+
+// sorted returns the metrics in name order (a fresh slice; the
+// registration slice is never reordered).
+func (s *Set) sorted() []*metric {
+	s.mu.Lock()
+	out := make([]*metric, len(s.metrics))
+	copy(out, s.metrics)
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Label is one constant exposition label.
+type Label struct {
+	Name, Value string
+}
+
+// Write emits the set in Prometheus text format, every sample carrying
+// the given constant labels.
+func (s *Set) Write(w io.Writer, labels ...Label) error {
+	bw := &errWriter{w: w}
+	for _, m := range s.sorted() {
+		writeHeader(bw, m)
+		writeSamples(bw, m, labels)
+	}
+	return bw.err
+}
+
+// WriteGrouped emits one exposition combining a global set with many
+// per-key sets (khopd: per-deployment metrics under a deployment
+// label). The text format requires a single HELP/TYPE block per metric
+// name with all its samples grouped beneath it, so the per-key sets —
+// which share a schema — are merged by metric name: header once, then
+// one sample (or histogram series) per key in sorted key order.
+func WriteGrouped(w io.Writer, global *Set, labelName string, named map[string]*Set, labels ...Label) error {
+	bw := &errWriter{w: w}
+	if global != nil {
+		for _, m := range global.sorted() {
+			writeHeader(bw, m)
+			writeSamples(bw, m, labels)
+		}
+	}
+	keys := make([]string, 0, len(named))
+	for k := range named {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Union of metric names across the named sets, then one block each.
+	type slot struct {
+		key string
+		m   *metric
+	}
+	byName := make(map[string][]slot)
+	var names []string
+	for _, k := range keys {
+		for _, m := range named[k].sorted() {
+			if _, ok := byName[m.name]; !ok {
+				names = append(names, m.name)
+			}
+			byName[m.name] = append(byName[m.name], slot{key: k, m: m})
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		slots := byName[name]
+		writeHeader(bw, slots[0].m)
+		for _, sl := range slots {
+			writeSamples(bw, sl.m, append([]Label{{Name: labelName, Value: sl.key}}, labels...))
+		}
+	}
+	return bw.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) str(s string) {
+	if e.err == nil {
+		_, e.err = io.WriteString(e.w, s)
+	}
+}
+
+func writeHeader(w *errWriter, m *metric) {
+	if m.help != "" {
+		w.str("# HELP " + m.name + " " + escapeHelp(m.help) + "\n")
+	}
+	w.str("# TYPE " + m.name + " " + m.kind.String() + "\n")
+}
+
+func writeSamples(w *errWriter, m *metric, labels []Label) {
+	switch m.kind {
+	case kindCounter:
+		w.str(m.name + formatLabels(labels) + " " + strconv.FormatUint(m.counter.Load(), 10) + "\n")
+	case kindGauge:
+		w.str(m.name + formatLabels(labels) + " " + strconv.FormatInt(m.gauge.Load(), 10) + "\n")
+	case kindGaugeFunc:
+		w.str(m.name + formatLabels(labels) + " " + formatFloat(m.gaugeFn()) + "\n")
+	case kindHistogram:
+		counts, sum := m.hist.snapshot()
+		cum := uint64(0)
+		for i, c := range counts {
+			cum += c
+			le := "+Inf"
+			if i < len(bucketBounds) {
+				le = formatFloat(bucketBounds[i])
+			}
+			w.str(m.name + "_bucket" + formatLabels(append(labels, Label{Name: "le", Value: le})) +
+				" " + strconv.FormatUint(cum, 10) + "\n")
+		}
+		w.str(m.name + "_sum" + formatLabels(labels) + " " + formatFloat(sum) + "\n")
+		w.str(m.name + "_count" + formatLabels(labels) + " " + strconv.FormatUint(cum, 10) + "\n")
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }

@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeExpositionRoundTrip(t *testing.T) {
+	s := NewSet()
+	c := s.Counter("khopd_widgets_total", "Widgets seen.")
+	g := s.Gauge("khopd_depth", "Current depth.")
+	s.GaugeFunc("khopd_uptime_seconds", "Uptime.", func() float64 { return 12.5 })
+	c.Add(41)
+	c.Inc()
+	g.Set(-7)
+
+	var b strings.Builder
+	if err := s.Write(&b, Label{Name: "host", Value: `a"b\c`}); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, b.String())
+	}
+	labels := map[string]string{"host": `a"b\c`}
+	if v, ok := sc.Value("khopd_widgets_total", labels); !ok || v != 42 {
+		t.Errorf("widgets_total = %v, %v; want 42", v, ok)
+	}
+	if v, ok := sc.Value("khopd_depth", labels); !ok || v != -7 {
+		t.Errorf("depth = %v, %v; want -7", v, ok)
+	}
+	if v, ok := sc.Value("khopd_uptime_seconds", labels); !ok || v != 12.5 {
+		t.Errorf("uptime = %v, %v; want 12.5", v, ok)
+	}
+	if sc.Types["khopd_widgets_total"] != "counter" || sc.Types["khopd_depth"] != "gauge" {
+		t.Errorf("types: %v", sc.Types)
+	}
+	if sc.Help["khopd_widgets_total"] != "Widgets seen." {
+		t.Errorf("help: %q", sc.Help["khopd_widgets_total"])
+	}
+}
+
+// TestHistogramQuantileAccuracy pins the quantile estimator against
+// known distributions: with log-spaced buckets at 8 per decade, an
+// estimated quantile must sit within one bucket ratio (10^(1/8) ≈
+// 1.334×) of the true quantile.
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	const tol = 1.334
+	check := func(name string, h *Histogram, q, want float64) {
+		t.Helper()
+		got := h.Quantile(q)
+		if got < want/tol || got > want*tol {
+			t.Errorf("%s: Quantile(%v) = %v, want within ×%v of %v", name, q, got, tol, want)
+		}
+	}
+
+	// Uniform over (0, 10s]: the q-quantile is q·10s.
+	uni := NewHistogram()
+	for i := 1; i <= 10000; i++ {
+		uni.ObserveSeconds(float64(i) * 1e-3)
+	}
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		check("uniform", uni, q, q*10)
+	}
+	if n := uni.Count(); n != 10000 {
+		t.Errorf("Count = %d, want 10000", n)
+	}
+	if s := uni.Sum(); math.Abs(s-50005) > 1 {
+		t.Errorf("Sum = %v, want ≈ 50005", s)
+	}
+
+	// Pareto-ish heavy tail (deterministic): x = 1ms / u^2 for uniform
+	// u — the shape SLO tails actually have. True quantile: q-quantile
+	// of x is 1ms/(1-q)^2.
+	tail := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		u := 1 - rng.Float64() // (0,1]
+		tail.ObserveSeconds(1e-3 / (u * u))
+	}
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		check("pareto", tail, q, 1e-3/((1-q)*(1-q)))
+	}
+
+	// Degenerate cases.
+	empty := NewHistogram()
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	over := NewHistogram()
+	over.ObserveSeconds(1e6) // beyond the top bound
+	if got := over.Quantile(0.5); got != bucketBounds[numBuckets-1] {
+		t.Errorf("overflow Quantile = %v, want top bound %v", got, bucketBounds[numBuckets-1])
+	}
+}
+
+func TestBucketIndexMatchesBounds(t *testing.T) {
+	for i, b := range bucketBounds {
+		if got := bucketIndex(b); got != i {
+			t.Fatalf("bucketIndex(bound %d = %v) = %d", i, b, got)
+		}
+		if got := bucketIndex(b * 1.0001); got != i+1 {
+			t.Fatalf("bucketIndex(just above bound %d) = %d, want %d", i, got, i+1)
+		}
+	}
+	if got := bucketIndex(0); got != 0 {
+		t.Fatalf("bucketIndex(0) = %d", got)
+	}
+	if got := bucketIndex(1e9); got != numBuckets {
+		t.Fatalf("bucketIndex(huge) = %d, want overflow slot %d", got, numBuckets)
+	}
+}
+
+// TestConcurrentScrapeMonotonic hammers a set from writer goroutines
+// while scraping it; every scrape must parse, and every counter and
+// histogram cumulative-bucket series must be non-decreasing across
+// scrapes. Run under -race this also vets the wait-free update paths.
+func TestConcurrentScrapeMonotonic(t *testing.T) {
+	s := NewSet()
+	c := s.Counter("khopd_ops_total", "ops")
+	h := s.Histogram("khopd_op_seconds", "op latency")
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(time.Duration(rng.Intn(1e6)) * time.Nanosecond)
+			}
+		}(int64(w))
+	}
+
+	prev := map[string]float64{}
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := s.Write(&b); err != nil {
+			t.Fatal(err)
+		}
+		sc, err := ParseText(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("scrape %d does not parse: %v", i, err)
+		}
+		for _, sample := range sc.Samples {
+			key := seriesKey(sample.Name, sample.Labels)
+			if sample.Value < prev[key] {
+				t.Fatalf("scrape %d: series %s went backwards: %v -> %v", i, key, prev[key], sample.Value)
+			}
+			prev[key] = sample.Value
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Final consistency: count equals the +Inf cumulative bucket.
+	var b strings.Builder
+	if err := s.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, _ := sc.Value("khopd_op_seconds_count", nil)
+	inf, _ := sc.Value("khopd_op_seconds_bucket", map[string]string{"le": "+Inf"})
+	if count == 0 || count != inf {
+		t.Fatalf("count %v != +Inf bucket %v (or zero)", count, inf)
+	}
+}
+
+func TestWriteGrouped(t *testing.T) {
+	global := NewSet()
+	global.Counter("khopd_restores_total", "restores").Add(3)
+	mk := func(routes uint64) *Set {
+		s := NewSet()
+		s.Counter("khopd_route_requests_total", "routes").Add(routes)
+		s.Histogram("khopd_route_seconds", "route latency").ObserveSeconds(0.01)
+		return s
+	}
+	named := map[string]*Set{"prod": mk(10), "edge": mk(7)}
+
+	var b strings.Builder
+	if err := WriteGrouped(&b, global, "deployment", named); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	sc, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("grouped exposition does not parse: %v\n%s", err, text)
+	}
+	if v, _ := sc.Value("khopd_route_requests_total", map[string]string{"deployment": "prod"}); v != 10 {
+		t.Errorf("prod routes = %v, want 10", v)
+	}
+	if v, _ := sc.Value("khopd_route_requests_total", map[string]string{"deployment": "edge"}); v != 7 {
+		t.Errorf("edge routes = %v, want 7", v)
+	}
+	if got := sc.SumAcross("khopd_route_requests_total"); got != 17 {
+		t.Errorf("SumAcross = %v, want 17", got)
+	}
+	if v, _ := sc.Value("khopd_restores_total", nil); v != 3 {
+		t.Errorf("global restores = %v, want 3", v)
+	}
+	// One TYPE header per family even with two deployments sampled.
+	if n := strings.Count(text, "# TYPE khopd_route_requests_total"); n != 1 {
+		t.Errorf("TYPE declared %d times, want 1:\n%s", n, text)
+	}
+	// Within a family, samples are grouped and keyed in sorted order.
+	if strings.Index(text, `deployment="edge"`) > strings.Index(text, `deployment="prod"`) {
+		t.Errorf("deployment keys not in sorted order:\n%s", text)
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":  "khopd_x 1\n",
+		"duplicate series":     "# TYPE a counter\na 1\na 2\n",
+		"bad value":            "# TYPE a counter\na one\n",
+		"unterminated labels":  "# TYPE a counter\na{x=\"y\n",
+		"bad escape":           "# TYPE a counter\na{x=\"\\q\"} 1\n",
+		"unknown type keyword": "# TYPE a enum\na 1\n",
+		"type redeclared":      "# TYPE a counter\n# TYPE a gauge\na 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
