@@ -1,0 +1,39 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); the Makefile just names them.
+
+GO ?= go
+
+.PHONY: all build test lint vet fmt bench golden
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# lint runs the project-specific analyzers (internal/analysis via
+# cmd/khoplint) through go vet's unit-checker protocol, exactly as the
+# CI khoplint job does. See docs/static-analysis.md for the rules and
+# the //lint:ignore suppression syntax.
+lint:
+	$(GO) build -o $(CURDIR)/bin/khoplint ./cmd/khoplint
+	$(GO) vet -vettool=$(CURDIR)/bin/khoplint ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+bench:
+	$(GO) test -bench . -benchtime=3x -count=3 -run '^$$' ./...
+
+# golden regenerates nothing: it verifies the committed golden figures
+# and snapshot byte-for-byte, like the CI golden job.
+golden:
+	$(GO) build -o $(CURDIR)/bin/khopsim ./cmd/khopsim
+	$(CURDIR)/bin/khopsim -fig 5 -json -seed 1 -runs 5 -parallel 8 | cmp testdata/golden/fig5.json -
+	$(CURDIR)/bin/khopsim -fig churn -json -seed 1 -parallel 8 | cmp testdata/golden/churn.json -
+	$(GO) test -run TestGoldenSnapshot -count=1 ./internal/codec

@@ -1,0 +1,339 @@
+// Command khoplint runs the repo's project-specific static analyzers
+// (internal/analysis: determinism, lockscope, ctxloop, wraperr) in two
+// modes:
+//
+// Standalone, over package patterns:
+//
+//	go run ./cmd/khoplint ./...
+//	khoplint ./internal/server
+//
+// As a vet tool, speaking cmd/go's unit-checker protocol (-V=full
+// handshake, a vet.cfg per package, a .vetx facts file):
+//
+//	go build -o /tmp/khoplint ./cmd/khoplint
+//	go vet -vettool=/tmp/khoplint ./...
+//
+// Exit status: 0 clean, 1 operational error, 2 diagnostics reported —
+// matching go vet's conventions. Suppress an individual finding with
+//
+//	//lint:ignore khoplint/<analyzer> <reason>
+//
+// on (or directly above) the offending line; the reason is mandatory.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	args = expandResponseFiles(args)
+	var patterns []string
+	var cfgPath string
+	jsonOut := false
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "-V":
+			printVersion()
+			return 0
+		case a == "-flags":
+			// cmd/go queries the tool's flag inventory as JSON before
+			// relaying any user-supplied analyzer flags.
+			fmt.Println(`[{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON"}]`)
+			return 0
+		case a == "-json":
+			jsonOut = true
+		case strings.HasSuffix(a, ".cfg"):
+			cfgPath = a
+		case strings.HasPrefix(a, "-"):
+			// Tolerate unknown analyzer flags the go command may relay.
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+	if cfgPath != "" {
+		return runVet(cfgPath)
+	}
+	return runStandalone(patterns, jsonOut)
+}
+
+// printVersion answers cmd/go's -V=full tool handshake. The content
+// hash of the executable keys go vet's result cache, so editing an
+// analyzer invalidates cached results.
+func printVersion() {
+	name := filepath.Base(os.Args[0])
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel buildID=%02x\n", name, h.Sum(nil))
+}
+
+// expandResponseFiles inlines @file arguments (newline-separated), the
+// convention cmd/go uses when command lines grow long.
+func expandResponseFiles(args []string) []string {
+	out := make([]string, 0, len(args))
+	for _, a := range args {
+		if !strings.HasPrefix(a, "@") {
+			out = append(out, a)
+			continue
+		}
+		data, err := os.ReadFile(a[1:])
+		if err != nil {
+			out = append(out, a)
+			continue
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if line = strings.TrimSpace(line); line != "" {
+				out = append(out, line)
+			}
+		}
+	}
+	return out
+}
+
+// ---- standalone mode -------------------------------------------------
+
+func runStandalone(patterns []string, jsonOut bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := analysis.NewModuleLoader(".")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "khoplint: %v\n", err)
+		return 1
+	}
+	paths, err := expandPatterns(loader, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "khoplint: %v\n", err)
+		return 1
+	}
+	var all []analysis.Diagnostic
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "khoplint: %v\n", err)
+			return 1
+		}
+		diags, err := analysis.RunPackage(pkg, analysis.All(), true, loader.Fset)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "khoplint: %v\n", err)
+			return 1
+		}
+		all = append(all, diags...)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(all)
+	} else {
+		for _, d := range all {
+			fmt.Fprintf(os.Stderr, "%s\n", d)
+		}
+	}
+	if len(all) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// expandPatterns resolves package patterns: "./..." walks the module,
+// "./x" and "x/y" resolve as module-relative directories, and fully
+// qualified import paths pass through.
+func expandPatterns(loader *analysis.Loader, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	var modAll []string
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			if modAll == nil {
+				var err error
+				if modAll, err = loader.ModulePackages(); err != nil {
+					return nil, err
+				}
+			}
+			for _, p := range modAll {
+				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			prefix, err := dirImportPath(loader, strings.TrimSuffix(pat, "/..."))
+			if err != nil {
+				return nil, err
+			}
+			if modAll == nil {
+				if modAll, err = loader.ModulePackages(); err != nil {
+					return nil, err
+				}
+			}
+			for _, p := range modAll {
+				if p == prefix || strings.HasPrefix(p, prefix+"/") {
+					add(p)
+				}
+			}
+		default:
+			p, err := dirImportPath(loader, pat)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+		}
+	}
+	return out, nil
+}
+
+// dirImportPath maps a pattern to an import path: existing directories
+// become module-relative import paths; anything else is assumed to
+// already be an import path.
+func dirImportPath(loader *analysis.Loader, pat string) (string, error) {
+	if fi, err := os.Stat(pat); err == nil && fi.IsDir() {
+		abs, err := filepath.Abs(pat)
+		if err != nil {
+			return "", err
+		}
+		return loader.DirImportPath(abs)
+	}
+	return strings.TrimPrefix(pat, "./"), nil
+}
+
+// ---- vet tool mode (cmd/go unit-checker protocol) --------------------
+
+// vetConfig mirrors the JSON cmd/go writes for each vet invocation.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVet(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "khoplint: reading %s: %v\n", cfgPath, err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "khoplint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// khoplint exports no analysis facts, so the .vetx file is empty —
+	// but cmd/go requires it to exist to cache the run.
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			os.WriteFile(cfg.VetxOutput, nil, 0o666)
+		}
+	}
+	// Fact-collection passes over dependencies need no diagnostics.
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				writeVetx()
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "khoplint: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	// Imports resolve through the compiler's export data, exactly as
+	// cmd/vet does: ImportMap canonicalizes the path, PackageFile
+	// locates the .a file, and the gc importer reads it.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx()
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "khoplint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	pkg := &analysis.Package{
+		ImportPath: cfg.ImportPath,
+		Dir:        cfg.Dir,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags, err := analysis.RunPackage(pkg, analysis.All(), true, fset)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "khoplint: %v\n", err)
+		return 1
+	}
+	writeVetx()
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s\n", d)
+		}
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles khoplint once per test binary into a temp dir and
+// returns its path.
+func buildTool(t *testing.T) string {
+	t.Helper()
+	tool := filepath.Join(t.TempDir(), "khoplint")
+	cmd := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/khoplint: %v\n%s", err, out)
+	}
+	return tool
+}
+
+// TestVersionHandshake pins the -V=full format cmd/go parses: the final
+// word must contain a content hash so go vet's result cache invalidates
+// when the tool changes.
+func TestVersionHandshake(t *testing.T) {
+	tool := buildTool(t)
+	out, err := exec.Command(tool, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	re := regexp.MustCompile(`^khoplint version devel buildID=[0-9a-f]{64}\n$`)
+	if !re.Match(out) {
+		t.Errorf("-V=full output %q does not match %s", out, re)
+	}
+}
+
+// TestFlagsHandshake pins the -flags JSON inventory cmd/go unmarshals
+// before relaying analyzer flags.
+func TestFlagsHandshake(t *testing.T) {
+	tool := buildTool(t)
+	out, err := exec.Command(tool, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var flags []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &flags); err != nil {
+		t.Fatalf("-flags output is not the JSON cmd/go expects: %v\n%s", err, out)
+	}
+}
+
+// TestVettoolFindsViolation drives the full go vet unit-checker protocol
+// against a scratch module containing a wraperr violation: go vet must
+// exit nonzero and surface the khoplint diagnostic.
+func TestVettoolFindsViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go vet; skipped in -short")
+	}
+	tool := buildTool(t)
+	mod := t.TempDir()
+	writeFile(t, filepath.Join(mod, "go.mod"), "module scratch\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(mod, "scratch.go"), `package scratch
+
+import "fmt"
+
+func Wrap(err error) error {
+	return fmt.Errorf("doing the thing: %v", err)
+}
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet exited 0 on a module with a %%v-wrapped error:\n%s", out)
+	}
+	if !strings.Contains(string(out), "khoplint/wraperr") {
+		t.Errorf("go vet output missing khoplint/wraperr diagnostic:\n%s", out)
+	}
+}
+
+// TestVettoolCleanModule is the inverse: a module with a correctly
+// wrapped error passes go vet under the tool.
+func TestVettoolCleanModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go vet; skipped in -short")
+	}
+	tool := buildTool(t)
+	mod := t.TempDir()
+	writeFile(t, filepath.Join(mod, "go.mod"), "module scratch\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(mod, "scratch.go"), `package scratch
+
+import "fmt"
+
+func Wrap(err error) error {
+	return fmt.Errorf("doing the thing: %w", err)
+}
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = mod
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+	}
+}
+
+// TestStandaloneSelfRun runs the tool standalone over one repo package,
+// exercising the module loader path used by `make lint`.
+func TestStandaloneSelfRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks packages from source; skipped in -short")
+	}
+	tool := buildTool(t)
+	cmd := exec.Command(tool, "./internal/codec", "-json")
+	cmd.Dir = moduleRoot(t)
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("standalone run: %v", err)
+	}
+	var diags []json.RawMessage
+	if err := json.Unmarshal(out, &diags); err != nil {
+		t.Fatalf("-json output invalid: %v\n%s", err, out)
+	}
+	if len(diags) != 0 {
+		t.Errorf("internal/codec should be clean, got %d diagnostics:\n%s", len(diags), out)
+	}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -54,7 +54,13 @@ func TestReadmeFigureTableMatchesRegistry(t *testing.T) {
 var markdownLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
 
 func TestMarkdownLinks(t *testing.T) {
-	for _, doc := range []string{"README.md", "ARCHITECTURE.md", "CHANGES.md"} {
+	docs := []string{"README.md", "ARCHITECTURE.md", "CHANGES.md"}
+	extra, err := filepath.Glob(filepath.FromSlash("docs/*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs = append(docs, extra...)
+	for _, doc := range docs {
 		raw, err := os.ReadFile(doc)
 		if err != nil {
 			t.Fatalf("%s: %v", doc, err)
@@ -68,7 +74,9 @@ func TestMarkdownLinks(t *testing.T) {
 			if target == "" {
 				continue // pure anchor
 			}
-			if _, err := os.Stat(filepath.FromSlash(target)); err != nil {
+			// Relative links resolve against the linking document.
+			resolved := filepath.Join(filepath.Dir(doc), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
 				t.Errorf("%s links to %q, which does not exist", doc, target)
 			}
 		}

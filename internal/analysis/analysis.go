@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one khoplint check, mirroring the x/tools analysis.Analyzer
+// shape (Name/Doc/Run) plus a Packages scope: the import-path suffixes
+// the check applies to when running over the module (nil = every
+// package). Fixture runs via analysistest bypass the scope.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Packages lists import-path suffixes (e.g. "internal/server") the
+	// analyzer is scoped to in module mode; nil applies everywhere.
+	Packages []string
+	Run      func(*Pass) error
+}
+
+// AppliesTo reports whether the analyzer runs on a package in module
+// mode.
+func (a *Analyzer) AppliesTo(importPath string) bool {
+	if len(a.Packages) == 0 {
+		return true
+	}
+	for _, suf := range a.Packages {
+		if importPath == suf || strings.HasSuffix(importPath, "/"+suf) {
+			return true
+		}
+	}
+	return false
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := p.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := p.Info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// Diagnostic is one reported finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [khoplint/%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// ignoreRe matches suppression directives:
+//
+//	//lint:ignore khoplint/<analyzer> <reason>
+//
+// The directive suppresses matching diagnostics reported on its own
+// line (trailing comment) or on the line immediately below (comment
+// above the offending statement). A reason is mandatory.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+khoplint/([a-z]+)\b[ \t]*(.*)$`)
+
+type ignoreDirective struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+}
+
+// collectIgnores extracts suppression directives from a file's comments,
+// reporting malformed ones (missing reason, unknown analyzer) as
+// diagnostics so a bad suppression cannot silently disable a check.
+func collectIgnores(fset *token.FileSet, files []*ast.File, known map[string]bool, diags *[]Diagnostic) []ignoreDirective {
+	var out []ignoreDirective
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if !known[m[1]] {
+					*diags = append(*diags, Diagnostic{
+						Analyzer: "ignore",
+						Pos:      pos,
+						Message:  fmt.Sprintf("lint:ignore names unknown analyzer khoplint/%s", m[1]),
+					})
+					continue
+				}
+				if strings.TrimSpace(m[2]) == "" {
+					*diags = append(*diags, Diagnostic{
+						Analyzer: "ignore",
+						Pos:      pos,
+						Message:  fmt.Sprintf("lint:ignore khoplint/%s needs a reason", m[1]),
+					})
+					continue
+				}
+				out = append(out, ignoreDirective{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a diagnostic is covered by a directive.
+func suppressed(d Diagnostic, ignores []ignoreDirective) bool {
+	for _, ig := range ignores {
+		if ig.analyzer != d.Analyzer || ig.file != d.Pos.Filename {
+			continue
+		}
+		if ig.line == d.Pos.Line || ig.line == d.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// RunPackage applies analyzers to one loaded package and returns the
+// surviving (non-suppressed) diagnostics sorted by position. When
+// respectScope is true, each analyzer's Packages scope filters the run
+// (module mode); analysistest passes false.
+func RunPackage(pkg *Package, analyzers []*Analyzer, respectScope bool, fset *token.FileSet) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	ignores := collectIgnores(fset, pkg.Files, known, &diags)
+	for _, a := range analyzers {
+		if respectScope && !a.AppliesTo(pkg.ImportPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.ImportPath, err)
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d, ignores) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		if kept[i].Pos.Filename != kept[j].Pos.Filename {
+			return kept[i].Pos.Filename < kept[j].Pos.Filename
+		}
+		if kept[i].Pos.Line != kept[j].Pos.Line {
+			return kept[i].Pos.Line < kept[j].Pos.Line
+		}
+		return kept[i].Message < kept[j].Message
+	})
+	return kept, nil
+}

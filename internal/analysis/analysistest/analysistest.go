@@ -1,0 +1,110 @@
+// Package analysistest runs one analyzer over a fixture package and
+// checks its diagnostics against `// want` annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the stdlib-only
+// framework in internal/analysis.
+//
+// Fixtures live under testdata/src/<pkg>/ and may import sibling
+// fixture packages GOPATH-style (testdata/src is the root) as well as
+// the standard library. A line expecting a diagnostic carries a
+// trailing comment:
+//
+//	for k := range m { // want `appends to "out"`
+//
+// The backquoted (or double-quoted) string is a regexp matched against
+// diagnostics reported on that line. Lines with a suppression directive
+// and no want annotation assert the suppression path: any diagnostic
+// surviving there fails the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe extracts the expectation regexp from a trailing comment.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// Run loads the fixture package at testdata/src/<pkg> and applies the
+// analyzer (scope bypassed), failing the test on any mismatch between
+// reported diagnostics and // want annotations.
+func Run(t *testing.T, testdataSrc, pkg string, a *analysis.Analyzer) {
+	t.Helper()
+	loader, err := analysis.NewFixtureLoader(testdataSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loader.Load(pkg)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkg, err)
+	}
+	diags, err := analysis.RunPackage(loaded, []*analysis.Analyzer{a}, false, loader.Fset)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, file := range loaded.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				raw := m[1]
+				var pattern string
+				if raw[0] == '`' {
+					pattern = raw[1 : len(raw)-1]
+				} else {
+					pattern, err = strconv.Unquote(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", loader.Fset.Position(c.Pos()), raw, err)
+					}
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", loader.Fset.Position(c.Pos()), pattern, err)
+				}
+				pos := loader.Fset.Position(c.Pos())
+				wants[key{pos.Filename, pos.Line}] = append(wants[key{pos.Filename, pos.Line}], re)
+			}
+		}
+	}
+
+	matched := make(map[*regexp.Regexp]bool)
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		ok := false
+		for _, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched[re] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+	if t.Failed() {
+		var all string
+		for _, d := range diags {
+			all += fmt.Sprintf("  %s\n", d)
+		}
+		t.Logf("all diagnostics from %s:\n%s", pkg, all)
+	}
+}

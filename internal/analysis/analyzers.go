@@ -1,0 +1,13 @@
+package analysis
+
+// All returns khoplint's analyzers in reporting order. Each pins one of
+// the repo's differential-tested invariants at the call site:
+//
+//	determinism — bitwise-identical serial/parallel builds and
+//	              byte-stable snapshots/figures (PRs 3/4/5)
+//	lockscope   — telemetry recorded outside deployment locks (PR 6)
+//	ctxloop     — ctx-responsive protocol hot loops (PR 1)
+//	wraperr     — errors.Is-compatible wrapping of the sentinels (PR 5)
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, Lockscope, Ctxloop, Wraperr}
+}

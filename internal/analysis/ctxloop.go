@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxloop pins PR 1's cancellation contract: the election/flood/BFS hot
+// paths take a context and must stay responsive to it, so a build on a
+// million-node topology can be abandoned between rounds instead of
+// running to completion.
+//
+// In the protocol packages, for every function that receives a
+// context.Context, the analyzer flags `for {}` and `for cond {}` loops
+// (the unbounded round/fixpoint shape) that never consult the context
+// anywhere in the loop body — neither a ctx.Err()/ctx.Done() check nor
+// passing ctx into a callee that checks. Bounded iteration is exempt:
+// range loops, three-clause counted loops, and buffer grow-loops of the
+// form `for len(x) < n { x = append(x, ...) }`.
+var Ctxloop = &Analyzer{
+	Name:     "ctxloop",
+	Doc:      "flags unbounded loops in context-aware protocol hot paths that never consult ctx",
+	Packages: []string{"internal/cluster", "internal/proto", "internal/maxmin", "internal/graph"},
+	Run:      runCtxloop,
+}
+
+func runCtxloop(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxObjs := contextParams(pass, fd.Type)
+			if len(ctxObjs) == 0 {
+				continue
+			}
+			// Nested function literals are walked too: a shard worker
+			// closure capturing ctx from the enclosing function
+			// satisfies the check by using it.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				loop, ok := n.(*ast.ForStmt)
+				if !ok || loop.Init != nil || loop.Post != nil {
+					return true
+				}
+				if isGrowLoop(pass, loop) {
+					return true
+				}
+				if consultsContext(pass, loop.Body, ctxObjs) {
+					return true
+				}
+				pass.Reportf(loop.Pos(), "unbounded loop in a context-aware function never consults ctx; check ctx.Err() per round (or bound the loop by a shard range)")
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// contextParams returns the context.Context parameter objects of a
+// function signature.
+func contextParams(pass *Pass, ftype *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ftype.Params == nil {
+		return nil
+	}
+	for _, field := range ftype.Params.List {
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj != nil && isContextType(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// consultsContext reports whether the body references any ctx parameter
+// or any other context.Context-typed variable (a derived child context
+// counts).
+func consultsContext(pass *Pass, body ast.Node, ctxObjs []types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		for _, c := range ctxObjs {
+			if obj == c {
+				found = true
+				return false
+			}
+		}
+		if v, ok := obj.(*types.Var); ok && isContextType(v.Type()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isGrowLoop recognizes `for len(x) < n { ... x = append(x, ...) ... }`:
+// bounded buffer growth, not an unbounded round loop.
+func isGrowLoop(pass *Pass, loop *ast.ForStmt) bool {
+	if loop.Cond == nil {
+		return false
+	}
+	// Collect the objects measured by len() in the condition.
+	var measured []types.Object
+	ast.Inspect(loop.Cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "len" {
+			return true
+		}
+		if obj := rootObj(pass.Info, call.Args[0]); obj != nil {
+			measured = append(measured, obj)
+		}
+		return true
+	})
+	if len(measured) == 0 {
+		return false
+	}
+	// The body must append to (or otherwise reassign) a measured object.
+	grows := false
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		if grows {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			obj := rootObj(pass.Info, lhs)
+			for _, m := range measured {
+				if obj == m {
+					grows = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return grows
+}

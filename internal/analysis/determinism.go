@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism pins the repo's bitwise-reproducibility contract: serial
+// and parallel builds, snapshot encodes, and figure documents must be
+// byte-identical, so build/codec/experiment code may not iterate maps
+// into ordered outputs or read ambient nondeterminism sources.
+//
+// Two rule groups:
+//
+//  1. map-range: a `range` over a map whose body appends to a slice
+//     declared outside the loop (without a subsequent canonical sort of
+//     that slice in the same function) or writes to an output stream is
+//     flagged — map iteration order is randomized per run.
+//  2. sources: calls to time.Now/Since/Until and to the global
+//     math/rand (and math/rand/v2) top-level functions are flagged;
+//     deterministic code derives *rand.Rand instances from trial seeds
+//     and threads timestamps through parameters. internal/server is
+//     exempt from this group (latency measurement is its job), as are
+//     _test.go files (wall-clock deadlines are standard test idiom);
+//     both remain covered by the map-range group.
+//
+// Suppress deliberate wall-clock reads (e.g. the scale figure's timing
+// columns) with //lint:ignore khoplint/determinism <reason>.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flags map-iteration order reaching outputs and ambient nondeterminism sources (time.Now, global math/rand) in deterministic build/codec/experiment code",
+	Packages: []string{
+		"internal/graph", "internal/cluster", "internal/ncr", "internal/gateway",
+		"internal/maxmin", "internal/core", "internal/mobility", "internal/partition",
+		"internal/codec", "internal/experiment", "internal/server",
+	},
+	Run: runDeterminism,
+}
+
+// randConstructors are the math/rand functions that build deterministic
+// generators rather than drawing from the shared global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+// outputMethods are method names that write to a stream or encoder.
+var outputMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "Encode": true,
+}
+
+// outputFuncs are fmt-style package-level writers.
+var outputFuncs = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+func runDeterminism(pass *Pass) error {
+	// The server package participates only in the map-range group; it
+	// measures wall-clock latencies by design.
+	banSources := pathTail(pass.Pkg.Path()) != "server"
+	for _, file := range pass.Files {
+		// Test files poll with wall-clock deadlines legitimately; only
+		// the map-range rule applies to them. (The standalone loader
+		// skips tests, but `go vet` feeds them in via the test variant
+		// of each package.)
+		isTest := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		if banSources && !isTest {
+			checkNondetSources(pass, file)
+		}
+		checkMapRanges(pass, file)
+	}
+	return nil
+}
+
+func checkNondetSources(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := calleePkgFunc(pass.Info, call)
+		if !ok {
+			return true
+		}
+		switch {
+		case pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
+			pass.Reportf(call.Pos(), "time.%s reads the wall clock in deterministic build/experiment code; thread timestamps through parameters or suppress with a reason", name)
+		case (pkg == "math/rand" || pkg == "math/rand/v2") && !randConstructors[name]:
+			pass.Reportf(call.Pos(), "global %s.%s draws from shared nondeterministic state; derive a *rand.Rand from the trial seed instead", pathTail(pkg), name)
+		}
+		return true
+	})
+}
+
+// checkMapRanges flags map iterations whose order can reach an output.
+func checkMapRanges(pass *Pass, file *ast.File) {
+	// Stack-walk so each range statement knows its innermost enclosing
+	// function body (the scope searched for a post-loop sort).
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		body := enclosingFuncBody(stack)
+		checkOneMapRange(pass, rs, body)
+		return true
+	})
+}
+
+// enclosingFuncBody returns the innermost function body on the stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+func checkOneMapRange(pass *Pass, rs *ast.RangeStmt, funcBody *ast.BlockStmt) {
+	// Pass 1 over the loop body: stream writes and appends that escape
+	// the loop.
+	var appended []types.Object
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if pkg, name, ok := calleePkgFunc(pass.Info, x); ok && pkg == "fmt" && outputFuncs[name] {
+				pass.Reportf(x.Pos(), "write in map-iteration order: fmt.%s inside a range over a map emits output in randomized key order; iterate sorted keys instead", name)
+				return true
+			}
+			if _, name, _, ok := calleeMethod(pass.Info, x); ok && outputMethods[name] {
+				pass.Reportf(x.Pos(), "write in map-iteration order: %s inside a range over a map emits output in randomized key order; iterate sorted keys instead", name)
+				return true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isAppendCall(pass.Info, call) || i >= len(x.Lhs) {
+					continue
+				}
+				obj := rootObj(pass.Info, x.Lhs[i])
+				if obj == nil {
+					continue
+				}
+				// A slice living entirely inside the loop body cannot
+				// leak iteration order out of the loop.
+				if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+					continue
+				}
+				appended = append(appended, obj)
+			}
+		}
+		return true
+	})
+	// Pass 2: each escaping append must be canonically sorted later in
+	// the same function.
+	for _, obj := range appended {
+		if funcBody == nil || !sortedAfter(pass, funcBody, rs, obj) {
+			pass.Reportf(rs.Pos(), "range over map appends to %q in randomized key order with no subsequent sort; sort the keys first or sort %q before it is used", obj.Name(), obj.Name())
+		}
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort-like call after
+// the loop within body.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		if !isSortLike(pass.Info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if usesObject(pass.Info, arg, obj) {
+				found = true
+				break
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortLike recognizes sort/slices package calls and local helpers
+// whose name signals canonical ordering.
+func isSortLike(info *types.Info, call *ast.CallExpr) bool {
+	if pkg, name, ok := calleePkgFunc(info, call); ok {
+		return pkg == "sort" || (pkg == "slices" && strings.HasPrefix(name, "Sort"))
+	}
+	var name string
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	default:
+		return false
+	}
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "sort") || strings.Contains(lower, "canonical")
+}

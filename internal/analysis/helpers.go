@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleePkgFunc resolves a call to a package-level function accessed
+// through a package selector (time.Now(), sort.Slice(...)), returning
+// the imported package path and function name.
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// calleeMethod resolves a method-value call (x.Observe(...)) to the
+// method's defining package path and name.
+func calleeMethod(info *types.Info, call *ast.CallExpr) (pkgPath, name string, fn *types.Func, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", nil, false
+	}
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return "", "", nil, false
+	}
+	f, isFn := s.Obj().(*types.Func)
+	if !isFn || f.Pkg() == nil {
+		return "", "", nil, false
+	}
+	return f.Pkg().Path(), f.Name(), f, true
+}
+
+// pathTail returns the last element of an import path.
+func pathTail(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// rootObj peels selectors, indexes, derefs, and parens off an
+// expression and returns the object of the base identifier, if any.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// usesObject reports whether any identifier under n refers to obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isAppendCall reports whether call is the append builtin.
+func isAppendCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// isErrorType reports whether t (statically) implements error.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// eachFunc invokes fn for every function declaration and function
+// literal in the file, with its body. Literals are visited in their
+// own right in addition to appearing inside their parents.
+func eachFunc(file *ast.File, fn func(node ast.Node, ftype *ast.FuncType, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d, d.Type, d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d, d.Type, d.Body)
+		}
+		return true
+	})
+}

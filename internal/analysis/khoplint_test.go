@@ -1,0 +1,104 @@
+package analysis_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+// The four fixture tests fail (via analysistest's want-matching) if an
+// analyzer stops reporting any annotated violation or starts reporting
+// on the clean counterexamples — each fixture carries both.
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/src", "determinism", analysis.Determinism)
+}
+
+func TestLockscope(t *testing.T) {
+	analysistest.Run(t, "testdata/src", "lockscope", analysis.Lockscope)
+}
+
+func TestCtxloop(t *testing.T) {
+	analysistest.Run(t, "testdata/src", "ctxloop", analysis.Ctxloop)
+}
+
+func TestWraperr(t *testing.T) {
+	analysistest.Run(t, "testdata/src", "wraperr", analysis.Wraperr)
+}
+
+// TestKhoplintCleanOnRepo is the meta-gate: the whole module, under all
+// four analyzers with their package scopes applied, reports zero
+// diagnostics. A new violation anywhere in the tree fails this test the
+// same way the CI vettool job would.
+func TestKhoplintCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the full module from source; skipped in -short")
+	}
+	loader, err := analysis.NewModuleLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := loader.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 30 {
+		t.Fatalf("module package walk looks broken: only %d packages found: %v", len(paths), paths)
+	}
+	var all []analysis.Diagnostic
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		diags, err := analysis.RunPackage(pkg, analysis.All(), true, loader.Fset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, diags...)
+	}
+	if len(all) > 0 {
+		var b strings.Builder
+		for _, d := range all {
+			fmt.Fprintf(&b, "  %s\n", d)
+		}
+		t.Errorf("khoplint found %d violation(s) in the tree:\n%s", len(all), b.String())
+	}
+}
+
+// TestAnalyzerScopes pins each analyzer's package scope so a refactor
+// cannot silently widen or drop coverage.
+func TestAnalyzerScopes(t *testing.T) {
+	cases := []struct {
+		analyzer *analysis.Analyzer
+		in, out  []string
+	}{
+		{analysis.Determinism,
+			[]string{"repro/internal/codec", "repro/internal/experiment", "repro/internal/server", "repro/internal/graph"},
+			[]string{"repro/internal/telemetry", "repro/cmd/khopd", "repro"}},
+		{analysis.Lockscope,
+			[]string{"repro/internal/server"},
+			[]string{"repro/internal/codec", "repro"}},
+		{analysis.Ctxloop,
+			[]string{"repro/internal/cluster", "repro/internal/proto", "repro/internal/maxmin", "repro/internal/graph"},
+			[]string{"repro/internal/server", "repro"}},
+		{analysis.Wraperr,
+			[]string{"repro", "repro/internal/codec", "repro/cmd/khopd"},
+			nil},
+	}
+	for _, c := range cases {
+		for _, p := range c.in {
+			if !c.analyzer.AppliesTo(p) {
+				t.Errorf("%s should apply to %s", c.analyzer.Name, p)
+			}
+		}
+		for _, p := range c.out {
+			if c.analyzer.AppliesTo(p) {
+				t.Errorf("%s should not apply to %s", c.analyzer.Name, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,293 @@
+// Package analysis is khoplint's engine: a self-contained static
+// analysis framework (loader, analyzer interface, suppression
+// directives, drivers) built entirely on the standard library's
+// go/ast, go/build, go/parser, go/token, and go/types.
+//
+// The usual foundation for a Go vettool is golang.org/x/tools/go/analysis;
+// this repository is deliberately dependency-free, so the package
+// reimplements the small slice of that surface khoplint needs:
+//
+//   - Loader type-checks packages from source. Imports resolve through
+//     three roots: the module itself (paths under the go.mod module
+//     path), an optional fixture root (GOPATH-style, used by
+//     analysistest), and GOROOT/src for the standard library. Cgo is
+//     disabled so pure-Go fallbacks (net, os/user) are selected.
+//   - Analyzer/Pass/Diagnostic mirror their x/tools namesakes closely
+//     enough that the analyzers would port over mechanically if a
+//     vendored x/tools ever lands.
+//   - Drivers: RunPackage applies analyzers and filters
+//     //lint:ignore suppressions; cmd/khoplint adds the `go vet
+//     -vettool` unit-checker protocol on top.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader loads and type-checks packages from source, memoizing across
+// calls so a whole-module run type-checks each dependency (including
+// the standard library) once.
+type Loader struct {
+	Fset *token.FileSet
+
+	ctxt        build.Context
+	moduleRoot  string // directory containing go.mod ("" if none)
+	modulePath  string // module path from go.mod ("" if none)
+	fixtureRoot string // GOPATH-style src root for fixture imports ("" if none)
+
+	pkgs map[string]*loadResult
+}
+
+type loadResult struct {
+	pkg      *Package
+	err      error
+	checking bool // cycle guard
+}
+
+func newLoader() *Loader {
+	ctxt := build.Default
+	// Cgo-free loading: files that import "C" are excluded and the
+	// pure-Go variants of net/os-user are selected, so the standard
+	// library type-checks from source without invoking the cgo tool.
+	ctxt.CgoEnabled = false
+	return &Loader{
+		Fset: token.NewFileSet(),
+		ctxt: ctxt,
+		pkgs: make(map[string]*loadResult),
+	}
+}
+
+// NewModuleLoader returns a Loader rooted at the module containing
+// dir (found by walking up to the nearest go.mod).
+func NewModuleLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader()
+	l.moduleRoot = root
+	l.modulePath = modPath
+	return l, nil
+}
+
+// NewFixtureLoader returns a Loader whose non-stdlib imports resolve
+// GOPATH-style under srcRoot (analysistest's testdata/src layout).
+func NewFixtureLoader(srcRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(srcRoot)
+	if err != nil {
+		return nil, err
+	}
+	l := newLoader()
+	l.fixtureRoot = abs
+	return l, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module directive", gomod)
+}
+
+// resolveDir maps an import path to the directory holding its source.
+func (l *Loader) resolveDir(path string) (string, error) {
+	if l.modulePath != "" {
+		if path == l.modulePath {
+			return l.moduleRoot, nil
+		}
+		if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+			return filepath.Join(l.moduleRoot, filepath.FromSlash(rest)), nil
+		}
+	}
+	if l.fixtureRoot != "" {
+		dir := filepath.Join(l.fixtureRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			return dir, nil
+		}
+	}
+	dir := filepath.Join(runtime.GOROOT(), "src", filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, nil
+	}
+	// The standard library vendors its golang.org/x dependencies.
+	dir = filepath.Join(runtime.GOROOT(), "src", "vendor", filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+		return dir, nil
+	}
+	return "", fmt.Errorf("cannot resolve import %q (not in module, fixtures, or GOROOT)", path)
+}
+
+// Load returns the type-checked package for an import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{ImportPath: "unsafe", Types: types.Unsafe}, nil
+	}
+	if r, ok := l.pkgs[path]; ok {
+		if r.checking {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return r.pkg, r.err
+	}
+	r := &loadResult{checking: true}
+	l.pkgs[path] = r
+	r.pkg, r.err = l.check(path)
+	r.checking = false
+	return r.pkg, r.err
+}
+
+// check parses and type-checks one package (deps load recursively
+// through the importer callback).
+func (l *Loader) check(path string) (*Package, error) {
+	dir, err := l.resolveDir(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("listing %s: %w", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var tcErrs []error
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			dep, err := l.Load(p)
+			if err != nil {
+				return nil, err
+			}
+			return dep.Types, nil
+		}),
+		Sizes: types.SizesFor("gc", l.ctxt.GOARCH),
+		Error: func(err error) { tcErrs = append(tcErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		if len(tcErrs) > 0 {
+			return nil, fmt.Errorf("type-checking %s: %w (and %d more)", path, tcErrs[0], len(tcErrs)-1)
+		}
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	return &Package{ImportPath: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// DirImportPath maps an absolute directory inside the module to its
+// import path.
+func (l *Loader) DirImportPath(dir string) (string, error) {
+	if l.moduleRoot == "" {
+		return "", fmt.Errorf("loader has no module root")
+	}
+	rel, err := filepath.Rel(l.moduleRoot, dir)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("%s is outside module %s", dir, l.moduleRoot)
+	}
+	if rel == "." {
+		return l.modulePath, nil
+	}
+	return l.modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// ModulePackages walks the module root and returns the import paths of
+// every buildable package in the module, sorted. testdata, hidden, and
+// VCS directories are skipped, matching the go tool's ./... expansion.
+func (l *Loader) ModulePackages() ([]string, error) {
+	if l.moduleRoot == "" {
+		return nil, fmt.Errorf("loader has no module root")
+	}
+	var paths []string
+	err := filepath.WalkDir(l.moduleRoot, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.moduleRoot && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if _, err := l.ctxt.ImportDir(p, 0); err != nil {
+			var noGo *build.NoGoError
+			if _, ok := err.(*build.MultiplePackageError); ok {
+				return fmt.Errorf("listing %s: %w", p, err)
+			}
+			_ = noGo
+			return nil // no buildable Go files here; keep walking
+		}
+		rel, err := filepath.Rel(l.moduleRoot, p)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			paths = append(paths, l.modulePath)
+		} else {
+			paths = append(paths, l.modulePath+"/"+filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}

@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoaderResolvesModuleAndStdlib(t *testing.T) {
+	l, err := NewModuleLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.Load("repro/internal/codec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types == nil || pkg.Info == nil || len(pkg.Files) == 0 {
+		t.Fatalf("incomplete package: %+v", pkg)
+	}
+	if pkg.Types.Scope().Lookup("ErrFormat") == nil {
+		t.Error("codec.ErrFormat not found in type-checked package scope")
+	}
+	// Memoization: loading again returns the same package.
+	again, err := l.Load("repro/internal/codec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != pkg {
+		t.Error("second Load did not return the memoized package")
+	}
+}
+
+func TestLoaderRejectsUnknownImport(t *testing.T) {
+	l, err := NewModuleLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Load("example.com/nonexistent"); err == nil ||
+		!strings.Contains(err.Error(), "cannot resolve import") {
+		t.Fatalf("want unresolved-import error, got %v", err)
+	}
+}
+
+func TestModulePackagesSkipsTestdata(t *testing.T) {
+	l, err := NewModuleLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := l.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		seen[p] = true
+		if strings.Contains(p, "testdata") {
+			t.Errorf("testdata package leaked into module walk: %s", p)
+		}
+	}
+	for _, want := range []string{"repro", "repro/internal/server", "repro/internal/analysis", "repro/cmd/khoplint"} {
+		if !seen[want] {
+			t.Errorf("module walk missing %s (got %d packages)", want, len(paths))
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Lockscope pins khopd's instrumentation contract (PR 6): telemetry is
+// recorded strictly outside deployment mutexes, so a scrape can never
+// extend a write-lock hold time on the churn path, and snapshot bytes
+// are never encoded while a write lock serializes every reader.
+//
+// Within internal/server, the analyzer flags, lexically between a
+// mu.Lock()/mu.RLock() and its Unlock()/RUnlock() in the same function:
+//
+//   - any telemetry record call — a method named Observe, Add, Inc, or
+//     Set defined in the telemetry package — whether called directly or
+//     through a same-package helper that (transitively) records;
+//   - any codec.Encode (direct or through a same-package helper) while
+//     a *write* lock is held. Encoding under a read lock is the
+//     documented snapshot design and stays legal.
+//
+// The handler pattern this enforces: capture durations and counts into
+// locals inside the critical section, release the lock, then feed the
+// atomics.
+var Lockscope = &Analyzer{
+	Name:     "lockscope",
+	Doc:      "flags telemetry record calls (Observe/Add/Inc/Set) under a held mutex and codec.Encode under a write lock in internal/server",
+	Packages: []string{"internal/server"},
+	Run:      runLockscope,
+}
+
+// recordMethods are the telemetry package's record entry points.
+var recordMethods = map[string]bool{"Observe": true, "Add": true, "Inc": true, "Set": true}
+
+func runLockscope(pass *Pass) error {
+	records, encodes := classifyFuncs(pass)
+	for _, file := range pass.Files {
+		eachFunc(file, func(_ ast.Node, _ *ast.FuncType, body *ast.BlockStmt) {
+			scanLocked(pass, body.List, map[string]bool{}, records, encodes)
+		})
+	}
+	return nil
+}
+
+// classifyFuncs computes, to a same-package fixpoint, the sets of
+// package functions that record telemetry and that encode snapshots, so
+// a helper wrapping the call is caught at its call site under the lock.
+func classifyFuncs(pass *Pass) (records, encodes map[*types.Func]bool) {
+	records = make(map[*types.Func]bool)
+	encodes = make(map[*types.Func]bool)
+	callees := make(map[*types.Func][]*types.Func)
+	var fnStack []*types.Func
+
+	for _, file := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				if _, ok := stack[len(stack)-1].(*ast.FuncDecl); ok && len(fnStack) > 0 {
+					fnStack = fnStack[:len(fnStack)-1]
+				}
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if fd, ok := n.(*ast.FuncDecl); ok {
+				if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+					fnStack = append(fnStack, fn)
+				} else {
+					fnStack = append(fnStack, nil)
+				}
+				return true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(fnStack) == 0 || fnStack[len(fnStack)-1] == nil {
+				return true
+			}
+			cur := fnStack[len(fnStack)-1]
+			if isTelemetryRecord(pass, call) {
+				records[cur] = true
+			}
+			if isCodecEncode(pass, call) {
+				encodes[cur] = true
+			}
+			if callee := staticCallee(pass.Info, call); callee != nil && callee.Pkg() == pass.Pkg {
+				callees[cur] = append(callees[cur], callee)
+			}
+			return true
+		})
+	}
+	// Propagate through same-package calls to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for fn, cs := range callees {
+			for _, c := range cs {
+				if records[c] && !records[fn] {
+					records[fn] = true
+					changed = true
+				}
+				if encodes[c] && !encodes[fn] {
+					encodes[fn] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return records, encodes
+}
+
+// staticCallee resolves a call to its target *types.Func when it is a
+// plain function or method call (not a func value).
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// isTelemetryRecord reports whether call is a record method defined in
+// a package named telemetry.
+func isTelemetryRecord(pass *Pass, call *ast.CallExpr) bool {
+	pkg, name, _, ok := calleeMethod(pass.Info, call)
+	return ok && pathTail(pkg) == "telemetry" && recordMethods[name]
+}
+
+// isCodecEncode reports whether call is codec.Encode (the snapshot
+// serializer).
+func isCodecEncode(pass *Pass, call *ast.CallExpr) bool {
+	pkg, name, ok := calleePkgFunc(pass.Info, call)
+	return ok && pathTail(pkg) == "codec" && name == "Encode"
+}
+
+// mutexOp classifies a statement-level call as a mutex operation,
+// returning the rendered receiver expression ("d.mu") and method.
+func mutexOp(pass *Pass, call *ast.CallExpr) (recv, method string, ok bool) {
+	pkg, name, _, isMeth := calleeMethod(pass.Info, call)
+	if !isMeth || pkg != "sync" {
+		return "", "", false
+	}
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		sel := call.Fun.(*ast.SelectorExpr)
+		return types.ExprString(sel.X), name, true
+	}
+	return "", "", false
+}
+
+// scanLocked walks a statement list in order, tracking which mutexes
+// are lexically held (true = write lock), and inspects every statement
+// executed under a lock for violations. Nested control flow recurses
+// with a copy of the held set, so a branch's unlock does not leak into
+// the fallthrough path.
+func scanLocked(pass *Pass, stmts []ast.Stmt, held map[string]bool, records, encodes map[*types.Func]bool) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if recv, method, ok := mutexOp(pass, call); ok {
+					switch method {
+					case "Lock":
+						held[recv] = true
+					case "RLock":
+						held[recv] = false
+					case "Unlock", "RUnlock":
+						delete(held, recv)
+					}
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held for the rest of the
+			// function; the deferred call itself runs at return.
+			if _, method, ok := mutexOp(pass, s.Call); ok && (method == "Unlock" || method == "RUnlock") {
+				continue
+			}
+		case *ast.BlockStmt:
+			scanLocked(pass, s.List, copyHeld(held), records, encodes)
+			continue
+		case *ast.IfStmt:
+			if len(held) > 0 && s.Cond != nil {
+				inspectLocked(pass, s.Cond, held, records, encodes)
+			}
+			scanLocked(pass, s.Body.List, copyHeld(held), records, encodes)
+			if s.Else != nil {
+				scanLocked(pass, []ast.Stmt{s.Else}, copyHeld(held), records, encodes)
+			}
+			continue
+		case *ast.ForStmt:
+			scanLocked(pass, s.Body.List, copyHeld(held), records, encodes)
+			continue
+		case *ast.RangeStmt:
+			scanLocked(pass, s.Body.List, copyHeld(held), records, encodes)
+			continue
+		}
+		if len(held) > 0 {
+			inspectLocked(pass, stmt, held, records, encodes)
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+// inspectLocked reports record/encode calls under n given the held set.
+func inspectLocked(pass *Pass, n ast.Node, held map[string]bool, records, encodes map[*types.Func]bool) {
+	anyWrite := false
+	names := make([]string, 0, len(held))
+	for k, w := range held {
+		names = append(names, k)
+		anyWrite = anyWrite || w
+	}
+	lock := names[0]
+	for _, k := range names[1:] {
+		if k < lock {
+			lock = k
+		}
+	}
+	ast.Inspect(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := staticCallee(pass.Info, call)
+		switch {
+		case isTelemetryRecord(pass, call):
+			pass.Reportf(call.Pos(), "telemetry recorded while %s is held; capture the value and record it after Unlock", lock)
+		case callee != nil && callee.Pkg() == pass.Pkg && records[callee]:
+			pass.Reportf(call.Pos(), "call to %s records telemetry while %s is held; record after Unlock", callee.Name(), lock)
+		case anyWrite && isCodecEncode(pass, call):
+			pass.Reportf(call.Pos(), "codec.Encode under write lock %s serializes every reader behind the encode; snapshot under a read lock instead", lock)
+		case anyWrite && callee != nil && callee.Pkg() == pass.Pkg && encodes[callee]:
+			pass.Reportf(call.Pos(), "call to %s encodes a snapshot while write lock %s is held; encode under a read lock instead", callee.Name(), lock)
+		}
+		return true
+	})
+}

@@ -1,0 +1,11 @@
+// Package codec is a fixture stub mirroring repro/internal/codec's
+// Encode entry point for the lockscope analyzer.
+package codec
+
+import "io"
+
+func Encode(w io.Writer, v any) error {
+	_, err := io.WriteString(w, "snapshot")
+	_ = v
+	return err
+}

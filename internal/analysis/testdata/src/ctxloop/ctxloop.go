@@ -1,0 +1,101 @@
+// Fixture for the ctxloop analyzer: unbounded round loops in
+// context-aware functions.
+package ctxloop
+
+import "context"
+
+func step(int) bool { return false }
+
+func roundsWithoutCheck(ctx context.Context, n int) {
+	changed := true
+	for changed { // want `never consults ctx`
+		changed = step(n)
+	}
+}
+
+func roundsWithCheck(ctx context.Context, n int) error {
+	changed := true
+	for changed {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		changed = step(n)
+	}
+	return nil
+}
+
+func roundsDelegating(ctx context.Context) {
+	done := false
+	for !done {
+		done = tick(ctx)
+	}
+}
+
+func tick(context.Context) bool { return true }
+
+func boundedLoops(ctx context.Context, xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	for i := 0; i < len(xs); i++ {
+		t += i
+	}
+	return t
+}
+
+func growLoop(ctx context.Context, w int) [][]int {
+	var bufs [][]int
+	for len(bufs) < w {
+		bufs = append(bufs, make([]int, 8))
+	}
+	return bufs
+}
+
+func selectLoop(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-ch:
+			total += v
+		}
+	}
+}
+
+func bareLoopWithoutCheck(ctx context.Context, ch chan int) int {
+	total := 0
+	for { // want `never consults ctx`
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+func nestedWorker(ctx context.Context, jobs []int) {
+	process := func() {
+		busy := true
+		for busy { // want `never consults ctx`
+			busy = step(len(jobs))
+		}
+	}
+	process()
+}
+
+func suppressedLoop(ctx context.Context, n int) {
+	changed := true
+	//lint:ignore khoplint/ctxloop fixture proves the suppression path
+	for changed {
+		changed = step(n)
+	}
+}
+
+func noContext(n int) {
+	changed := true
+	for changed {
+		changed = step(n)
+	}
+}

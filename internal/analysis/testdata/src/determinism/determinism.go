@@ -1,0 +1,93 @@
+// Fixture for the determinism analyzer: map-iteration order reaching
+// outputs, ambient clock reads, and global math/rand draws.
+package determinism
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func mapAppendNoSort(m map[int]string) []int {
+	var keys []int
+	for k := range m { // want `appends to "keys"`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func mapAppendSorted(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func mapAppendSortedLater(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v)
+	}
+	if len(out) > 1 {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out
+}
+
+func mapWrite(m map[int]string, buf *bytes.Buffer) {
+	for _, v := range m {
+		buf.WriteString(v) // want `map-iteration order`
+	}
+}
+
+func mapFprint(m map[int]string, buf *bytes.Buffer) {
+	for k := range m {
+		fmt.Fprintf(buf, "%d\n", k) // want `map-iteration order`
+	}
+}
+
+func mapLocalSlice(m map[int][]int) int {
+	total := 0
+	for _, vs := range m {
+		acc := []int{}
+		acc = append(acc, vs...)
+		total += len(acc)
+	}
+	return total
+}
+
+func mapToMap(m map[int]string) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+func sliceRange(xs []string, buf *bytes.Buffer) {
+	for _, v := range xs {
+		buf.WriteString(v)
+	}
+}
+
+func clock() time.Time {
+	return time.Now() // want `time\.Now`
+}
+
+func allowedClock(t time.Time) float64 {
+	//lint:ignore khoplint/determinism fixture proves the suppression path
+	return time.Since(t).Seconds()
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global rand\.Intn`
+}
+
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}

@@ -1,0 +1,91 @@
+// Fixture for the lockscope analyzer: telemetry records and snapshot
+// encodes relative to a deployment-style RWMutex.
+package lockscope
+
+import (
+	"bytes"
+	"sync"
+
+	"codec"
+	"telemetry"
+)
+
+type dep struct {
+	mu   sync.RWMutex
+	hits *telemetry.Counter
+	size *telemetry.Gauge
+	lat  *telemetry.Histogram
+	n    int
+}
+
+func recordUnderWriteLock(d *dep) {
+	d.mu.Lock()
+	d.n++
+	d.hits.Inc() // want `telemetry recorded while d\.mu is held`
+	d.mu.Unlock()
+}
+
+func recordAfterUnlock(d *dep) {
+	d.mu.Lock()
+	n := d.n
+	d.mu.Unlock()
+	d.hits.Inc()
+	d.size.Set(int64(n))
+}
+
+func recordUnderDeferredReadLock(d *dep) int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	d.lat.Observe(1.5) // want `telemetry recorded while d\.mu is held`
+	return d.n
+}
+
+func helper(d *dep) { d.lat.Observe(3) }
+
+func transitiveRecord(d *dep) {
+	d.mu.Lock()
+	helper(d) // want `call to helper records telemetry`
+	d.mu.Unlock()
+	helper(d)
+}
+
+func encodeUnderWriteLock(d *dep, buf *bytes.Buffer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return codec.Encode(buf, d.n) // want `codec\.Encode under write lock`
+}
+
+func encodeUnderReadLock(d *dep, buf *bytes.Buffer) error {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return codec.Encode(buf, d.n)
+}
+
+func encodeHelper(d *dep, buf *bytes.Buffer) error {
+	return codec.Encode(buf, d.n)
+}
+
+func transitiveEncodeUnderWriteLock(d *dep, buf *bytes.Buffer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return encodeHelper(d, buf) // want `encodes a snapshot while write lock d\.mu is held`
+}
+
+func branchUnlockThenRecord(d *dep, cond bool) {
+	d.mu.Lock()
+	if cond {
+		d.mu.Unlock()
+		d.hits.Inc()
+		return
+	}
+	d.n++
+	d.mu.Unlock()
+	d.hits.Inc()
+}
+
+func suppressedRecord(d *dep) {
+	d.mu.Lock()
+	//lint:ignore khoplint/lockscope fixture proves the suppression path
+	d.hits.Inc()
+	d.mu.Unlock()
+}

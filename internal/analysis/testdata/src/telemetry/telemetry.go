@@ -1,0 +1,17 @@
+// Package telemetry is a fixture stub mirroring the record surface of
+// repro/internal/telemetry (the lockscope analyzer matches any package
+// named telemetry, so fixtures exercise it without importing the module).
+package telemetry
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Inc()         { c.v++ }
+func (c *Counter) Add(n uint64) { c.v += n }
+
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(v int64) { g.v = v }
+
+type Histogram struct{ sum float64 }
+
+func (h *Histogram) Observe(v float64) { h.sum += v }

@@ -1,0 +1,57 @@
+// Fixture for the wraperr analyzer: %w wrapping and errors.Is sentinel
+// comparison.
+package wraperr
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrFormat = errors.New("malformed")
+
+var errInternal = errors.New("internal")
+
+func wrapV(err error) error {
+	return fmt.Errorf("decode: %v", err) // want `formatted with %v`
+}
+
+func wrapS(path string, err error) error {
+	return fmt.Errorf("open %s: %s", path, err) // want `formatted with %s`
+}
+
+func wrapW(err error) error {
+	return fmt.Errorf("decode: %w", err)
+}
+
+func wrapWidth(err error, n int) error {
+	return fmt.Errorf("attempt %3d: %w (q=%q)", n, err, "ctx")
+}
+
+func notAnError(name string) error {
+	return fmt.Errorf("no deployment %v", name)
+}
+
+func opaque(err error) error {
+	//lint:ignore khoplint/wraperr deliberate opacity at the API boundary
+	return fmt.Errorf("internal failure: %v", err)
+}
+
+func compareEq(err error) bool {
+	return err == ErrFormat // want `errors\.Is`
+}
+
+func compareNeq(err error) bool {
+	return ErrFormat != err // want `errors\.Is`
+}
+
+func compareIs(err error) bool {
+	return errors.Is(err, ErrFormat)
+}
+
+func compareNil(err error) bool {
+	return err == nil
+}
+
+func compareUnexported(err error) bool {
+	return err == errInternal
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"strings"
+)
+
+// Wraperr pins the error-chain contract around the repo's sentinel
+// errors (codec.ErrFormat/ErrChecksum/ErrVerify, khop.ErrNoGatewayPaths,
+// ErrDisconnected): callers classify failures with errors.Is, which only
+// works if every wrapping site uses %w and no comparison site uses ==.
+//
+// Two rules, module-wide:
+//
+//  1. fmt.Errorf with an error-typed argument formatted by a verb other
+//     than %w (%v, %s, %q) flattens the chain: errors.Is can no longer
+//     see the sentinel through the message. Deliberate opacity at an
+//     API boundary can be suppressed with a reason.
+//  2. err == ErrX / err != ErrX on a package-level Err* sentinel breaks
+//     on any wrapped error; compare with errors.Is instead.
+var Wraperr = &Analyzer{
+	Name: "wraperr",
+	Doc:  "enforces %w wrapping of error arguments to fmt.Errorf and errors.Is for sentinel comparisons",
+	Run:  runWraperr,
+}
+
+func runWraperr(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, x)
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrorf(pass *Pass, call *ast.CallExpr) {
+	pkg, name, ok := calleePkgFunc(pass.Info, call)
+	if !ok || pkg != "fmt" || name != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	verbs, ok := formatVerbs(constant.StringVal(tv.Value))
+	if !ok {
+		return // explicit argument indexes etc.; stay conservative
+	}
+	for i, verb := range verbs {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		arg := call.Args[argIdx]
+		if verb == 'w' || verb == 'T' || !isErrorType(pass.TypeOf(arg)) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "error argument formatted with %%%c flattens the chain (errors.Is stops matching); wrap with %%w", verb)
+	}
+}
+
+// formatVerbs returns one verb rune per consumed argument, in order.
+// '*' width/precision arguments consume a slot and are emitted as '*'.
+// Formats using explicit argument indexes return ok=false.
+func formatVerbs(format string) (verbs []rune, ok bool) {
+	for i := 0; i < len(format); {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++ // past '%'
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// flags
+		for i < len(format) && strings.ContainsRune("+-# 0", rune(format[i])) {
+			i++
+		}
+		// width / precision, each possibly '*'
+		for step := 0; step < 2; step++ {
+			if i < len(format) && format[i] == '*' {
+				verbs = append(verbs, '*')
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+			if step == 0 && i < len(format) && format[i] == '.' {
+				i++
+			} else {
+				break
+			}
+		}
+		if i < len(format) && format[i] == '[' {
+			return nil, false // explicit argument index
+		}
+		if i < len(format) {
+			verbs = append(verbs, rune(format[i]))
+			i++
+		}
+	}
+	return verbs, true
+}
+
+func checkSentinelCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		sentinel, other := pair[0], pair[1]
+		obj := sentinelObj(pass, sentinel)
+		if obj == "" {
+			continue
+		}
+		if !isErrorType(pass.TypeOf(other)) {
+			continue
+		}
+		pass.Reportf(be.Pos(), "comparing an error to sentinel %s with %s breaks on wrapped errors; use errors.Is", obj, be.Op)
+		return
+	}
+}
+
+// sentinelObj returns the name of a package-level Err* error variable
+// referenced by e, or "".
+func sentinelObj(pass *Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch x := e.(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return ""
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	name := obj.Name()
+	if len(name) < 4 || !strings.HasPrefix(name, "Err") || name[3] < 'A' || name[3] > 'Z' {
+		return ""
+	}
+	if !isErrorType(obj.Type()) {
+		return ""
+	}
+	// Package-level only: the object's parent scope is the package scope.
+	if obj.Parent() != obj.Pkg().Scope() {
+		return ""
+	}
+	return name
+}

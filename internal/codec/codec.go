@@ -364,7 +364,7 @@ func DecodeBytes(raw []byte) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes after the snapshot", ErrFormat, len(d.b))
 	}
 	if err := khop.VerifyResult(s.Graph, s.Result); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrVerify, err)
+		return nil, fmt.Errorf("%w: %w", ErrVerify, err)
 	}
 	return s, nil
 }

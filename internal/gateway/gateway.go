@@ -392,16 +392,21 @@ func changedHeads(oldVG, newVG *graph.WGraph) map[int]bool {
 	for _, e := range oldVG.Edges() {
 		oldEdges[[2]int{e.U, e.V}] = e.Weight
 	}
+	newEdges := make(map[[2]int]bool)
 	var diffs [][2]int
 	for _, e := range newVG.Edges() {
 		link := [2]int{e.U, e.V}
+		newEdges[link] = true
 		if w, ok := oldEdges[link]; !ok || w != e.Weight {
 			diffs = append(diffs, link)
 		}
-		delete(oldEdges, link)
 	}
-	for link := range oldEdges {
-		diffs = append(diffs, link)
+	// Removed links, in the old graph's deterministic edge order (a map
+	// range here would feed diffs in randomized key order).
+	for _, e := range oldVG.Edges() {
+		if link := [2]int{e.U, e.V}; !newEdges[link] {
+			diffs = append(diffs, link)
+		}
 	}
 
 	changed := make(map[int]bool, 2*len(diffs))

@@ -250,9 +250,10 @@ func (w *WGraph) MST() []WEdge {
 func (w *WGraph) MSTRooted(root int) []int {
 	var out []int
 	for _, e := range w.MST() {
-		if e.U == root {
+		switch root {
+		case e.U:
 			out = append(out, e.V)
-		} else if e.V == root {
+		case e.V:
 			out = append(out, e.U)
 		}
 	}

@@ -253,7 +253,7 @@ func TestRegIncBetaBounds(t *testing.T) {
 func TestCIShrinksWithN(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	var s Sample
-	var prev float64 = math.Inf(1)
+	prev := math.Inf(1)
 	for i := 1; i <= 1000; i++ {
 		s.Add(rng.NormFloat64())
 		if i%200 == 0 {

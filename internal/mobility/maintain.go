@@ -188,7 +188,7 @@ func adopt(gc *graph.Graph, k int, algo gateway.Algorithm, c *cluster.Clustering
 	}
 	alive := make([]bool, gc.N())
 	for i := range alive {
-		alive[i] = !(c.Head[i] == i && !listed[i] && gc.Degree(i) == 0)
+		alive[i] = c.Head[i] != i || listed[i] || gc.Degree(i) != 0
 	}
 	return &Maintainer{
 		G:       gc,

@@ -196,7 +196,7 @@ func TestDepartMember(t *testing.T) {
 	g := testGraph(t, 80, 7, 11)
 	m := NewMaintainer(g, 2, gateway.ACLMST)
 	// Find a plain member.
-	var member int = -1
+	member := -1
 	for v := 0; v < g.N(); v++ {
 		if Classify(m.C, m.Res, v) == RoleMember {
 			member = v

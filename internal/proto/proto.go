@@ -122,6 +122,9 @@ func RunCtx(ctx context.Context, g *graph.Graph, opt Options) (*Result, error) {
 	// every decision inside an iteration is local.
 	iterations := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		undecided := 0
 		for _, s := range states {
 			if !s.decided {

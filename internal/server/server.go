@@ -214,6 +214,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		deps = append(deps, d)
 	}
 	s.mu.RUnlock()
+	sort.Slice(deps, func(i, j int) bool { return deps[i].id < deps[j].id })
 	h := Health{
 		Status:        "ok",
 		Version:       Version,
@@ -523,7 +524,7 @@ func queryInt(r *http.Request, name string) (int, error) {
 	}
 	v, err := strconv.Atoi(raw)
 	if err != nil {
-		return 0, fmt.Errorf("query parameter %q: %v", name, err)
+		return 0, fmt.Errorf("query parameter %q: %w", name, err)
 	}
 	return v, nil
 }
@@ -704,6 +705,7 @@ func (s *Server) SaveDir(dir string) error {
 		deps = append(deps, d)
 	}
 	s.mu.RUnlock()
+	sort.Slice(deps, func(i, j int) bool { return deps[i].id < deps[j].id })
 	for _, d := range deps {
 		encStart := time.Now()
 		d.mu.RLock()

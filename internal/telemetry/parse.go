@@ -141,7 +141,7 @@ func parseSample(line string) (Sample, error) {
 	if strings.HasPrefix(rest, "{") {
 		end, labels, err := parseLabels(rest)
 		if err != nil {
-			return s, fmt.Errorf("%v in %q", err, line)
+			return s, fmt.Errorf("%w in %q", err, line)
 		}
 		s.Labels = labels
 		rest = rest[end:]
@@ -152,7 +152,7 @@ func parseSample(line string) (Sample, error) {
 	}
 	v, err := strconv.ParseFloat(fields[0], 64)
 	if err != nil {
-		return s, fmt.Errorf("bad value %q: %v", fields[0], err)
+		return s, fmt.Errorf("bad value %q: %w", fields[0], err)
 	}
 	s.Value = v
 	return s, nil

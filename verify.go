@@ -70,7 +70,7 @@ func VerifyResult(g *Graph, r *Result) error {
 	// and edge-less. Anything else self-headed but unlisted is corrupt.
 	alive := make([]bool, n)
 	for v := 0; v < n; v++ {
-		alive[v] = !(r.HeadOf[v] == v && !listed[v] && g.g.Degree(v) == 0)
+		alive[v] = r.HeadOf[v] != v || listed[v] || g.g.Degree(v) != 0
 	}
 
 	// Membership: every alive node joined a listed head within K hops of
