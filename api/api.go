@@ -1,0 +1,169 @@
+// Package api holds the wire types of the khopd HTTP API, shared
+// between the server (internal/server) and the typed Go client
+// (client). Everything here is plain JSON-tagged data — no behavior —
+// so external tools can import the request/response shapes without
+// pulling in the engine.
+//
+// The API is versioned under the /v1/ path prefix; see
+// docs/durability.md and ARCHITECTURE.md for the endpoint list and
+// semantics. Bare (unprefixed) paths are deprecated aliases that khopd
+// still serves with a Deprecation header.
+package api
+
+// CreateRequest is the body of POST /v1/deployments: either a random
+// unit-disk deployment (N plus AvgDegree/Seed, the paper's evaluation
+// setup) or an explicit edge list over N vertices.
+type CreateRequest struct {
+	ID        string   `json:"id"`
+	N         int      `json:"n"`
+	AvgDegree float64  `json:"avg_degree,omitempty"` // default 6; ignored with Edges
+	Seed      int64    `json:"seed,omitempty"`       // ignored with Edges
+	Edges     [][2]int `json:"edges,omitempty"`      // explicit topology; nil = random
+	K         int      `json:"k,omitempty"`          // default 1
+	Algorithm string   `json:"algorithm,omitempty"`  // default "AC-LMST"
+	// AllowDisconnected skips the random generator's connectivity
+	// filter (recommended beyond ~10⁴ nodes).
+	AllowDisconnected bool `json:"allow_disconnected,omitempty"`
+}
+
+// EventRequest is one churn event in a POST /v1/deployments/{id}/events
+// batch.
+type EventRequest struct {
+	Kind      string `json:"kind"` // "leave", "join", or "move"
+	Node      int    `json:"node"`
+	Neighbors []int  `json:"neighbors,omitempty"`
+}
+
+// EventsRequest is the body of POST /v1/deployments/{id}/events.
+type EventsRequest struct {
+	Events []EventRequest `json:"events"`
+}
+
+// Summary is the JSON shape describing one deployment.
+type Summary struct {
+	ID               string `json:"id"`
+	N                int    `json:"n"`
+	K                int    `json:"k"`
+	Algorithm        string `json:"algorithm"`
+	Heads            int    `json:"heads"`
+	Gateways         int    `json:"gateways"`
+	CDSSize          int    `json:"cds_size"`
+	IndependentHeads bool   `json:"independent_heads"`
+	EventsApplied    int    `json:"events_applied"`
+	// OrigN is the deployment's node count at creation time; present
+	// only after a compaction has renumbered the id space (see
+	// CompactResponse.Table for the original→current mapping).
+	OrigN int `json:"orig_n,omitempty"`
+	// Cost is the distributed protocol's message budget (rounds,
+	// transmissions, deliveries); present only for deployments whose
+	// engine ran in Distributed/MaxMin mode (typically restored
+	// snapshots), so operators see what their topology costs on the
+	// wire.
+	Cost *CostSummary `json:"cost,omitempty"`
+}
+
+// CostSummary mirrors khop.Cost for the wire.
+type CostSummary struct {
+	Rounds        int `json:"rounds"`
+	Transmissions int `json:"transmissions"`
+	Deliveries    int `json:"deliveries"`
+}
+
+// ListResponse is the body of GET /v1/deployments.
+type ListResponse struct {
+	Deployments []Summary `json:"deployments"`
+}
+
+// ReportResponse mirrors khop.RepairReport for the wire.
+type ReportResponse struct {
+	Kind              string `json:"kind"`
+	Node              int    `json:"node"`
+	Role              string `json:"role"`
+	ReclusteredNodes  int    `json:"reclustered_nodes"`
+	ReselectedHeads   int    `json:"reselected_heads"`
+	NewHeads          int    `json:"new_heads"`
+	GatewayDirty      bool   `json:"gateway_dirty"`
+	BatchGatewayRuns  int    `json:"batch_gateway_runs"`
+	BatchGatewaySaved int    `json:"batch_gateway_saved"`
+}
+
+// EventsResponse is the body of POST /v1/deployments/{id}/events. On
+// full application the status is 200 and Error is empty; on a mid-batch
+// failure the status is 422 and the response still carries the repairs
+// that did land (partial application is real state — the client must
+// reconcile, not retry blindly).
+type EventsResponse struct {
+	Error   string           `json:"error,omitempty"`
+	Applied int              `json:"applied"`
+	Reports []ReportResponse `json:"reports"`
+	Summary Summary          `json:"summary"`
+}
+
+// RouteResponse is the body of GET /v1/deployments/{id}/route.
+type RouteResponse struct {
+	Src   int   `json:"src"`
+	Dst   int   `json:"dst"`
+	Route []int `json:"route"`
+	Hops  int   `json:"hops"`
+}
+
+// BroadcastResponse is the body of GET /v1/deployments/{id}/broadcast.
+type BroadcastResponse struct {
+	Src           int  `json:"src"`
+	Forwarders    int  `json:"forwarders"`
+	Transmissions int  `json:"transmissions"`
+	Reached       int  `json:"reached"`
+	Covered       bool `json:"covered"`
+	Rounds        int  `json:"rounds"`
+}
+
+// CDSResponse is the body of GET /v1/deployments/{id}/cds.
+type CDSResponse struct {
+	K                int    `json:"k"`
+	Algorithm        string `json:"algorithm"`
+	Heads            []int  `json:"heads"`
+	Gateways         []int  `json:"gateways"`
+	CDS              []int  `json:"cds"`
+	IndependentHeads bool   `json:"independent_heads"`
+}
+
+// CompactResponse is the body of POST /v1/deployments/{id}/compact.
+// Compaction renumbers the alive nodes densely (dropping departed,
+// edge-less slots), truncates the deployment's WAL at the new
+// checkpoint, and re-bases the persisted snapshot as codec v2. Node
+// ids change: Table maps every *original* node id (the id space the
+// deployment was created with) to its current id, -1 for nodes that
+// have departed and been compacted away.
+type CompactResponse struct {
+	Summary Summary `json:"summary"`
+	// OrigN is the size of the original id space (len(Table)).
+	OrigN int `json:"orig_n"`
+	// Alive is the node count after compaction.
+	Alive int `json:"alive"`
+	// Dropped is the number of departed slots removed by this call.
+	Dropped int `json:"dropped"`
+	// Table[orig] = current id, or -1 when the node is gone.
+	Table []int `json:"table"`
+}
+
+// HealthDeployment is one deployment's slice of the health report.
+type HealthDeployment struct {
+	Nodes         int `json:"nodes"`
+	Heads         int `json:"heads"`
+	EventsApplied int `json:"events_applied"`
+}
+
+// Health is the GET /v1/healthz response: enough for a load harness (or
+// an orchestrator) to assert readiness and size before offering load.
+type Health struct {
+	Status        string                      `json:"status"`
+	Version       string                      `json:"version"`
+	UptimeSeconds float64                     `json:"uptime_seconds"`
+	Deployments   int                         `json:"deployments"`
+	Stats         map[string]HealthDeployment `json:"deployment_stats"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON answer.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

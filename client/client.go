@@ -1,0 +1,269 @@
+// Package client is the typed Go client for the khopd deployment
+// server's versioned HTTP API (/v1). It speaks the wire shapes from
+// repro/api and nothing engine-side, so external tools can drive a
+// khopd without importing the clustering code.
+//
+//	c := client.New("http://127.0.0.1:8080")
+//	sum, err := c.Create(ctx, api.CreateRequest{ID: "prod", N: 200, K: 2})
+//	...
+//	resp, err := c.Events(ctx, "prod", []api.EventRequest{{Kind: "leave", Node: 7}})
+//
+// Every non-2xx answer surfaces as a *client.APIError carrying the
+// status code and the server's error message; Events additionally
+// returns the partial-application body on a 422, because the repairs
+// that did land are real state the caller must reconcile.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"repro/api"
+)
+
+// maxResponseBytes bounds buffered response bodies (snapshots dominate;
+// the server caps its own request bodies at the same 64 MiB).
+const maxResponseBytes = 64 << 20
+
+// APIError is a non-2xx answer from khopd.
+type APIError struct {
+	StatusCode int
+	// Message is the server's error string (or a truncated raw body when
+	// the response was not the standard JSON error shape).
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("khopd: %s (status %d)", e.Message, e.StatusCode)
+}
+
+// Client talks to one khopd. It is safe for concurrent use.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option customizes New.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (tests inject
+// an httptest client; load drivers inject one with a sized connection
+// pool).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New returns a client for the khopd at baseURL, e.g.
+// "http://127.0.0.1:8080". The /v1 prefix is the client's business —
+// baseURL is scheme://host[:port] only.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// BaseURL reports the server this client targets.
+func (c *Client) BaseURL() string { return c.base }
+
+func depPath(id string, suffix string) string {
+	return "/v1/deployments/" + url.PathEscape(id) + suffix
+}
+
+// do issues one request; body is raw bytes (already encoded). It
+// returns the buffered response body and a *APIError for non-2xx
+// statuses (the body comes back in both cases — Events wants the 422
+// payload).
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) ([]byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	if err != nil {
+		return nil, fmt.Errorf("reading %s %s response: %w", method, path, err)
+	}
+	if resp.StatusCode >= 400 {
+		var e api.ErrorResponse
+		msg := strings.TrimSpace(string(raw))
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		if len(msg) > 512 {
+			msg = msg[:512]
+		}
+		return raw, &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	return raw, nil
+}
+
+// doJSON marshals in (when non-nil), issues the request, and unmarshals
+// a 2xx body into out (when non-nil).
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	contentType := ""
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+		contentType = "application/json"
+	}
+	raw, err := c.do(ctx, method, path, contentType, body)
+	if err != nil {
+		return err
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fmt.Errorf("decoding %s %s response: %w", method, path, err)
+		}
+	}
+	return nil
+}
+
+// Create builds a new deployment (POST /v1/deployments).
+func (c *Client) Create(ctx context.Context, req api.CreateRequest) (api.Summary, error) {
+	var sum api.Summary
+	err := c.doJSON(ctx, http.MethodPost, "/v1/deployments", req, &sum)
+	return sum, err
+}
+
+// List returns every deployment's summary (GET /v1/deployments).
+func (c *Client) List(ctx context.Context) ([]api.Summary, error) {
+	var resp api.ListResponse
+	err := c.doJSON(ctx, http.MethodGet, "/v1/deployments", nil, &resp)
+	return resp.Deployments, err
+}
+
+// Summary returns one deployment's summary (GET /v1/deployments/{id}).
+func (c *Client) Summary(ctx context.Context, id string) (api.Summary, error) {
+	var sum api.Summary
+	err := c.doJSON(ctx, http.MethodGet, depPath(id, ""), nil, &sum)
+	return sum, err
+}
+
+// Delete drops a deployment and its persisted state
+// (DELETE /v1/deployments/{id}).
+func (c *Client) Delete(ctx context.Context, id string) error {
+	return c.doJSON(ctx, http.MethodDelete, depPath(id, ""), nil, nil)
+}
+
+// Events applies one churn batch (POST /v1/deployments/{id}/events).
+// On a 422 — partial application — the returned error is a *APIError
+// and the response still carries the repairs that did land plus the
+// post-batch summary; the caller must reconcile, not blindly retry.
+func (c *Client) Events(ctx context.Context, id string, events []api.EventRequest) (api.EventsResponse, error) {
+	var resp api.EventsResponse
+	body, err := json.Marshal(api.EventsRequest{Events: events})
+	if err != nil {
+		return resp, err
+	}
+	raw, err := c.do(ctx, http.MethodPost, depPath(id, "/events"), "application/json", body)
+	var apiErr *APIError
+	partial := false
+	if err != nil {
+		if e, ok := err.(*APIError); ok && e.StatusCode == http.StatusUnprocessableEntity {
+			apiErr, partial = e, true
+		} else {
+			return resp, err
+		}
+	}
+	if jerr := json.Unmarshal(raw, &resp); jerr != nil {
+		if partial {
+			return resp, apiErr
+		}
+		return resp, fmt.Errorf("decoding events response: %w", jerr)
+	}
+	if partial {
+		return resp, apiErr
+	}
+	return resp, nil
+}
+
+// Route answers a hierarchical route query
+// (GET /v1/deployments/{id}/route?src=&dst=).
+func (c *Client) Route(ctx context.Context, id string, src, dst int) (api.RouteResponse, error) {
+	var resp api.RouteResponse
+	err := c.doJSON(ctx, http.MethodGet, depPath(id, fmt.Sprintf("/route?src=%d&dst=%d", src, dst)), nil, &resp)
+	return resp, err
+}
+
+// Broadcast simulates a CDS-confined broadcast
+// (GET /v1/deployments/{id}/broadcast?src=).
+func (c *Client) Broadcast(ctx context.Context, id string, src int) (api.BroadcastResponse, error) {
+	var resp api.BroadcastResponse
+	err := c.doJSON(ctx, http.MethodGet, depPath(id, fmt.Sprintf("/broadcast?src=%d", src)), nil, &resp)
+	return resp, err
+}
+
+// CDS returns the current backbone structure
+// (GET /v1/deployments/{id}/cds).
+func (c *Client) CDS(ctx context.Context, id string) (api.CDSResponse, error) {
+	var resp api.CDSResponse
+	err := c.doJSON(ctx, http.MethodGet, depPath(id, "/cds"), nil, &resp)
+	return resp, err
+}
+
+// Snapshot downloads the deployment as a versioned .khop blob
+// (GET /v1/deployments/{id}/snapshot).
+func (c *Client) Snapshot(ctx context.Context, id string) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, depPath(id, "/snapshot"), "", nil)
+}
+
+// Restore creates a deployment from a .khop blob
+// (POST /v1/deployments/{id}/snapshot).
+func (c *Client) Restore(ctx context.Context, id string, snapshot []byte) (api.Summary, error) {
+	var sum api.Summary
+	raw, err := c.do(ctx, http.MethodPost, depPath(id, "/snapshot"), "application/octet-stream", snapshot)
+	if err != nil {
+		return sum, err
+	}
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		return sum, fmt.Errorf("decoding restore response: %w", err)
+	}
+	return sum, nil
+}
+
+// Compact renumbers away departed slots and checkpoints the WAL
+// (POST /v1/deployments/{id}/compact). The returned table maps original
+// node ids to current ids (-1 = departed).
+func (c *Client) Compact(ctx context.Context, id string) (api.CompactResponse, error) {
+	var resp api.CompactResponse
+	err := c.doJSON(ctx, http.MethodPost, depPath(id, "/compact"), nil, &resp)
+	return resp, err
+}
+
+// Health returns the readiness report (GET /v1/healthz).
+func (c *Client) Health(ctx context.Context) (api.Health, error) {
+	var h api.Health
+	err := c.doJSON(ctx, http.MethodGet, "/v1/healthz", nil, &h)
+	return h, err
+}
+
+// Metrics returns the raw Prometheus exposition (GET /v1/metrics).
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, "/v1/metrics", "", nil)
+}

@@ -1,27 +1,33 @@
 // Command khopd serves khop deployments over HTTP: build connected
 // k-hop clusterings as named deployments, apply churn batches, answer
-// routing and broadcast queries, and snapshot every deployment to the
-// versioned .khop format so a deployment survives restarts.
+// routing and broadcast queries, and persist every deployment as a
+// versioned .khop snapshot plus a write-ahead log of acked churn
+// batches, so a deployment survives restarts — graceful or not.
 //
 // Usage:
 //
-//	khopd -addr :8080 -state-dir /var/lib/khopd
+//	khopd -addr :8080 -state-dir /var/lib/khopd -wal-sync interval
 //
 // On startup every *.khop file in -state-dir is restored (after a
-// checksum and khop.VerifyResult check); on SIGINT/SIGTERM the server
-// shuts down gracefully — in-flight requests drain, then every
-// deployment is snapshotted back to -state-dir.
+// checksum and khop.VerifyResult check) and its WAL suffix replayed, so
+// even a kill -9 loses no acknowledged churn. On SIGINT/SIGTERM the
+// server shuts down gracefully — in-flight requests drain, then every
+// deployment is checkpointed back to -state-dir (snapshot rewritten,
+// WAL truncated).
 //
-// A quick session against a running server:
+// A quick session against a running server (the API is versioned under
+// /v1; bare paths still work but are deprecated):
 //
-//	curl -X POST localhost:8080/deployments -d '{"id":"prod","n":200,"avg_degree":6,"seed":1,"k":2}'
-//	curl -X POST localhost:8080/deployments/prod/events -d '{"events":[{"kind":"leave","node":7}]}'
-//	curl 'localhost:8080/deployments/prod/route?src=3&dst=150'
-//	curl -o prod.khop localhost:8080/deployments/prod/snapshot
-//	curl localhost:8080/metrics   # Prometheus text format; /healthz for JSON health
+//	curl -X POST localhost:8080/v1/deployments -d '{"id":"prod","n":200,"avg_degree":6,"seed":1,"k":2}'
+//	curl -X POST localhost:8080/v1/deployments/prod/events -d '{"events":[{"kind":"leave","node":7}]}'
+//	curl 'localhost:8080/v1/deployments/prod/route?src=3&dst=150'
+//	curl -o prod.khop localhost:8080/v1/deployments/prod/snapshot
+//	curl -X POST localhost:8080/v1/deployments/prod/compact
+//	curl localhost:8080/v1/metrics   # Prometheus text format; /v1/healthz for JSON health
 //
-// See internal/server for the full API and ARCHITECTURE.md for how the
-// deployment layer sits on the engine.
+// See internal/server for the full API, docs/durability.md for the WAL
+// and compaction semantics, and ARCHITECTURE.md for how the deployment
+// layer sits on the engine.
 package main
 
 import (
@@ -38,35 +44,51 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		stateDir = flag.String("state-dir", "", "directory of *.khop snapshots: loaded at startup, rewritten on graceful shutdown (empty = no persistence)")
-		parallel = flag.Int("parallel", 0, "workers per deployment build (0 = all cores)")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		addr         = flag.String("addr", ":8080", "listen address")
+		stateDir     = flag.String("state-dir", "", "durable state root: *.khop snapshots plus per-deployment WALs, loaded (and replayed) at startup (empty = no persistence)")
+		parallel     = flag.Int("parallel", 0, "workers per deployment build (0 = all cores)")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+		walSync      = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync per acked batch), interval (fsync at most every -wal-sync-every), never (leave it to the OS)")
+		walSyncEvery = flag.Duration("wal-sync-every", 0, "fsync window for -wal-sync=interval (0 = the wal package default)")
+		compactAfter = flag.Int("compact-after", 0, "auto-compact a deployment after this many events since its last checkpoint (0 = only on explicit POST .../compact)")
 	)
 	flag.Parse()
+
+	policy, err := wal.ParseSyncPolicy(*walSync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khopd:", err)
+		os.Exit(2)
+	}
+	cfg := server.Config{
+		Parallel:     *parallel,
+		StateDir:     *stateDir,
+		WALSync:      policy,
+		WALSyncEvery: *walSyncEvery,
+		CompactAfter: *compactAfter,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	logger := log.New(os.Stderr, "khopd: ", log.LstdFlags)
-	if err := run(ctx, logger, *addr, *stateDir, *parallel, *drain, nil); err != nil {
+	if err := run(ctx, logger, *addr, cfg, *drain, nil); err != nil {
 		logger.Fatal(err)
 	}
 }
 
 // run wires the deployment server to an HTTP listener and blocks until
-// ctx is cancelled, then drains and (with a state dir) persists. When
-// ready is non-nil it receives the bound address once the listener is
-// up — the tests use it to talk to a :0 listener.
-func run(ctx context.Context, logger *log.Logger, addr, stateDir string, parallel int, drain time.Duration, ready chan<- string) error {
-	srv := server.New(server.Config{Parallel: parallel, Log: logger})
-	if stateDir != "" {
-		if err := srv.LoadDir(stateDir); err != nil {
-			return fmt.Errorf("loading %s: %w", stateDir, err)
-		}
+// ctx is cancelled, then drains and (with a state dir) checkpoints.
+// When ready is non-nil it receives the bound address once the listener
+// is up — the tests use it to talk to a :0 listener.
+func run(ctx context.Context, logger *log.Logger, addr string, cfg server.Config, drain time.Duration, ready chan<- string) error {
+	cfg.Log = logger
+	srv := server.New(cfg)
+	if err := srv.Load(); err != nil {
+		return fmt.Errorf("loading %s: %w", cfg.StateDir, err)
 	}
 
 	ln, err := net.Listen("tcp", addr)
@@ -74,7 +96,7 @@ func run(ctx context.Context, logger *log.Logger, addr, stateDir string, paralle
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
-	logger.Printf("serving on %s (state dir %q)", ln.Addr(), stateDir)
+	logger.Printf("serving on %s (state dir %q, wal sync %v)", ln.Addr(), cfg.StateDir, cfg.WALSync)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -93,21 +115,19 @@ func run(ctx context.Context, logger *log.Logger, addr, stateDir string, paralle
 	defer cancel()
 	var errs []error
 	if err := httpSrv.Shutdown(drainCtx); err != nil {
-		// A blown drain window must not cost the state: SaveDir is safe
+		// A blown drain window must not cost the state: Save is safe
 		// here (it waits on each deployment's lock, so any still-running
-		// churn handler finishes first) and the churn applied since the
-		// last persist would otherwise be silently lost.
+		// churn handler finishes first) and checkpointing trims the WALs
+		// for the next boot.
 		errs = append(errs, fmt.Errorf("shutdown: %w", err))
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		errs = append(errs, err)
 	}
-	if stateDir != "" {
-		if err := srv.SaveDir(stateDir); err != nil {
-			errs = append(errs, fmt.Errorf("persisting %s: %w", stateDir, err))
-		} else {
-			logger.Printf("deployments persisted to %s", stateDir)
-		}
+	if err := srv.Save(); err != nil {
+		errs = append(errs, fmt.Errorf("persisting %s: %w", cfg.StateDir, err))
+	} else if cfg.StateDir != "" {
+		logger.Printf("deployments checkpointed to %s", cfg.StateDir)
 	}
 	return errors.Join(errs...)
 }

@@ -1,32 +1,34 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"io"
 	"log"
-	"net/http"
+	"reflect"
 	"testing"
 	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/server"
 )
 
 // startServer runs the real main-loop wiring on an ephemeral port and
-// returns the base URL plus a shutdown function that performs (and
+// returns a typed client plus a shutdown function that performs (and
 // waits for) the graceful drain-and-persist sequence.
-func startServer(t *testing.T, stateDir string) (string, func() error) {
+func startServer(t *testing.T, cfg server.Config) (*client.Client, func() error) {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	ready := make(chan string, 1)
 	done := make(chan error, 1)
 	logger := log.New(io.Discard, "", 0)
 	go func() {
-		done <- run(ctx, logger, "127.0.0.1:0", stateDir, 0, 5*time.Second, ready)
+		done <- run(ctx, logger, "127.0.0.1:0", cfg, 5*time.Second, ready)
 	}()
 	select {
 	case addr := <-ready:
-		return "http://" + addr, func() error {
+		return client.New("http://" + addr), func() error {
 			cancel()
 			select {
 			case err := <-done:
@@ -38,72 +40,47 @@ func startServer(t *testing.T, stateDir string) (string, func() error) {
 	case err := <-done:
 		cancel()
 		t.Fatalf("khopd exited before binding: %v", err)
-		return "", nil
+		return nil, nil
 	}
 }
 
 // TestGracefulRestartPersistsDeployments drives the daemon exactly as
 // an operator would: create a deployment, stop the process (graceful
-// shutdown persists to -state-dir), start a new process on the same
+// shutdown checkpoints to -state-dir), start a new process on the same
 // state dir, and find the deployment — including its churn — intact.
 func TestGracefulRestartPersistsDeployments(t *testing.T) {
-	dir := t.TempDir()
-	url1, shutdown1 := startServer(t, dir)
+	ctx := context.Background()
+	cfg := server.Config{StateDir: t.TempDir()}
+	c1, shutdown1 := startServer(t, cfg)
 
-	body, _ := json.Marshal(map[string]any{
-		"id": "prod", "n": 60, "avg_degree": 6.0, "seed": 3, "k": 2,
-	})
-	resp, err := http.Post(url1+"/deployments", "application/json", bytes.NewReader(body))
+	if _, err := c1.Create(ctx, api.CreateRequest{ID: "prod", N: 60, AvgDegree: 6, Seed: 3, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Events(ctx, "prod", []api.EventRequest{{Kind: "leave", Node: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	routeBefore, err := c1.Route(ctx, "prod", 0, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		t.Fatalf("create: status %d", resp.StatusCode)
-	}
-	events, _ := json.Marshal(map[string]any{"events": []map[string]any{{"kind": "leave", "node": 4}}})
-	resp, err = http.Post(url1+"/deployments/prod/events", "application/json", bytes.NewReader(events))
-	if err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("events: status %d", resp.StatusCode)
-	}
-	routeBefore := getJSON(t, url1+"/deployments/prod/route?src=0&dst=50")
 	if err := shutdown1(); err != nil {
 		t.Fatalf("first shutdown: %v", err)
 	}
 
-	url2, shutdown2 := startServer(t, dir)
+	c2, shutdown2 := startServer(t, cfg)
 	defer shutdown2()
-	sum := getJSON(t, url2+"/deployments/prod")
-	if sum["id"] != "prod" {
-		t.Fatalf("deployment not restored: %v", sum)
-	}
-	routeAfter := getJSON(t, url2+"/deployments/prod/route?src=0&dst=50")
-	if fmt.Sprint(routeBefore["route"]) != fmt.Sprint(routeAfter["route"]) {
-		t.Fatalf("route changed across daemon restart: %v -> %v", routeBefore["route"], routeAfter["route"])
-	}
-}
-
-func getJSON(t *testing.T, url string) map[string]any {
-	t.Helper()
-	resp, err := http.Get(url)
+	sum, err := c2.Summary(ctx, "prod")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
+	if sum.ID != "prod" {
+		t.Fatalf("deployment not restored: %+v", sum)
+	}
+	routeAfter, err := c2.Route(ctx, "prod", 0, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, raw)
+	if !reflect.DeepEqual(routeBefore, routeAfter) {
+		t.Fatalf("route changed across daemon restart: %+v -> %+v", routeBefore, routeAfter)
 	}
-	var out map[string]any
-	if err := json.Unmarshal(raw, &out); err != nil {
-		t.Fatal(err)
-	}
-	return out
 }

@@ -33,7 +33,7 @@ var Determinism = &Analyzer{
 	Packages: []string{
 		"internal/graph", "internal/cluster", "internal/ncr", "internal/gateway",
 		"internal/maxmin", "internal/core", "internal/mobility", "internal/partition",
-		"internal/codec", "internal/experiment", "internal/server",
+		"internal/codec", "internal/experiment", "internal/server", "internal/wal",
 	},
 	Run: runDeterminism,
 }

@@ -36,9 +36,18 @@ import (
 	khop "repro"
 )
 
-// Version is the current snapshot format version. Any change to the
-// byte layout bumps it; Decode rejects versions it does not know.
+// Version is the baseline snapshot format version; Encode emits it for
+// snapshots with no compaction translation table, so pre-compaction
+// blobs (and all committed goldens) stay byte-identical across this
+// change. Decode rejects versions it does not know.
 const Version = 1
+
+// VersionCompact is the snapshot format carrying a compaction
+// translation table (Snapshot.Orig): version 2 inserts one extra
+// section between the graph and the result mapping every *original*
+// node id to its post-compaction id. Everything else is the version-1
+// layout unchanged.
+const VersionCompact = 2
 
 var magic = [8]byte{'K', 'H', 'O', 'P', 'S', 'N', 'A', 'P'}
 
@@ -65,6 +74,14 @@ type Snapshot struct {
 	Mode      khop.Mode
 	Graph     *khop.Graph
 	Result    *khop.Result
+	// Orig is the compaction translation table: Orig[o] is the current
+	// id of the node created as o, or -1 once it departed and a
+	// compaction dropped its slot. Nil until the first compaction
+	// (Encode then writes the version-1 layout). The non-negative
+	// entries are exactly 0..N-1 in ascending order — compaction
+	// renumbers densely and preserves relative order — and Decode
+	// enforces that shape.
+	Orig []int
 }
 
 // FromEngine captures a deployment engine's current state. The caller
@@ -113,6 +130,11 @@ func Encode(w io.Writer, s *Snapshot) error {
 	if s.Graph == nil || s.Result == nil {
 		return fmt.Errorf("codec: encode: snapshot needs a graph and a result")
 	}
+	if s.Orig != nil {
+		if err := checkOrig(s.Orig, s.Graph.N()); err != nil {
+			return fmt.Errorf("codec: encode: %w", err)
+		}
+	}
 	buf := appendSnapshot(nil, s)
 	h := fnv.New64a()
 	h.Write(buf)
@@ -121,9 +143,33 @@ func Encode(w io.Writer, s *Snapshot) error {
 	return err
 }
 
+// checkOrig validates a translation table against the current node
+// count: entries are -1 or current ids, and the non-negative entries
+// are exactly 0..n-1 ascending (the dense renumbering Compact emits).
+func checkOrig(orig []int, n int) error {
+	next := 0
+	for o, c := range orig {
+		if c == -1 {
+			continue
+		}
+		if c != next {
+			return fmt.Errorf("%w: translation table entry %d is %d, want %d (dense ascending)", ErrFormat, o, c, next)
+		}
+		next++
+	}
+	if next != n {
+		return fmt.Errorf("%w: translation table maps %d live nodes, graph has %d", ErrFormat, next, n)
+	}
+	return nil
+}
+
 func appendSnapshot(b []byte, s *Snapshot) []byte {
 	b = append(b, magic[:]...)
-	b = binary.AppendUvarint(b, Version)
+	if s.Orig == nil {
+		b = binary.AppendUvarint(b, Version)
+	} else {
+		b = binary.AppendUvarint(b, VersionCompact)
+	}
 
 	// Options.
 	b = binary.AppendUvarint(b, uint64(s.K))
@@ -146,6 +192,15 @@ func appendSnapshot(b []byte, s *Snapshot) []byte {
 	for _, e := range edges {
 		b = binary.AppendUvarint(b, uint64(e[0]))
 		b = binary.AppendUvarint(b, uint64(e[1]))
+	}
+
+	// Translation table (version 2 only): original-id count, then one
+	// zigzag varint per original id (-1 = slot compacted away).
+	if s.Orig != nil {
+		b = binary.AppendUvarint(b, uint64(len(s.Orig)))
+		for _, c := range s.Orig {
+			b = binary.AppendVarint(b, int64(c))
+		}
 	}
 
 	// Result.
@@ -264,8 +319,9 @@ func DecodeBytes(raw []byte) (*Snapshot, error) {
 	if d.err == nil && m != magic {
 		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, m[:])
 	}
-	if v := d.uint("version"); d.err == nil && v != Version {
-		return nil, fmt.Errorf("%w: unknown version %d (this build reads %d)", ErrFormat, v, Version)
+	version := d.uint("version")
+	if d.err == nil && version != Version && version != VersionCompact {
+		return nil, fmt.Errorf("%w: unknown version %d (this build reads %d and %d)", ErrFormat, version, Version, VersionCompact)
 	}
 
 	s := &Snapshot{}
@@ -316,6 +372,36 @@ func DecodeBytes(raw []byte) (*Snapshot, error) {
 		}
 	}
 	s.Graph = g
+
+	if version == VersionCompact {
+		origN := d.uint("translation table length")
+		if d.err == nil && origN > maxNodes {
+			return nil, fmt.Errorf("%w: translation table length %d exceeds the %d limit", ErrFormat, origN, maxNodes)
+		}
+		if d.err == nil && origN < n {
+			return nil, fmt.Errorf("%w: translation table length %d shorter than node count %d", ErrFormat, origN, n)
+		}
+		// Same forged-header rule as N: each entry costs at least one
+		// payload byte, so an absurd length fails before the allocation.
+		if d.err == nil && len(d.b) < origN {
+			return nil, fmt.Errorf("%w: translation table length %d impossible for a %d-byte payload", ErrFormat, origN, len(d.b))
+		}
+		if d.err == nil {
+			s.Orig = make([]int, origN)
+			for o := 0; o < origN && d.err == nil; o++ {
+				c := d.int("translation table entry")
+				if d.err == nil && (c < -1 || c >= n) {
+					return nil, fmt.Errorf("%w: translation table entry %d is %d, outside [-1,%d)", ErrFormat, o, c, n)
+				}
+				s.Orig[o] = c
+			}
+			if d.err == nil {
+				if err := checkOrig(s.Orig, n); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
 
 	res := &khop.Result{K: s.K, Algorithm: s.Algorithm}
 	res.Heads = d.nodeSlice(n, "Heads")

@@ -188,8 +188,13 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	if _, err := DecodeBytes(reseal(func(p []byte) { p[0] = 'X' })); !errors.Is(err, ErrFormat) {
 		t.Fatalf("bad magic: got %v, want ErrFormat", err)
 	}
-	if _, err := DecodeBytes(reseal(func(p []byte) { p[8] = Version + 1 })); !errors.Is(err, ErrFormat) {
+	if _, err := DecodeBytes(reseal(func(p []byte) { p[8] = VersionCompact + 1 })); !errors.Is(err, ErrFormat) {
 		t.Fatalf("unknown version: got %v, want ErrFormat", err)
+	}
+	// Version 2 framing over a version-1 payload: the table section the
+	// version byte promises is not there, so the decoder must refuse.
+	if _, err := DecodeBytes(reseal(func(p []byte) { p[8] = VersionCompact })); !errors.Is(err, ErrFormat) {
+		t.Fatalf("v2 header on v1 payload: got %v, want ErrFormat", err)
 	}
 	// Checksum damage without payload damage is ErrChecksum.
 	bad := append([]byte(nil), raw...)

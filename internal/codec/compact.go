@@ -1,0 +1,126 @@
+package codec
+
+import (
+	"fmt"
+
+	khop "repro"
+)
+
+// Compact returns a copy of s with every departed slot removed and the
+// surviving nodes renumbered densely in ascending order, plus the
+// number of slots dropped. A departed slot is one the engine models as
+// gone — self-headed, unlisted as a head, and edge-less (the same
+// liveness rule khop.VerifyResult applies) — which long-churned
+// deployments accumulate without bound, since leave events never shrink
+// the graph's id space.
+//
+// The renumbering is order-preserving, so the compacted snapshot is the
+// same clustering under an isomorphism: every canonical sort order
+// (Heads, Gateways, CDS, path keys, neighbor lists) survives the map
+// unchanged, and the result is re-verified before it is returned. The
+// cumulative original→current table lands in Orig (composing with any
+// table already present), making the returned snapshot a version-2
+// blob; callers that replay a WAL against the old id space must
+// truncate it at this checkpoint — the record ids no longer resolve.
+//
+// When nothing is departed, Compact returns s itself and dropped = 0.
+func Compact(s *Snapshot) (*Snapshot, int, error) {
+	if s.Graph == nil || s.Result == nil {
+		return nil, 0, fmt.Errorf("codec: compact: snapshot needs a graph and a result")
+	}
+	g, r := s.Graph, s.Result
+	n := g.N()
+	if len(r.HeadOf) != n {
+		return nil, 0, fmt.Errorf("codec: compact: HeadOf length %d does not match %d nodes", len(r.HeadOf), n)
+	}
+
+	listed := make([]bool, n)
+	for _, h := range r.Heads {
+		listed[h] = true
+	}
+	m := make([]int, n) // old id → new id, -1 = dropped
+	next := 0
+	for v := 0; v < n; v++ {
+		if r.HeadOf[v] != v || listed[v] || g.Degree(v) != 0 {
+			m[v] = next
+			next++
+		} else {
+			m[v] = -1
+		}
+	}
+	dropped := n - next
+	if dropped == 0 {
+		return s, 0, nil
+	}
+
+	g2 := khop.NewGraph(next)
+	for _, e := range g.Edges() {
+		// Dropped slots are edge-less by definition, so every edge maps.
+		g2.AddEdge(m[e[0]], m[e[1]])
+	}
+
+	res := &khop.Result{
+		K:                r.K,
+		Algorithm:        r.Algorithm,
+		IndependentHeads: r.IndependentHeads,
+		// Cost is the historical message budget of the original build;
+		// renumbering does not rewrite history.
+		Cost: r.Cost,
+	}
+	res.Heads = mapSlice(m, r.Heads)
+	res.HeadOf = make([]int, next)
+	res.DistToHead = make([]int, next)
+	for v := 0; v < n; v++ {
+		if m[v] < 0 {
+			continue
+		}
+		// A survivor's head is listed in Heads, hence itself a survivor.
+		res.HeadOf[m[v]] = m[r.HeadOf[v]]
+		res.DistToHead[m[v]] = r.DistToHead[v]
+	}
+	res.NeighborHeads = make(map[int][]int, len(r.NeighborHeads))
+	for h, vals := range r.NeighborHeads {
+		res.NeighborHeads[m[h]] = mapSlice(m, vals)
+	}
+	res.Gateways = mapSlice(m, r.Gateways)
+	res.CDS = mapSlice(m, r.CDS)
+	res.GatewayPaths = make(map[[2]int][]int, len(r.GatewayPaths))
+	for k, path := range r.GatewayPaths {
+		// m is monotonic, so the canonical u < v key orientation holds.
+		res.GatewayPaths[[2]int{m[k[0]], m[k[1]]}] = mapSlice(m, path)
+	}
+
+	// Compose with the table already in force: Orig always speaks the
+	// *original* id space, however many compactions deep we are.
+	base := s.Orig
+	if base == nil {
+		base = make([]int, n)
+		for i := range base {
+			base[i] = i
+		}
+	}
+	orig := make([]int, len(base))
+	for o, c := range base {
+		if c < 0 {
+			orig[o] = -1
+		} else {
+			orig[o] = m[c]
+		}
+	}
+
+	out := &Snapshot{K: s.K, Algorithm: s.Algorithm, Mode: s.Mode, Graph: g2, Result: res, Orig: orig}
+	// Compaction feeds restores and persistent state: a bug here must
+	// not survive to a poison blob, so re-verify before handing it back.
+	if err := khop.VerifyResult(g2, res); err != nil {
+		return nil, 0, fmt.Errorf("%w: compaction broke the invariants: %w", ErrVerify, err)
+	}
+	return out, dropped, nil
+}
+
+func mapSlice(m, s []int) []int {
+	out := make([]int, len(s))
+	for i, v := range s {
+		out[i] = m[v]
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package codec
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/fnv"
+	"reflect"
+	"testing"
+
+	khop "repro"
+)
+
+// TestCompactDropsDepartedSlots pins the core transform: the departed
+// nodes from buildSnapshot's churn batch (5 and 17) vanish, everyone
+// else is renumbered densely, and the compacted snapshot is the same
+// clustering under that renumbering.
+func TestCompactDropsDepartedSlots(t *testing.T) {
+	s, _ := buildSnapshot(t)
+	c, dropped, err := Compact(s)
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2 (nodes 5 and 17 left)", dropped)
+	}
+	if got, want := c.Graph.N(), s.Graph.N()-2; got != want {
+		t.Fatalf("compacted N = %d, want %d", got, want)
+	}
+	if len(c.Orig) != s.Graph.N() {
+		t.Fatalf("Orig length = %d, want the original %d", len(c.Orig), s.Graph.N())
+	}
+	for _, gone := range []int{5, 17} {
+		if c.Orig[gone] != -1 {
+			t.Errorf("Orig[%d] = %d, want -1 (departed)", gone, c.Orig[gone])
+		}
+	}
+	// Dense ascending over the survivors: Orig[o] = o minus the departed
+	// slots before o.
+	shift := 0
+	for o, cur := range c.Orig {
+		if o == 5 || o == 17 {
+			shift++
+			continue
+		}
+		if cur != o-shift {
+			t.Fatalf("Orig[%d] = %d, want %d", o, cur, o-shift)
+		}
+	}
+	// Same clustering under the isomorphism: heads map through the table.
+	wantHeads := make([]int, 0, len(s.Result.Heads))
+	for _, h := range s.Result.Heads {
+		wantHeads = append(wantHeads, c.Orig[h])
+	}
+	if !reflect.DeepEqual(c.Result.Heads, wantHeads) {
+		t.Fatalf("compacted heads %v, want %v", c.Result.Heads, wantHeads)
+	}
+	if c.Result.IndependentHeads != s.Result.IndependentHeads {
+		t.Error("IndependentHeads drifted through compaction")
+	}
+	// Nothing else was alive to drop: compacting again is a no-op that
+	// returns the same snapshot.
+	c2, dropped2, err := Compact(c)
+	if err != nil {
+		t.Fatalf("second Compact: %v", err)
+	}
+	if dropped2 != 0 || c2 != c {
+		t.Fatalf("idempotence: dropped %d, same pointer %v", dropped2, c2 == c)
+	}
+}
+
+// TestCompactRoundTripV2 pins the version-2 byte format: a compacted
+// snapshot encodes as v2, decodes back with its table intact, and the
+// decode→encode cycle is byte-identical (the canonical-form property
+// the fuzz target asserts for v1 extends to v2).
+func TestCompactRoundTripV2(t *testing.T) {
+	s, _ := buildSnapshot(t)
+	c, _, err := Compact(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := encodeBytes(t, c)
+	if raw[8] != VersionCompact {
+		t.Fatalf("version byte = %d, want %d", raw[8], VersionCompact)
+	}
+	got, err := DecodeBytes(raw)
+	if err != nil {
+		t.Fatalf("decode v2: %v", err)
+	}
+	if !reflect.DeepEqual(got.Orig, c.Orig) {
+		t.Fatalf("Orig drifted: got %v, want %v", got.Orig, c.Orig)
+	}
+	if !reflect.DeepEqual(got.Result, c.Result) {
+		t.Fatal("Result drifted through the v2 round trip")
+	}
+	if again := encodeBytes(t, got); !bytes.Equal(again, raw) {
+		t.Fatal("v2 decode → encode is not byte-identical")
+	}
+	// And the v1 path is untouched: the uncompacted snapshot still
+	// carries no table and encodes as version 1.
+	if v1 := encodeBytes(t, s); v1[8] != Version {
+		t.Fatalf("uncompacted snapshot version byte = %d, want %d", v1[8], Version)
+	}
+}
+
+// TestCompactRestoreContinuesChurn proves a compacted snapshot is live
+// state, not an archive: it restores, serves verified queries, and
+// accepts further churn — and a second compaction composes the
+// translation table so Orig still speaks the original id space.
+func TestCompactRestoreContinuesChurn(t *testing.T) {
+	s, _ := buildSnapshot(t)
+	c, _, err := Compact(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Restore()
+	if err != nil {
+		t.Fatalf("restore from compacted snapshot: %v", err)
+	}
+	// Depart one more node (current id 0 = original id 0) and compact
+	// again on top.
+	if _, err := e.Apply(context.Background(), khop.Leave(0)); err != nil {
+		t.Fatalf("Leave after restore: %v", err)
+	}
+	s2, err := FromEngine(e, khop.Centralized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Orig = c.Orig // the server threads the table through snapshots
+	c2, dropped, err := Compact(s2)
+	if err != nil {
+		t.Fatalf("second Compact: %v", err)
+	}
+	if dropped != 1 {
+		t.Fatalf("second compaction dropped %d, want 1", dropped)
+	}
+	if len(c2.Orig) != s.Graph.N() {
+		t.Fatalf("composed Orig length %d, want original %d", len(c2.Orig), s.Graph.N())
+	}
+	for _, gone := range []int{0, 5, 17} {
+		if c2.Orig[gone] != -1 {
+			t.Errorf("composed Orig[%d] = %d, want -1", gone, c2.Orig[gone])
+		}
+	}
+	if err := checkOrig(c2.Orig, c2.Graph.N()); err != nil {
+		t.Fatalf("composed table not canonical: %v", err)
+	}
+}
+
+// TestDecodeRejectsBadTranslationTable reseals hand-broken v2 tables:
+// density violations and out-of-range entries must be ErrFormat even
+// with a valid checksum, and Encode refuses to write them in the first
+// place.
+func TestDecodeRejectsBadTranslationTable(t *testing.T) {
+	s, _ := buildSnapshot(t)
+	c, _, err := Compact(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seal := func(s *Snapshot) []byte {
+		b := appendSnapshot(nil, s)
+		h := fnv.New64a()
+		h.Write(b)
+		return binary.LittleEndian.AppendUint64(b, h.Sum64())
+	}
+	broken := func(mutate func(orig []int)) []byte {
+		bad := *c
+		bad.Orig = append([]int(nil), c.Orig...)
+		mutate(bad.Orig)
+		return seal(&bad)
+	}
+
+	cases := map[string]func(orig []int){
+		"non-dense start":   func(o []int) { o[0], o[1] = o[1], o[0] },
+		"dropped live node": func(o []int) { o[0] = -1 },
+		"out of range":      func(o []int) { o[len(o)-1] = c.Graph.N() },
+	}
+	for name, mutate := range cases {
+		if _, err := DecodeBytes(broken(mutate)); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: decode got %v, want ErrFormat", name, err)
+		}
+	}
+	badEnc := *c
+	badEnc.Orig = append([]int(nil), c.Orig...)
+	badEnc.Orig[0] = -1
+	if err := Encode(&bytes.Buffer{}, &badEnc); err == nil {
+		t.Error("Encode accepted a non-canonical translation table")
+	}
+
+	// A table shorter than the node count cannot be canonical either.
+	short := *c
+	short.Orig = c.Orig[:c.Graph.N()-1]
+	if _, err := DecodeBytes(seal(&short)); !errors.Is(err, ErrFormat) {
+		t.Errorf("short table: decode got %v, want ErrFormat", err)
+	}
+}

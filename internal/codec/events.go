@@ -1,0 +1,143 @@
+// Canonical churn-event encoding: the byte form of one acked events
+// batch, written by the deployment server into its per-deployment WAL
+// and replayed through Engine.Apply on restore. One WAL record holds
+// one batch — batch boundaries matter, because Apply's batched gateway
+// reconciliation makes the result depend on how events are grouped, and
+// replay must regroup them identically to be bitwise-exact.
+//
+// Layout (all varints):
+//
+//	count  uvarint
+//	then per event:
+//	  kind       1 byte (0 = leave, 1 = join, 2 = move)
+//	  node       uvarint
+//	  neighbors  uvarint count, then one uvarint per neighbor
+//	             (absent for leave, which carries no neighbor list)
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	khop "repro"
+)
+
+// EventKind enumerates the three churn event kinds on the wire.
+type EventKind byte
+
+const (
+	EventLeave EventKind = iota
+	EventJoin
+	EventMove
+)
+
+// String returns the kind's API spelling ("leave", "join", "move").
+func (k EventKind) String() string {
+	switch k {
+	case EventLeave:
+		return "leave"
+	case EventJoin:
+		return "join"
+	case EventMove:
+		return "move"
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// ParseEventKind maps the API spelling back to the wire kind.
+func ParseEventKind(s string) (EventKind, error) {
+	switch s {
+	case "leave":
+		return EventLeave, nil
+	case "join":
+		return EventJoin, nil
+	case "move":
+		return EventMove, nil
+	}
+	return 0, fmt.Errorf("%w: unknown event kind %q (want leave, join, or move)", ErrFormat, s)
+}
+
+// Event is one churn event in wire form. Neighbors is meaningful for
+// join and move only.
+type Event struct {
+	Kind      EventKind
+	Node      int
+	Neighbors []int
+}
+
+// Khop converts the wire event to the engine's event type.
+func (e Event) Khop() (khop.Event, error) {
+	switch e.Kind {
+	case EventLeave:
+		return khop.Leave(e.Node), nil
+	case EventJoin:
+		return khop.Join(e.Node, e.Neighbors...), nil
+	case EventMove:
+		return khop.Move(e.Node, e.Neighbors...), nil
+	}
+	return khop.Event{}, fmt.Errorf("%w: unknown event kind %d", ErrFormat, int(e.Kind))
+}
+
+// AppendEvents appends the canonical encoding of one batch to b.
+func AppendEvents(b []byte, events []Event) []byte {
+	b = binary.AppendUvarint(b, uint64(len(events)))
+	for _, e := range events {
+		b = append(b, byte(e.Kind))
+		b = binary.AppendUvarint(b, uint64(e.Node))
+		if e.Kind != EventLeave {
+			b = binary.AppendUvarint(b, uint64(len(e.Neighbors)))
+			for _, v := range e.Neighbors {
+				b = binary.AppendUvarint(b, uint64(v))
+			}
+		}
+	}
+	return b
+}
+
+// DecodeEvents decodes one batch, rejecting unknown kinds, truncation,
+// and trailing bytes (ErrFormat). Node ids are not range-checked here —
+// the WAL record does not know its deployment's size; Engine.Apply
+// rejects out-of-range ids at replay time.
+func DecodeEvents(b []byte) ([]Event, error) {
+	d := &decoder{b: b}
+	count := d.uint("event count")
+	if d.err == nil && count > len(d.b) {
+		// Every event costs at least two payload bytes; same forged-count
+		// guard as the snapshot decoders.
+		return nil, fmt.Errorf("%w: event count %d impossible for a %d-byte batch", ErrFormat, count, len(d.b))
+	}
+	events := make([]Event, 0, count)
+	for i := 0; i < count && d.err == nil; i++ {
+		kb := d.bytes(1, "event kind")
+		if d.err != nil {
+			break
+		}
+		e := Event{Kind: EventKind(kb[0])}
+		if e.Kind > EventMove {
+			return nil, fmt.Errorf("%w: event %d has unknown kind byte %d", ErrFormat, i, kb[0])
+		}
+		e.Node = d.uint("event node")
+		if e.Kind != EventLeave {
+			nn := d.uint("event neighbor count")
+			if d.err == nil && nn > len(d.b) {
+				return nil, fmt.Errorf("%w: event %d claims %d neighbors with %d bytes left", ErrFormat, i, nn, len(d.b))
+			}
+			if d.err == nil && nn > 0 {
+				e.Neighbors = make([]int, 0, nn)
+				for j := 0; j < nn && d.err == nil; j++ {
+					e.Neighbors = append(e.Neighbors, d.uint("event neighbor"))
+				}
+			}
+		}
+		if d.err == nil {
+			events = append(events, e)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after the event batch", ErrFormat, len(d.b))
+	}
+	return events, nil
+}

@@ -1,0 +1,80 @@
+package codec
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	khop "repro"
+)
+
+func TestEventsRoundTrip(t *testing.T) {
+	batch := []Event{
+		{Kind: EventLeave, Node: 5},
+		{Kind: EventJoin, Node: 5, Neighbors: []int{1, 2, 9}},
+		{Kind: EventMove, Node: 9, Neighbors: []int{21, 22}},
+		{Kind: EventJoin, Node: 3}, // joins with no neighbors are legal
+	}
+	got, err := DecodeEvents(AppendEvents(nil, batch))
+	if err != nil {
+		t.Fatalf("DecodeEvents: %v", err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(batch))
+	}
+	for i := range batch {
+		if got[i].Kind != batch[i].Kind || got[i].Node != batch[i].Node ||
+			!reflect.DeepEqual(append([]int{}, got[i].Neighbors...), append([]int{}, batch[i].Neighbors...)) {
+			t.Fatalf("event %d drifted: got %+v, want %+v", i, got[i], batch[i])
+		}
+	}
+
+	// The conversion to engine events matches the constructors the HTTP
+	// handler uses, so replay regroups identically.
+	want := []khop.Event{khop.Leave(5), khop.Join(5, 1, 2, 9), khop.Move(9, 21, 22), khop.Join(3)}
+	for i, e := range got {
+		ke, err := e.Khop()
+		if err != nil {
+			t.Fatalf("event %d Khop: %v", i, err)
+		}
+		if !reflect.DeepEqual(ke, want[i]) {
+			t.Fatalf("event %d converts to %+v, want %+v", i, ke, want[i])
+		}
+	}
+
+	// Empty batches round-trip too (a batch that 422'd at index 0 still
+	// needs no record, but the encoding must not choke on zero).
+	empty, err := DecodeEvents(AppendEvents(nil, nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: %v, %d events", err, len(empty))
+	}
+}
+
+func TestDecodeEventsRejectsDamage(t *testing.T) {
+	valid := AppendEvents(nil, []Event{{Kind: EventJoin, Node: 1, Neighbors: []int{2}}})
+	cases := map[string][]byte{
+		"trailing bytes":      append(append([]byte{}, valid...), 0xEE),
+		"truncated":           valid[:len(valid)-1],
+		"unknown kind":        {1, 3, 7},          // count 1, kind 3
+		"forged event count":  {0xFF, 0xFF, 0x01}, // count ≫ payload
+		"forged nbr count":    {1, 1, 4, 0xFF, 0xFF, 0x01},
+		"empty with trailing": {0, 9},
+	}
+	for name, b := range cases {
+		if _, err := DecodeEvents(b); !errors.Is(err, ErrFormat) {
+			t.Errorf("%s: got %v, want ErrFormat", name, err)
+		}
+	}
+}
+
+func TestEventKindSpelling(t *testing.T) {
+	for _, k := range []EventKind{EventLeave, EventJoin, EventMove} {
+		back, err := ParseEventKind(k.String())
+		if err != nil || back != k {
+			t.Errorf("ParseEventKind(%q) = %v, %v", k.String(), back, err)
+		}
+	}
+	if _, err := ParseEventKind("teleport"); !errors.Is(err, ErrFormat) {
+		t.Errorf("ParseEventKind(teleport): %v, want ErrFormat", err)
+	}
+}

@@ -4,9 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/csv"
-	"encoding/json"
 	"fmt"
-	"io"
 	"log"
 	"math/rand"
 	"net/http"
@@ -17,6 +15,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/api"
+	"repro/client"
 	"repro/internal/telemetry"
 )
 
@@ -133,9 +133,9 @@ func Run(ctx context.Context, opt Options) (*Summary, error) {
 	if id == "" {
 		id = "khopload"
 	}
-	client := opt.Client
-	if client == nil {
-		client = &http.Client{
+	httpClient := opt.Client
+	if httpClient == nil {
+		httpClient = &http.Client{
 			Timeout: 30 * time.Second,
 			Transport: &http.Transport{
 				MaxIdleConns:        p.Concurrency + 8,
@@ -143,15 +143,16 @@ func Run(ctx context.Context, opt Options) (*Summary, error) {
 			},
 		}
 	}
+	c := client.New(opt.BaseURL, client.WithHTTPClient(httpClient))
 
-	if err := waitReady(ctx, client, opt.BaseURL); err != nil {
+	if err := waitReady(ctx, c); err != nil {
 		return nil, err
 	}
-	if err := provision(ctx, client, opt.BaseURL, id, p); err != nil {
+	if err := provision(ctx, c, id, p); err != nil {
 		return nil, err
 	}
 	if !opt.Keep {
-		defer deleteDeployment(client, opt.BaseURL, id)
+		defer c.Delete(context.Background(), id)
 	}
 	burst := ""
 	if p.BurstEvery > 0 && p.BurstFactor > 1 {
@@ -160,7 +161,7 @@ func Run(ctx context.Context, opt Options) (*Summary, error) {
 	opt.logf("profile %s against %s: %v of %g route QPS%s, %g churn events/s, %d workers",
 		p.Name, opt.BaseURL, p.Duration, p.RouteQPS, burst, p.ChurnEventsPerSec, p.Concurrency)
 
-	baseScrape, err := scrapeMetrics(ctx, client, opt.BaseURL)
+	baseScrape, err := scrapeMetrics(ctx, c)
 	if err != nil {
 		return nil, fmt.Errorf("loadharness: initial scrape: %w", err)
 	}
@@ -213,7 +214,7 @@ func Run(ctx context.Context, opt Options) (*Summary, error) {
 		}
 	}()
 
-	// Readers: token-paced, response-bounded.
+	// Readers: token-paced over the typed client.
 	for w := 0; w < p.Concurrency; w++ {
 		wg.Add(1)
 		go func(seed int64) {
@@ -225,17 +226,19 @@ func Run(ctx context.Context, opt Options) (*Summary, error) {
 					return
 				case <-tokens:
 				}
-				var url string
-				rec := route
 				if rng.Float64() < p.BroadcastFraction {
-					rec = broadcast
-					url = fmt.Sprintf("%s/deployments/%s/broadcast?src=%d", opt.BaseURL, id, rng.Intn(stable))
+					timed(runCtx, broadcast, func() error {
+						_, err := c.Broadcast(runCtx, id, rng.Intn(stable))
+						return err
+					})
 				} else {
 					src := rng.Intn(stable)
 					dst := (src + 1 + rng.Intn(stable-1)) % stable
-					url = fmt.Sprintf("%s/deployments/%s/route?src=%d&dst=%d", opt.BaseURL, id, src, dst)
+					timed(runCtx, route, func() error {
+						_, err := c.Route(runCtx, id, src, dst)
+						return err
+					})
 				}
-				doTimed(runCtx, client, "GET", url, nil, rec)
 			}
 		}(int64(w) + 1)
 	}
@@ -256,21 +259,18 @@ func Run(ctx context.Context, opt Options) (*Summary, error) {
 					return
 				case <-tick.C:
 				}
-				type ev struct {
-					Kind      string `json:"kind"`
-					Node      int    `json:"node"`
-					Neighbors []int  `json:"neighbors,omitempty"`
-				}
-				events := make([]ev, 0, 2*pairs)
+				events := make([]api.EventRequest, 0, 2*pairs)
 				for i := 0; i < pairs; i++ {
 					node := p.N - 1 - i
 					events = append(events,
-						ev{Kind: "leave", Node: node},
-						ev{Kind: "join", Node: node, Neighbors: []int{i, i + 1}},
+						api.EventRequest{Kind: "leave", Node: node},
+						api.EventRequest{Kind: "join", Node: node, Neighbors: []int{i, i + 1}},
 					)
 				}
-				body, _ := json.Marshal(map[string]any{"events": events})
-				doTimed(runCtx, client, "POST", opt.BaseURL+"/deployments/"+id+"/events", body, churn)
+				timed(runCtx, churn, func() error {
+					_, err := c.Events(runCtx, id, events)
+					return err
+				})
 			}
 		}()
 	}
@@ -291,7 +291,7 @@ func Run(ctx context.Context, opt Options) (*Summary, error) {
 					return
 				case <-tick.C:
 				}
-				sc, err := scrapeMetrics(runCtx, client, opt.BaseURL)
+				sc, err := scrapeMetrics(runCtx, c)
 				if err != nil {
 					if runCtx.Err() == nil {
 						opt.logf("poll: %v", err)
@@ -316,7 +316,7 @@ func Run(ctx context.Context, opt Options) (*Summary, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	finalScrape, err := scrapeMetrics(context.Background(), client, opt.BaseURL)
+	finalScrape, err := scrapeMetrics(context.Background(), c)
 	if err != nil {
 		return nil, fmt.Errorf("loadharness: final scrape: %w", err)
 	}
@@ -353,33 +353,18 @@ func Run(ctx context.Context, opt Options) (*Summary, error) {
 	return sum, nil
 }
 
-// doTimed issues one request and records it into rec. Cancellation of
+// timed runs one client call and records it into rec. Cancellation of
 // the run deadline mid-flight is not an error — the op just doesn't
 // count.
-func doTimed(ctx context.Context, client *http.Client, method, url string, body []byte, rec *opRecorder) {
-	var rd io.Reader
-	if body != nil {
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, url, rd)
-	if err != nil {
-		rec.record(0, false)
-		return
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
+func timed(ctx context.Context, rec *opRecorder, f func() error) {
 	t0 := time.Now()
-	resp, err := client.Do(req)
-	if err != nil {
+	if err := f(); err != nil {
 		if ctx.Err() == nil {
 			rec.record(0, false)
 		}
 		return
 	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	rec.record(time.Since(t0), resp.StatusCode == http.StatusOK)
+	rec.record(time.Since(t0), true)
 }
 
 func samplesHeader() []string {
@@ -425,86 +410,43 @@ func writeOutputs(dir string, rows [][]string, sum *Summary) error {
 	return os.WriteFile(filepath.Join(dir, "summary.json"), jsonBuf.Bytes(), 0o644)
 }
 
-// waitReady polls /healthz until the server reports ok (or ~10s pass):
-// readiness is asserted through the same machine-readable health
-// report operators get.
-func waitReady(ctx context.Context, client *http.Client, baseURL string) error {
+// waitReady polls the health endpoint until the server reports ok (or
+// ~10s pass): readiness is asserted through the same machine-readable
+// health report operators get.
+func waitReady(ctx context.Context, c *client.Client) error {
 	var lastErr error
 	for i := 0; i < 100; i++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		lastErr = func() error {
-			resp, err := client.Get(baseURL + "/healthz")
-			if err != nil {
-				return err
-			}
-			defer resp.Body.Close()
-			var h struct {
-				Status string `json:"status"`
-			}
-			if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-				return fmt.Errorf("decoding /healthz: %w", err)
-			}
-			if h.Status != "ok" {
-				return fmt.Errorf("/healthz status %q", h.Status)
-			}
-			return nil
-		}()
-		if lastErr == nil {
+		h, err := c.Health(ctx)
+		if err == nil && h.Status == "ok" {
 			return nil
 		}
+		if err == nil {
+			err = fmt.Errorf("healthz status %q", h.Status)
+		}
+		lastErr = err
 		time.Sleep(100 * time.Millisecond)
 	}
-	return fmt.Errorf("loadharness: khopd at %s never became ready: %w", baseURL, lastErr)
+	return fmt.Errorf("loadharness: khopd at %s never became ready: %w", c.BaseURL(), lastErr)
 }
 
 // provision (re)creates the deployment under test.
-func provision(ctx context.Context, client *http.Client, baseURL, id string, p Profile) error {
-	deleteDeployment(client, baseURL, id)
-	body, _ := json.Marshal(map[string]any{
-		"id": id, "n": p.N, "avg_degree": p.AvgDegree, "seed": p.Seed, "k": p.K,
-	})
-	req, err := http.NewRequestWithContext(ctx, "POST", baseURL+"/deployments", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
+func provision(ctx context.Context, c *client.Client, id string, p Profile) error {
+	c.Delete(ctx, id)
+	if _, err := c.Create(ctx, api.CreateRequest{
+		ID: id, N: p.N, AvgDegree: p.AvgDegree, Seed: p.Seed, K: p.K,
+	}); err != nil {
 		return fmt.Errorf("loadharness: creating deployment %q: %w", id, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("loadharness: creating deployment %q: status %d: %s", id, resp.StatusCode, raw)
 	}
 	return nil
 }
 
-func deleteDeployment(client *http.Client, baseURL, id string) {
-	req, err := http.NewRequest("DELETE", baseURL+"/deployments/"+id, nil)
-	if err != nil {
-		return
-	}
-	if resp, err := client.Do(req); err == nil {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-	}
-}
-
-func scrapeMetrics(ctx context.Context, client *http.Client, baseURL string) (*telemetry.Scrape, error) {
-	req, err := http.NewRequestWithContext(ctx, "GET", baseURL+"/metrics", nil)
+func scrapeMetrics(ctx context.Context, c *client.Client) (*telemetry.Scrape, error) {
+	raw, err := c.Metrics(ctx)
 	if err != nil {
 		return nil, err
 	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("/metrics: status %d", resp.StatusCode)
-	}
-	return telemetry.ParseText(resp.Body)
+	return telemetry.ParseText(bytes.NewReader(raw))
 }

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 )
 
 // BenchmarkServerMixedLoad is the in-process load generator the tentpole
@@ -23,11 +24,31 @@ import (
 // telemetry.Histogram, so the tail under write-lock contention is
 // visible, not just the mean.
 func BenchmarkServerMixedLoad(b *testing.B) {
+	benchMixedLoad(b, Config{})
+}
+
+// BenchmarkServerMixedLoadWALInterval is the durable variant: every
+// churn batch is WAL-appended before its ack with the interval fsync
+// policy (the recommended production setting). The acceptance bar is
+// routed-query throughput within 10% of BenchmarkServerMixedLoad —
+// appends are buffered writes off the read path, so the cost lands on
+// the churn writer, not the readers.
+func BenchmarkServerMixedLoadWALInterval(b *testing.B) {
+	benchMixedLoad(b, Config{StateDir: b.TempDir(), WALSync: wal.SyncInterval})
+}
+
+// BenchmarkServerMixedLoadWALAlways prices the strict policy: one
+// fsync per acked churn batch.
+func BenchmarkServerMixedLoadWALAlways(b *testing.B) {
+	benchMixedLoad(b, Config{StateDir: b.TempDir(), WALSync: wal.SyncAlways})
+}
+
+func benchMixedLoad(b *testing.B, cfg Config) {
 	const (
 		n         = 300
 		batchSize = 8
 	)
-	srv := New(Config{})
+	srv := New(cfg)
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 

@@ -20,7 +20,7 @@ import (
 
 // Version identifies the khopd build in /healthz; bumped alongside the
 // API surface.
-const Version = "0.6.0"
+const Version = "0.7.0"
 
 // serverMetrics is the process-global side of the exposition.
 type serverMetrics struct {
@@ -32,6 +32,11 @@ type serverMetrics struct {
 	decodeSecs  *telemetry.Histogram
 	decodeBytes *telemetry.Counter
 	httpByClass [6]*telemetry.Counter // index = status/100 (1xx..5xx; 0 unused)
+
+	replaySecs    *telemetry.Histogram
+	replayRecords *telemetry.Counter
+	replayEvents  *telemetry.Counter
+	deprecated    *telemetry.Counter
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -43,6 +48,11 @@ func newServerMetrics(s *Server) *serverMetrics {
 		restores:    set.Counter("khopd_restores_total", "Deployments restored from snapshots (POST snapshot + LoadDir)."),
 		decodeSecs:  set.Histogram("khopd_snapshot_decode_seconds", "Snapshot decode+verify duration on restore."),
 		decodeBytes: set.Counter("khopd_snapshot_decode_bytes_total", "Snapshot bytes decoded on restore."),
+
+		replaySecs:    set.Histogram("khopd_wal_replay_seconds", "WAL replay duration per deployment at startup."),
+		replayRecords: set.Counter("khopd_wal_replay_records_total", "WAL records (acked batches) replayed at startup."),
+		replayEvents:  set.Counter("khopd_wal_replay_events_total", "Churn events replayed from WALs at startup."),
+		deprecated:    set.Counter("khopd_deprecated_path_total", "Requests served on deprecated bare (un-versioned) paths."),
 	}
 	for c := 1; c <= 5; c++ {
 		m.httpByClass[c] = set.Counter(
@@ -72,7 +82,7 @@ type opMetrics struct {
 type depMetrics struct {
 	set *telemetry.Set
 
-	route, broadcast, cds, snapshot opMetrics
+	route, broadcast, cds, snapshot, restore, compact opMetrics
 
 	eventsApplied *telemetry.Counter
 	eventBatches  *telemetry.Counter
@@ -80,6 +90,12 @@ type depMetrics struct {
 	applySecs     *telemetry.Histogram
 	gatewayRuns   *telemetry.Counter
 	gatewaySaved  *telemetry.Counter
+
+	walAppends     *telemetry.Counter
+	walBytes       *telemetry.Counter
+	walFsyncSecs   *telemetry.Histogram
+	compactions    *telemetry.Counter
+	compactedNodes *telemetry.Counter
 
 	encodeSecs  *telemetry.Histogram
 	encodeBytes *telemetry.Counter
@@ -103,6 +119,8 @@ func newDepMetrics() *depMetrics {
 		broadcast: op("broadcast", "Broadcast query"),
 		cds:       op("cds", "CDS structure"),
 		snapshot:  op("snapshot", "Snapshot read"),
+		restore:   op("restore", "Snapshot restore"),
+		compact:   op("compact", "Compaction"),
 
 		eventsApplied: set.Counter("khopd_events_applied_total", "Churn events applied."),
 		eventBatches:  set.Counter("khopd_event_batches_total", "Churn batches applied (fully or partially)."),
@@ -110,6 +128,12 @@ func newDepMetrics() *depMetrics {
 		applySecs:     set.Histogram("khopd_apply_seconds", "Engine.Apply latency per churn batch (write-lock section)."),
 		gatewayRuns:   set.Counter("khopd_gateway_runs_total", "Gateway selection runs across churn batches."),
 		gatewaySaved:  set.Counter("khopd_gateway_saved_total", "Per-event gateway runs avoided by batch coalescing."),
+
+		walAppends:     set.Counter("khopd_wal_appends_total", "Acked churn batches appended to the deployment WAL."),
+		walBytes:       set.Counter("khopd_wal_bytes_total", "Bytes appended to the deployment WAL (frame included)."),
+		walFsyncSecs:   set.Histogram("khopd_wal_fsync_seconds", "WAL fsync latency on appends that synced."),
+		compactions:    set.Counter("khopd_compactions_total", "Snapshot compactions (explicit and auto-triggered)."),
+		compactedNodes: set.Counter("khopd_compacted_nodes_total", "Departed slots removed by compactions."),
 
 		encodeSecs:  set.Histogram("khopd_snapshot_encode_seconds", "Snapshot encode duration."),
 		encodeBytes: set.Counter("khopd_snapshot_encode_bytes_total", "Snapshot bytes encoded."),

@@ -1,23 +1,30 @@
 // Package server is the khopd deployment server: a long-running HTTP/JSON
 // facade over many named khop deployments, each an Engine plus its
 // application structures (hierarchical router, CDS broadcast plan), with
-// snapshot persistence through internal/codec.
+// durable state through internal/codec snapshots and a per-deployment
+// write-ahead log (internal/wal).
 //
-// API (all bodies JSON unless noted):
+// API (versioned under /v1; all bodies JSON unless noted):
 //
-//	POST   /deployments                  build a deployment (random network or explicit edges)
-//	GET    /deployments                  list deployment summaries
-//	GET    /deployments/{id}             one deployment's summary
-//	DELETE /deployments/{id}             drop a deployment
-//	POST   /deployments/{id}/events      apply a churn batch (Join/Leave/Move) through Engine.Apply
-//	GET    /deployments/{id}/route       ?src=&dst= — hierarchical route
-//	GET    /deployments/{id}/broadcast   ?src= — simulate a CDS-confined broadcast
-//	GET    /deployments/{id}/cds         the current structure (heads, gateways, CDS)
-//	GET    /deployments/{id}/snapshot    the deployment as a .khop blob (application/octet-stream)
-//	POST   /deployments/{id}/snapshot    restore a deployment from a .khop blob
-//	GET    /deployments/{id}/metrics     one deployment's Prometheus exposition
-//	GET    /metrics                      Prometheus exposition (global + per-deployment series)
-//	GET    /healthz                      readiness: version, uptime, per-deployment counts (JSON)
+//	POST   /v1/deployments                  build a deployment (random network or explicit edges)
+//	GET    /v1/deployments                  list deployment summaries
+//	GET    /v1/deployments/{id}             one deployment's summary
+//	DELETE /v1/deployments/{id}             drop a deployment (and its persisted state)
+//	POST   /v1/deployments/{id}/events      apply a churn batch (Join/Leave/Move) through Engine.Apply
+//	GET    /v1/deployments/{id}/route       ?src=&dst= — hierarchical route
+//	GET    /v1/deployments/{id}/broadcast   ?src= — simulate a CDS-confined broadcast
+//	GET    /v1/deployments/{id}/cds         the current structure (heads, gateways, CDS)
+//	GET    /v1/deployments/{id}/snapshot    the deployment as a .khop blob (application/octet-stream)
+//	POST   /v1/deployments/{id}/snapshot    restore a deployment from a .khop blob
+//	POST   /v1/deployments/{id}/compact     renumber away departed slots; checkpoint the WAL
+//	GET    /v1/deployments/{id}/metrics     one deployment's Prometheus exposition
+//	GET    /v1/metrics                      Prometheus exposition (global + per-deployment series)
+//	GET    /v1/healthz                      readiness: version, uptime, per-deployment counts (JSON)
+//
+// Every route is also served on its bare (un-prefixed) path as a
+// deprecated alias: same handler, plus a Deprecation header, a Link to
+// the /v1 successor, and a khopd_deprecated_path_total count. The wire
+// shapes live in the repro/api package, shared with the typed client.
 //
 // Concurrency: the deployment map takes a server-level RWMutex; each
 // deployment has its own RWMutex so reads — route and broadcast queries,
@@ -25,7 +32,9 @@
 // other while churn batches (and restores) serialize behind a write
 // lock. A snapshot taken under the read lock is therefore always a
 // consistent (graph, result) pair, even under concurrent churn on other
-// deployments.
+// deployments. The WAL append for an acked batch happens inside the
+// same write-lock section as the Apply, so the log order is the apply
+// order; see durable.go for the durability contract.
 package server
 
 import (
@@ -36,8 +45,6 @@ import (
 	"io"
 	"log"
 	"net/http"
-	"os"
-	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
@@ -46,7 +53,9 @@ import (
 	"time"
 
 	khop "repro"
+	"repro/api"
 	"repro/internal/codec"
+	"repro/internal/wal"
 )
 
 // maxBodyBytes bounds request bodies (event batches, snapshots). A
@@ -57,6 +66,10 @@ const maxBodyBytes = 64 << 20
 // double as snapshot filenames in the state directory.
 var idPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
 
+// deprecationDate is the RFC 9745 Deprecation value stamped on bare
+// (un-versioned) paths: the instant the /v1 prefix became the API.
+const deprecationDate = "@1767225600" // 2026-01-01T00:00:00Z
+
 // Config configures a Server.
 type Config struct {
 	// Parallel is the worker count for deployment builds
@@ -64,12 +77,28 @@ type Config struct {
 	Parallel int
 	// Log receives one line per mutating request; nil discards.
 	Log *log.Logger
+
+	// StateDir roots the server's durable state: each deployment keeps a
+	// base snapshot at <StateDir>/<id>.khop and a write-ahead log of
+	// acked churn batches under <StateDir>/wal/<id>/. Empty disables
+	// durability (in-memory only).
+	StateDir string
+	// WALSync is the fsync policy for WAL appends (wal.SyncAlways,
+	// wal.SyncInterval, wal.SyncNever). The zero value is SyncAlways.
+	WALSync wal.SyncPolicy
+	// WALSyncEvery is the SyncInterval window; 0 means wal's default.
+	WALSyncEvery time.Duration
+	// CompactAfter auto-compacts a deployment once this many events have
+	// applied since its last checkpoint (folding the WAL into a fresh v2
+	// base snapshot and renumbering away departed slots). 0 disables
+	// auto-compaction; POST .../compact always works.
+	CompactAfter int
 }
 
-// Server manages named deployments. Create one with New, mount
-// Handler on an http.Server, and stop accepting traffic with the
-// http.Server's own graceful Shutdown; SaveDir then persists every
-// deployment for the next process.
+// Server manages named deployments. Create one with New, Load any
+// persisted state, mount Handler on an http.Server, and stop accepting
+// traffic with the http.Server's own graceful Shutdown; Save then
+// checkpoints every deployment for the next process.
 type Server struct {
 	cfg Config
 	tel *serverMetrics
@@ -106,6 +135,17 @@ type deployment struct {
 	// report it instead of panicking on a nil router.
 	appErr pairError
 	events int
+
+	// wal is the deployment's event log; nil when the server is not
+	// durable (or the log degraded after a disk failure — see
+	// durable.go).
+	wal *wal.Log
+	// orig is the compaction translation table (original id → current
+	// id, -1 = departed); nil until the first compaction drops a slot.
+	orig []int
+	// sinceCheckpoint counts events applied since the last checkpoint,
+	// driving Config.CompactAfter.
+	sinceCheckpoint int
 }
 
 // pairError carries the independent router/plan construction errors.
@@ -122,31 +162,24 @@ func (d *deployment) refresh() {
 	d.plan, d.appErr.plan = khop.NewBroadcastPlan(cur, d.res)
 }
 
-// Summary is the JSON shape describing one deployment.
-type Summary struct {
-	ID               string `json:"id"`
-	N                int    `json:"n"`
-	K                int    `json:"k"`
-	Algorithm        string `json:"algorithm"`
-	Heads            int    `json:"heads"`
-	Gateways         int    `json:"gateways"`
-	CDSSize          int    `json:"cds_size"`
-	IndependentHeads bool   `json:"independent_heads"`
-	EventsApplied    int    `json:"events_applied"`
-	// Cost is the distributed protocol's message budget (rounds,
-	// transmissions, deliveries); present only for deployments whose
-	// engine ran in Distributed/MaxMin mode (typically restored
-	// snapshots), so operators see what their topology costs on the
-	// wire.
-	Cost *CostSummary `json:"cost,omitempty"`
-}
-
-// CostSummary mirrors khop.Cost for the wire.
-type CostSummary struct {
-	Rounds        int `json:"rounds"`
-	Transmissions int `json:"transmissions"`
-	Deliveries    int `json:"deliveries"`
-}
+// The wire shapes are shared with the typed client via repro/api; the
+// aliases keep this package's call sites short.
+type (
+	// Summary is the JSON shape describing one deployment.
+	Summary = api.Summary
+	// CostSummary mirrors khop.Cost for the wire.
+	CostSummary = api.CostSummary
+	// CreateRequest is the body of POST /v1/deployments.
+	CreateRequest = api.CreateRequest
+	// EventRequest is one churn event in a POST .../events batch.
+	EventRequest = api.EventRequest
+	// ReportResponse mirrors khop.RepairReport for the wire.
+	ReportResponse = api.ReportResponse
+	// Health is the GET /v1/healthz response.
+	Health = api.Health
+	// HealthDeployment is one deployment's slice of the health report.
+	HealthDeployment = api.HealthDeployment
+)
 
 // summaryLocked builds the Summary; callers hold d.mu (either mode).
 func (d *deployment) summaryLocked() Summary {
@@ -161,6 +194,9 @@ func (d *deployment) summaryLocked() Summary {
 		IndependentHeads: d.res.IndependentHeads,
 		EventsApplied:    d.events,
 	}
+	if d.orig != nil {
+		sum.OrigN = len(d.orig)
+	}
 	if c := d.res.Cost; c != nil {
 		sum.Cost = &CostSummary{
 			Rounds:        c.Rounds,
@@ -171,40 +207,48 @@ func (d *deployment) summaryLocked() Summary {
 	return sum
 }
 
-// Handler returns the server's HTTP API.
+// Handler returns the server's HTTP API: every route under /v1, plus a
+// deprecated alias on the bare path.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("POST /deployments", s.handleCreate)
-	mux.HandleFunc("GET /deployments", s.handleList)
-	mux.HandleFunc("GET /deployments/{id}", s.withDep(s.handleSummary))
-	mux.HandleFunc("DELETE /deployments/{id}", s.handleDelete)
-	mux.HandleFunc("POST /deployments/{id}/events", s.withDep(s.handleEvents))
-	mux.HandleFunc("GET /deployments/{id}/route", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.route }, s.handleRoute)))
-	mux.HandleFunc("GET /deployments/{id}/broadcast", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.broadcast }, s.handleBroadcast)))
-	mux.HandleFunc("GET /deployments/{id}/cds", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.cds }, s.handleCDS)))
-	mux.HandleFunc("GET /deployments/{id}/snapshot", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.snapshot }, s.handleSnapshotGet)))
-	mux.HandleFunc("POST /deployments/{id}/snapshot", s.handleSnapshotPost)
-	mux.HandleFunc("GET /deployments/{id}/metrics", s.withDep(s.handleDepMetrics))
+	routes := []struct {
+		pattern string
+		h       http.HandlerFunc
+	}{
+		{"GET /healthz", s.handleHealthz},
+		{"GET /metrics", s.handleMetrics},
+		{"POST /deployments", s.handleCreate},
+		{"GET /deployments", s.handleList},
+		{"GET /deployments/{id}", s.withDep(s.handleSummary)},
+		{"DELETE /deployments/{id}", s.handleDelete},
+		{"POST /deployments/{id}/events", s.withDep(s.handleEvents)},
+		{"GET /deployments/{id}/route", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.route }, s.handleRoute))},
+		{"GET /deployments/{id}/broadcast", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.broadcast }, s.handleBroadcast))},
+		{"GET /deployments/{id}/cds", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.cds }, s.handleCDS))},
+		{"GET /deployments/{id}/snapshot", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.snapshot }, s.handleSnapshotGet))},
+		{"POST /deployments/{id}/snapshot", s.handleSnapshotPost},
+		{"POST /deployments/{id}/compact", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.compact }, s.handleCompact))},
+		{"GET /deployments/{id}/metrics", s.withDep(s.handleDepMetrics)},
+	}
+	for _, rt := range routes {
+		method, path, _ := strings.Cut(rt.pattern, " ")
+		mux.HandleFunc(method+" /v1"+path, rt.h)
+		mux.HandleFunc(rt.pattern, s.deprecatedAlias(rt.h))
+	}
 	return s.withHTTPMetrics(mux)
 }
 
-// HealthDeployment is one deployment's slice of the health report.
-type HealthDeployment struct {
-	Nodes         int `json:"nodes"`
-	Heads         int `json:"heads"`
-	EventsApplied int `json:"events_applied"`
-}
-
-// Health is the GET /healthz response: enough for a load harness (or
-// an orchestrator) to assert readiness and size before offering load.
-type Health struct {
-	Status        string                      `json:"status"`
-	Version       string                      `json:"version"`
-	UptimeSeconds float64                     `json:"uptime_seconds"`
-	Deployments   int                         `json:"deployments"`
-	Stats         map[string]HealthDeployment `json:"deployment_stats"`
+// deprecatedAlias serves a bare-path request with the same handler but
+// marks the response deprecated (RFC 9745 Deprecation header plus a
+// successor-version Link) and counts it, so operators can find clients
+// still off /v1 before the aliases are removed.
+func (s *Server) deprecatedAlias(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", deprecationDate)
+		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=%q", r.URL.Path, "successor-version"))
+		s.tel.deprecated.Inc()
+		h(w, r)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -249,7 +293,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+	writeJSON(w, status, api.ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
 // withDep resolves {id} and hands the deployment to h, or 404s.
@@ -267,20 +311,21 @@ func (s *Server) withDep(h func(http.ResponseWriter, *http.Request, *deployment)
 	}
 }
 
-// CreateRequest is the body of POST /deployments: either a random
-// unit-disk deployment (N plus AvgDegree/Seed, the paper's evaluation
-// setup) or an explicit edge list over N vertices.
-type CreateRequest struct {
-	ID        string   `json:"id"`
-	N         int      `json:"n"`
-	AvgDegree float64  `json:"avg_degree"` // default 6; ignored with Edges
-	Seed      int64    `json:"seed"`       // ignored with Edges
-	Edges     [][2]int `json:"edges"`      // explicit topology; nil = random
-	K         int      `json:"k"`          // default 1
-	Algorithm string   `json:"algorithm"`  // default "AC-LMST"
-	// AllowDisconnected skips the random generator's connectivity
-	// filter (recommended beyond ~10⁴ nodes).
-	AllowDisconnected bool `json:"allow_disconnected"`
+// register inserts d into the deployment map, failing on a duplicate id.
+func (s *Server) register(d *deployment) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.deps[d.id]; exists {
+		return fmt.Errorf("%w: %q", errExists, d.id)
+	}
+	s.deps[d.id] = d
+	return nil
+}
+
+func (s *Server) unregister(id string) {
+	s.mu.Lock()
+	delete(s.deps, id)
+	s.mu.Unlock()
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -309,8 +354,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	if k == 0 {
 		k = 1
 	}
-	// Cheap duplicate check before paying for the build; the insert
-	// below re-checks under the same lock for the create/create race.
+	// Cheap duplicate check before paying for the build; register below
+	// re-checks under the map lock for the create/create race.
 	s.mu.RLock()
 	_, exists := s.deps[req.ID]
 	s.mu.RUnlock()
@@ -356,21 +401,38 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	d := &deployment{id: req.ID, mode: khop.Centralized, met: newDepMetrics(), eng: eng}
 	d.refresh()
 
-	s.mu.Lock()
-	if _, exists := s.deps[req.ID]; exists {
-		s.mu.Unlock()
+	// Encode the base snapshot before d is shared: no lock is held, so
+	// the encode cost never serializes readers.
+	var raw []byte
+	if s.durable() {
+		if raw, err = d.snapshotLocked(); err != nil {
+			writeError(w, http.StatusInternalServerError, "encoding base snapshot: %v", err)
+			return
+		}
+	}
+	// The write lock is held across registration and the durable setup:
+	// the deployment must not ack (or serve churn that assumes a WAL)
+	// before its base snapshot and log exist.
+	d.mu.Lock()
+	if err := s.register(d); err != nil {
+		d.mu.Unlock()
 		writeError(w, http.StatusConflict, "deployment %q already exists", req.ID)
 		return
 	}
-	s.deps[req.ID] = d
-	s.mu.Unlock()
+	if s.durable() {
+		if err := s.makeDurableLocked(d, raw); err != nil {
+			s.unregister(req.ID)
+			d.mu.Unlock()
+			writeError(w, http.StatusInternalServerError, "persisting deployment: %v", err)
+			return
+		}
+	}
+	sum := d.summaryLocked()
+	d.mu.Unlock()
 
 	s.tel.builds.Observe(buildDur)
 	d.met.lastBuild.Set(buildDur.Microseconds())
 	s.logf("created deployment %q: n=%d k=%d algo=%v", req.ID, req.N, k, algo)
-	d.mu.RLock()
-	sum := d.summaryLocked()
-	d.mu.RUnlock()
 	d.met.observeStructure(sum)
 	writeJSON(w, http.StatusCreated, sum)
 }
@@ -389,7 +451,7 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 		out[i] = d.summaryLocked()
 		d.mu.RUnlock()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"deployments": out})
+	writeJSON(w, http.StatusOK, api.ListResponse{Deployments: out})
 }
 
 func (s *Server) handleSummary(w http.ResponseWriter, _ *http.Request, d *deployment) {
@@ -401,41 +463,26 @@ func (s *Server) handleSummary(w http.ResponseWriter, _ *http.Request, d *deploy
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
-	_, ok := s.deps[id]
+	d, ok := s.deps[id]
 	delete(s.deps, id)
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "no deployment %q", id)
 		return
 	}
+	d.mu.Lock()
+	if d.wal != nil {
+		d.wal.Close()
+		d.wal = nil
+	}
+	d.mu.Unlock()
+	s.removeDurable(id)
 	s.logf("deleted deployment %q", id)
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// EventRequest is one churn event in a POST .../events batch.
-type EventRequest struct {
-	Kind      string `json:"kind"` // "leave", "join", or "move"
-	Node      int    `json:"node"`
-	Neighbors []int  `json:"neighbors,omitempty"`
-}
-
-// ReportResponse mirrors khop.RepairReport for the wire.
-type ReportResponse struct {
-	Kind              string `json:"kind"`
-	Node              int    `json:"node"`
-	Role              string `json:"role"`
-	ReclusteredNodes  int    `json:"reclustered_nodes"`
-	ReselectedHeads   int    `json:"reselected_heads"`
-	NewHeads          int    `json:"new_heads"`
-	GatewayDirty      bool   `json:"gateway_dirty"`
-	BatchGatewayRuns  int    `json:"batch_gateway_runs"`
-	BatchGatewaySaved int    `json:"batch_gateway_saved"`
-}
-
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, d *deployment) {
-	var req struct {
-		Events []EventRequest `json:"events"`
-	}
+	var req api.EventsRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
@@ -444,20 +491,32 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, d *deploym
 		writeError(w, http.StatusBadRequest, "empty event batch")
 		return
 	}
+	wire := make([]codec.Event, len(req.Events))
 	batch := make([]khop.Event, len(req.Events))
 	for i, ev := range req.Events {
-		switch strings.ToLower(ev.Kind) {
-		case "leave":
-			batch[i] = khop.Leave(ev.Node)
-		case "join":
-			batch[i] = khop.Join(ev.Node, ev.Neighbors...)
-		case "move":
-			batch[i] = khop.Move(ev.Node, ev.Neighbors...)
-		default:
+		kind, kerr := codec.ParseEventKind(strings.ToLower(ev.Kind))
+		if kerr != nil {
 			writeError(w, http.StatusBadRequest, "event %d: unknown kind %q (want leave, join, or move)", i, ev.Kind)
 			return
 		}
+		wire[i] = codec.Event{Kind: kind, Node: ev.Node, Neighbors: ev.Neighbors}
+		var cerr error
+		if batch[i], cerr = wire[i].Khop(); cerr != nil {
+			writeError(w, http.StatusBadRequest, "event %d: %v", i, cerr)
+			return
+		}
 	}
+	// The WAL payload is the canonical batch encoding; built outside the
+	// lock so the critical section pays only for the append itself.
+	var payload []byte
+	if s.durable() {
+		payload = codec.AppendEvents(nil, wire)
+	}
+
+	var walStats wal.AppendStats
+	var walErr, autoErr error
+	var appended, resynced, degraded bool
+	autoDropped := 0
 
 	d.mu.Lock()
 	applyStart := time.Now()
@@ -468,6 +527,48 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, d *deploym
 	// reflects the repairs that did apply.
 	if len(reports) > 0 {
 		d.refresh()
+	}
+	switch {
+	case err == nil && len(reports) > 0:
+		if d.wal != nil {
+			// Durable before acked: the batch is logged inside the same
+			// write-lock section that applied it, so the WAL order is the
+			// apply order.
+			walStats, walErr = d.wal.Append(payload)
+			appended = walErr == nil
+			if walErr != nil {
+				// The log no longer matches reality (this batch applied but
+				// is not in it); a checkpoint re-bases durability on a fresh
+				// snapshot. If that fails too, degrade to in-memory — a
+				// wrong replay is strictly worse than no replay.
+				//lint:ignore khoplint/lockscope the recovery checkpoint must snapshot the exact state the failed append left behind, atomically with the WAL truncation
+				if cerr := s.checkpointLocked(d); cerr == nil {
+					resynced = true
+				} else if d.wal != nil {
+					d.wal.Close()
+					d.wal = nil
+					degraded = true
+				}
+			}
+		}
+		d.sinceCheckpoint += len(reports)
+		if s.cfg.CompactAfter > 0 && d.sinceCheckpoint >= s.cfg.CompactAfter && !degraded {
+			//lint:ignore khoplint/lockscope the auto-compaction checkpoint must persist and truncate atomically with the renumbering it publishes; a batch in between would replay in the wrong id space
+			autoDropped, autoErr = s.compactLocked(d)
+		}
+	case err != nil && len(reports) > 0 && d.wal != nil:
+		// Partial application: replaying a prefix as its own batch is not
+		// guaranteed to reproduce the post-error state (gateway
+		// reconciliation is batch-scoped), so instead of logging a prefix,
+		// checkpoint — persist the exact partial state and truncate.
+		//lint:ignore khoplint/lockscope the partial-batch checkpoint must persist the exact mid-batch state atomically with the WAL truncation
+		if cerr := s.checkpointLocked(d); cerr != nil {
+			if d.wal != nil {
+				d.wal.Close()
+				d.wal = nil
+			}
+			degraded = true
+		}
 	}
 	out := make([]ReportResponse, len(reports))
 	for i, rep := range reports {
@@ -495,26 +596,85 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, d *deploym
 	if err != nil {
 		m.eventErrors.Inc()
 	}
+	if appended {
+		m.walAppends.Inc()
+		m.walBytes.Add(uint64(walStats.Bytes))
+		if walStats.Synced {
+			m.walFsyncSecs.Observe(walStats.SyncDuration)
+		}
+	}
+	if autoErr == nil && autoDropped > 0 {
+		m.compactions.Inc()
+		m.compactedNodes.Add(uint64(autoDropped))
+	}
 	if n := len(reports); n > 0 {
 		// Every report carries the same batch-level coalescing totals.
 		m.gatewayRuns.Add(uint64(reports[n-1].BatchGatewayRuns))
 		m.gatewaySaved.Add(uint64(reports[n-1].BatchGatewaySaved))
 		m.observeStructure(sum)
 	}
+	if degraded {
+		s.logf("deployment %q: WAL degraded, continuing in-memory only (append: %v)", d.id, walErr)
+	}
+	if autoErr != nil {
+		s.logf("deployment %q: auto-compaction failed: %v", d.id, autoErr)
+	}
 
 	if err != nil {
 		// Partial application is real state: report what applied
 		// alongside the error so the client can reconcile.
-		writeJSON(w, http.StatusUnprocessableEntity, map[string]any{
-			"error":   err.Error(),
-			"applied": len(reports),
-			"reports": out,
-			"summary": sum,
+		writeJSON(w, http.StatusUnprocessableEntity, api.EventsResponse{
+			Error:   err.Error(),
+			Applied: len(reports),
+			Reports: out,
+			Summary: sum,
 		})
 		return
 	}
+	if walErr != nil && !resynced {
+		// Applied but not durable, and the checkpoint fallback failed
+		// too: acked-implies-durable cannot hold, so do not ack.
+		writeError(w, http.StatusInternalServerError, "batch applied but could not be made durable: %v", walErr)
+		return
+	}
 	s.logf("deployment %q: applied %d events", d.id, len(reports))
-	writeJSON(w, http.StatusOK, map[string]any{"reports": out, "summary": sum})
+	writeJSON(w, http.StatusOK, api.EventsResponse{Applied: len(reports), Reports: out, Summary: sum})
+}
+
+// handleCompact renumbers away the departed slots and checkpoints; see
+// codec.Compact for the isomorphism and api.CompactResponse for the id
+// translation contract.
+func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request, d *deployment) {
+	d.mu.Lock()
+	//lint:ignore khoplint/lockscope the compaction checkpoint must persist and truncate atomically with the renumbering it publishes; a batch in between would replay in the wrong id space
+	dropped, err := s.compactLocked(d)
+	if err != nil {
+		d.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, "compact: %v", err)
+		return
+	}
+	sum := d.summaryLocked()
+	alive := len(d.res.HeadOf)
+	table := append([]int(nil), d.orig...)
+	d.mu.Unlock()
+
+	if table == nil {
+		// Never compacted and nothing dropped: the mapping is identity.
+		table = make([]int, alive)
+		for i := range table {
+			table[i] = i
+		}
+	}
+	d.met.compactions.Inc()
+	d.met.compactedNodes.Add(uint64(dropped))
+	s.logf("deployment %q: compacted %d departed slots (%d alive)", d.id, dropped, alive)
+	writeJSON(w, http.StatusOK, api.CompactResponse{
+		Summary: sum,
+		OrigN:   len(table),
+		Alive:   alive,
+		Dropped: dropped,
+		Table:   table,
+	})
 }
 
 func queryInt(r *http.Request, name string) (int, error) {
@@ -555,8 +715,8 @@ func (s *Server) handleRoute(w http.ResponseWriter, r *http.Request, d *deployme
 		writeError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"src": src, "dst": dst, "route": route, "hops": len(route) - 1,
+	writeJSON(w, http.StatusOK, api.RouteResponse{
+		Src: src, Dst: dst, Route: route, Hops: len(route) - 1,
 	})
 }
 
@@ -577,26 +737,26 @@ func (s *Server) handleBroadcast(w http.ResponseWriter, r *http.Request, d *depl
 		return
 	}
 	stats := d.plan.Broadcast(src)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"src":           src,
-		"forwarders":    d.plan.ForwarderCount(),
-		"transmissions": stats.Transmissions,
-		"reached":       stats.Reached,
-		"covered":       stats.Covered,
-		"rounds":        stats.Rounds,
+	writeJSON(w, http.StatusOK, api.BroadcastResponse{
+		Src:           src,
+		Forwarders:    d.plan.ForwarderCount(),
+		Transmissions: stats.Transmissions,
+		Reached:       stats.Reached,
+		Covered:       stats.Covered,
+		Rounds:        stats.Rounds,
 	})
 }
 
 func (s *Server) handleCDS(w http.ResponseWriter, _ *http.Request, d *deployment) {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"k":                 d.res.K,
-		"algorithm":         d.res.Algorithm.String(),
-		"heads":             d.res.Heads,
-		"gateways":          d.res.Gateways,
-		"cds":               d.res.CDS,
-		"independent_heads": d.res.IndependentHeads,
+	writeJSON(w, http.StatusOK, api.CDSResponse{
+		K:                d.res.K,
+		Algorithm:        d.res.Algorithm.String(),
+		Heads:            d.res.Heads,
+		Gateways:         d.res.Gateways,
+		CDS:              d.res.CDS,
+		IndependentHeads: d.res.IndependentHeads,
 	})
 }
 
@@ -618,12 +778,14 @@ func (s *Server) handleSnapshotGet(w http.ResponseWriter, _ *http.Request, d *de
 
 // snapshotLocked encodes the deployment; callers hold d.mu (read mode
 // suffices — churn serializes behind the write lock, so the
-// graph/result pair is consistent).
+// graph/result pair is consistent). The compaction translation table
+// rides along, so a compacted deployment emits a v2 blob.
 func (d *deployment) snapshotLocked() ([]byte, error) {
 	snap, err := codec.FromEngine(d.eng, d.mode)
 	if err != nil {
 		return nil, err
 	}
+	snap.Orig = d.orig
 	var buf bytes.Buffer
 	if err := codec.Encode(&buf, snap); err != nil {
 		return nil, err
@@ -632,6 +794,7 @@ func (d *deployment) snapshotLocked() ([]byte, error) {
 }
 
 func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	id := r.PathValue("id")
 	if !idPattern.MatchString(id) {
 		writeError(w, http.StatusBadRequest, "deployment id must match %s", idPattern)
@@ -645,23 +808,43 @@ func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
 	d, err := s.restore(id, raw)
 	if err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, errExists) {
+		switch {
+		case errors.Is(err, errExists):
 			status = http.StatusConflict
+			// The op metrics live on the deployment, so a failed restore
+			// is only attributable when the id already resolves; other
+			// failures show up in the HTTP class counters.
+			s.mu.RLock()
+			prev := s.deps[id]
+			s.mu.RUnlock()
+			if prev != nil {
+				prev.met.restore.requests.Inc()
+				prev.met.restore.errors.Inc()
+				prev.met.restore.seconds.Observe(time.Since(start))
+			}
+		case errors.Is(err, errDurability):
+			status = http.StatusInternalServerError
 		}
 		writeError(w, status, "%v", err)
 		return
 	}
 	s.logf("restored deployment %q from snapshot (%d bytes)", id, len(raw))
 	d.mu.RLock()
-	defer d.mu.RUnlock()
-	writeJSON(w, http.StatusCreated, d.summaryLocked())
+	sum := d.summaryLocked()
+	d.mu.RUnlock()
+	d.met.restore.requests.Inc()
+	d.met.restore.seconds.Observe(time.Since(start))
+	writeJSON(w, http.StatusCreated, sum)
 }
 
-var errExists = errors.New("deployment already exists")
+var (
+	errExists     = errors.New("deployment already exists")
+	errDurability = errors.New("persisting deployment state")
+)
 
-// restore decodes and verifies a snapshot (codec.Decode runs
-// khop.VerifyResult) and registers it under id.
-func (s *Server) restore(id string, raw []byte) (*deployment, error) {
+// buildRestored decodes and verifies a snapshot (codec.Decode runs
+// khop.VerifyResult) and constructs an unregistered deployment from it.
+func (s *Server) buildRestored(id string, raw []byte) (*deployment, error) {
 	decStart := time.Now()
 	snap, err := codec.DecodeBytes(raw)
 	if err != nil {
@@ -673,104 +856,36 @@ func (s *Server) restore(id string, raw []byte) (*deployment, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &deployment{id: id, mode: snap.Mode, met: newDepMetrics(), eng: eng}
+	d := &deployment{id: id, mode: snap.Mode, met: newDepMetrics(), eng: eng, orig: snap.Orig}
 	d.met.lastBuild.Set(-1) // restored, not built here
 	d.refresh()
-	s.mu.Lock()
-	if _, exists := s.deps[id]; exists {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q", errExists, id)
-	}
-	s.deps[id] = d
-	s.mu.Unlock()
-	s.tel.restores.Inc()
-	d.mu.RLock()
-	sum := d.summaryLocked()
-	d.mu.RUnlock()
-	d.met.observeStructure(sum)
 	return d, nil
 }
 
-// SaveDir writes every deployment to dir as <id>.khop (atomically, via
-// a temp file and rename), for reload with LoadDir after a restart.
-// Typically called after the http.Server's graceful Shutdown has
-// drained in-flight churn.
-func (s *Server) SaveDir(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	s.mu.RLock()
-	deps := make([]*deployment, 0, len(s.deps))
-	for _, d := range s.deps {
-		deps = append(deps, d)
-	}
-	s.mu.RUnlock()
-	sort.Slice(deps, func(i, j int) bool { return deps[i].id < deps[j].id })
-	for _, d := range deps {
-		encStart := time.Now()
-		d.mu.RLock()
-		raw, err := d.snapshotLocked()
-		d.mu.RUnlock()
-		if err != nil {
-			return fmt.Errorf("snapshot %q: %w", d.id, err)
-		}
-		d.met.encodeSecs.Observe(time.Since(encStart))
-		d.met.encodeBytes.Add(uint64(len(raw)))
-		tmp, err := os.CreateTemp(dir, d.id+".*.tmp")
-		if err != nil {
-			return err
-		}
-		_, werr := tmp.Write(raw)
-		cerr := tmp.Close()
-		if werr != nil || cerr != nil {
-			os.Remove(tmp.Name())
-			return fmt.Errorf("write snapshot %q: %w", d.id, errors.Join(werr, cerr))
-		}
-		if err := os.Rename(tmp.Name(), filepath.Join(dir, d.id+".khop")); err != nil {
-			os.Remove(tmp.Name())
-			return err
-		}
-	}
-	return nil
-}
-
-// LoadDir restores every *.khop file in dir (the file base name is the
-// deployment id). Missing dir is not an error — a first boot simply
-// has nothing to load. A snapshot that fails to load (corruption,
-// invalid id, unreadable file) is skipped with a logged warning rather
-// than aborting startup: one bit-rotted file must not take every
-// healthy deployment on the same server down with it.
-func (s *Server) LoadDir(dir string) error {
-	entries, err := os.ReadDir(dir)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
+// restore builds a deployment from snapshot bytes and registers it,
+// persisting the (already canonical) bytes as its durable base.
+func (s *Server) restore(id string, raw []byte) (*deployment, error) {
+	d, err := s.buildRestored(id, raw)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".khop") {
-			continue
-		}
-		path := filepath.Join(dir, name)
-		id := strings.TrimSuffix(name, ".khop")
-		if !idPattern.MatchString(id) {
-			s.logf("skipping snapshot %s: invalid deployment id %q", path, id)
-			continue
-		}
-		raw, err := os.ReadFile(path)
-		if err != nil {
-			s.logf("skipping snapshot %s: %v", path, err)
-			continue
-		}
-		if _, err := s.restore(id, raw); err != nil {
-			s.logf("skipping snapshot %s: %v", path, err)
-			continue
-		}
-		s.logf("loaded deployment %q from %s", id, path)
+	d.mu.Lock()
+	if err := s.register(d); err != nil {
+		d.mu.Unlock()
+		return nil, err
 	}
-	return nil
+	if s.durable() {
+		if err := s.makeDurableLocked(d, raw); err != nil {
+			s.unregister(id)
+			d.mu.Unlock()
+			return nil, fmt.Errorf("%w: %w", errDurability, err)
+		}
+	}
+	sum := d.summaryLocked()
+	d.mu.Unlock()
+	s.tel.restores.Inc()
+	d.met.observeStructure(sum)
+	return d, nil
 }
 
 // decodeBody strictly decodes a JSON request body into v.

@@ -1,0 +1,109 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALReplay throws arbitrary bytes at recovery. Two properties:
+//
+//  1. Open never panics, whatever the segment file holds — forged
+//     headers, absurd length varints, truncated frames, duplicated
+//     sequence numbers.
+//  2. Recovery converges: whatever Open salvaged, a second Open of the
+//     same directory reports the identical record list with zero
+//     further truncation (the first pass already cut the file back to
+//     its intact prefix).
+//  3. Torn-tail recovery: a log built from valid appends and then cut
+//     at an arbitrary byte offset recovers a prefix of the original
+//     payloads, never a corrupted or reordered record.
+func FuzzWALReplay(f *testing.F) {
+	f.Add([]byte{}, uint16(0))
+	f.Add([]byte("KHOPWAL\x01"), uint16(3))
+	f.Add(append([]byte("KHOPWAL\x01"), appendRecord(nil, 1, []byte("hello"))...), uint16(9))
+	f.Add(append([]byte("KHOPWAL\x01"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01), uint16(20))
+	f.Add([]byte("KHOPWAL\x02 wrong version"), uint16(1))
+	f.Add(bytes.Repeat([]byte{0}, 64), uint16(40))
+
+	f.Fuzz(func(t *testing.T, data []byte, cut uint16) {
+		// Property 1+2: arbitrary bytes as segment 1.
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, rec, err := Open(dir, Options{Sync: SyncNever})
+		if err != nil {
+			t.Skip() // I/O-level failure, not a parse outcome
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close after recovery: %v", err)
+		}
+		l2, rec2, err := Open(dir, Options{Sync: SyncNever})
+		if err != nil {
+			t.Fatalf("second Open after recovery: %v", err)
+		}
+		defer l2.Close()
+		if rec2.TruncatedBytes != 0 || rec2.DroppedSegments != 0 {
+			t.Fatalf("recovery did not converge: second pass still found damage %+v", rec2)
+		}
+		if len(rec2.Records) != len(rec.Records) {
+			t.Fatalf("second pass recovered %d records, first pass %d", len(rec2.Records), len(rec.Records))
+		}
+		for i := range rec.Records {
+			if !bytes.Equal(rec.Records[i], rec2.Records[i]) {
+				t.Fatalf("record %d differs between recovery passes", i)
+			}
+		}
+
+		// Property 3: build a valid log from data-derived payloads, cut
+		// the segment at an arbitrary offset, and demand prefix recovery.
+		vdir := t.TempDir()
+		vl, _, err := Open(vdir, Options{Sync: SyncNever})
+		if err != nil {
+			t.Skip()
+		}
+		var payloads [][]byte
+		for rest := data; len(rest) > 0 || len(payloads) == 0; {
+			n := 5
+			if n > len(rest) {
+				n = len(rest)
+			}
+			p := rest[:n]
+			rest = rest[n:]
+			if _, err := vl.Append(p); err != nil {
+				t.Fatalf("Append: %v", err)
+			}
+			payloads = append(payloads, p)
+			if len(payloads) >= 8 {
+				break
+			}
+		}
+		if err := vl.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		path := filepath.Join(vdir, segName(1))
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keep := int(cut) % (len(raw) + 1)
+		if err := os.Truncate(path, int64(keep)); err != nil {
+			t.Fatal(err)
+		}
+		cl, crec, err := Open(vdir, Options{Sync: SyncNever})
+		if err != nil {
+			t.Skip()
+		}
+		defer cl.Close()
+		if len(crec.Records) > len(payloads) {
+			t.Fatalf("cut log recovered %d records from %d appends", len(crec.Records), len(payloads))
+		}
+		for i, p := range crec.Records {
+			if !bytes.Equal(p, payloads[i]) {
+				t.Fatalf("recovered record %d is not the original payload: %q vs %q", i, p, payloads[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,532 @@
+// Package wal is a per-deployment write-ahead log: an append-only
+// sequence of length-prefixed, checksummed records in numbered segment
+// files, appended by the deployment server *before* a churn batch is
+// acknowledged and replayed after a crash so restore = last snapshot +
+// WAL suffix (Engine.Apply is deterministic given batch order, so the
+// replayed state is bitwise-exact).
+//
+// On-disk layout (one directory per log):
+//
+//	00000000000000000001.wal
+//	00000000000000000002.wal
+//	...
+//
+// Each segment starts with an 8-byte header ("KHOPWAL" + format
+// version) followed by records:
+//
+//	seq      uvarint   1-based, strictly sequential across segments
+//	length   uvarint   payload byte count
+//	payload  length bytes (opaque to this package; the server stores
+//	         the codec's canonical event-batch encoding)
+//	checksum FNV-1a 64 over the seq and length varints plus the
+//	         payload, little-endian (8 bytes)
+//
+// Open scans every segment in order and stops at the first damage — a
+// short header, a torn or checksum-failing record, a sequence gap —
+// truncating the damaged segment back to its last intact record and
+// deleting any later segments (they are unreachable once the chain is
+// broken). A crash mid-append therefore costs at most the unacked tail,
+// never the acked prefix. Reset truncates the whole log after a
+// checkpoint (snapshot persisted, or compaction re-based the id space).
+//
+// Sync policy is chosen at Open: SyncAlways fsyncs every append before
+// it returns (acked implies on platter), SyncInterval fsyncs at most
+// every SyncEvery on the append path (bounded loss window on power
+// failure; an OS crash short of power loss loses nothing either way),
+// SyncNever leaves flushing to the OS entirely. The wall clock driving
+// SyncInterval is injected (Options.Clock) — nothing in this package
+// reads ambient time, so the khoplint determinism analyzer covers it.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy selects when appends reach the platter.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs every append before it returns.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on the append path at most once per
+	// Options.SyncEvery.
+	SyncInterval
+	// SyncNever never fsyncs (the OS flushes when it pleases).
+	SyncNever
+)
+
+// ParseSyncPolicy maps the khopd -wal-sync flag values.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch strings.ToLower(s) {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown sync policy %q (want always, interval, or never)", s)
+}
+
+// String implements fmt.Stringer.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("SyncPolicy(%d)", int(p))
+}
+
+// Options configures a Log.
+type Options struct {
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval cadence; 0 defaults to 100ms.
+	SyncEvery time.Duration
+	// SegmentBytes rotates to a new segment file once the current one
+	// reaches this size; 0 defaults to 4 MiB.
+	SegmentBytes int64
+	// Clock supplies the wall clock for SyncInterval; nil defaults to
+	// time.Now. Tests inject a fake clock.
+	Clock func() time.Time
+}
+
+const (
+	defaultSyncEvery    = 100 * time.Millisecond
+	defaultSegmentBytes = 4 << 20
+	headerSize          = 8
+	checksumSize        = 8
+	// maxRecordBytes bounds a single record so a forged length prefix
+	// cannot make recovery allocate arbitrarily. Generous next to any
+	// event batch the server acks (64 MiB request-body cap upstream).
+	maxRecordBytes = 96 << 20
+	segSuffix      = ".wal"
+	segNameLen     = 20
+	formatVersion  = 1
+)
+
+var header = [headerSize]byte{'K', 'H', 'O', 'P', 'W', 'A', 'L', formatVersion}
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// Recovery reports what Open found on disk.
+type Recovery struct {
+	// Records are the intact payloads in append order; replay them.
+	Records [][]byte
+	// TruncatedBytes were dropped from the damaged tail (torn final
+	// record, checksum mismatch, or trailing garbage).
+	TruncatedBytes int64
+	// DroppedSegments counts later segment files deleted because an
+	// earlier segment's damage broke the chain.
+	DroppedSegments int
+}
+
+// AppendStats describes one completed append.
+type AppendStats struct {
+	// Seq is the record's 1-based sequence number.
+	Seq uint64
+	// Bytes is the full on-disk record size (framing + payload).
+	Bytes int
+	// Synced reports whether this append fsynced; SyncDuration is how
+	// long that fsync took (zero when Synced is false).
+	Synced       bool
+	SyncDuration time.Duration
+}
+
+// Log is an open write-ahead log. Methods are safe for concurrent use,
+// though the deployment server serializes appends behind its own
+// per-deployment write lock anyway.
+type Log struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	f        *os.File // current segment, positioned at its end
+	segIndex uint64   // current segment number (1-based)
+	segSize  int64
+	seq      uint64 // last written sequence number
+	lastSync time.Time
+	closed   bool
+}
+
+// Open opens (creating if necessary) the log directory, recovers every
+// intact record, truncates any torn tail, and returns the log ready to
+// append. The returned Recovery carries the payloads to replay.
+func Open(dir string, opt Options) (*Log, *Recovery, error) {
+	if opt.SyncEvery <= 0 {
+		opt.SyncEvery = defaultSyncEvery
+	}
+	if opt.SegmentBytes <= 0 {
+		opt.SegmentBytes = defaultSegmentBytes
+	}
+	if opt.Clock == nil {
+		opt.Clock = time.Now
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	l := &Log{dir: dir, opt: opt}
+	rec := &Recovery{}
+	damaged := false
+	for _, seg := range segs {
+		if damaged {
+			// The chain is broken: anything after the damage point is
+			// unreachable (its sequence numbers no longer connect), so
+			// the segments are deleted rather than silently shadowed.
+			if err := os.Remove(filepath.Join(dir, seg.name)); err != nil {
+				return nil, nil, fmt.Errorf("wal: dropping unreachable segment %s: %w", seg.name, err)
+			}
+			rec.DroppedSegments++
+			continue
+		}
+		keep, truncated, err := l.recoverSegment(dir, seg, rec)
+		if err != nil {
+			return nil, nil, err
+		}
+		rec.TruncatedBytes += truncated
+		if !keep || truncated > 0 {
+			damaged = true
+		}
+		if keep {
+			l.segIndex = seg.index
+		}
+	}
+
+	if l.segIndex == 0 {
+		if err := l.rotateLocked(); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		// Reopen the last surviving segment for append.
+		path := filepath.Join(dir, segName(l.segIndex))
+		f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("wal: reopening %s: %w", path, err)
+		}
+		size, err := f.Seek(0, io.SeekEnd)
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: seeking %s: %w", path, err)
+		}
+		l.f, l.segSize = f, size
+	}
+	l.lastSync = opt.Clock()
+	return l, rec, nil
+}
+
+type segInfo struct {
+	name  string
+	index uint64
+}
+
+// listSegments returns the directory's segment files in index order,
+// rejecting duplicates (two files claiming one index would make the
+// record chain ambiguous).
+func listSegments(dir string) ([]segInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segInfo
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) || len(name) != segNameLen+len(segSuffix) {
+			continue
+		}
+		idx, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 10, 64)
+		if err != nil || idx == 0 {
+			continue
+		}
+		segs = append(segs, segInfo{name: name, index: idx})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].index == segs[i-1].index {
+			return nil, fmt.Errorf("wal: duplicate segment index %d (%s, %s)", segs[i].index, segs[i-1].name, segs[i].name)
+		}
+	}
+	return segs, nil
+}
+
+func segName(index uint64) string {
+	return fmt.Sprintf("%0*d%s", segNameLen, index, segSuffix)
+}
+
+// recoverSegment scans one segment, appending intact payloads to rec
+// and truncating the file back to its last intact record. keep reports
+// whether the segment file survives (a segment damaged before its first
+// record is deleted entirely).
+func (l *Log) recoverSegment(dir string, seg segInfo, rec *Recovery) (keep bool, truncated int64, err error) {
+	path := filepath.Join(dir, seg.name)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false, 0, fmt.Errorf("wal: reading %s: %w", path, err)
+	}
+	if len(raw) < headerSize || [headerSize]byte(raw[:headerSize]) != header {
+		// Not even a valid header: the whole file is damage.
+		if err := os.Remove(path); err != nil {
+			return false, 0, fmt.Errorf("wal: removing damaged segment %s: %w", path, err)
+		}
+		return false, int64(len(raw)), nil
+	}
+	good := headerSize // offset just past the last intact record
+	b := raw[headerSize:]
+	for len(b) > 0 {
+		rest, payload, seq, ok := readRecord(b)
+		if !ok || seq != l.seq+1 {
+			break
+		}
+		rec.Records = append(rec.Records, payload)
+		l.seq = seq
+		good = len(raw) - len(rest)
+		b = rest
+	}
+	if tail := int64(len(raw) - good); tail > 0 {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return false, 0, fmt.Errorf("wal: truncating torn tail of %s: %w", path, err)
+		}
+		return true, tail, nil
+	}
+	return true, 0, nil
+}
+
+// readRecord parses one record off b, returning the remainder, the
+// payload, and the sequence number. ok is false on any damage: torn
+// framing, an implausible length, or a checksum mismatch.
+func readRecord(b []byte) (rest, payload []byte, seq uint64, ok bool) {
+	seq, n1 := binary.Uvarint(b)
+	if n1 <= 0 {
+		return nil, nil, 0, false
+	}
+	length, n2 := binary.Uvarint(b[n1:])
+	if n2 <= 0 || length > maxRecordBytes {
+		return nil, nil, 0, false
+	}
+	frame := n1 + n2
+	total := frame + int(length) + checksumSize
+	if len(b) < total {
+		return nil, nil, 0, false
+	}
+	h := fnv.New64a()
+	h.Write(b[:frame+int(length)])
+	if h.Sum64() != binary.LittleEndian.Uint64(b[frame+int(length):total]) {
+		return nil, nil, 0, false
+	}
+	return b[total:], b[frame : frame+int(length)], seq, true
+}
+
+// appendRecord encodes one record.
+func appendRecord(b []byte, seq uint64, payload []byte) []byte {
+	start := len(b)
+	b = binary.AppendUvarint(b, seq)
+	b = binary.AppendUvarint(b, uint64(len(payload)))
+	b = append(b, payload...)
+	h := fnv.New64a()
+	h.Write(b[start:])
+	return binary.LittleEndian.AppendUint64(b, h.Sum64())
+}
+
+// Append writes one payload as the next record and applies the sync
+// policy before returning. When Append returns nil, the record is in
+// the file (and, under SyncAlways, on the platter) — the caller may
+// acknowledge the batch.
+func (l *Log) Append(payload []byte) (AppendStats, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return AppendStats{}, ErrClosed
+	}
+	if int64(len(payload)) > maxRecordBytes {
+		return AppendStats{}, fmt.Errorf("wal: %d-byte payload exceeds the %d-byte record cap", len(payload), int64(maxRecordBytes))
+	}
+	if l.segSize >= l.opt.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return AppendStats{}, err
+		}
+	}
+	rec := appendRecord(nil, l.seq+1, payload)
+	if _, err := l.f.Write(rec); err != nil {
+		// A short write leaves a torn tail; recovery truncates it on the
+		// next open, so the in-memory cursor must not advance past it.
+		return AppendStats{}, fmt.Errorf("wal: append: %w", err)
+	}
+	l.seq++
+	l.segSize += int64(len(rec))
+	stats := AppendStats{Seq: l.seq, Bytes: len(rec)}
+
+	switch l.opt.Sync {
+	case SyncAlways:
+		if err := l.syncLocked(&stats); err != nil {
+			return stats, err
+		}
+	case SyncInterval:
+		if now := l.opt.Clock(); now.Sub(l.lastSync) >= l.opt.SyncEvery {
+			if err := l.syncLocked(&stats); err != nil {
+				return stats, err
+			}
+		}
+	case SyncNever:
+	}
+	return stats, nil
+}
+
+func (l *Log) syncLocked(stats *AppendStats) error {
+	start := l.opt.Clock()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	end := l.opt.Clock()
+	l.lastSync = end
+	if stats != nil {
+		stats.Synced = true
+		stats.SyncDuration = end.Sub(start)
+	}
+	return nil
+}
+
+// Sync flushes the current segment to the platter regardless of policy
+// (checkpoints call it before trusting the snapshot+WAL pair).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked(nil)
+}
+
+// rotateLocked opens the next segment file and syncs the directory
+// entry so the new file name itself survives a crash.
+func (l *Log) rotateLocked() error {
+	if l.f != nil {
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: closing segment: %w", err)
+		}
+		l.f = nil
+	}
+	next := l.segIndex + 1
+	path := filepath.Join(l.dir, segName(next))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	if _, err := f.Write(header[:]); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment header: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f, l.segIndex, l.segSize = f, next, headerSize
+	return nil
+}
+
+// Reset truncates the log to empty: every segment is deleted and a
+// fresh one opened, with sequence numbering restarting at 1. Called at
+// a checkpoint — once a snapshot capturing the WAL's effects is durably
+// persisted, the suffix it replaced is dead weight (and after a
+// compaction it speaks the wrong id space entirely).
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f != nil {
+		if err := l.f.Close(); err != nil {
+			return fmt.Errorf("wal: closing segment: %w", err)
+		}
+		l.f = nil
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if err := os.Remove(filepath.Join(l.dir, seg.name)); err != nil {
+			return fmt.Errorf("wal: reset: %w", err)
+		}
+	}
+	l.segIndex, l.segSize, l.seq = 0, 0, 0
+	if err := l.rotateLocked(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Seq returns the last written sequence number (0 on an empty log).
+func (l *Log) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Close syncs and closes the current segment. The log cannot be used
+// afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	if err != nil {
+		return fmt.Errorf("wal: close: %w", err)
+	}
+	return nil
+}
+
+// Remove deletes a log directory entirely (deployment deleted). Safe to
+// call on a directory that never existed.
+func Remove(dir string) error {
+	err := os.RemoveAll(dir)
+	if err != nil {
+		return fmt.Errorf("wal: remove: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so renames/creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: opening dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing dir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,435 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced wall clock for SyncInterval tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{now: time.Unix(1_700_000_000, 0)} }
+func openT(t *testing.T, dir string, opt Options) (*Log, *Recovery) {
+	t.Helper()
+	if opt.Clock == nil {
+		opt.Clock = newFakeClock().Now
+	}
+	l, rec, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l, rec
+}
+
+func mustAppend(t *testing.T, l *Log, payload []byte) AppendStats {
+	t.Helper()
+	st, err := l.Append(payload)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return st
+}
+
+func segPath(dir string, index uint64) string {
+	return filepath.Join(dir, segName(index))
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+	}{
+		{"always", SyncAlways}, {"Interval", SyncInterval}, {"NEVER", SyncNever},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+		if got.String() == "" {
+			t.Errorf("SyncPolicy(%v).String() empty", got)
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("ParseSyncPolicy(sometimes): want error")
+	}
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := openT(t, dir, Options{Sync: SyncAlways})
+	if len(rec.Records) != 0 || rec.TruncatedBytes != 0 || rec.DroppedSegments != 0 {
+		t.Fatalf("fresh log recovery not empty: %+v", rec)
+	}
+	var want [][]byte
+	for i := 0; i < 25; i++ {
+		p := []byte(fmt.Sprintf("batch-%03d", i))
+		if i%7 == 0 {
+			p = nil // empty payloads are legal records
+		}
+		st := mustAppend(t, l, p)
+		if st.Seq != uint64(i+1) {
+			t.Fatalf("append %d: seq %d", i, st.Seq)
+		}
+		if !st.Synced {
+			t.Fatalf("append %d: SyncAlways did not sync", i)
+		}
+		want = append(want, p)
+	}
+	if l.Seq() != 25 {
+		t.Fatalf("Seq() = %d, want 25", l.Seq())
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	l2, rec2 := openT(t, dir, Options{})
+	defer l2.Close()
+	if rec2.TruncatedBytes != 0 || rec2.DroppedSegments != 0 {
+		t.Fatalf("clean reopen reported damage: %+v", rec2)
+	}
+	if len(rec2.Records) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(rec2.Records), len(want))
+	}
+	for i, p := range want {
+		if !bytes.Equal(rec2.Records[i], p) {
+			t.Fatalf("record %d = %q, want %q", i, rec2.Records[i], p)
+		}
+	}
+	// Sequence numbering continues where it left off.
+	if st := mustAppend(t, l2, []byte("after")); st.Seq != 26 {
+		t.Fatalf("post-reopen seq = %d, want 26", st.Seq)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Sync: SyncNever})
+	mustAppend(t, l, []byte("alpha"))
+	mustAppend(t, l, []byte("beta"))
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	path := segPath(dir, 1)
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-append leaves a torn record: a partial frame of the
+	// third record on the end of the file.
+	torn := appendRecord(nil, 3, []byte("gamma-never-acked"))
+	torn = torn[:len(torn)-5]
+	if err := os.WriteFile(path, append(append([]byte{}, intact...), torn...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(rec.Records) != 2 {
+		t.Fatalf("recovered %d records, want 2", len(rec.Records))
+	}
+	if rec.TruncatedBytes != int64(len(torn)) {
+		t.Fatalf("TruncatedBytes = %d, want %d", rec.TruncatedBytes, len(torn))
+	}
+	// The file itself was cut back to the intact prefix.
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, intact) {
+		t.Fatalf("segment not truncated to intact prefix: %d bytes vs %d", len(got), len(intact))
+	}
+	// And the log keeps appending from the surviving sequence number.
+	if st := mustAppend(t, l2, []byte("gamma-retry")); st.Seq != 3 {
+		t.Fatalf("post-truncate seq = %d, want 3", st.Seq)
+	}
+}
+
+func TestChecksumCorruptionCutsTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Sync: SyncNever})
+	mustAppend(t, l, []byte("first"))
+	cut := mustAppend(t, l, []byte("second"))
+	mustAppend(t, l, []byte("third"))
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	path := segPath(dir, 1)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte inside the second record: its checksum fails,
+	// and the intact third record behind it is unreachable (the chain of
+	// trust is broken at the first damage).
+	off := len(raw) - cut.Bytes*2 + 3
+	raw[off] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(rec.Records) != 1 || !bytes.Equal(rec.Records[0], []byte("first")) {
+		t.Fatalf("recovered %q, want exactly [first]", rec.Records)
+	}
+	if rec.TruncatedBytes == 0 {
+		t.Fatal("TruncatedBytes = 0, want > 0")
+	}
+	if l2.Seq() != 1 {
+		t.Fatalf("Seq() = %d, want 1", l2.Seq())
+	}
+}
+
+func TestSegmentRotationAndCrossSegmentRecovery(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force a rotation roughly every record.
+	l, _ := openT(t, dir, Options{Sync: SyncNever, SegmentBytes: 64})
+	var want [][]byte
+	for i := 0; i < 10; i++ {
+		p := bytes.Repeat([]byte{byte('a' + i)}, 40)
+		mustAppend(t, l, p)
+		want = append(want, p)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("expected several segments, got %d", len(segs))
+	}
+
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close()
+	if rec.TruncatedBytes != 0 || rec.DroppedSegments != 0 {
+		t.Fatalf("clean multi-segment reopen reported damage: %+v", rec)
+	}
+	if len(rec.Records) != len(want) {
+		t.Fatalf("recovered %d records across segments, want %d", len(rec.Records), len(want))
+	}
+	for i, p := range want {
+		if !bytes.Equal(rec.Records[i], p) {
+			t.Fatalf("record %d mismatch after rotation", i)
+		}
+	}
+}
+
+func TestDamageDropsLaterSegments(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Sync: SyncNever, SegmentBytes: 64})
+	for i := 0; i < 8; i++ {
+		mustAppend(t, l, bytes.Repeat([]byte{byte('a' + i)}, 40))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("need ≥3 segments, got %d", len(segs))
+	}
+	// Corrupt the second segment's first record: everything from there on
+	// — including the intact later segments — is unreachable.
+	path := segPath(dir, segs[1].index)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize+2] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close()
+	if rec.DroppedSegments != len(segs)-2 {
+		t.Fatalf("DroppedSegments = %d, want %d", rec.DroppedSegments, len(segs)-2)
+	}
+	if rec.TruncatedBytes == 0 {
+		t.Fatal("TruncatedBytes = 0, want > 0")
+	}
+	after, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range after {
+		if s.index > segs[1].index {
+			t.Fatalf("segment %s survived past the damage point", s.name)
+		}
+	}
+	// Recovered records must be exactly segment 1's contents.
+	if len(rec.Records) == 0 || l2.Seq() != uint64(len(rec.Records)) {
+		t.Fatalf("seq %d vs %d recovered records", l2.Seq(), len(rec.Records))
+	}
+}
+
+func TestBadHeaderSegmentRemoved(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segPath(dir, 1), []byte("NOTAWAL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec := openT(t, dir, Options{})
+	defer l.Close()
+	if rec.TruncatedBytes != int64(len("NOTAWAL")) {
+		t.Fatalf("TruncatedBytes = %d, want 7", rec.TruncatedBytes)
+	}
+	if len(rec.Records) != 0 {
+		t.Fatalf("recovered %d records from garbage", len(rec.Records))
+	}
+	// The log rotated to a fresh valid segment and is usable.
+	if st := mustAppend(t, l, []byte("ok")); st.Seq != 1 {
+		t.Fatalf("seq = %d, want 1", st.Seq)
+	}
+}
+
+func TestReset(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Sync: SyncNever, SegmentBytes: 64})
+	for i := 0; i < 6; i++ {
+		mustAppend(t, l, bytes.Repeat([]byte{'x'}, 40))
+	}
+	if err := l.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if l.Seq() != 0 {
+		t.Fatalf("Seq() after Reset = %d, want 0", l.Seq())
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("%d segments after Reset, want 1", len(segs))
+	}
+	// Numbering restarts at 1, and a reopen sees only post-Reset records.
+	if st := mustAppend(t, l, []byte("fresh")); st.Seq != 1 {
+		t.Fatalf("post-Reset seq = %d, want 1", st.Seq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	l2, rec := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(rec.Records) != 1 || !bytes.Equal(rec.Records[0], []byte("fresh")) {
+		t.Fatalf("recovered %q after Reset, want [fresh]", rec.Records)
+	}
+}
+
+func TestSyncIntervalPolicy(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	l, _ := openT(t, dir, Options{Sync: SyncInterval, SyncEvery: 100 * time.Millisecond, Clock: clk.Now})
+	defer l.Close()
+
+	// Inside the interval: no fsync on the append path.
+	if st := mustAppend(t, l, []byte("a")); st.Synced {
+		t.Fatal("append inside the sync interval fsynced")
+	}
+	clk.Advance(50 * time.Millisecond)
+	if st := mustAppend(t, l, []byte("b")); st.Synced {
+		t.Fatal("append at +50ms fsynced before SyncEvery elapsed")
+	}
+	// Past the interval: the next append syncs and restarts the window.
+	clk.Advance(60 * time.Millisecond)
+	st := mustAppend(t, l, []byte("c"))
+	if !st.Synced {
+		t.Fatal("append past SyncEvery did not fsync")
+	}
+	if st.SyncDuration < 0 {
+		t.Fatalf("negative SyncDuration %v", st.SyncDuration)
+	}
+	if st := mustAppend(t, l, []byte("d")); st.Synced {
+		t.Fatal("append immediately after an interval sync fsynced again")
+	}
+}
+
+func TestSyncNeverPolicy(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Sync: SyncNever})
+	defer l.Close()
+	for i := 0; i < 5; i++ {
+		if st := mustAppend(t, l, []byte("p")); st.Synced {
+			t.Fatal("SyncNever fsynced on the append path")
+		}
+	}
+	// Explicit Sync still works for checkpoints.
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+}
+
+func TestClosedLogErrors(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append on closed log: %v, want ErrClosed", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync on closed log: %v, want ErrClosed", err)
+	}
+	if err := l.Reset(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Reset on closed log: %v, want ErrClosed", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	l, _ := openT(t, dir, Options{})
+	mustAppend(t, l, []byte("x"))
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := Remove(dir); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("dir survived Remove: %v", err)
+	}
+	if err := Remove(dir); err != nil {
+		t.Fatalf("Remove on missing dir: %v", err)
+	}
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	defer l.Close()
+	// Don't allocate 96 MiB in a unit test: fake the length check by
+	// verifying the boundary arithmetic on a crafted record instead, and
+	// exercise the live path with a payload we can afford.
+	if _, _, _, ok := readRecord(appendRecord(nil, 1, make([]byte, 1024))); !ok {
+		t.Fatal("readRecord rejected a valid 1KiB record")
+	}
+	if _, _, _, ok := readRecord(oversizeLengthFrame()); ok {
+		t.Fatal("readRecord accepted a record claiming an oversize length")
+	}
+}
+
+// oversizeLengthFrame builds a frame whose length varint claims more
+// than maxRecordBytes; the length gate must fire before any allocation
+// or checksum work.
+func oversizeLengthFrame() []byte {
+	out := []byte{1}                                // seq = 1
+	out = append(out, 0xff, 0xff, 0xff, 0xff, 0x7f) // ~34 GiB length
+	return append(out, appendRecord(nil, 1, []byte("tiny"))...)
+}
