@@ -20,7 +20,6 @@ import (
 	"repro/internal/broadcast"
 	"repro/internal/cluster"
 	"repro/internal/energy"
-	"repro/internal/experiment"
 	"repro/internal/gateway"
 	"repro/internal/maxmin"
 	"repro/internal/mobility"
@@ -30,11 +29,30 @@ import (
 	"repro/internal/udg"
 )
 
+// benchInst is one connected clustered benchmark instance (the local
+// equivalent of experiment.Instance; the experiment package now imports
+// repro for the scale figure's VerifyResult gate, so this in-package
+// test file cannot import it back without a cycle).
+type benchInst struct {
+	Net *udg.Network
+	C   *cluster.Clustering
+}
+
+// newBenchInst generates one connected network and clusters it.
+func newBenchInst(n int, deg float64, k int, aff cluster.Affiliation, rng *rand.Rand) (*benchInst, error) {
+	net, err := udg.Generate(udg.Config{N: n, AvgDegree: deg, RequireConnected: true}, rng)
+	if err != nil {
+		return nil, err
+	}
+	c := cluster.Run(net.G, cluster.Options{K: k, Affiliation: aff})
+	return &benchInst{Net: net, C: c}, nil
+}
+
 // benchInstance generates one connected clustered instance, failing the
 // benchmark on generator errors.
-func benchInstance(b *testing.B, n int, deg float64, k int, rng *rand.Rand) *experiment.Instance {
+func benchInstance(b *testing.B, n int, deg float64, k int, rng *rand.Rand) *benchInst {
 	b.Helper()
-	inst, err := experiment.NewInstance(n, deg, k, cluster.AffiliationID, nil, rng)
+	inst, err := newBenchInst(n, deg, k, cluster.AffiliationID, rng)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -295,7 +313,7 @@ func BenchmarkAblationAffiliation(b *testing.B) {
 			var sum float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				inst, err := experiment.NewInstance(100, 6, 2, aff, nil, rng)
+				inst, err := newBenchInst(100, 6, 2, aff, rng)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -569,4 +587,49 @@ func BenchmarkEngineReuse(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkBuildBatched isolates the CSR + multi-source batched BFS
+// fast path against the scalar per-source baseline it replaced, at the
+// same grid-indexed production-scale workload BenchmarkBuildParallel
+// uses, both serial (workers=1) so the delta is batching alone. Both
+// gateway algorithms are measured: AC-LMST builds spend their BFS
+// budget on the radius-bounded cluster/NC walks, where batching is
+// capped near parity by the level-overlap ratio, while G-MST adds the
+// unbounded head-to-head distance pass that batching cuts by well over
+// 2× (see internal/gateway's BenchmarkGMSTHeadDists). The scale figure
+// (`khopsim -fig scale`) reports the same comparison up the full
+// ladder to a million nodes.
+func BenchmarkBuildBatched(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range []int{10000, 50000} {
+		net, err := RandomNetwork(NetworkConfig{N: n, AvgDegree: 10, Seed: 1, AllowDisconnected: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := net.Graph()
+		for _, alg := range []Algorithm{ACLMST, GMST} {
+			for _, batched := range []bool{false, true} {
+				name := "scalar"
+				if batched {
+					name = "batched"
+				}
+				b.Run(fmt.Sprintf("N=%dk/%s/%s", n/1000, alg, name), func(b *testing.B) {
+					e, err := NewEngine(g, WithK(2), WithAlgorithm(alg), WithBatchedBFS(batched))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := e.Build(ctx); err != nil { // warm the scratch pools
+						b.Fatal(err)
+					}
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if _, err := e.Build(ctx); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
 }

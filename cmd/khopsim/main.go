@@ -74,7 +74,7 @@ func main() {
 		overN    = flag.Int("overhead-n", 100, "node count for the overhead experiment")
 		overD    = flag.Float64("overhead-d", 6, "average degree for the overhead experiment")
 		overRuns = flag.Int("overhead-runs", 20, "repetitions for the overhead experiment")
-		scaleMax = flag.Int("scale-max", 25000, "largest N of the scale experiment's ladder (100000 runs it all)")
+		scaleMax = flag.Int("scale-max", 25000, "largest N of the scale experiment's ladder (1000000 runs it all, up to the million-node build)")
 		scaleRun = flag.Int("scale-runs", 3, "repetitions per N for the scale experiment")
 		scaleWrk = flag.Int("scale-workers", 0, "parallel-build workers for the scale experiment (0 = all cores)")
 		snapOut  = flag.String("snapshot", "", "write a reusable khopd deployment snapshot (.khop) to this path")

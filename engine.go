@@ -9,6 +9,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/gateway"
+	"repro/internal/graph"
 	"repro/internal/maxmin"
 	"repro/internal/mobility"
 	"repro/internal/ncr"
@@ -62,6 +63,7 @@ type engineConfig struct {
 	seed        int64
 	loss        float64
 	parallel    int
+	scalarBFS   bool
 }
 
 func defaultConfig() engineConfig {
@@ -122,6 +124,18 @@ func WithSeed(seed int64) Option { return func(c *engineConfig) { c.seed = seed 
 // goroutine per node; n applies to the centralized gateway-path
 // materialization pass.
 func WithParallel(n int) Option { return func(c *engineConfig) { c.parallel = n } }
+
+// WithBatchedBFS toggles the CSR + multi-source batched BFS fast path
+// (default true). A build snapshots the graph into a flat CSR adjacency
+// once and runs the per-head and per-pair traversal fan-outs — election
+// offer walks, neighbor clusterhead selection, gateway distance and
+// path passes, Max-Min floods — as word-parallel multi-source sweeps, 64
+// sources per frontier pass. The Result is bitwise identical with the
+// path on or off (the differential tests pin this); disabling it exists
+// for those tests and for benchmarking the scalar baseline.
+func WithBatchedBFS(enabled bool) Option {
+	return func(c *engineConfig) { c.scalarBFS = !enabled }
+}
 
 // WithLoss injects per-delivery message loss with the given probability
 // into Distributed builds (default 0, the paper's ideal MAC). With loss
@@ -269,6 +283,7 @@ func (e *Engine) Build(ctx context.Context, overrides ...Option) (*Result, error
 			Affiliation: cfg.affiliation,
 			Scratch:     s,
 			Pool:        pool,
+			ScalarBFS:   cfg.scalarBFS,
 		})
 	case Distributed:
 		out, cost, err = e.buildDistributed(ctx, cfg, s, pool)
@@ -325,7 +340,11 @@ func (e *Engine) buildDistributed(ctx context.Context, cfg engineConfig, s *core
 		CDS:       pres.CDS,
 	}
 	if cfg.loss == 0 {
-		central, err := gateway.RunSelectedPar(ctx, e.g.g, pres.Clustering, pres.Selection, cfg.algorithm, s.BFS(), pool)
+		var fg *graph.FlatGraph
+		if !cfg.scalarBFS {
+			fg = graph.Flatten(e.g.g)
+		}
+		central, err := gateway.RunSelectedPar(ctx, e.g.g, fg, pres.Clustering, pres.Selection, cfg.algorithm, s.BFS(), pool)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -350,15 +369,19 @@ func (e *Engine) buildDistributed(ctx context.Context, cfg engineConfig, s *core
 }
 
 func (e *Engine) buildMaxMin(ctx context.Context, cfg engineConfig, s *core.Scratch, pool *partition.Pool) (*core.Output, error) {
-	c, err := maxmin.RunPar(ctx, e.g.g, cfg.k, s.BFS(), pool)
+	var fg *graph.FlatGraph
+	if !cfg.scalarBFS {
+		fg = graph.Flatten(e.g.g)
+	}
+	c, err := maxmin.RunPar(ctx, e.g.g, fg, cfg.k, s.BFS(), pool)
 	if err != nil {
 		return nil, err
 	}
-	sel, err := core.SelectionForPar(ctx, e.g.g, c, cfg.algorithm, s.BFS(), pool)
+	sel, err := core.SelectionForPar(ctx, e.g.g, fg, c, cfg.algorithm, s.BFS(), pool)
 	if err != nil {
 		return nil, err
 	}
-	gres, err := gateway.RunSelectedPar(ctx, e.g.g, c, sel, cfg.algorithm, s.BFS(), pool)
+	gres, err := gateway.RunSelectedPar(ctx, e.g.g, fg, c, sel, cfg.algorithm, s.BFS(), pool)
 	if err != nil {
 		return nil, err
 	}

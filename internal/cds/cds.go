@@ -12,12 +12,35 @@ import (
 )
 
 // CheckDominatingSet verifies that set is a k-hop dominating set of g:
-// every vertex is in set or within k hops of a member.
+// every vertex is in set or within k hops of a member. One multi-seed
+// BFS — all members enqueued at distance 0 — covers the whole graph in
+// O(V+E), replacing the former one-walk-per-member pass whose cost grew
+// with the set size.
 func CheckDominatingSet(g *graph.Graph, set []int, k int) error {
-	covered := make([]bool, g.N())
+	n := g.N()
+	covered := make([]bool, n)
+	dist := make([]int, n)
+	queue := make([]int, 0, len(set))
 	for _, s := range set {
-		for v := range g.BFSWithin(s, k) {
-			covered[v] = true
+		if s < 0 || s >= n {
+			return fmt.Errorf("cds: set member %d out of range [0,%d)", s, n)
+		}
+		if !covered[s] {
+			covered[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for i := 0; i < len(queue); i++ {
+		u := queue[i]
+		if dist[u] == k {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			if !covered[v] {
+				covered[v] = true
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
 		}
 	}
 	for v, ok := range covered {
@@ -29,17 +52,26 @@ func CheckDominatingSet(g *graph.Graph, set []int, k int) error {
 }
 
 // CheckIndependentSet verifies that the members of set are pairwise more
-// than k hops apart in g (a k-hop independent set).
+// than k hops apart in g (a k-hop independent set). The per-member ball
+// walks share one scratch and stop at the first conflict, so the check
+// allocates a handful of buffers instead of one distance map per member.
 func CheckIndependentSet(g *graph.Graph, set []int, k int) error {
-	in := make(map[int]bool, len(set))
+	in := make([]bool, g.N())
 	for _, s := range set {
 		in[s] = true
 	}
+	bs := graph.NewScratch()
 	for _, s := range set {
-		for v, d := range g.BFSWithin(s, k) {
+		var conflict error
+		g.EachWithin(bs, s, k, func(v, d int) bool {
 			if v != s && in[v] {
-				return fmt.Errorf("cds: heads %d and %d are only %d ≤ k hops apart", s, v, d)
+				conflict = fmt.Errorf("cds: heads %d and %d are only %d ≤ k hops apart", s, v, d)
+				return false
 			}
+			return true
+		})
+		if conflict != nil {
+			return conflict
 		}
 	}
 	return nil
@@ -73,14 +105,36 @@ func CheckClustering(g *graph.Graph, c *cluster.Clustering) error {
 			return fmt.Errorf("cds: node %d heads itself but is not in the Heads list", v)
 		}
 	}
+	// Distance validation, grouped by head: one batched multi-source BFS
+	// over all heads (64 per sweep, bounded at k) covers every
+	// (head, member) pair that can possibly be valid, replacing the
+	// former whole-graph HopDist BFS per node — the quadratic pass that
+	// dominated verification on large builds. A slot still -1 afterwards
+	// is exactly a member out of reach of its head.
+	distToOwn := make([]int, g.N())
+	for v := range distToOwn {
+		distToOwn[v] = -1
+	}
+	fg := graph.Flatten(g)
+	heads := make([]int, len(c.Heads)) // locality-ordered: tight 64-blocks
+	for i, pi := range fg.BlockOrder(c.Heads, c.K) {
+		heads[i] = c.Heads[pi]
+	}
+	fg.MSBFSAll(graph.NewMSScratch(), heads, c.K, func(base, v, d int, mask uint64) bool {
+		graph.EachBit(mask, func(i int) {
+			if c.Head[v] == heads[base+i] {
+				distToOwn[v] = d
+			}
+		})
+		return true
+	})
 	for v, h := range c.Head {
-		d := g.HopDist(h, v)
-		if d == graph.Unreachable || d > c.K {
-			return fmt.Errorf("cds: member %d is %d hops from head %d (k=%d)", v, d, h, c.K)
+		if distToOwn[v] < 0 {
+			return fmt.Errorf("cds: member %d is more than k=%d hops from head %d", v, c.K, h)
 		}
-		if c.DistToHead[v] > c.K || c.DistToHead[v] < d {
+		if c.DistToHead[v] > c.K || c.DistToHead[v] < distToOwn[v] {
 			return fmt.Errorf("cds: member %d recorded join distance %d, shortest is %d (k=%d)",
-				v, c.DistToHead[v], d, c.K)
+				v, c.DistToHead[v], distToOwn[v], c.K)
 		}
 	}
 	return nil

@@ -95,6 +95,13 @@ type Options struct {
 	// run. Priority.Rank must be safe for concurrent use (the built-in
 	// priorities are).
 	Pool *partition.Pool
+	// Flat, when non-nil, must be the CSR snapshot of g; the per-head
+	// offer walks of each affiliation phase then run as multi-source
+	// batched BFS (64 declared heads per frontier sweep). The offer
+	// multiset is identical to the scalar walks' and joinAll's total
+	// (node, head) sort erases collection order, so the clustering is
+	// bitwise identical either way.
+	Flat *graph.FlatGraph
 }
 
 // Scratch holds the reusable working memory of a clustering run: the
@@ -214,6 +221,10 @@ func RunCtx(ctx context.Context, g *graph.Graph, opt Options, s *Scratch) (*Clus
 			if err := offerRoundParallel(ctx, g, opt, s, declared, head); err != nil {
 				return nil, err
 			}
+		} else if opt.Flat != nil {
+			if err := offerBlocks(ctx, opt.Flat, s.BFS, head, declared, opt.K, &s.offers); err != nil {
+				return nil, err
+			}
 		} else {
 			for _, h := range declared {
 				if err := ctx.Err(); err != nil {
@@ -274,6 +285,46 @@ func collectOffers(g *graph.Graph, bs *graph.Scratch, head []int, h, k int, out 
 	})
 }
 
+// offerBlocks is collectOffers over a list of declared heads at once:
+// one multi-source BFS sweep per 64-head block instead of one ball walk
+// per head, checking ctx between sweeps. Every declared head is already
+// marked in head (heads join themselves before the walks), so the
+// undecided filter below excludes the same vertices the scalar walk's
+// v != h && head[v] == undecided test does. The blocks are cut from the
+// declared list in graph-locality order so each sweep's heads share
+// their frontiers — the cheap rank blocking, since these sweeps stop at
+// radius ≤ k and a ball-growing ordering walk would cost more than it
+// saves, every round; the offers arrive in a different order than the
+// scalar walks produce them, but the multiset is identical and joinAll
+// sorts before consuming.
+func offerBlocks(ctx context.Context, fg *graph.FlatGraph, bs *graph.Scratch, head, declared []int, k int, out *[]offer) error {
+	const undecided = -1
+	if bs == nil {
+		bs = graph.NewScratch()
+	}
+	perm := fg.RankOrder(declared)
+	var block [64]int
+	for base := 0; base < len(declared); base += 64 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		idxs := perm[base:min(base+64, len(declared))]
+		for i, pi := range idxs {
+			block[i] = declared[pi]
+		}
+		fg.MSBFS(bs.MS(), block[:len(idxs)], k, func(v, d int, mask uint64) bool {
+			if head[v] != undecided {
+				return true
+			}
+			graph.EachBit(mask, func(i int) {
+				*out = append(*out, offer{node: v, head: block[i], dist: d})
+			})
+			return true
+		})
+	}
+	return nil
+}
+
 // declareRoundParallel runs one declaration phase sharded across the
 // pool and merges the per-shard winner lists in shard (= node-ID)
 // order, reproducing the serial list exactly.
@@ -331,11 +382,17 @@ func offerRoundParallel(ctx context.Context, g *graph.Graph, opt Options, s *Scr
 	}
 	err := opt.Pool.Shard(ctx, len(declared), func(shard int, bs *graph.Scratch, r partition.Range) error {
 		out := offs[shard][:0]
-		for _, h := range declared[r.Start:r.End] {
-			if err := ctx.Err(); err != nil {
+		if opt.Flat != nil {
+			if err := offerBlocks(ctx, opt.Flat, bs, head, declared[r.Start:r.End], opt.K, &out); err != nil {
 				return err
 			}
-			collectOffers(g, bs, head, h, opt.K, &out)
+		} else {
+			for _, h := range declared[r.Start:r.End] {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				collectOffers(g, bs, head, h, opt.K, &out)
+			}
 		}
 		offs[shard] = out
 		return nil

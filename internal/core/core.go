@@ -34,6 +34,12 @@ type Options struct {
 	// identical to a serial build. Obtain one from Scratch.Par so the
 	// per-worker buffers pool with the rest of the build's memory.
 	Pool *partition.Pool
+	// ScalarBFS disables the CSR + multi-source batched BFS fast path
+	// and runs every traversal as a scalar per-source walk, exactly as
+	// the pipeline did before batching existed. The output is bitwise
+	// identical either way (the differential tests pin this); the flag
+	// exists for those tests and for apples-to-apples benchmarking.
+	ScalarBFS bool
 }
 
 // Scratch bundles the per-build working memory of the whole pipeline:
@@ -95,20 +101,28 @@ func BuildCtx(ctx context.Context, g *graph.Graph, opt Options) (*Output, error)
 	if s == nil {
 		s = NewScratch()
 	}
+	// One CSR snapshot per build feeds every stage's batched traversals;
+	// flattening is a single O(V+E) pass, far below the cost of the walks
+	// it accelerates.
+	var fg *graph.FlatGraph
+	if !opt.ScalarBFS {
+		fg = graph.Flatten(g)
+	}
 	c, err := cluster.RunCtx(ctx, g, cluster.Options{
 		K:           opt.K,
 		Priority:    opt.Priority,
 		Affiliation: opt.Affiliation,
 		Pool:        opt.Pool,
+		Flat:        fg,
 	}, s.cluster)
 	if err != nil {
 		return nil, err
 	}
-	sel, err := SelectionForPar(ctx, g, c, opt.Algorithm, s.bfs, opt.Pool)
+	sel, err := SelectionForPar(ctx, g, fg, c, opt.Algorithm, s.bfs, opt.Pool)
 	if err != nil {
 		return nil, err
 	}
-	res, err := gateway.RunSelectedPar(ctx, g, c, sel, opt.Algorithm, s.bfs, opt.Pool)
+	res, err := gateway.RunSelectedPar(ctx, g, fg, c, sel, opt.Algorithm, s.bfs, opt.Pool)
 	if err != nil {
 		return nil, err
 	}
@@ -126,16 +140,17 @@ func SelectionFor(g *graph.Graph, c *cluster.Clustering, algo gateway.Algorithm)
 // SelectionForCtx is SelectionFor with cancellation and reusable BFS
 // buffers (nil is valid).
 func SelectionForCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, algo gateway.Algorithm, s *graph.Scratch) (*ncr.Selection, error) {
-	return SelectionForPar(ctx, g, c, algo, s, nil)
+	return SelectionForPar(ctx, g, nil, c, algo, s, nil)
 }
 
 // SelectionForPar is SelectionForCtx with the selection walks sharded
-// across pool's workers (nil pool = serial, identical output).
-func SelectionForPar(ctx context.Context, g *graph.Graph, c *cluster.Clustering, algo gateway.Algorithm, s *graph.Scratch, pool *partition.Pool) (*ncr.Selection, error) {
+// across pool's workers (nil pool = serial, identical output) and, when
+// fg (the CSR snapshot of g) is non-nil, batched 64 heads per BFS sweep.
+func SelectionForPar(ctx context.Context, g *graph.Graph, fg *graph.FlatGraph, c *cluster.Clustering, algo gateway.Algorithm, s *graph.Scratch, pool *partition.Pool) (*ncr.Selection, error) {
 	rule := ncr.RuleNC
 	switch algo {
 	case gateway.ACMesh, gateway.ACLMST:
 		rule = ncr.RuleANCR
 	}
-	return ncr.SelectPar(ctx, g, c, rule, s, pool)
+	return ncr.SelectPar(ctx, g, fg, c, rule, s, pool)
 }

@@ -220,6 +220,45 @@ func TestWriteCSV(t *testing.T) {
 	}
 }
 
+// TestWriteTableRaggedSeries: a series that stops early (the scale
+// figure's capped scalar column) must not truncate the table — rows
+// past its last x render with "-" in its column, and the CSV leaves
+// its cells empty.
+func TestWriteTableRaggedSeries(t *testing.T) {
+	fig := &Figure{
+		Title:  "ragged",
+		XLabel: "N",
+		Series: []Series{
+			{Label: "short", Points: []Point{{N: 10, Mean: 1}, {N: 20, Mean: 2}}},
+			{Label: "full", Points: []Point{{N: 10, Mean: 3}, {N: 20, Mean: 4}, {N: 40, Mean: 5}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + 3 x-values
+		t.Fatalf("table rows=%d, the short series must not drop x=40:\n%s", len(lines), out)
+	}
+	last := lines[4]
+	if !strings.Contains(last, "40") || !strings.Contains(last, "-") || !strings.Contains(last, "5.00") {
+		t.Fatalf("x=40 row should show - for the short series and 5.00 for the full one: %q", last)
+	}
+	buf.Reset()
+	if err := fig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	csvLines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(csvLines) != 4 {
+		t.Fatalf("CSV rows=%d:\n%s", len(csvLines), buf.String())
+	}
+	if want := "40,,,,5.0000,0.0000,1"; !strings.HasPrefix(csvLines[3], "40,,,") {
+		t.Fatalf("CSV x=40 row=%q want prefix of %q", csvLines[3], want)
+	}
+}
+
 func TestSeriesByLabelMissing(t *testing.T) {
 	fig := &Figure{Series: []Series{{Label: "a"}}}
 	if fig.SeriesByLabel("b") != nil {

@@ -7,7 +7,10 @@ import (
 )
 
 // WriteTable renders a figure as an aligned text table: one row per
-// x-value, one column per series.
+// x-value, one column per series. Series may cover different x-ranges
+// (the scale figure's scalar column stops at its cap while the batched
+// columns run the full ladder); a series with no point at a row's x
+// renders as "-" rather than the row being dropped.
 func (f *Figure) WriteTable(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "%s\n", f.Title); err != nil {
 		return err
@@ -17,10 +20,14 @@ func (f *Figure) WriteTable(w io.Writer) error {
 		header = append(header, s.Label)
 	}
 	rows := [][]string{header}
-	for i := range f.xs() {
-		row := []string{fmt.Sprintf("%d", f.Series[0].Points[i].N)}
+	for _, x := range f.xs() {
+		row := []string{fmt.Sprintf("%d", x)}
 		for _, s := range f.Series {
-			row = append(row, fmt.Sprintf("%.2f", s.Points[i].Mean))
+			if p, ok := s.pointAt(x); ok {
+				row = append(row, fmt.Sprintf("%.2f", p.Mean))
+			} else {
+				row = append(row, "-")
+			}
 		}
 		rows = append(rows, row)
 	}
@@ -28,6 +35,8 @@ func (f *Figure) WriteTable(w io.Writer) error {
 }
 
 // WriteCSV renders a figure as CSV with mean and CI columns per series.
+// As in WriteTable, x-values any series covers are all emitted; a
+// series' cells are empty on rows it has no point for.
 func (f *Figure) WriteCSV(w io.Writer) error {
 	cols := []string{f.XLabel}
 	for _, s := range f.Series {
@@ -36,11 +45,14 @@ func (f *Figure) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
 		return err
 	}
-	for i := range f.xs() {
-		fields := []string{fmt.Sprintf("%d", f.Series[0].Points[i].N)}
+	for _, x := range f.xs() {
+		fields := []string{fmt.Sprintf("%d", x)}
 		for _, s := range f.Series {
-			p := s.Points[i]
-			fields = append(fields, fmt.Sprintf("%.4f", p.Mean), fmt.Sprintf("%.4f", p.CI), fmt.Sprintf("%d", p.Runs))
+			if p, ok := s.pointAt(x); ok {
+				fields = append(fields, fmt.Sprintf("%.4f", p.Mean), fmt.Sprintf("%.4f", p.CI), fmt.Sprintf("%d", p.Runs))
+			} else {
+				fields = append(fields, "", "", "")
+			}
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
 			return err
@@ -49,15 +61,31 @@ func (f *Figure) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// xs returns the union of the series' x-values in first-appearance
+// order (every generator appends points in ascending x, so the union
+// stays ascending; no map iteration, so the order is deterministic).
 func (f *Figure) xs() []int {
-	if len(f.Series) == 0 {
-		return nil
-	}
-	xs := make([]int, len(f.Series[0].Points))
-	for i, p := range f.Series[0].Points {
-		xs[i] = p.N
+	var xs []int
+	seen := make(map[int]bool)
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.N] {
+				seen[p.N] = true
+				xs = append(xs, p.N)
+			}
+		}
 	}
 	return xs
+}
+
+// pointAt returns the series' point at x, if any.
+func (s *Series) pointAt(n int) (Point, bool) {
+	for _, p := range s.Points {
+		if p.N == n {
+			return p, true
+		}
+	}
+	return Point{}, false
 }
 
 // SeriesByLabel returns the named series, or nil.

@@ -6,31 +6,36 @@ import (
 )
 
 // TestScaleFigureSmall runs the scale workload at a test-sized ladder:
-// the figure must carry both series with matching x-axes, positive
-// timings, and the in-trial serial/parallel structure cross-check must
-// hold (a mismatch fails the build with an error).
+// the figure must carry all three series (scalar, batched, batched
+// parallel) with matching x-axes, positive timings, and the in-trial
+// scalar/batched/parallel structure cross-checks — plus trial 0's
+// VerifyResult gate — must hold (a mismatch fails the build with an
+// error).
 func TestScaleFigureSmall(t *testing.T) {
 	cfg := RunConfig{Seed: 1, ScaleMaxN: 2500, ScaleRuns: 2, ScaleWorkers: 4}
 	fig, err := ScaleFigure(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(fig.Series) != 2 {
-		t.Fatalf("series=%d, want 2", len(fig.Series))
+	if len(fig.Series) != 3 {
+		t.Fatalf("series=%d, want 3", len(fig.Series))
 	}
-	serial, parallel := fig.Series[0], fig.Series[1]
-	if len(serial.Points) != 2 || len(parallel.Points) != 2 { // N=1000, 2500
-		t.Fatalf("points: serial=%d parallel=%d, want 2 each", len(serial.Points), len(parallel.Points))
+	scalar, batched, parallel := fig.Series[0], fig.Series[1], fig.Series[2]
+	// N=1000, 2500 — both below the scalar cap, so all columns have both.
+	if len(scalar.Points) != 2 || len(batched.Points) != 2 || len(parallel.Points) != 2 {
+		t.Fatalf("points: scalar=%d batched=%d parallel=%d, want 2 each",
+			len(scalar.Points), len(batched.Points), len(parallel.Points))
 	}
-	for i := range serial.Points {
-		if serial.Points[i].N != parallel.Points[i].N {
-			t.Fatalf("x-axis mismatch at %d: %d vs %d", i, serial.Points[i].N, parallel.Points[i].N)
+	for i := range batched.Points {
+		if scalar.Points[i].N != batched.Points[i].N || batched.Points[i].N != parallel.Points[i].N {
+			t.Fatalf("x-axis mismatch at %d: %d / %d / %d",
+				i, scalar.Points[i].N, batched.Points[i].N, parallel.Points[i].N)
 		}
-		if serial.Points[i].Mean <= 0 || parallel.Points[i].Mean <= 0 {
-			t.Fatalf("non-positive wall time at N=%d", serial.Points[i].N)
+		if scalar.Points[i].Mean <= 0 || batched.Points[i].Mean <= 0 || parallel.Points[i].Mean <= 0 {
+			t.Fatalf("non-positive wall time at N=%d", batched.Points[i].N)
 		}
-		if serial.Points[i].Runs != cfg.ScaleRuns {
-			t.Fatalf("runs=%d, want %d", serial.Points[i].Runs, cfg.ScaleRuns)
+		if batched.Points[i].Runs != cfg.ScaleRuns {
+			t.Fatalf("runs=%d, want %d", batched.Points[i].Runs, cfg.ScaleRuns)
 		}
 	}
 }

@@ -121,7 +121,7 @@ func RunCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, algo Alg
 	case ACMesh, ACLMST:
 		rule = ncr.RuleANCR
 	case GMST:
-		return globalMSTCtx(ctx, g, c, s, nil)
+		return globalMSTCtx(ctx, g, nil, c, s, nil)
 	case NCMesh, NCLMST:
 	default:
 		panic(fmt.Sprintf("gateway: unknown algorithm %d", int(algo)))
@@ -138,7 +138,7 @@ func RunCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, algo Alg
 // that need the selection themselves and should not pay for it twice.
 // GMST connects all head pairs centrally and ignores sel.
 func RunSelectedCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, algo Algorithm, s *graph.Scratch) (*Result, error) {
-	return runSelected(ctx, g, c, sel, algo, s, nil, nil, nil)
+	return runSelected(ctx, g, nil, c, sel, algo, s, nil, nil, nil)
 }
 
 // RunSelectedPar is RunSelectedCtx with the per-pair shortest-path
@@ -148,8 +148,15 @@ func RunSelectedCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, 
 // count: every sharded item is an independent read-only computation
 // whose outputs merge in the serial order. A nil pool (or one worker)
 // is the serial path.
-func RunSelectedPar(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, algo Algorithm, s *graph.Scratch, pool *partition.Pool) (*Result, error) {
-	return runSelected(ctx, g, c, sel, algo, s, nil, nil, pool)
+//
+// A non-nil fg (the CSR snapshot of g) additionally batches the BFS
+// fan-outs: per-pair shortest paths group by source into one shared
+// early-exiting walk per head, and G-MST's per-head distance rows run
+// as multi-source sweeps, 64 heads per frontier pass. The tie-break
+// (smallest-ID parent one hop closer to the source) is reproduced
+// exactly, so the Result stays bitwise identical to the scalar path.
+func RunSelectedPar(ctx context.Context, g *graph.Graph, fg *graph.FlatGraph, c *cluster.Clustering, sel *ncr.Selection, algo Algorithm, s *graph.Scratch, pool *partition.Pool) (*Result, error) {
+	return runSelected(ctx, g, fg, c, sel, algo, s, nil, nil, pool)
 }
 
 // RunSelectedFrom is RunSelectedCtx for incremental repair: it re-runs
@@ -183,17 +190,17 @@ func RunSelectedFrom(ctx context.Context, g *graph.Graph, c *cluster.Clustering,
 	if prev != nil {
 		prevLMST = prev.lmst
 	}
-	return runSelected(ctx, g, c, sel, algo, s, cache, prevLMST, nil)
+	return runSelected(ctx, g, nil, c, sel, algo, s, cache, prevLMST, nil)
 }
 
-func runSelected(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, algo Algorithm, s *graph.Scratch, cache map[[2]int][]int, prev *lmstState, pool *partition.Pool) (*Result, error) {
+func runSelected(ctx context.Context, g *graph.Graph, fg *graph.FlatGraph, c *cluster.Clustering, sel *ncr.Selection, algo Algorithm, s *graph.Scratch, cache map[[2]int][]int, prev *lmstState, pool *partition.Pool) (*Result, error) {
 	switch algo {
 	case NCMesh, ACMesh:
-		return meshCtx(ctx, g, c, sel, algo, s, cache, pool)
+		return meshCtx(ctx, g, fg, c, sel, algo, s, cache, pool)
 	case NCLMST, ACLMST:
-		return lmstCtx(ctx, g, c, sel, algo, KeepUnion, s, cache, prev, pool)
+		return lmstCtx(ctx, g, fg, c, sel, algo, KeepUnion, s, cache, prev, pool)
 	case GMST:
-		return globalMSTCtx(ctx, g, c, s, pool)
+		return globalMSTCtx(ctx, g, fg, c, s, pool)
 	default:
 		panic(fmt.Sprintf("gateway: unknown algorithm %d", int(algo)))
 	}
@@ -204,8 +211,16 @@ func runSelected(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel
 // preserving the original per-pair cancellation points). Each shard
 // writes only its own slots of the result, so the path set cannot
 // depend on scheduling; cached paths short-circuit exactly as serially.
-func shortestPaths(ctx context.Context, g *graph.Graph, pairs [][2]int, s *graph.Scratch, cache map[[2]int][]int, pool *partition.Pool) ([][]int, error) {
+//
+// With a CSR snapshot (fg non-nil) the pairs are grouped by source
+// head, and each group shares one early-exiting BFS
+// (FlatGraph.ShortestPathsFrom) whose back-walks reproduce the scalar
+// per-pair paths element for element; groups shard across the pool.
+func shortestPaths(ctx context.Context, g *graph.Graph, fg *graph.FlatGraph, pairs [][2]int, s *graph.Scratch, cache map[[2]int][]int, pool *partition.Pool) ([][]int, error) {
 	out := make([][]int, len(pairs))
+	if fg != nil {
+		return out, groupedPaths(ctx, fg, pairs, out, s, cache, pool)
+	}
 	if pool.Workers() <= 1 {
 		for i, pair := range pairs {
 			if err := ctx.Err(); err != nil {
@@ -228,6 +243,71 @@ func shortestPaths(ctx context.Context, g *graph.Graph, pairs [][2]int, s *graph
 		return nil, err
 	}
 	return out, nil
+}
+
+// groupedPaths fills out[i] with the path of pairs[i], one shared
+// early-exit BFS per distinct source vertex. Each group writes only its
+// own slots of out, so the result is identical for any worker count —
+// and identical to the scalar per-pair computation, since the shared
+// BFS recovers every path with the same min-ID back-walk.
+func groupedPaths(ctx context.Context, fg *graph.FlatGraph, pairs [][2]int, out [][]int, s *graph.Scratch, cache map[[2]int][]int, pool *partition.Pool) error {
+	order := make([]int, len(pairs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return pairs[order[a]][0] < pairs[order[b]][0] })
+	var groups [][2]int // half-open ranges into order, one per source
+	for lo := 0; lo < len(order); {
+		hi := lo + 1
+		for hi < len(order) && pairs[order[hi]][0] == pairs[order[lo]][0] {
+			hi++
+		}
+		groups = append(groups, [2]int{lo, hi})
+		lo = hi
+	}
+	doGroup := func(bs *graph.Scratch, gr [2]int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		src := pairs[order[gr[0]]][0]
+		var dsts, slots []int
+		for _, i := range order[gr[0]:gr[1]] {
+			if p, ok := cache[canon(pairs[i][0], pairs[i][1])]; ok {
+				out[i] = p
+				continue
+			}
+			dsts = append(dsts, pairs[i][1])
+			slots = append(slots, i)
+		}
+		if len(dsts) == 0 {
+			return nil
+		}
+		paths := fg.ShortestPathsFrom(bs, src, dsts)
+		for j, i := range slots {
+			out[i] = paths[j]
+		}
+		return nil
+	}
+	if pool.Workers() <= 1 {
+		bs := s
+		if bs == nil {
+			bs = graph.NewScratch()
+		}
+		for _, gr := range groups {
+			if err := doGroup(bs, gr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return pool.Shard(ctx, len(groups), func(_ int, bs *graph.Scratch, r partition.Range) error {
+		for gi := r.Start; gi < r.End; gi++ {
+			if err := doGroup(bs, groups[gi]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 // pathIntact reports whether every hop of path is still an edge of g.
@@ -254,14 +334,14 @@ func cachedPath(g *graph.Graph, s *graph.Scratch, cache map[[2]int][]int, u, v i
 // nodes of the deterministic shortest path between the two heads as
 // gateways (the mesh-based scheme: exactly one gateway path per pair).
 func Mesh(g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm) *Result {
-	res, _ := meshCtx(context.Background(), g, c, sel, label, nil, nil, nil)
+	res, _ := meshCtx(context.Background(), g, nil, c, sel, label, nil, nil, nil)
 	return res
 }
 
-func meshCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, s *graph.Scratch, cache map[[2]int][]int, pool *partition.Pool) (*Result, error) {
+func meshCtx(ctx context.Context, g *graph.Graph, fg *graph.FlatGraph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, s *graph.Scratch, cache map[[2]int][]int, pool *partition.Pool) (*Result, error) {
 	res := newResult(label)
 	pairs := sel.Pairs()
-	paths, err := shortestPaths(ctx, g, pairs, s, cache, pool)
+	paths, err := shortestPaths(ctx, g, fg, pairs, s, cache, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -302,12 +382,12 @@ func (k KeepRule) String() string {
 // local MST, and keeps the virtual links from u to its on-tree
 // neighbors. Gateways are the intermediate nodes of kept links.
 func LMST(g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, keep KeepRule) *Result {
-	res, _ := lmstCtx(context.Background(), g, c, sel, label, keep, nil, nil, nil, nil)
+	res, _ := lmstCtx(context.Background(), g, nil, c, sel, label, keep, nil, nil, nil, nil)
 	return res
 }
 
-func lmstCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, keep KeepRule, s *graph.Scratch, cache map[[2]int][]int, prev *lmstState, pool *partition.Pool) (*Result, error) {
-	vg, paths, err := virtualGraphCtx(ctx, g, sel, s, cache, pool)
+func lmstCtx(ctx context.Context, g *graph.Graph, fg *graph.FlatGraph, c *cluster.Clustering, sel *ncr.Selection, label Algorithm, keep KeepRule, s *graph.Scratch, cache map[[2]int][]int, prev *lmstState, pool *partition.Pool) (*Result, error) {
+	vg, paths, err := virtualGraphCtx(ctx, g, fg, sel, s, cache, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -437,46 +517,14 @@ func changedHeads(oldVG, newVG *graph.WGraph) map[int]bool {
 // (weight = hop distance, ID tiebreak), with intermediate path nodes as
 // gateways.
 func GlobalMST(g *graph.Graph, c *cluster.Clustering) *Result {
-	res, _ := globalMSTCtx(context.Background(), g, c, nil, nil)
+	res, _ := globalMSTCtx(context.Background(), g, nil, c, nil, nil)
 	return res
 }
 
-func globalMSTCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, s *graph.Scratch, pool *partition.Pool) (*Result, error) {
-	// Head-to-head distances: one whole-graph BFS per head, sharded
-	// across the pool (each shard owns its rows of dists), then merged
-	// into the virtual graph in head order — the serial construction.
-	dists := make([][]graph.WEdge, len(c.Heads))
-	headDists := func(bs *graph.Scratch, i int) []graph.WEdge {
-		u := c.Heads[i]
-		dist := g.BFSScratch(bs, u)
-		var row []graph.WEdge
-		for _, v := range c.Heads[i+1:] {
-			if d := dist.Dist(v); d != graph.Unreachable {
-				row = append(row, graph.WEdge{U: u, V: v, Weight: d})
-			}
-		}
-		return row
-	}
-	if pool.Workers() > 1 {
-		err := pool.Shard(ctx, len(c.Heads), func(_ int, bs *graph.Scratch, r partition.Range) error {
-			for i := r.Start; i < r.End; i++ {
-				if err := ctx.Err(); err != nil {
-					return err
-				}
-				dists[i] = headDists(bs, i)
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		for i := range c.Heads {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			dists[i] = headDists(s, i)
-		}
+func globalMSTCtx(ctx context.Context, g *graph.Graph, fg *graph.FlatGraph, c *cluster.Clustering, s *graph.Scratch, pool *partition.Pool) (*Result, error) {
+	dists, err := headDistRows(ctx, g, fg, c.Heads, s, pool)
+	if err != nil {
+		return nil, err
 	}
 	vg := graph.NewWGraph()
 	for i, u := range c.Heads {
@@ -495,7 +543,7 @@ func globalMSTCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, s 
 	for i, e := range mst {
 		links[i] = canon(e.U, e.V)
 	}
-	paths, err := shortestPaths(ctx, g, links, s, nil, pool)
+	paths, err := shortestPaths(ctx, g, fg, links, s, nil, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -506,23 +554,123 @@ func globalMSTCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, s 
 	return res, nil
 }
 
+// headDistRows computes, for every head, its hop distances to all later
+// heads (rows hold only u < v pairs, ascending by the far head): row i
+// is what a whole-graph BFS from heads[i] sees of heads[i+1:]. This is
+// the BFS-dominated pass of G-MST. Scalar (fg == nil) it is exactly
+// that — one whole-graph BFS per head, sharded across the pool, each
+// shard owning its rows. With a CSR snapshot the rows come instead from
+// unbounded multi-source sweeps, 64 heads per frontier pass, the head
+// list cut into graph-locality blocks (FlatGraph.LocalityOrder) so each
+// sweep's sources share their frontiers; each row is then sorted by the
+// far head, restoring the serial row order exactly.
+func headDistRows(ctx context.Context, g *graph.Graph, fg *graph.FlatGraph, heads []int, s *graph.Scratch, pool *partition.Pool) ([][]graph.WEdge, error) {
+	dists := make([][]graph.WEdge, len(heads))
+	var perm []int
+	var headIdx []int32 // headIdx[v] = index of v in heads, -1 for non-heads
+	if fg != nil {
+		perm = fg.LocalityOrder(heads)
+		headIdx = make([]int32, fg.N())
+		for v := range headIdx {
+			headIdx[v] = -1
+		}
+		for i, h := range heads {
+			headIdx[h] = int32(i)
+		}
+	}
+	headDists := func(bs *graph.Scratch, i int) []graph.WEdge {
+		u := heads[i]
+		dist := g.BFSScratch(bs, u)
+		var row []graph.WEdge
+		for _, v := range heads[i+1:] {
+			if d := dist.Dist(v); d != graph.Unreachable {
+				row = append(row, graph.WEdge{U: u, V: v, Weight: d})
+			}
+		}
+		return row
+	}
+	headDistsBatch := func(bs *graph.Scratch, lo, hi int) error {
+		var block [64]int
+		for base := lo; base < hi; base += 64 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			end := min(base+64, hi)
+			idxs := perm[base:end]
+			for i, pi := range idxs {
+				block[i] = heads[pi]
+			}
+			fg.MSBFS(bs.MS(), block[:len(idxs)], -1, func(v, d int, mask uint64) bool {
+				j := headIdx[v]
+				if j < 0 {
+					return true
+				}
+				graph.EachBit(mask, func(i int) {
+					if iu := idxs[i]; iu < int(j) {
+						dists[iu] = append(dists[iu], graph.WEdge{U: block[i], V: v, Weight: d})
+					}
+				})
+				return true
+			})
+		}
+		for _, pi := range perm[lo:hi] {
+			row := dists[pi]
+			sort.Slice(row, func(a, b int) bool { return row[a].V < row[b].V })
+		}
+		return nil
+	}
+	if pool.Workers() > 1 {
+		err := pool.Shard(ctx, len(heads), func(_ int, bs *graph.Scratch, r partition.Range) error {
+			if fg != nil {
+				return headDistsBatch(bs, r.Start, r.End)
+			}
+			for i := r.Start; i < r.End; i++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				dists[i] = headDists(bs, i)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else if fg != nil {
+		bs := s
+		if bs == nil {
+			bs = graph.NewScratch()
+		}
+		if err := headDistsBatch(bs, 0, len(heads)); err != nil {
+			return nil, err
+		}
+	} else {
+		for i := range heads {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			dists[i] = headDists(s, i)
+		}
+	}
+	return dists, nil
+}
+
 // VirtualGraph builds the weighted virtual graph of a neighbor selection:
 // vertices are clusterheads, edges are selected pairs weighted by the hop
 // distance of the deterministic shortest path between the heads. It also
 // returns the underlying path of each virtual link keyed by canonical
 // pair.
 func VirtualGraph(g *graph.Graph, sel *ncr.Selection) (*graph.WGraph, map[[2]int][]int) {
-	vg, paths, _ := virtualGraphCtx(context.Background(), g, sel, nil, nil, nil)
+	vg, paths, _ := virtualGraphCtx(context.Background(), g, nil, sel, nil, nil, nil)
 	return vg, paths
 }
 
-func virtualGraphCtx(ctx context.Context, g *graph.Graph, sel *ncr.Selection, s *graph.Scratch, cache map[[2]int][]int, pool *partition.Pool) (*graph.WGraph, map[[2]int][]int, error) {
+func virtualGraphCtx(ctx context.Context, g *graph.Graph, fg *graph.FlatGraph, sel *ncr.Selection, s *graph.Scratch, cache map[[2]int][]int, pool *partition.Pool) (*graph.WGraph, map[[2]int][]int, error) {
 	vg := graph.NewWGraph()
 	for h := range sel.Neighbors {
 		vg.AddVertex(h)
 	}
 	pairs := sel.Pairs()
-	pairPaths, err := shortestPaths(ctx, g, pairs, s, cache, pool)
+	pairPaths, err := shortestPaths(ctx, g, fg, pairs, s, cache, pool)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,162 @@
+package graph
+
+import "math/bits"
+
+// MSScratch holds the reusable buffers of multi-source batched BFS
+// sweeps (FlatGraph.MSBFS). Like Scratch it serves one traversal at a
+// time and is not safe for concurrent use; parallel phases give each
+// worker its own (Scratch.MS pools one per worker scratch).
+//
+// Clearing is sparse: a sweep records every vertex it touched and the
+// next sweep zeroes only those slots, so a batch over a small
+// neighborhood of a huge graph pays for the neighborhood, not for N.
+//
+// The seen and next-level masks are interleaved in one array (sn[2v] =
+// seen, sn[2v+1] = next): the edge-relax loop reads both for the same
+// random v, and the 16-byte pair never straddles a cache line, so the
+// interleaving turns the loop's two random memory accesses per scanned
+// edge into one.
+type MSScratch struct {
+	sn       []uint64 // sn[2v] = seen bits of v, sn[2v+1] = next-level bits
+	frontier []uint64 // current level's masks
+	cur, nxt []int32  // current / next frontier vertex lists
+	touched  []int32  // vertices with nonzero seen/frontier, for sparse clearing
+}
+
+// NewMSScratch returns an empty MSScratch; buffers grow on first use.
+func NewMSScratch() *MSScratch { return &MSScratch{} }
+
+// reset prepares the scratch for a sweep over n vertices, zeroing only
+// the slots the previous sweep dirtied. (The next-level halves are
+// already zero between sweeps; MSBFS maintains that invariant even on
+// aborts.)
+func (s *MSScratch) reset(n int) {
+	if len(s.sn) < 2*n {
+		s.sn = make([]uint64, 2*n)
+		s.frontier = make([]uint64, n)
+		s.touched = s.touched[:0]
+		return
+	}
+	for _, v := range s.touched {
+		s.sn[2*v] = 0
+		s.frontier[v] = 0
+	}
+	s.touched = s.touched[:0]
+}
+
+// MSBFS runs one batched BFS sweep from up to 64 distinct sources over
+// the CSR graph: each source owns one bit of a per-vertex mask, and one
+// shared frontier advances all sources per level by word-parallel OR —
+// the Then et al. MS-BFS scheme, amortizing the whole batch into a
+// single pass over each touched vertex per level.
+//
+// visit(v, d, mask) is called for every (source, vertex) first reach,
+// grouped per vertex and level: bit i of mask set means hop distance
+// from sources[i] to v is exactly d. Each source–vertex pair is
+// reported at most once; a vertex is reported once per distinct level
+// at which sources first reach it. Levels are visited in ascending
+// order (each source's own vertex first, at d = 0); within a level the
+// order is the deterministic discovery order (frontier order × sorted
+// neighbors), not ascending vertex ID. Returning false aborts the
+// sweep. maxHops < 0 means unbounded.
+//
+// Sources must be distinct and in range; len(sources) > 64 panics.
+func (f *FlatGraph) MSBFS(s *MSScratch, sources []int, maxHops int, visit func(v, d int, mask uint64) bool) {
+	if len(sources) > 64 {
+		panic("graph: MSBFS batch larger than 64 sources")
+	}
+	n := f.N()
+	s.reset(n)
+	if maxHops < 0 {
+		maxHops = n
+	}
+	s.cur = s.cur[:0]
+	sn := s.sn
+	for i, src := range sources {
+		if src < 0 || src >= n {
+			panic("graph: MSBFS source out of range")
+		}
+		if sn[2*src] != 0 {
+			panic("graph: MSBFS sources must be distinct")
+		}
+		bit := uint64(1) << uint(i)
+		s.touched = append(s.touched, int32(src))
+		s.cur = append(s.cur, int32(src))
+		sn[2*src] = bit
+		s.frontier[src] = bit
+	}
+	for _, v := range s.cur {
+		if !visit(int(v), 0, s.frontier[v]) {
+			return
+		}
+	}
+	for d := 1; d <= maxHops && len(s.cur) > 0; d++ {
+		nxt, touched := s.nxt[:0], s.touched
+		for _, u := range s.cur {
+			fu := s.frontier[u]
+			for _, w := range f.nbr[f.off[u]:f.off[u+1]] {
+				v := 2 * int32(w)
+				sv := sn[v]
+				nb := fu &^ sv
+				if nb == 0 {
+					continue
+				}
+				if sn[v+1] == 0 {
+					nxt = append(nxt, w)
+					if sv == 0 {
+						touched = append(touched, w)
+					}
+				}
+				sn[v+1] |= nb
+				sn[v] = sv | nb
+			}
+		}
+		s.nxt, s.touched = nxt, touched
+		for _, u := range s.cur {
+			s.frontier[u] = 0
+		}
+		for i, v := range nxt {
+			m := sn[2*v+1]
+			sn[2*v+1] = 0
+			s.frontier[v] = m
+			if !visit(int(v), d, m) {
+				// Keep the invariant that the next halves are all-zero
+				// between sweeps.
+				for _, w := range nxt[i+1:] {
+					sn[2*w+1] = 0
+				}
+				return
+			}
+		}
+		s.cur, s.nxt = s.nxt, s.cur
+	}
+}
+
+// MSBFSAll sweeps any number of sources in chunks of up to 64,
+// reporting first reaches exactly like MSBFS; bit i of mask refers to
+// sources[base+i]. Returning false from visit aborts the remaining
+// chunks too.
+func (f *FlatGraph) MSBFSAll(s *MSScratch, sources []int, maxHops int, visit func(base, v, d int, mask uint64) bool) {
+	for base := 0; base < len(sources); base += 64 {
+		end := min(base+64, len(sources))
+		abort := false
+		f.MSBFS(s, sources[base:end], maxHops, func(v, d int, mask uint64) bool {
+			if !visit(base, v, d, mask) {
+				abort = true
+				return false
+			}
+			return true
+		})
+		if abort {
+			return
+		}
+	}
+}
+
+// EachBit calls fn(i) for every set bit of mask, ascending — the
+// idiomatic way to map an MSBFS mask back to its batch indices.
+func EachBit(mask uint64, fn func(i int)) {
+	for m := mask; m != 0; m &= m - 1 {
+		fn(bits.TrailingZeros64(m))
+	}
+}

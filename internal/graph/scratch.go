@@ -15,6 +15,33 @@ type Scratch struct {
 	epoch int
 	dist  []int // hop distance per visited vertex
 	queue []int // BFS queue, reused across walks
+	// Second epoch-stamped marker, for walks that also carry a target
+	// set (ShortestPathsFrom) independent of the visited set.
+	mark2  []int
+	epoch2 int
+	// Batched multi-source buffers, created on first MS() call so
+	// scalar-only users never pay for them.
+	ms *MSScratch
+}
+
+// MS returns the scratch's multi-source BFS buffers, creating them on
+// first use. They share the Scratch's ownership rules: one traversal at
+// a time, not safe for concurrent use.
+func (s *Scratch) MS() *MSScratch {
+	if s.ms == nil {
+		s.ms = NewMSScratch()
+	}
+	return s.ms
+}
+
+// beginTargets starts a new target set over n vertices: mark2[v] ==
+// epoch2 ⇔ v is an (unconsumed) target.
+func (s *Scratch) beginTargets(n int) {
+	if len(s.mark2) < n {
+		s.mark2 = make([]int, n)
+		s.epoch2 = 0
+	}
+	s.epoch2++
 }
 
 // NewScratch returns an empty Scratch; buffers grow on first use.
@@ -107,6 +134,36 @@ func (g *Graph) BFSScratch(s *Scratch, src int) *Scratch {
 		}
 	}
 	return s
+}
+
+// HopDistScratch is HopDist with reusable buffers and an early exit:
+// the BFS stops the moment v is discovered instead of computing the
+// distance to every vertex, and a warm Scratch allocates nothing. The
+// returned distance is identical to HopDist's (BFS discovers vertices
+// in nondecreasing distance order).
+func (g *Graph) HopDistScratch(s *Scratch, u, v int) int {
+	g.checkVertex(u)
+	g.checkVertex(v)
+	if u == v {
+		return 0
+	}
+	s = orTemp(s)
+	s.begin(len(g.adj))
+	s.visit(u, 0)
+	for i := 0; i < len(s.queue); i++ {
+		x := s.queue[i]
+		dx := s.dist[x]
+		for _, w := range g.adj[x] {
+			if s.seen(w) {
+				continue
+			}
+			if w == v {
+				return dx + 1
+			}
+			s.visit(w, dx+1)
+		}
+	}
+	return Unreachable
 }
 
 // ShortestPathScratch is ShortestPath with the internal BFS running in

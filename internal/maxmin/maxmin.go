@@ -49,7 +49,7 @@ func Run(g *graph.Graph, d int) *cluster.Clustering {
 // RunCtx is Run with cancellation between flood rounds and reusable BFS
 // buffers (nil is valid) for the final distance-to-head pass.
 func RunCtx(ctx context.Context, g *graph.Graph, d int, s *graph.Scratch) (*cluster.Clustering, error) {
-	return RunPar(ctx, g, d, s, nil)
+	return RunPar(ctx, g, nil, d, s, nil)
 }
 
 // RunPar is RunCtx with each synchronous flood round (and the final
@@ -57,8 +57,12 @@ func RunCtx(ctx context.Context, g *graph.Graph, d int, s *graph.Scratch) (*clus
 // round reads the previous round's winners and writes each node's slot
 // exclusively — the synchronous-round structure *is* the partition — so
 // the clustering is identical to a serial run for any worker count. A
-// nil pool (or one worker) is the serial path.
-func RunPar(ctx context.Context, g *graph.Graph, d int, s *graph.Scratch, pool *partition.Pool) (*cluster.Clustering, error) {
+// nil pool (or one worker) is the serial path. A non-nil fg (the CSR
+// snapshot of g) moves the flood rounds onto the flat arrays and the
+// final distance pass onto multi-source batched BFS (64 heads per
+// frontier sweep, depth d); both are bitwise identical to the scalar
+// passes.
+func RunPar(ctx context.Context, g *graph.Graph, fg *graph.FlatGraph, d int, s *graph.Scratch, pool *partition.Pool) (*cluster.Clustering, error) {
 	if d < 1 {
 		panic(fmt.Sprintf("maxmin: d must be ≥ 1, got %d", d))
 	}
@@ -77,9 +81,17 @@ func RunPar(ctx context.Context, g *graph.Graph, d int, s *graph.Scratch, pool *
 		round := func(lo, hi int) {
 			for v := lo; v < hi; v++ {
 				best := winner[v]
-				for _, u := range g.Neighbors(v) {
-					if better(winner[u], best) {
-						best = winner[u]
+				if fg != nil {
+					for _, u := range fg.Neighbors(v) {
+						if better(winner[u], best) {
+							best = winner[u]
+						}
+					}
+				} else {
+					for _, u := range g.Neighbors(v) {
+						if better(winner[u], best) {
+							best = winner[u]
+						}
 					}
 				}
 				next[v] = best
@@ -158,6 +170,9 @@ func RunPar(ctx context.Context, g *graph.Graph, d int, s *graph.Scratch, pool *
 
 	// Distance-to-head: one BFS per head, writing only its own members'
 	// slots (Head is a function, so members partition across heads).
+	// Every member is within d hops of its head (the flood only carries
+	// IDs d hops), so the batched pass's depth-d sweeps reach exactly the
+	// vertices the scalar whole-graph BFS would assign.
 	distToHead := make([]int, n)
 	headDist := func(bs *graph.Scratch, h int) {
 		dist := g.BFSScratch(bs, h)
@@ -167,8 +182,36 @@ func RunPar(ctx context.Context, g *graph.Graph, d int, s *graph.Scratch, pool *
 			}
 		}
 	}
+	var headPerm []int // graph-locality 64-blocking of the head list
+	if fg != nil {
+		headPerm = fg.BlockOrder(heads, d)
+	}
+	headDistRange := func(bs *graph.Scratch, lo, hi int) error {
+		var block [64]int
+		for base := lo; base < hi; base += 64 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			idxs := headPerm[base:min(base+64, hi)]
+			for i, pi := range idxs {
+				block[i] = heads[pi]
+			}
+			fg.MSBFS(bs.MS(), block[:len(idxs)], d, func(v, dv int, mask uint64) bool {
+				graph.EachBit(mask, func(i int) {
+					if head[v] == block[i] {
+						distToHead[v] = dv
+					}
+				})
+				return true
+			})
+		}
+		return nil
+	}
 	if pool.Workers() > 1 {
 		err := pool.Shard(ctx, len(heads), func(_ int, bs *graph.Scratch, r partition.Range) error {
+			if fg != nil {
+				return headDistRange(bs, r.Start, r.End)
+			}
 			for i := r.Start; i < r.End; i++ {
 				if err := ctx.Err(); err != nil {
 					return err
@@ -178,6 +221,14 @@ func RunPar(ctx context.Context, g *graph.Graph, d int, s *graph.Scratch, pool *
 			return nil
 		})
 		if err != nil {
+			return nil, err
+		}
+	} else if fg != nil {
+		bs := s
+		if bs == nil {
+			bs = graph.NewScratch()
+		}
+		if err := headDistRange(bs, 0, len(heads)); err != nil {
 			return nil, err
 		}
 	} else {

@@ -97,19 +97,22 @@ func Select(g *graph.Graph, c *cluster.Clustering, rule Rule) *Selection {
 // SelectCtx runs the given rule, honoring cancellation between per-head
 // neighborhood walks and reusing s's BFS buffers (nil is valid).
 func SelectCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, rule Rule, s *graph.Scratch) (*Selection, error) {
-	return SelectPar(ctx, g, c, rule, s, nil)
+	return SelectPar(ctx, g, nil, c, rule, s, nil)
 }
 
 // SelectPar is SelectCtx with the per-head neighborhood walks (NC) or
 // the edge scan (A-NCR) sharded across pool's workers; the selection is
 // identical to a serial run for any worker count. A nil pool (or one
-// worker) is the serial path.
-func SelectPar(ctx context.Context, g *graph.Graph, c *cluster.Clustering, rule Rule, s *graph.Scratch, pool *partition.Pool) (*Selection, error) {
+// worker) is the serial path. A non-nil fg (the CSR snapshot of g)
+// switches NC to multi-source batched BFS — one frontier sweep per
+// 64-head block instead of one ball walk per head — and A-NCR's edge
+// scan to the flat arrays; both produce the identical selection.
+func SelectPar(ctx context.Context, g *graph.Graph, fg *graph.FlatGraph, c *cluster.Clustering, rule Rule, s *graph.Scratch, pool *partition.Pool) (*Selection, error) {
 	switch rule {
 	case RuleNC:
-		return ncCtx(ctx, g, c, s, pool)
+		return ncCtx(ctx, g, fg, c, s, pool)
 	case RuleANCR:
-		return ancrCtx(ctx, g, c, pool)
+		return ancrCtx(ctx, g, fg, c, pool)
 	case RuleWuLou:
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -124,13 +127,55 @@ func SelectPar(ctx context.Context, g *graph.Graph, c *cluster.Clustering, rule 
 // 2k+1 hops in G. This is the baseline every prior scheme uses and is a
 // supergraph of the A-NCR selection.
 func NC(g *graph.Graph, c *cluster.Clustering) *Selection {
-	sel, _ := ncCtx(context.Background(), g, c, nil, nil)
+	sel, _ := ncCtx(context.Background(), g, nil, c, nil, nil)
 	return sel
 }
 
-func ncCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, s *graph.Scratch, pool *partition.Pool) (*Selection, error) {
+func ncCtx(ctx context.Context, g *graph.Graph, fg *graph.FlatGraph, c *cluster.Clustering, s *graph.Scratch, pool *partition.Pool) (*Selection, error) {
 	radius := 2*c.K + 1
 	sel := &Selection{Rule: RuleNC, K: c.K, Neighbors: make(map[int][]int, len(c.Heads))}
+	// Batched: one MS-BFS sweep per 64-head block collects, for every
+	// head in the block, the heads it reaches within the radius. Blocks
+	// are cut from the heads in graph-locality order, not ID order —
+	// heads near each other share almost all of a sweep's expansions,
+	// which is where the batching win comes from. Each head's set is
+	// sorted afterwards, exactly like the scalar walk's, so the per-head
+	// result is independent of batching, ordering, and sharding.
+	var perm []int
+	if fg != nil {
+		perm = fg.BlockOrder(c.Heads, radius)
+	}
+	ncBatch := func(ms *graph.MSScratch, idxs []int, block []int, nbsOf [][]int) {
+		fg.MSBFS(ms, block, radius, func(v, _ int, mask uint64) bool {
+			if !c.IsHead(v) {
+				return true
+			}
+			graph.EachBit(mask, func(i int) {
+				if block[i] != v {
+					nbsOf[idxs[i]] = append(nbsOf[idxs[i]], v)
+				}
+			})
+			return true
+		})
+		for _, pi := range idxs {
+			sort.Ints(nbsOf[pi])
+		}
+	}
+	ncRange := func(bs *graph.Scratch, lo, hi int, nbsOf [][]int) error {
+		var block [64]int
+		for base := lo; base < hi; base += 64 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			end := min(base+64, hi)
+			idxs := perm[base:end]
+			for i, pi := range idxs {
+				block[i] = c.Heads[pi]
+			}
+			ncBatch(bs.MS(), idxs, block[:len(idxs)], nbsOf)
+		}
+		return nil
+	}
 	ncHead := func(bs *graph.Scratch, h int) []int {
 		var nbs []int
 		g.EachWithin(bs, h, radius, func(v, _ int) bool {
@@ -147,6 +192,9 @@ func ncCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, s *graph.
 		// the head list, each shard writing its own slots of nbsOf.
 		nbsOf := make([][]int, len(c.Heads))
 		err := pool.Shard(ctx, len(c.Heads), func(_ int, bs *graph.Scratch, r partition.Range) error {
+			if fg != nil {
+				return ncRange(bs, r.Start, r.End, nbsOf)
+			}
 			for i := r.Start; i < r.End; i++ {
 				if err := ctx.Err(); err != nil {
 					return err
@@ -156,6 +204,20 @@ func ncCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, s *graph.
 			return nil
 		})
 		if err != nil {
+			return nil, err
+		}
+		for i, h := range c.Heads {
+			sel.Neighbors[h] = nbsOf[i]
+		}
+		return sel, nil
+	}
+	if fg != nil {
+		bs := s
+		if bs == nil {
+			bs = graph.NewScratch()
+		}
+		nbsOf := make([][]int, len(c.Heads))
+		if err := ncRange(bs, 0, len(c.Heads), nbsOf); err != nil {
 			return nil, err
 		}
 		for i, h := range c.Heads {
@@ -179,31 +241,39 @@ func ncCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, s *graph.
 // distributed rule works too — border members detect foreign neighbors
 // and report the foreign head to their own head.
 func ANCR(g *graph.Graph, c *cluster.Clustering) *Selection {
-	sel, _ := ancrCtx(context.Background(), g, c, nil)
+	sel, _ := ancrCtx(context.Background(), g, nil, c, nil)
 	return sel
 }
 
-func ancrCtx(ctx context.Context, g *graph.Graph, c *cluster.Clustering, pool *partition.Pool) (*Selection, error) {
+func ancrCtx(ctx context.Context, g *graph.Graph, fg *graph.FlatGraph, c *cluster.Clustering, pool *partition.Pool) (*Selection, error) {
 	sel := &Selection{Rule: RuleANCR, K: c.K, Neighbors: make(map[int][]int, len(c.Heads))}
 	scanRange := func(adj map[[2]int]bool, lo, hi int) error {
+		record := func(u, v int) {
+			if u > v {
+				return // visit each undirected edge once
+			}
+			hu, hv := c.Head[u], c.Head[v]
+			if hu == hv {
+				return
+			}
+			a, b := hu, hv
+			if a > b {
+				a, b = b, a
+			}
+			adj[[2]int{a, b}] = true
+		}
 		for u := lo; u < hi; u++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			hu := c.Head[u]
+			if fg != nil {
+				for _, v := range fg.Neighbors(u) {
+					record(u, int(v))
+				}
+				continue
+			}
 			for _, v := range g.Neighbors(u) {
-				if u > v {
-					continue // visit each undirected edge once
-				}
-				hv := c.Head[v]
-				if hu == hv {
-					continue
-				}
-				a, b := hu, hv
-				if a > b {
-					a, b = b, a
-				}
-				adj[[2]int{a, b}] = true
+				record(u, v)
 			}
 		}
 		return nil
@@ -252,8 +322,12 @@ func AdjacentClusterGraph(g *graph.Graph, c *cluster.Clustering) *graph.WGraph {
 	for _, h := range c.Heads {
 		vg.AddVertex(h)
 	}
+	// One early-exiting scratch BFS per pair: head pairs are close (the
+	// adjacency relation bounds them by 2k+1 hops), so the walk stops at
+	// a small ball instead of computing whole-graph distances per pair.
+	s := graph.NewScratch()
 	for _, p := range sel.Pairs() {
-		d := g.HopDist(p[0], p[1])
+		d := g.HopDistScratch(s, p[0], p[1])
 		vg.AddEdge(p[0], p[1], d)
 	}
 	return vg

@@ -16,6 +16,7 @@ package routing
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/gateway"
@@ -28,6 +29,9 @@ type Router struct {
 	c        *cluster.Clustering
 	res      *gateway.Result
 	backbone *graph.WGraph
+	// scratch pools BFS buffers for the per-query walks (Stretch's
+	// flat-distance check), keeping concurrent queries allocation-free.
+	scratch sync.Pool
 }
 
 // New builds a router from a network, its clustering, and a gateway
@@ -40,7 +44,9 @@ func New(g *graph.Graph, c *cluster.Clustering, res *gateway.Result) *Router {
 	for _, l := range res.Links {
 		backbone.AddEdge(l.U, l.V, l.Weight)
 	}
-	return &Router{g: g, c: c, res: res, backbone: backbone}
+	r := &Router{g: g, c: c, res: res, backbone: backbone}
+	r.scratch.New = func() any { return graph.NewScratch() }
+	return r
 }
 
 // Route returns the hierarchical route from src to dst (both inclusive),
@@ -93,7 +99,12 @@ func (r *Router) linkPath(u, v int) []int {
 	return rev
 }
 
-// splice concatenates two routes that share their junction vertex.
+// splice concatenates two routes that share their junction vertex. The
+// append is capped at a's length so growing the route can never write
+// into a shared backing array: a may alias a gateway path retained in
+// res.Paths (linkPath hands those out un-copied when the link is
+// already oriented src-ward), and a second Route call must find them
+// intact.
 func splice(a, b []int) []int {
 	if len(a) == 0 {
 		return b
@@ -101,7 +112,7 @@ func splice(a, b []int) []int {
 	if len(b) == 0 {
 		return a
 	}
-	return append(a, b[1:]...)
+	return append(a[:len(a):len(a)], b[1:]...)
 }
 
 // Stretch returns the ratio of the hierarchical route length to the flat
@@ -112,7 +123,12 @@ func (r *Router) Stretch(src, dst int) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	flat := r.g.HopDist(src, dst)
+	// Early-exiting scratch BFS instead of a whole-graph HopDist: the
+	// stretch experiment queries thousands of pairs per trial, and most
+	// flat distances are far smaller than the graph's diameter.
+	sc := r.scratch.Get().(*graph.Scratch)
+	flat := r.g.HopDistScratch(sc, src, dst)
+	r.scratch.Put(sc)
 	if flat <= 0 {
 		return 1, nil
 	}

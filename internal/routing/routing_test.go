@@ -2,6 +2,8 @@ package routing
 
 import (
 	"math/rand"
+	"reflect"
+	"sort"
 	"testing"
 
 	"repro/internal/cluster"
@@ -192,5 +194,68 @@ func TestWGraphShortestPath(t *testing.T) {
 	}
 	if _, ok := w.PathWeight([]int{1, 9}); ok {
 		t.Fatal("PathWeight accepted a non-edge")
+	}
+}
+
+// TestSpliceDoesNotAliasInputs: splicing must never grow into the
+// backing array of either input — a regression test for the append
+// aliasing bug where a spliced route kept writing through to a retained
+// gateway path.
+func TestSpliceDoesNotAliasInputs(t *testing.T) {
+	a := make([]int, 2, 8) // spare capacity: a plain append would write in place
+	a[0], a[1] = 0, 1
+	b := []int{1, 2, 3}
+	got := splice(a, b)
+	got[1] = 99
+	if a[1] != 1 {
+		t.Fatalf("splice wrote through to its first input: a=%v", a)
+	}
+	if want := []int{1, 2, 3}; !reflect.DeepEqual(b, want) {
+		t.Fatalf("splice mutated its second input: b=%v", b)
+	}
+}
+
+// TestRouteTwicePreservesGatewayPaths: routing the same pair twice must
+// return the same route, and no Route call may mutate the gateway paths
+// retained in the Result (splice receives them un-copied).
+func TestRouteTwicePreservesGatewayPaths(t *testing.T) {
+	r, g := testRouter(t, 80, 6, 2, 17)
+	var links [][2]int
+	for link := range r.res.Paths {
+		links = append(links, link)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i][0] != links[j][0] {
+			return links[i][0] < links[j][0]
+		}
+		return links[i][1] < links[j][1]
+	})
+	before := make(map[[2]int][]int, len(links))
+	for _, link := range links {
+		before[link] = append([]int(nil), r.res.Paths[link]...)
+	}
+	for src := 0; src < g.N(); src += 3 {
+		for dst := 0; dst < g.N(); dst += 5 {
+			first, err := r.Route(src, dst)
+			if err != nil {
+				t.Fatalf("%d→%d: %v", src, dst, err)
+			}
+			firstCopy := append([]int(nil), first...)
+			second, err := r.Route(src, dst)
+			if err != nil {
+				t.Fatalf("%d→%d (second): %v", src, dst, err)
+			}
+			if !reflect.DeepEqual(firstCopy, second) {
+				t.Fatalf("%d→%d: second route %v diverged from first %v", src, dst, second, firstCopy)
+			}
+		}
+	}
+	if !reflect.DeepEqual(before, r.res.Paths) {
+		for _, link := range links {
+			if !reflect.DeepEqual(before[link], r.res.Paths[link]) {
+				t.Fatalf("gateway path for %v mutated by routing: %v -> %v", link, before[link], r.res.Paths[link])
+			}
+		}
+		t.Fatal("gateway paths mutated by routing")
 	}
 }

@@ -56,11 +56,13 @@ func TestVerifyResultPropertySweep(t *testing.T) {
 }
 
 // TestParallelBuildMatchesSerial is the tentpole differential: across a
-// seed sweep, every mode, algorithm, and k, a WithParallel build must
-// produce a Result bitwise identical to the serial build — not close,
+// seed sweep, every mode, algorithm, and k, a WithParallel build and a
+// WithBatchedBFS(false) scalar build must both produce a Result bitwise
+// identical to the default (batched, serial) build — not close,
 // identical (reflect.DeepEqual over the whole Result, GatewayPaths and
-// all). CI runs this under -race, which also vets the sharded phases
-// for data races.
+// all). The scalar leg pins the CSR + multi-source-BFS fast path to the
+// per-source walks it replaced; the worker legs pin the sharded phases,
+// which CI additionally runs under -race.
 func TestParallelBuildMatchesSerial(t *testing.T) {
 	ctx := context.Background()
 	type cfg struct {
@@ -83,10 +85,10 @@ func TestParallelBuildMatchesSerial(t *testing.T) {
 		g := net.Graph()
 		for _, tc := range cases {
 			t.Run(fmt.Sprintf("seed=%d/%v/%v/k=%d", seed, tc.mode, tc.algo, tc.k), func(t *testing.T) {
-				build := func(workers int) *Result {
+				build := func(workers int, batched bool) *Result {
 					t.Helper()
 					e, err := NewEngine(g, WithK(tc.k), WithAlgorithm(tc.algo),
-						WithMode(tc.mode), WithParallel(workers))
+						WithMode(tc.mode), WithParallel(workers), WithBatchedBFS(batched))
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -96,9 +98,13 @@ func TestParallelBuildMatchesSerial(t *testing.T) {
 					}
 					return res
 				}
-				serial := build(1)
+				serial := build(1, true)
+				if scalar := build(1, false); !reflect.DeepEqual(serial, scalar) {
+					t.Fatalf("scalar BFS result differs from batched\nbatched: %+v\nscalar:  %+v",
+						serial, scalar)
+				}
 				for _, workers := range []int{3, 8} {
-					parallel := build(workers)
+					parallel := build(workers, true)
 					if !reflect.DeepEqual(serial, parallel) {
 						t.Fatalf("workers=%d: result differs from serial\nserial:   %+v\nparallel: %+v",
 							workers, serial, parallel)
