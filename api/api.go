@@ -5,10 +5,26 @@
 // pulling in the engine.
 //
 // The API is versioned under the /v1/ path prefix; see
-// docs/durability.md and ARCHITECTURE.md for the endpoint list and
-// semantics. Bare (unprefixed) paths are deprecated aliases that khopd
-// still serves with a Deprecation header.
+// docs/durability.md, docs/fleet.md, and ARCHITECTURE.md for the
+// endpoint list and semantics. The pre-versioning bare paths reached
+// their announced sunset (2026-01-01) and are gone: khopd answers 404
+// on them.
 package api
+
+// ForwardHeader marks a request a khopd node proxied to the
+// deployment's owner; its value is the originating node's id. A node
+// never forwards a request that already carries it (single-hop
+// guarantee) — if the deployment is not local either, the node answers
+// 503 with Retry-After, which clients should treat as "the ring is
+// converging, retry".
+const ForwardHeader = "X-Khop-Forwarded"
+
+// HandoffHeader marks a snapshot POST as a rebalancing hand-off from
+// the deployment's previous owner; its value is the sender's ring
+// version (decimal). A hand-off bypasses placement routing (the sender
+// asserts new-ring ownership) and replaces any stale local copy left
+// by an interrupted earlier attempt.
+const HandoffHeader = "X-Khop-Handoff"
 
 // CreateRequest is the body of POST /v1/deployments: either a random
 // unit-disk deployment (N plus AvgDegree/Seed, the paper's evaluation
@@ -166,4 +182,67 @@ type Health struct {
 // ErrorResponse is the body of every non-2xx JSON answer.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// Member is one khopd node in a fleet: a stable id (-node-id) plus the
+// base URL peers reach it on.
+type Member struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// FleetResponse is the body of GET /v1/fleet: this node's identity and
+// its current view of the consistent-hash ring. On a standalone khopd
+// (no -node-id) NodeID is empty and Members is empty.
+type FleetResponse struct {
+	NodeID string `json:"node_id"`
+	// RingVersion identifies the membership (hex); every node in a
+	// converged fleet reports the same value.
+	RingVersion string   `json:"ring_version"`
+	Members     []Member `json:"members"`
+	// LocalDeployments are the deployment ids this node currently holds
+	// (sorted). During a rebalance a deployment may briefly appear on
+	// its old owner after the ring already names the new one.
+	LocalDeployments []string `json:"local_deployments"`
+}
+
+// PlacementResponse is the body of GET /v1/fleet/placement/{id}: where
+// the ring puts one deployment id. Placement is a pure function of the
+// membership — the deployment does not have to exist yet (clients use
+// this to pick the owner before a Create).
+type PlacementResponse struct {
+	Deployment  string `json:"deployment"`
+	Owner       Member `json:"owner"`
+	Local       bool   `json:"local"`
+	RingVersion string `json:"ring_version"`
+}
+
+// MembershipRequest is the body of POST /v1/fleet/membership: the new
+// full membership list. The receiving node migrates every local
+// deployment the new ring places elsewhere (snapshot hand-off), adopts
+// the ring, and — unless Propagated — pushes the same membership to
+// every other member, so an operator updates the fleet with one call
+// to any node.
+type MembershipRequest struct {
+	Members []Member `json:"members"`
+	// Propagated marks a node-to-node copy of an operator update;
+	// propagated updates are applied but not re-propagated.
+	Propagated bool `json:"propagated,omitempty"`
+}
+
+// MembershipResponse is the body of POST /v1/fleet/membership.
+type MembershipResponse struct {
+	RingVersion string `json:"ring_version"`
+	// Migrated lists the deployments this node handed off to new
+	// owners while applying the update (sorted).
+	Migrated []string `json:"migrated"`
+	// Peers maps each other member id to "ok" or the propagation error
+	// (set only on the node the operator called, not on propagated
+	// copies).
+	Peers map[string]string `json:"peers,omitempty"`
+	// Error carries migration failures. The ring is adopted regardless
+	// (membership is authoritative); deployments that failed to move
+	// stay on this node and the call is safe to retry — a repeat with
+	// the same members re-attempts only the stragglers.
+	Error string `json:"error,omitempty"`
 }

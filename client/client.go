@@ -22,6 +22,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -38,10 +39,22 @@ type APIError struct {
 	// Message is the server's error string (or a truncated raw body when
 	// the response was not the standard JSON error shape).
 	Message string
+	// RetryAfter is the server's Retry-After header in seconds (0 when
+	// absent). khopd sets it on 503s during fleet rebalancing — the
+	// deployment is mid-hand-off or the ring is converging; the request
+	// was not applied and is safe to retry after the delay.
+	RetryAfter int
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("khopd: %s (status %d)", e.Message, e.StatusCode)
+}
+
+// Temporary reports whether the error is a transient fleet condition
+// (503 Service Unavailable) that a retry after RetryAfter seconds is
+// expected to clear.
+func (e *APIError) Temporary() bool {
+	return e.StatusCode == http.StatusServiceUnavailable
 }
 
 // Client talks to one khopd. It is safe for concurrent use.
@@ -81,11 +94,11 @@ func depPath(id string, suffix string) string {
 	return "/v1/deployments/" + url.PathEscape(id) + suffix
 }
 
-// do issues one request; body is raw bytes (already encoded). It
-// returns the buffered response body and a *APIError for non-2xx
-// statuses (the body comes back in both cases — Events wants the 422
-// payload).
-func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte) ([]byte, error) {
+// do issues one request; body is raw bytes (already encoded), headers
+// are optional extra {name, value} pairs. It returns the buffered
+// response body and a *APIError for non-2xx statuses (the body comes
+// back in both cases — Events wants the 422 payload).
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, headers ...[2]string) ([]byte, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -96,6 +109,9 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
+	}
+	for _, h := range headers {
+		req.Header.Set(h[0], h[1])
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
@@ -115,7 +131,15 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		if len(msg) > 512 {
 			msg = msg[:512]
 		}
-		return raw, &APIError{StatusCode: resp.StatusCode, Message: msg}
+		retryAfter := 0
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			// Only the delay-seconds form is parsed; khopd never sends
+			// the HTTP-date form.
+			if v, perr := strconv.Atoi(ra); perr == nil && v > 0 {
+				retryAfter = v
+			}
+		}
+		return raw, &APIError{StatusCode: resp.StatusCode, Message: msg, RetryAfter: retryAfter}
 	}
 	return raw, nil
 }
@@ -266,4 +290,54 @@ func (c *Client) Health(ctx context.Context) (api.Health, error) {
 // Metrics returns the raw Prometheus exposition (GET /v1/metrics).
 func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
 	return c.do(ctx, http.MethodGet, "/v1/metrics", "", nil)
+}
+
+// Fleet returns the node's fleet view: its id, ring version,
+// membership, and locally held deployments (GET /v1/fleet). On a
+// standalone khopd NodeID and Members are empty.
+func (c *Client) Fleet(ctx context.Context) (api.FleetResponse, error) {
+	var resp api.FleetResponse
+	err := c.doJSON(ctx, http.MethodGet, "/v1/fleet", nil, &resp)
+	return resp, err
+}
+
+// Placement asks where the ring puts a deployment id
+// (GET /v1/fleet/placement/{id}). The deployment does not have to
+// exist — use this to find the owner before a Create, or to verify
+// every node agrees on an assignment.
+func (c *Client) Placement(ctx context.Context, id string) (api.PlacementResponse, error) {
+	var resp api.PlacementResponse
+	err := c.doJSON(ctx, http.MethodGet, "/v1/fleet/placement/"+url.PathEscape(id), nil, &resp)
+	return resp, err
+}
+
+// UpdateMembership pushes a new full membership list to the node
+// (POST /v1/fleet/membership). The node hands off every local
+// deployment the new ring places elsewhere, adopts the ring, and
+// propagates the update to the other members; the response reports
+// what moved and how propagation fared per peer.
+func (c *Client) UpdateMembership(ctx context.Context, members []api.Member) (api.MembershipResponse, error) {
+	var resp api.MembershipResponse
+	err := c.doJSON(ctx, http.MethodPost, "/v1/fleet/membership", api.MembershipRequest{Members: members}, &resp)
+	return resp, err
+}
+
+// Handoff ships a snapshot to a node as a rebalancing hand-off
+// (POST /v1/deployments/{id}/snapshot with api.HandoffHeader):
+// placement routing is bypassed and a stale local copy from an
+// interrupted earlier attempt is replaced rather than conflicting.
+// ringVersion is the sender's ring version (from Fleet or the server's
+// own state). Operators normally never call this — the server's
+// rebalancer does.
+func (c *Client) Handoff(ctx context.Context, id string, snapshot []byte, ringVersion string) (api.Summary, error) {
+	var sum api.Summary
+	raw, err := c.do(ctx, http.MethodPost, depPath(id, "/snapshot"), "application/octet-stream", snapshot,
+		[2]string{api.HandoffHeader, ringVersion})
+	if err != nil {
+		return sum, err
+	}
+	if err := json.Unmarshal(raw, &sum); err != nil {
+		return sum, fmt.Errorf("decoding handoff response: %w", err)
+	}
+	return sum, nil
 }

@@ -1,0 +1,254 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/fleet"
+	"repro/internal/server"
+)
+
+// These tests drive the typed client against real khopd servers (and,
+// for wire-shape edge cases, a stub): the error paths a fleet caller
+// must handle — partial 422 batches, retryable 503s during hand-off,
+// and the transparency guarantee that talking to a non-owner behaves
+// exactly like talking to the owner.
+
+func startKhopd(t *testing.T, id string) (*server.Server, *client.Client, string) {
+	t.Helper()
+	s := server.New(server.Config{NodeID: id})
+	if err := s.Load(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, client.New(ts.URL), ts.URL
+}
+
+// TestClientPartialBatch422 pins the Events contract on a 422: the
+// error is a non-temporary *APIError AND the response body is decoded
+// alongside it, because the repairs that landed are real state.
+func TestClientPartialBatch422(t *testing.T) {
+	ctx := context.Background()
+	_, c, _ := startKhopd(t, "")
+	if _, err := c.Create(ctx, api.CreateRequest{ID: "p", N: 40, AvgDegree: 5, Seed: 1, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second leave of the same node fails mid-batch: one applied, one not.
+	resp, err := c.Events(ctx, "p", []api.EventRequest{
+		{Kind: "leave", Node: 30},
+		{Kind: "leave", Node: 30},
+	})
+	if err == nil {
+		t.Fatal("partial batch returned no error")
+	}
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("partial batch error is %T, want *client.APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", apiErr.StatusCode)
+	}
+	if apiErr.Temporary() {
+		t.Error("a 422 is not temporary — retrying the same batch cannot succeed")
+	}
+	if resp.Applied != 1 {
+		t.Fatalf("partial body lost: Applied = %d, want 1", resp.Applied)
+	}
+	if resp.Summary.EventsApplied != 1 {
+		t.Fatalf("partial body summary says %d events", resp.Summary.EventsApplied)
+	}
+}
+
+// TestClientRetryableDuringHandoff pins the 503 contract a caller
+// retries on: mid-hand-off writes surface as a Temporary() APIError
+// with the server's Retry-After parsed into RetryAfter, and the
+// fenced attempt is not applied.
+func TestClientRetryableDuringHandoff(t *testing.T) {
+	ctx := context.Background()
+	s1, c1, url1 := startKhopd(t, "n1")
+	s2, _, url2 := startKhopd(t, "n2")
+	members := []fleet.Member{{ID: "n1", Addr: url1}, {ID: "n2", Addr: url2}}
+	if _, _, err := s1.SetMembership(ctx, []fleet.Member{{ID: "n1", Addr: url1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find an id that moves to n2 when the fleet grows, and create it.
+	two, err := fleet.New(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ""
+	for i := 0; id == ""; i++ {
+		if cand := fmt.Sprintf("mv-%d", i); two.Owner(cand).ID == "n2" {
+			id = cand
+		}
+	}
+	if _, err := c1.Create(ctx, api.CreateRequest{ID: id, N: 40, AvgDegree: 5, Seed: 2, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Freeze the hand-off mid-flight and grow the fleet.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s1.SetHandoffBarrierForTest(func(string) { close(entered); <-release })
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := s1.SetMembership(ctx, members)
+		done <- err
+	}()
+	<-entered
+
+	_, werr := c1.Events(ctx, id, []api.EventRequest{{Kind: "leave", Node: 5}})
+	var apiErr *client.APIError
+	if !errors.As(werr, &apiErr) {
+		t.Fatalf("write during hand-off: %v, want *client.APIError", werr)
+	}
+	if !apiErr.Temporary() {
+		t.Fatalf("write during hand-off: status %d, want a temporary 503", apiErr.StatusCode)
+	}
+	if apiErr.RetryAfter < 1 {
+		t.Fatalf("RetryAfter = %d, want the server's Retry-After parsed (>= 1)", apiErr.RetryAfter)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s2.SetMembership(ctx, members); err != nil {
+		t.Fatal(err)
+	}
+	// The retry the error asked for now lands exactly once.
+	resp, err := c1.Events(ctx, id, []api.EventRequest{{Kind: "leave", Node: 5}})
+	if err != nil {
+		t.Fatalf("retry after hand-off: %v", err)
+	}
+	if resp.Summary.EventsApplied != 1 {
+		t.Fatalf("retry applied %d events total, want 1 (fenced attempt must not have landed)", resp.Summary.EventsApplied)
+	}
+}
+
+// TestClientForwardedTransparency pins that the client needs no fleet
+// awareness at all: every method works identically against a non-owner
+// — errors included.
+func TestClientForwardedTransparency(t *testing.T) {
+	ctx := context.Background()
+	s1, c1, url1 := startKhopd(t, "n1")
+	s2, c2, url2 := startKhopd(t, "n2")
+	members := []fleet.Member{{ID: "n1", Addr: url1}, {ID: "n2", Addr: url2}}
+	for _, s := range []*server.Server{s1, s2} {
+		if _, _, err := s.SetMembership(ctx, members); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring, err := fleet.New(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := ""
+	for i := 0; id == ""; i++ {
+		if cand := fmt.Sprintf("tp-%d", i); ring.Owner(cand).ID == "n2" {
+			id = cand
+		}
+	}
+
+	// Create through the non-owner; it must land on the owner.
+	if _, err := c1.Create(ctx, api.CreateRequest{ID: id, N: 40, AvgDegree: 5, Seed: 3, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := c1.Placement(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Owner.ID != "n2" || pl.Local {
+		t.Fatalf("placement via non-owner: %+v, want owner n2, not local", pl)
+	}
+
+	// Same answers from both nodes.
+	sum1, err := c1.Summary(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum2, err := c2.Summary(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum1 != sum2 {
+		t.Fatalf("summary differs via non-owner: %+v vs %+v", sum1, sum2)
+	}
+	snap1, err := c1.Snapshot(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := c2.Snapshot(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(snap1) != string(snap2) {
+		t.Fatal("snapshot differs via non-owner")
+	}
+
+	// Error transparency: the owner's 422 comes through the forwarder
+	// with its partial body intact.
+	resp, err := c1.Events(ctx, id, []api.EventRequest{
+		{Kind: "leave", Node: 8},
+		{Kind: "leave", Node: 8},
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("forwarded partial batch: %v, want a 422 APIError", err)
+	}
+	if resp.Applied != 1 {
+		t.Fatalf("forwarded partial body: Applied = %d, want 1", resp.Applied)
+	}
+}
+
+// TestClientRetryAfterParsing pins the header grammar against a stub:
+// only the delay-seconds form counts, absent or malformed values leave
+// RetryAfter zero, and non-JSON error bodies are carried verbatim.
+func TestClientRetryAfterParsing(t *testing.T) {
+	cases := []struct {
+		name       string
+		status     int
+		retryAfter string
+		body       string
+		wantRetry  int
+		wantMsg    string
+		wantTemp   bool
+	}{
+		{"seconds", 503, "7", `{"error":"mid-handoff"}`, 7, "mid-handoff", true},
+		{"absent", 503, "", `{"error":"converging"}`, 0, "converging", true},
+		{"http-date", 503, "Fri, 01 Jan 2027 00:00:00 GMT", `{"error":"x"}`, 0, "x", true},
+		{"negative", 503, "-3", `{"error":"x"}`, 0, "x", true},
+		{"not-503", 404, "9", `plain text miss`, 9, "plain text miss", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if tc.retryAfter != "" {
+					w.Header().Set("Retry-After", tc.retryAfter)
+				}
+				w.WriteHeader(tc.status)
+				fmt.Fprint(w, tc.body)
+			}))
+			defer ts.Close()
+			_, err := client.New(ts.URL).Summary(context.Background(), "any")
+			var apiErr *client.APIError
+			if !errors.As(err, &apiErr) {
+				t.Fatalf("error is %T, want *client.APIError", err)
+			}
+			if apiErr.StatusCode != tc.status || apiErr.RetryAfter != tc.wantRetry ||
+				apiErr.Message != tc.wantMsg || apiErr.Temporary() != tc.wantTemp {
+				t.Fatalf("got %+v (temporary=%v), want status=%d retry=%d msg=%q temporary=%v",
+					apiErr, apiErr.Temporary(), tc.status, tc.wantRetry, tc.wantMsg, tc.wantTemp)
+			}
+		})
+	}
+}

@@ -15,8 +15,20 @@
 // deployment is checkpointed back to -state-dir (snapshot rewritten,
 // WAL truncated).
 //
+// Fleet mode places deployments across several khopd processes with a
+// deterministic consistent-hash ring (see docs/fleet.md): give each
+// node a stable -node-id and the full membership via -peers, and any
+// node answers any /v1 request, proxying to the owner as needed:
+//
+//	khopd -addr :8101 -node-id n1 -state-dir /var/lib/khopd-n1 \
+//	  -peers n1=http://10.0.0.1:8101,n2=http://10.0.0.2:8102,n3=http://10.0.0.3:8103
+//
+// Membership changes go to POST /v1/fleet/membership on any node; the
+// fleet rebalances by snapshot hand-off and propagates the update.
+//
 // A quick session against a running server (the API is versioned under
-// /v1; bare paths still work but are deprecated):
+// /v1; the pre-versioning bare paths are past their sunset and answer
+// 404):
 //
 //	curl -X POST localhost:8080/v1/deployments -d '{"id":"prod","n":200,"avg_degree":6,"seed":1,"k":2}'
 //	curl -X POST localhost:8080/v1/deployments/prod/events -d '{"events":[{"kind":"leave","node":7}]}'
@@ -40,9 +52,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -56,10 +70,17 @@ func main() {
 		walSync      = flag.String("wal-sync", "always", "WAL fsync policy: always (fsync per acked batch), interval (fsync at most every -wal-sync-every), never (leave it to the OS)")
 		walSyncEvery = flag.Duration("wal-sync-every", 0, "fsync window for -wal-sync=interval (0 = the wal package default)")
 		compactAfter = flag.Int("compact-after", 0, "auto-compact a deployment after this many events since its last checkpoint (0 = only on explicit POST .../compact)")
+		nodeID       = flag.String("node-id", "", "stable fleet identity for this node (empty = standalone)")
+		peers        = flag.String("peers", "", "full fleet membership as id=url[,id=url...], including this node; requires -node-id")
 	)
 	flag.Parse()
 
 	policy, err := wal.ParseSyncPolicy(*walSync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "khopd:", err)
+		os.Exit(2)
+	}
+	members, err := parsePeers(*peers, *nodeID)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "khopd:", err)
 		os.Exit(2)
@@ -70,25 +91,70 @@ func main() {
 		WALSync:      policy,
 		WALSyncEvery: *walSyncEvery,
 		CompactAfter: *compactAfter,
+		NodeID:       *nodeID,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	logger := log.New(os.Stderr, "khopd: ", log.LstdFlags)
-	if err := run(ctx, logger, *addr, cfg, *drain, nil); err != nil {
+	if err := run(ctx, logger, *addr, cfg, members, *drain, nil); err != nil {
 		logger.Fatal(err)
 	}
+}
+
+// parsePeers decodes the -peers membership list (id=url pairs). The
+// list must include nodeID itself — a node that is not a member of the
+// fleet it serves would forward everything, which is a decommission,
+// not a boot configuration.
+func parsePeers(spec, nodeID string) ([]fleet.Member, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	if nodeID == "" {
+		return nil, errors.New("-peers requires -node-id")
+	}
+	var members []fleet.Member
+	self := false
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, url, ok := strings.Cut(part, "=")
+		if !ok || id == "" || url == "" {
+			return nil, fmt.Errorf("-peers entry %q: want id=url", part)
+		}
+		members = append(members, fleet.Member{ID: id, Addr: url})
+		if id == nodeID {
+			self = true
+		}
+	}
+	if !self {
+		return nil, fmt.Errorf("-peers does not include this node (%q)", nodeID)
+	}
+	return members, nil
 }
 
 // run wires the deployment server to an HTTP listener and blocks until
 // ctx is cancelled, then drains and (with a state dir) checkpoints.
 // When ready is non-nil it receives the bound address once the listener
 // is up — the tests use it to talk to a :0 listener.
-func run(ctx context.Context, logger *log.Logger, addr string, cfg server.Config, drain time.Duration, ready chan<- string) error {
+func run(ctx context.Context, logger *log.Logger, addr string, cfg server.Config, members []fleet.Member, drain time.Duration, ready chan<- string) error {
 	cfg.Log = logger
 	srv := server.New(cfg)
 	if err := srv.Load(); err != nil {
 		return fmt.Errorf("loading %s: %w", cfg.StateDir, err)
+	}
+	if len(members) > 0 {
+		// Adopt the boot membership. Hand-off failures are expected here
+		// (peers may still be coming up); the ring is adopted regardless
+		// and a later membership POST or the peers' own adoption settles
+		// any stragglers.
+		if _, migrated, err := srv.SetMembership(ctx, members); err != nil {
+			logger.Printf("fleet: boot membership applied with errors (will settle as peers come up): %v", err)
+		} else if len(migrated) > 0 {
+			logger.Printf("fleet: boot rebalance handed off %d deployments", len(migrated))
+		}
 	}
 
 	ln, err := net.Listen("tcp", addr)

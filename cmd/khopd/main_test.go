@@ -11,6 +11,7 @@ import (
 
 	"repro/api"
 	"repro/client"
+	"repro/internal/fleet"
 	"repro/internal/server"
 )
 
@@ -24,7 +25,7 @@ func startServer(t *testing.T, cfg server.Config) (*client.Client, func() error)
 	done := make(chan error, 1)
 	logger := log.New(io.Discard, "", 0)
 	go func() {
-		done <- run(ctx, logger, "127.0.0.1:0", cfg, 5*time.Second, ready)
+		done <- run(ctx, logger, "127.0.0.1:0", cfg, nil, 5*time.Second, ready)
 	}()
 	select {
 	case addr := <-ready:
@@ -82,5 +83,33 @@ func TestGracefulRestartPersistsDeployments(t *testing.T) {
 	}
 	if !reflect.DeepEqual(routeBefore, routeAfter) {
 		t.Fatalf("route changed across daemon restart: %+v -> %+v", routeBefore, routeAfter)
+	}
+}
+
+// TestParsePeers pins the -peers flag grammar and its two invariants:
+// -peers needs -node-id, and the membership must include the node
+// itself.
+func TestParsePeers(t *testing.T) {
+	got, err := parsePeers("n1=http://a:1, n2=http://b:2", "n1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []fleet.Member{{ID: "n1", Addr: "http://a:1"}, {ID: "n2", Addr: "http://b:2"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parsePeers = %+v, want %+v", got, want)
+	}
+	if m, err := parsePeers("", "n1"); err != nil || m != nil {
+		t.Fatalf("empty -peers must mean standalone, got %v, %v", m, err)
+	}
+	for _, bad := range []struct{ spec, id string }{
+		{"n1=http://a:1", ""},       // -peers without -node-id
+		{"n2=http://b:2", "n1"},     // membership missing self
+		{"n1http://a:1", "n1"},      // no separator
+		{"=http://a:1,n1=x", "n1"},  // empty id
+		{"n1=,n2=http://b:2", "n1"}, // empty url
+	} {
+		if _, err := parsePeers(bad.spec, bad.id); err == nil {
+			t.Errorf("parsePeers(%q, %q) accepted", bad.spec, bad.id)
+		}
 	}
 }

@@ -34,7 +34,7 @@ var Determinism = &Analyzer{
 		"internal/graph", "internal/cluster", "internal/ncr", "internal/gateway",
 		"internal/maxmin", "internal/core", "internal/mobility", "internal/partition",
 		"internal/codec", "internal/experiment", "internal/server", "internal/wal",
-		"internal/cds", "internal/routing",
+		"internal/cds", "internal/routing", "internal/fleet",
 	},
 	Run: runDeterminism,
 }

@@ -77,7 +77,7 @@ func TestAnalyzerScopes(t *testing.T) {
 		in, out  []string
 	}{
 		{analysis.Determinism,
-			[]string{"repro/internal/codec", "repro/internal/experiment", "repro/internal/server", "repro/internal/graph", "repro/internal/wal"},
+			[]string{"repro/internal/codec", "repro/internal/experiment", "repro/internal/server", "repro/internal/graph", "repro/internal/wal", "repro/internal/fleet"},
 			[]string{"repro/internal/telemetry", "repro/cmd/khopd", "repro"}},
 		{analysis.Lockscope,
 			[]string{"repro/internal/server"},

@@ -1,0 +1,356 @@
+package fleet_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/fleet"
+	"repro/internal/server"
+)
+
+// This file is the fleet's crash drill: three real khopd servers on
+// real TCP listeners, a kill -9 of the deployment owner in the middle
+// of a churn stream, a restart from its state dir, and a byte-for-byte
+// comparison of every snapshot against a single-node oracle that was
+// fed exactly the acked batches. The invariant under test is the
+// fleet-wide acked-implies-durable contract: a 200 on POST events from
+// ANY node (owner or forwarder) means the batch survives the owner
+// dying with no warning and no shutdown hook.
+
+// crashNode is a khopd process stand-in that can be killed without
+// ceremony (listener and connections torn down, no Save, no drain) and
+// restarted on the same address from the same state dir.
+type crashNode struct {
+	id       string
+	addr     string
+	stateDir string
+	srv      *server.Server
+	httpSrv  *http.Server
+	c        *client.Client
+}
+
+// startCrashNode boots a node. addr may be "127.0.0.1:0" for a fresh
+// port or a previously recorded address for a restart (Go listeners
+// set SO_REUSEADDR, so rebinding after kill works).
+func startCrashNode(t *testing.T, id, addr, stateDir string) *crashNode {
+	t.Helper()
+	srv := server.New(server.Config{NodeID: id, StateDir: stateDir})
+	if err := srv.Load(); err != nil {
+		t.Fatalf("node %s: load: %v", id, err)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("node %s: listen %s: %v", id, addr, err)
+	}
+	n := &crashNode{
+		id:       id,
+		addr:     ln.Addr().String(),
+		stateDir: stateDir,
+		srv:      srv,
+		httpSrv:  &http.Server{Handler: srv.Handler()},
+	}
+	n.c = client.New("http://" + n.addr)
+	go n.httpSrv.Serve(ln)
+	t.Cleanup(func() { n.httpSrv.Close() })
+	return n
+}
+
+func (n *crashNode) url() string { return "http://" + n.addr }
+
+// kill is the kill -9: the listener and every open connection die
+// immediately; nothing is checkpointed, nothing drains. Whatever the
+// WAL holds is what the next boot gets.
+func (n *crashNode) kill() { n.httpSrv.Close() }
+
+// restart boots a fresh process image from the node's state dir on the
+// node's original address and hands it the fleet membership.
+func (n *crashNode) restart(t *testing.T, members []fleet.Member) *crashNode {
+	t.Helper()
+	var r *crashNode
+	// The dead listener's port can linger for an instant; retry briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv := server.New(server.Config{NodeID: n.id, StateDir: n.stateDir})
+		if err := srv.Load(); err != nil {
+			t.Fatalf("node %s: reload: %v", n.id, err)
+		}
+		ln, err := net.Listen("tcp", n.addr)
+		if err != nil {
+			if time.Now().After(deadline) {
+				t.Fatalf("node %s: rebind %s: %v", n.id, n.addr, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		r = &crashNode{id: n.id, addr: n.addr, stateDir: n.stateDir, srv: srv, httpSrv: &http.Server{Handler: srv.Handler()}}
+		r.c = client.New(r.url())
+		go r.httpSrv.Serve(ln)
+		t.Cleanup(func() { r.httpSrv.Close() })
+		break
+	}
+	// Hand-off failures at boot are tolerated exactly as khopd's run()
+	// tolerates them: peers may still be down; the ring is adopted
+	// regardless and a later membership apply settles stragglers.
+	if _, _, err := r.srv.SetMembership(context.Background(), members); err != nil {
+		t.Logf("node %s: membership on restart (will settle): %v", n.id, err)
+	}
+	return r
+}
+
+// startCrashFleet boots n nodes and installs a shared membership.
+func startCrashFleet(t *testing.T, n int) ([]*crashNode, []fleet.Member) {
+	t.Helper()
+	nodes := make([]*crashNode, n)
+	members := make([]fleet.Member, n)
+	for i := range nodes {
+		id := fmt.Sprintf("n%d", i+1)
+		nodes[i] = startCrashNode(t, id, "127.0.0.1:0", t.TempDir())
+		members[i] = fleet.Member{ID: id, Addr: nodes[i].url()}
+	}
+	for _, nd := range nodes {
+		if _, _, err := nd.srv.SetMembership(context.Background(), members); err != nil {
+			t.Fatalf("node %s: membership: %v", nd.id, err)
+		}
+	}
+	return nodes, members
+}
+
+// churnBatches is a deterministic churn schedule. Batches alternate
+// leave / join-back so every batch is fully applicable regardless of
+// how many preceding batches landed — no partial 422s to muddy the
+// acked/unacked ledger.
+func churnBatches(n int) [][]api.EventRequest {
+	out := make([][]api.EventRequest, n)
+	for i := range out {
+		node := 3 + (i/2)%10
+		if i%2 == 0 {
+			out[i] = []api.EventRequest{{Kind: "leave", Node: node}}
+		} else {
+			out[i] = []api.EventRequest{{Kind: "join", Node: node, Neighbors: []int{node + 1, node + 2}}}
+		}
+	}
+	return out
+}
+
+// TestFleetKillDashNineOwnerMidChurn is the headline fault-injection
+// e2e. A 3-node fleet takes a churn stream for several deployments
+// through a NON-owner (so forwarding is on the durability path), the
+// owner of one deployment is killed mid-stream, and after a restart
+// every deployment's snapshot must be byte-identical to a single-node
+// oracle fed exactly the acked prefix. Batches rejected while the
+// owner was down must NOT appear; batches acked before the kill MUST.
+func TestFleetKillDashNineOwnerMidChurn(t *testing.T) {
+	ctx := context.Background()
+	nodes, members := startCrashFleet(t, 3)
+	ring, err := fleet.New(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reqs := make([]api.CreateRequest, 6)
+	for i := range reqs {
+		reqs[i] = api.CreateRequest{
+			ID: fmt.Sprintf("crash-%02d", i), N: 50, AvgDegree: 5, Seed: int64(40 + i), K: 2,
+		}
+	}
+	// The victim owns reqs[0]; entry is any other node, so every write
+	// to the victim's deployments travels the forwarding path.
+	victimID := ring.Owner(reqs[0].ID).ID
+	var victim, entry *crashNode
+	for _, nd := range nodes {
+		if nd.id == victimID {
+			victim = nd
+		} else if entry == nil {
+			entry = nd
+		}
+	}
+
+	for _, req := range reqs {
+		if _, err := entry.c.Create(ctx, req); err != nil {
+			t.Fatalf("create %s: %v", req.ID, err)
+		}
+	}
+
+	// Drive churn through the entry node, killing the victim partway.
+	// acked records, per deployment, exactly the batches that got a 200.
+	batches := churnBatches(8)
+	const killAt = 5 // kill after this many acked batches per deployment
+	acked := map[string]int{}
+	for i, b := range batches {
+		if i == killAt {
+			victim.kill()
+		}
+		for _, req := range reqs {
+			resp, err := entry.c.Events(ctx, req.ID, b)
+			if err != nil {
+				if i < killAt {
+					t.Fatalf("batch %d on %s rejected before the kill: %v", i, req.ID, err)
+				}
+				continue // owner down: unacked, must not surface later
+			}
+			if resp.Applied != len(b) {
+				t.Fatalf("batch %d on %s partially applied: %d/%d", i, req.ID, resp.Applied, len(b))
+			}
+			acked[req.ID]++
+		}
+	}
+	// Sanity on the scenario shape: the victim's deployments stopped at
+	// killAt, everyone else took the full stream.
+	victimOwned := 0
+	for _, req := range reqs {
+		if ring.Owner(req.ID).ID == victim.id {
+			victimOwned++
+			if acked[req.ID] != killAt {
+				t.Fatalf("deployment %s (victim-owned) acked %d batches, want exactly %d", req.ID, acked[req.ID], killAt)
+			}
+		} else if acked[req.ID] != len(batches) {
+			t.Fatalf("deployment %s (survivor-owned) acked %d batches, want %d", req.ID, acked[req.ID], len(batches))
+		}
+	}
+	if victimOwned == 0 {
+		t.Fatal("victim owned no deployments — scenario is vacuous")
+	}
+
+	// Restart the victim from its state dir on its old address.
+	restarted := victim.restart(t, members)
+
+	// The oracle: one standalone server fed each deployment's create
+	// plus exactly its acked prefix. Every fleet snapshot — fetched
+	// through the entry node, so reads may be forwarded — must match
+	// the oracle byte for byte.
+	oracle := startCrashNode(t, "oracle", "127.0.0.1:0", "")
+	for _, req := range reqs {
+		if _, err := oracle.c.Create(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < acked[req.ID]; i++ {
+			if _, err := oracle.c.Events(ctx, req.ID, batches[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want, err := oracle.c.Snapshot(ctx, req.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := entry.c.Snapshot(ctx, req.ID)
+		if err != nil {
+			t.Fatalf("snapshot %s via entry node after restart: %v", req.ID, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("deployment %s: post-crash snapshot (%d bytes) differs from oracle (%d bytes) — acked batch lost or phantom batch applied",
+				req.ID, len(got), len(want))
+		}
+		sum, err := restarted.c.Summary(ctx, req.ID)
+		if err != nil {
+			t.Fatalf("summary %s on restarted node: %v", req.ID, err)
+		}
+		if ring.Owner(req.ID).ID == restarted.id && int(sum.EventsApplied) != eventCount(batches[:acked[req.ID]]) {
+			t.Errorf("deployment %s: restarted owner replayed %d events, want %d", req.ID, sum.EventsApplied, eventCount(batches[:acked[req.ID]]))
+		}
+	}
+
+	// The fleet is whole again: churn through the entry node reaches the
+	// restarted owner.
+	for _, req := range reqs {
+		if ring.Owner(req.ID).ID != restarted.id {
+			continue
+		}
+		if _, err := entry.c.Events(ctx, req.ID, batches[killAt]); err != nil {
+			t.Fatalf("churn on %s after owner restart: %v", req.ID, err)
+		}
+	}
+}
+
+func eventCount(batches [][]api.EventRequest) int {
+	n := 0
+	for _, b := range batches {
+		n += len(b)
+	}
+	return n
+}
+
+// TestFleetKillDashNineOwnerMidMigration drives the other crash window
+// over real sockets: the owner dies after acking churn but before a
+// membership change finishes handing its deployments off. The restart
+// must recover every acked batch, and re-applying the membership must
+// complete the rebalance with snapshots still byte-identical to the
+// oracle.
+func TestFleetKillDashNineOwnerMidMigration(t *testing.T) {
+	ctx := context.Background()
+	nodes, _ := startCrashFleet(t, 2)
+	n1, n2 := nodes[0], nodes[1]
+
+	reqs := make([]api.CreateRequest, 4)
+	for i := range reqs {
+		reqs[i] = api.CreateRequest{
+			ID: fmt.Sprintf("mig-%02d", i), N: 50, AvgDegree: 5, Seed: int64(70 + i), K: 2,
+		}
+	}
+	batches := churnBatches(4)
+	oracle := startCrashNode(t, "oracle", "127.0.0.1:0", "")
+	for _, req := range reqs {
+		for _, nd := range []*crashNode{n1, oracle} {
+			if _, err := nd.c.Create(ctx, req); err != nil {
+				t.Fatal(err)
+			}
+			for _, b := range batches {
+				if _, err := nd.c.Events(ctx, req.ID, b); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	// A third node joins, but dies before any hand-off can be received:
+	// it is killed first, then the membership update is sent. Both
+	// owners adopt the new ring, fail their hand-offs to the corpse, and
+	// keep serving (the failure half of the hand-off contract) — then n1
+	// itself is killed with no drain.
+	n3 := startCrashNode(t, "n3", "127.0.0.1:0", t.TempDir())
+	grown := []fleet.Member{
+		{ID: "n1", Addr: n1.url()},
+		{ID: "n2", Addr: n2.url()},
+		{ID: "n3", Addr: n3.url()},
+	}
+	n3.kill()
+	for _, nd := range []*crashNode{n1, n2} {
+		// An error here is expected whenever the node had deployments to
+		// move (the destination is dead); either way nothing migrates to
+		// the corpse and the node keeps serving what it holds.
+		_, _, _ = nd.srv.SetMembership(ctx, grown)
+	}
+	n1.kill()
+
+	// Restart both dead nodes (the hand-off target first, so the
+	// restarted n1's boot rebalance has somewhere to ship) and re-apply
+	// the membership everywhere.
+	r3 := n3.restart(t, grown)
+	r1 := n1.restart(t, grown)
+	if _, _, err := n2.srv.SetMembership(ctx, grown); err != nil {
+		t.Fatalf("n2 re-apply membership: %v", err)
+	}
+
+	// Every deployment serves from every node, byte-identical to the
+	// oracle, wherever the grown ring put it.
+	for _, req := range reqs {
+		want, err := oracle.c.Snapshot(ctx, req.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nd := range []*crashNode{r1, n2, r3} {
+			got, err := nd.c.Snapshot(ctx, req.ID)
+			if err != nil {
+				t.Fatalf("snapshot %s via %s after crash recovery: %v", req.ID, nd.id, err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("deployment %s via %s: snapshot differs from oracle after crash recovery", req.ID, nd.id)
+			}
+		}
+	}
+}

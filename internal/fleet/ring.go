@@ -1,0 +1,206 @@
+// Package fleet places deployments onto khopd nodes with a
+// deterministic consistent-hash ring.
+//
+// Every node in a fleet computes the same Ring from the same membership
+// list — there is no coordinator and no negotiated state. Determinism
+// comes from three choices:
+//
+//   - the hash is FNV-1a finished with a splitmix64 avalanche (the same
+//     construction internal/experiment uses for trial seeds), so
+//     placement depends only on the bytes of member ids and deployment
+//     ids, never on process state;
+//   - each member contributes a fixed number of virtual nodes
+//     (VirtualNodes), derived from a fixed seed, so two nodes building a
+//     ring from the same membership produce identical point sets;
+//   - members are canonically sorted by id before hashing and ties on
+//     the ring break by member id, so the caller's slice order is
+//     irrelevant.
+//
+// Consistent hashing gives the rebalancing bound the fleet relies on:
+// a membership change only reassigns deployments whose owner arc was
+// created or destroyed by the change — on average D/N of D deployments
+// across N nodes — so snapshot hand-off (see internal/server and
+// docs/fleet.md) moves blobs, not the whole fleet.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// VirtualNodes is the fixed number of ring points per member. 64 points
+// per member keeps the largest/smallest owner arc ratio low (the
+// distribution test pins < 2.5x at 3 nodes) while ring construction and
+// binary-search lookup stay trivially cheap.
+const VirtualNodes = 64
+
+// ringSeed salts every ring hash so placement is a property of this
+// package's versioned scheme, not of raw FNV over user strings.
+const ringSeed = 0x6b686f7001
+
+// Member is one khopd node in the fleet: a stable id (the -node-id
+// flag) and the base URL peers reach it on.
+type Member struct {
+	ID   string
+	Addr string
+}
+
+// point is one virtual node on the ring.
+type point struct {
+	hash   uint64
+	member int32 // index into Ring.members
+}
+
+// Ring is an immutable consistent-hash placement of deployment ids
+// onto members. Build one with New; it is safe for concurrent use.
+type Ring struct {
+	members []Member // sorted by ID
+	points  []point  // sorted by (hash, member id)
+	version uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hashString folds s into h with FNV-1a.
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: FNV-1a alone clusters nearby
+// strings ("dep-1", "dep-2") onto nearby ring positions; the avalanche
+// spreads them uniformly.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// keyHash places a deployment id on the ring.
+func keyHash(deployment string) uint64 {
+	return mix64(hashString(hashString(ringSeed, "key\x00"), deployment))
+}
+
+// pointHash places virtual node v of a member on the ring.
+func pointHash(memberID string, v int) uint64 {
+	h := hashString(hashString(ringSeed, "vnode\x00"), memberID)
+	h = hashString(h, "\x00")
+	h = hashString(h, strconv.Itoa(v))
+	return mix64(h)
+}
+
+// New builds a ring from a membership list. Member ids must be
+// non-empty and unique; the slice order is irrelevant (members are
+// sorted canonically). An empty membership is a valid ring that owns
+// nothing — a decommissioned node forwards everything.
+func New(members []Member) (*Ring, error) {
+	sorted := append([]Member(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for i, m := range sorted {
+		if m.ID == "" {
+			return nil, fmt.Errorf("fleet: member %d has an empty id", i)
+		}
+		if i > 0 && sorted[i-1].ID == m.ID {
+			return nil, fmt.Errorf("fleet: duplicate member id %q", m.ID)
+		}
+	}
+	r := &Ring{
+		members: sorted,
+		points:  make([]point, 0, len(sorted)*VirtualNodes),
+	}
+	for i, m := range sorted {
+		for v := 0; v < VirtualNodes; v++ {
+			r.points = append(r.points, point{hash: pointHash(m.ID, v), member: int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// A full 64-bit collision between two members' points is
+		// astronomically unlikely but must still break the same way on
+		// every node.
+		return sorted[a.member].ID < sorted[b.member].ID
+	})
+	v := hashString(uint64(ringSeed), "version\x00")
+	for _, m := range sorted {
+		v = hashString(v, m.ID)
+		v = hashString(v, "\x00")
+		v = hashString(v, m.Addr)
+		v = hashString(v, "\x01")
+	}
+	r.version = mix64(v)
+	return r, nil
+}
+
+// Owner returns the member owning a deployment id: the first ring
+// point clockwise from the id's hash. Owner on an empty ring returns
+// the zero Member (no id, no addr).
+func (r *Ring) Owner(deployment string) Member {
+	if len(r.points) == 0 {
+		return Member{}
+	}
+	h := keyHash(deployment)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return r.members[r.points[i].member]
+}
+
+// Successors returns up to n distinct members clockwise from a
+// deployment's position, starting with its owner — the seeded replica
+// ordering a future replication layer would use, and the order a
+// client may try on owner failure.
+func (r *Ring) Successors(deployment string, n int) []Member {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := keyHash(deployment)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]Member, 0, n)
+	seen := make(map[int32]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+// Version identifies the membership (ids and addresses): two rings
+// have equal versions iff they were built from the same membership.
+func (r *Ring) Version() uint64 { return r.version }
+
+// Members returns the canonical (id-sorted) membership copy.
+func (r *Ring) Members() []Member {
+	return append([]Member(nil), r.members...)
+}
+
+// Size is the number of members.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Member looks up a member by id.
+func (r *Ring) Member(id string) (Member, bool) {
+	i := sort.Search(len(r.members), func(i int) bool { return r.members[i].ID >= id })
+	if i < len(r.members) && r.members[i].ID == id {
+		return r.members[i], true
+	}
+	return Member{}, false
+}

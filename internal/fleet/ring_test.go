@@ -1,0 +1,216 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func members(ids ...string) []Member {
+	out := make([]Member, len(ids))
+	for i, id := range ids {
+		out[i] = Member{ID: id, Addr: "http://" + id + ".example:8080"}
+	}
+	return out
+}
+
+func deployments(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("dep-%d", i)
+	}
+	return out
+}
+
+// TestRingDeterministicAcrossInputOrder pins the fleet's foundational
+// property: every node computes the same placement from the same
+// membership list, regardless of the order its -peers flag happened to
+// list the members in.
+func TestRingDeterministicAcrossInputOrder(t *testing.T) {
+	base := members("n1", "n2", "n3", "n4", "n5")
+	r1, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]Member(nil), base...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r2, err := New(shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Version() != r2.Version() {
+			t.Fatalf("trial %d: version differs across input order", trial)
+		}
+		for _, d := range deployments(200) {
+			if a, b := r1.Owner(d), r2.Owner(d); a != b {
+				t.Fatalf("trial %d: owner(%s) = %v vs %v", trial, d, a, b)
+			}
+		}
+	}
+}
+
+// TestRingValidation covers the constructor's error paths and the
+// empty (decommissioned) ring.
+func TestRingValidation(t *testing.T) {
+	if _, err := New(members("a", "b", "a")); err == nil {
+		t.Error("duplicate member id accepted")
+	}
+	if _, err := New([]Member{{ID: ""}}); err == nil {
+		t.Error("empty member id accepted")
+	}
+	empty, err := New(nil)
+	if err != nil {
+		t.Fatalf("empty membership must be a valid (forward-only) ring: %v", err)
+	}
+	if got := empty.Owner("anything"); got != (Member{}) {
+		t.Errorf("empty ring owner = %v, want zero Member", got)
+	}
+	if got := empty.Successors("anything", 2); got != nil {
+		t.Errorf("empty ring successors = %v, want nil", got)
+	}
+}
+
+// TestRingDistribution pins that virtual nodes spread load: at 3
+// members no member owns more than 2.5x its fair share of 3000
+// deployments, and every member owns something.
+func TestRingDistribution(t *testing.T) {
+	r, err := New(members("n1", "n2", "n3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	deps := deployments(3000)
+	for _, d := range deps {
+		counts[r.Owner(d).ID]++
+	}
+	fair := float64(len(deps)) / 3
+	for _, m := range r.Members() {
+		c := counts[m.ID]
+		if c == 0 {
+			t.Fatalf("member %s owns nothing", m.ID)
+		}
+		if float64(c) > 2.5*fair {
+			t.Fatalf("member %s owns %d of %d deployments (> 2.5x fair share %.0f)", m.ID, c, len(deps), fair)
+		}
+	}
+}
+
+// TestRingMinimalMoves pins the consistent-hashing contract exactly:
+// adding a member only moves deployments TO it, removing a member only
+// moves deployments FROM it — every unaffected deployment keeps its
+// owner bit for bit.
+func TestRingMinimalMoves(t *testing.T) {
+	small, err := New(members("n1", "n2", "n3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := New(members("n1", "n2", "n3", "n4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps := deployments(1000)
+	movedOnAdd := 0
+	for _, d := range deps {
+		before, after := small.Owner(d), big.Owner(d)
+		if before.ID == after.ID {
+			continue
+		}
+		movedOnAdd++
+		if after.ID != "n4" {
+			t.Fatalf("add n4 moved %s from %s to %s (only moves onto the new member are allowed)", d, before.ID, after.ID)
+		}
+	}
+	// Removal is the inverse direction: reading big→small, everything
+	// that moves must be moving off the removed member.
+	for _, d := range deps {
+		if before, after := big.Owner(d), small.Owner(d); before.ID != after.ID && before.ID != "n4" {
+			t.Fatalf("remove n4 moved %s from %s to %s (only moves off the removed member are allowed)", d, before.ID, after.ID)
+		}
+	}
+	if movedOnAdd == 0 {
+		t.Fatal("adding a member moved nothing — the new member owns no arc")
+	}
+	// ~D/N of D deployments move; allow generous slack over the
+	// expectation but pin that nothing like a full reshuffle happened.
+	if limit := len(deps) / 2; movedOnAdd > limit {
+		t.Fatalf("adding 1 member to 3 moved %d of %d deployments (expected ~%d, limit %d)",
+			movedOnAdd, len(deps), len(deps)/4, limit)
+	}
+}
+
+// TestRingSuccessors pins the seeded replica ordering: the first
+// successor is the owner, members never repeat, and the ordering is
+// deterministic.
+func TestRingSuccessors(t *testing.T) {
+	r, err := New(members("n1", "n2", "n3", "n4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range deployments(50) {
+		succ := r.Successors(d, 3)
+		if len(succ) != 3 {
+			t.Fatalf("successors(%s, 3) returned %d members", d, len(succ))
+		}
+		if succ[0] != r.Owner(d) {
+			t.Fatalf("successors(%s)[0] = %v, not the owner %v", d, succ[0], r.Owner(d))
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m.ID] {
+				t.Fatalf("successors(%s) repeats %s", d, m.ID)
+			}
+			seen[m.ID] = true
+		}
+		if again := r.Successors(d, 3); !reflect.DeepEqual(succ, again) {
+			t.Fatalf("successors(%s) not deterministic", d)
+		}
+	}
+	if got := r.Successors("d", 99); len(got) != r.Size() {
+		t.Fatalf("successors capped at %d, want membership size %d", len(got), r.Size())
+	}
+}
+
+// TestRingVersion pins that the version identifies the membership:
+// same members same version, and any id or address change flips it.
+func TestRingVersion(t *testing.T) {
+	a, _ := New(members("n1", "n2"))
+	b, _ := New(members("n2", "n1"))
+	if a.Version() != b.Version() {
+		t.Error("version depends on input order")
+	}
+	c, _ := New(members("n1", "n2", "n3"))
+	if a.Version() == c.Version() {
+		t.Error("version unchanged by added member")
+	}
+	d, _ := New([]Member{{ID: "n1", Addr: "http://elsewhere:1"}, {ID: "n2", Addr: "http://n2.example:8080"}})
+	if a.Version() == d.Version() {
+		t.Error("version unchanged by address change")
+	}
+}
+
+// TestRingMemberLookup covers the by-id lookup used by the forwarding
+// layer.
+func TestRingMemberLookup(t *testing.T) {
+	r, _ := New(members("n1", "n2", "n3"))
+	if m, ok := r.Member("n2"); !ok || m.ID != "n2" {
+		t.Fatalf("Member(n2) = %v, %v", m, ok)
+	}
+	if _, ok := r.Member("ghost"); ok {
+		t.Fatal("Member(ghost) found")
+	}
+}
+
+func BenchmarkRingOwner(b *testing.B) {
+	r, err := New(members("n1", "n2", "n3", "n4", "n5", "n6", "n7", "n8"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	deps := deployments(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Owner(deps[i%len(deps)])
+	}
+}

@@ -115,7 +115,7 @@ func TestHarnessEndToEnd(t *testing.T) {
 	}
 
 	// The harness cleans up its deployment.
-	resp, err := ts.Client().Get(ts.URL + "/deployments/khopload")
+	resp, err := ts.Client().Get(ts.URL + "/v1/deployments/khopload")
 	if err != nil {
 		t.Fatal(err)
 	}

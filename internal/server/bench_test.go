@@ -54,7 +54,7 @@ func benchMixedLoad(b *testing.B, cfg Config) {
 
 	create := CreateRequest{ID: "bench", N: n, AvgDegree: 6, Seed: 1, K: 2, Algorithm: "AC-LMST"}
 	body, _ := json.Marshal(create)
-	resp, err := ts.Client().Post(ts.URL+"/deployments", "application/json", bytes.NewReader(body))
+	resp, err := ts.Client().Post(ts.URL+"/v1/deployments", "application/json", bytes.NewReader(body))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -86,7 +86,7 @@ func benchMixedLoad(b *testing.B, cfg Config) {
 				)
 			}
 			raw, _ := json.Marshal(map[string]any{"events": events})
-			resp, err := ts.Client().Post(ts.URL+"/deployments/bench/events", "application/json", bytes.NewReader(raw))
+			resp, err := ts.Client().Post(ts.URL+"/v1/deployments/bench/events", "application/json", bytes.NewReader(raw))
 			if err != nil {
 				writerDone <- err
 				return
@@ -111,7 +111,7 @@ func benchMixedLoad(b *testing.B, cfg Config) {
 			src := int(q*31) % (n - batchSize)
 			dst := int(q*17+7) % (n - batchSize)
 			t0 := time.Now()
-			resp, err := client.Get(fmt.Sprintf("%s/deployments/bench/route?src=%d&dst=%d", ts.URL, src, dst))
+			resp, err := client.Get(fmt.Sprintf("%s/v1/deployments/bench/route?src=%d&dst=%d", ts.URL, src, dst))
 			if err != nil {
 				b.Error(err)
 				return

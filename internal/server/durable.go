@@ -113,29 +113,40 @@ func (s *Server) makeDurableLocked(d *deployment, raw []byte) error {
 // that lands between the encode and the truncation would be silently
 // dropped from both).
 func (s *Server) checkpointLocked(d *deployment) error {
-	if !s.durable() {
+	_, err := s.checkpointBytesLocked(d, false)
+	return err
+}
+
+// checkpointBytesLocked is checkpointLocked returning the encoded
+// snapshot — the blob a migration ships is byte-for-byte the blob the
+// checkpoint persisted. wantRaw forces the encode even on a
+// non-durable server (a hand-off still needs the bytes).
+func (s *Server) checkpointBytesLocked(d *deployment, wantRaw bool) ([]byte, error) {
+	if !s.durable() && !wantRaw {
 		d.sinceCheckpoint = 0
-		return nil
+		return nil, nil
 	}
 	raw, err := d.snapshotLocked()
 	if err != nil {
-		return err
+		return nil, err
 	}
-	if err := s.persistSnapshot(d.id, raw); err != nil {
-		return err
-	}
-	if d.wal != nil {
-		if err := d.wal.Reset(); err != nil {
-			// The new base is on disk but the old-id-space records are
-			// not truncated: replaying them against the new base would
-			// corrupt. Degrade to in-memory rather than risk it.
-			d.wal.Close()
-			d.wal = nil
-			return fmt.Errorf("truncating WAL after checkpoint (deployment degraded to in-memory): %w", err)
+	if s.durable() {
+		if err := s.persistSnapshot(d.id, raw); err != nil {
+			return nil, err
+		}
+		if d.wal != nil {
+			if err := d.wal.Reset(); err != nil {
+				// The new base is on disk but the old-id-space records are
+				// not truncated: replaying them against the new base would
+				// corrupt. Degrade to in-memory rather than risk it.
+				d.wal.Close()
+				d.wal = nil
+				return nil, fmt.Errorf("truncating WAL after checkpoint (deployment degraded to in-memory): %w", err)
+			}
 		}
 	}
 	d.sinceCheckpoint = 0
-	return nil
+	return raw, nil
 }
 
 // compactLocked renumbers away the departed slots (codec.Compact) and

@@ -1,0 +1,527 @@
+// Fleet mode for the deployment server: consistent-hash placement
+// (internal/fleet), transparent single-hop forwarding, and rebalancing
+// by snapshot hand-off.
+//
+// Placement is a pure function of the membership, so there is no
+// coordinator: every node builds the same ring from the same member
+// list and routes accordingly. A request for a deployment a node holds
+// is served locally; anything else is proxied once to the ring owner
+// with api.ForwardHeader set. A forwarded request that still misses —
+// the rings disagree mid-propagation — answers 503 + Retry-After
+// rather than hopping again, so a stale ring can delay a request but
+// never loop it.
+//
+// Rebalancing moves state with the same machinery crash recovery
+// trusts: SetMembership adopts the new ring first (local-first routing
+// keeps not-yet-moved deployments served here), then for each
+// deployment the new ring places elsewhere it (1) raises the write
+// fence, (2) checkpoints — snapshot encode + WAL truncate under the
+// write lock, so the blob holds every acked batch, (3) ships the blob
+// to the new owner, which decode-verifies and persists it before
+// acking, and (4) drops the local copy. A crash or error anywhere
+// before the new owner's ack leaves the deployment durably on the old
+// owner; a crash after the ack leaves at most a stale local copy,
+// which the next hand-off attempt or delete reclaims. Acked batches
+// are therefore never lost, and a batch arriving mid-hand-off gets
+// 503 + Retry-After, never a split-brain apply. See docs/fleet.md for
+// the full ordering contract and failure matrix.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/fleet"
+)
+
+// migrateRetryAfter is the Retry-After hint (seconds) on rebalancing
+// 503s: hand-offs are snapshot-sized, so a second is usually enough.
+const migrateRetryAfter = "1"
+
+// writeUnavailable answers 503 with a Retry-After hint: the deployment
+// (or the ring) is mid-rebalance and the request is safe to retry.
+func writeUnavailable(w http.ResponseWriter, format string, args ...any) {
+	w.Header().Set("Retry-After", migrateRetryAfter)
+	writeError(w, http.StatusServiceUnavailable, format, args...)
+}
+
+// currentRing returns the ring this node routes by; nil when
+// standalone.
+func (s *Server) currentRing() *fleet.Ring {
+	s.fleetMu.RLock()
+	defer s.fleetMu.RUnlock()
+	return s.ring
+}
+
+// ringVersionString renders a ring version for the wire (hex; "0"
+// when standalone).
+func ringVersionString(r *fleet.Ring) string {
+	if r == nil {
+		return "0"
+	}
+	return strconv.FormatUint(r.Version(), 16)
+}
+
+// routed wraps a per-deployment handler with placement: serve what is
+// local, forward the rest to the ring owner, and never forward twice.
+// Local-first (rather than owner-first) is what makes rebalancing
+// races safe: during a hand-off the deployment exists exactly one
+// registration at a time, so whichever node holds it serves it, and
+// the fence — not routing — guards writes.
+func (s *Server) routed(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ring := s.currentRing()
+		if ring == nil {
+			h(w, r) // standalone: placement does not apply
+			return
+		}
+		if r.Header.Get(api.HandoffHeader) != "" {
+			h(w, r) // hand-offs bypass placement: the sender asserts new-ring ownership
+			return
+		}
+		id := r.PathValue("id")
+		s.mu.RLock()
+		_, local := s.deps[id]
+		s.mu.RUnlock()
+		if local {
+			h(w, r)
+			return
+		}
+		owner := ring.Owner(id)
+		if owner.ID == "" || owner.ID == s.cfg.NodeID {
+			// Ours (or an empty ring): serve — a miss is an honest 404,
+			// forwarded or not.
+			h(w, r)
+			return
+		}
+		if from := r.Header.Get(api.ForwardHeader); from != "" {
+			// Single-hop guard: the sender's ring said we own this, ours
+			// disagrees (or the deployment is mid-hand-off). Re-forwarding
+			// could loop; make the client retry after the rings converge.
+			writeUnavailable(w, "deployment %q is not on this node (forwarded from %q); the ring is converging", id, from)
+			return
+		}
+		s.forward(w, r, owner)
+	}
+}
+
+// routedCreate places POST /v1/deployments by the id inside the body:
+// the body is buffered, the id peeked, and the request either handled
+// locally or forwarded whole to the owner. A body the peek cannot
+// parse falls through to the local handler, whose strict decode owns
+// the 400.
+func (s *Server) routedCreate(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ring := s.currentRing()
+		if ring == nil || r.Header.Get(api.ForwardHeader) != "" {
+			h(w, r)
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		var peek struct {
+			ID string `json:"id"`
+		}
+		if json.Unmarshal(body, &peek) != nil || peek.ID == "" {
+			h(w, r)
+			return
+		}
+		owner := ring.Owner(peek.ID)
+		if owner.ID == "" || owner.ID == s.cfg.NodeID {
+			h(w, r)
+			return
+		}
+		s.forwardBody(w, r, owner, body)
+	}
+}
+
+// forward proxies the request (body included) to the owner.
+func (s *Server) forward(w http.ResponseWriter, r *http.Request, owner fleet.Member) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading request body: %v", err)
+		return
+	}
+	s.forwardBody(w, r, owner, body)
+}
+
+func (s *Server) forwardBody(w http.ResponseWriter, r *http.Request, owner fleet.Member, body []byte) {
+	start := time.Now()
+	url := strings.TrimRight(owner.Addr, "/") + r.URL.RequestURI()
+	// One transport-level retry for idempotent methods: a reused
+	// connection the peer just closed, or a dial dropped by a full
+	// accept queue, should not bleed a 502 into a healthy fleet. Writes
+	// never retry here — a lost response does not prove the request was
+	// not applied.
+	attempts := 1
+	if r.Method == http.MethodGet || r.Method == http.MethodHead {
+		attempts = 2
+	}
+	var resp *http.Response
+	for try := 0; try < attempts; try++ {
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "forwarding to node %q: %v", owner.ID, err)
+			return
+		}
+		req.Header = r.Header.Clone()
+		req.Header.Set(api.ForwardHeader, s.cfg.NodeID)
+		if resp, err = s.fleetHTTP.Do(req); err == nil {
+			break
+		}
+		if try == attempts-1 {
+			s.tel.forwardErrors.Inc()
+			writeError(w, http.StatusBadGateway, "forwarding to node %q: %v", owner.ID, err)
+			return
+		}
+	}
+	defer resp.Body.Close()
+	copyHeader(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	s.tel.forwarded.Inc()
+	s.tel.forwardSecs.Observe(time.Since(start))
+}
+
+// copyHeader copies end-to-end response headers (sorted for a stable
+// wire order), skipping hop-by-hop ones that describe the proxied
+// connection rather than the payload.
+func copyHeader(dst, src http.Header) {
+	keys := make([]string, 0, len(src))
+	for k := range src {
+		switch k {
+		case "Connection", "Keep-Alive", "Transfer-Encoding", "Upgrade":
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, v := range src[k] {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// peerClient returns (caching by address) the typed client for a
+// member.
+func (s *Server) peerClient(m fleet.Member) *client.Client {
+	s.peerMu.Lock()
+	defer s.peerMu.Unlock()
+	if c, ok := s.peerClients[m.Addr]; ok {
+		return c
+	}
+	c := client.New(m.Addr, client.WithHTTPClient(s.fleetHTTP))
+	s.peerClients[m.Addr] = c
+	return c
+}
+
+// misplaced lists (sorted) the local deployments a ring places on some
+// other node. An empty-ring owner ("") never counts: with no members
+// there is nowhere to send state, so the node keeps serving what it
+// holds.
+func (s *Server) misplaced(ring *fleet.Ring) []string {
+	var out []string
+	s.mu.RLock()
+	for id := range s.deps {
+		if owner := ring.Owner(id); owner.ID != "" && owner.ID != s.cfg.NodeID {
+			out = append(out, id)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// SetMembership applies a new fleet membership: build the ring, adopt
+// it, and hand off every local deployment the ring places elsewhere.
+// It returns the adopted ring, the deployments migrated (sorted), and
+// any migration errors joined — the ring is adopted even when some
+// hand-offs fail (membership is authoritative; stragglers stay local,
+// keep serving, and a retry with the same members moves only them).
+// Safe for concurrent use; changes serialize. This node may itself be
+// absent from members — a decommission: it hands everything off and
+// keeps running as a pure forwarder.
+func (s *Server) SetMembership(ctx context.Context, members []fleet.Member) (*fleet.Ring, []string, error) {
+	if s.cfg.NodeID == "" {
+		return nil, nil, errors.New("node has no id (start khopd with -node-id to join a fleet)")
+	}
+	ring, err := fleet.New(members)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.rebalanceMu.Lock()
+	defer s.rebalanceMu.Unlock()
+	toMove := s.misplaced(ring)
+	if cur := s.currentRing(); cur != nil && cur.Version() == ring.Version() && len(toMove) == 0 {
+		return cur, nil, nil // already there (propagation echo, or operator retry after success)
+	}
+	// Adopt before migrating: local-first routing keeps not-yet-moved
+	// deployments served here, while requests for anything else already
+	// go to their new-ring owner. The reverse order would open a window
+	// where a moved deployment 404s on this node.
+	s.fleetMu.Lock()
+	s.ring = ring
+	s.fleetMu.Unlock()
+	s.logf("fleet: adopted ring %s (%d members), %d local deployments to hand off",
+		ringVersionString(ring), ring.Size(), len(toMove))
+	var migrated []string
+	var errs []error
+	for _, id := range toMove {
+		dest := ring.Owner(id)
+		if err := s.migrateOut(ctx, id, dest, ring); err != nil {
+			errs = append(errs, fmt.Errorf("migrating %q to node %q: %w", id, dest.ID, err))
+			continue
+		}
+		migrated = append(migrated, id)
+	}
+	return ring, migrated, errors.Join(errs...)
+}
+
+// migrateOut hands one deployment to its new owner: fence, checkpoint,
+// ship, drop. Any failure unfences and leaves the deployment serving
+// here — durably intact, since the checkpoint only folded the WAL into
+// the base snapshot.
+func (s *Server) migrateOut(ctx context.Context, id string, dest fleet.Member, ring *fleet.Ring) error {
+	s.mu.RLock()
+	d := s.deps[id]
+	s.mu.RUnlock()
+	if d == nil {
+		return nil // deleted since the scan
+	}
+	start := time.Now()
+	d.mu.Lock()
+	if d.migrating {
+		d.mu.Unlock()
+		return fmt.Errorf("deployment %q is already migrating", id)
+	}
+	d.migrating = true
+	// Fence up, then checkpoint: after this line no batch can be acked
+	// here, and the blob below holds every batch acked before it.
+	//lint:ignore khoplint/lockscope the hand-off checkpoint must fence, snapshot, and truncate as one atomic step; a batch acked in between would be missing from the shipped blob
+	raw, err := s.checkpointBytesLocked(d, true)
+	d.mu.Unlock()
+	if err != nil {
+		s.unfence(d)
+		return fmt.Errorf("checkpointing for hand-off: %w", err)
+	}
+	if s.testHandoffBarrier != nil {
+		s.testHandoffBarrier(id)
+	}
+	if _, err := s.peerClient(dest).Handoff(ctx, id, raw, ringVersionString(ring)); err != nil {
+		s.unfence(d)
+		s.tel.migrationErrors.Inc()
+		return err
+	}
+	// The new owner decode-verified and durably installed the blob
+	// before acking; the local copy (memory, snapshot, WAL) is now
+	// stale. The fence stays up on the dropped struct so a writer that
+	// grabbed the pointer before the unregister still sees 503, not a
+	// write into a ghost.
+	s.dropLocal(id)
+	s.tel.migrations.Inc()
+	s.tel.migrationSecs.Observe(time.Since(start))
+	s.logf("fleet: handed off deployment %q to node %q (%d bytes)", id, dest.ID, len(raw))
+	return nil
+}
+
+func (s *Server) unfence(d *deployment) {
+	d.mu.Lock()
+	d.migrating = false
+	d.mu.Unlock()
+}
+
+// dropLocal removes a deployment from this node along with its durable
+// state (snapshot file and WAL). Used by DELETE, by a completed
+// hand-off, and by an incoming hand-off replacing a stale copy.
+func (s *Server) dropLocal(id string) *deployment {
+	s.mu.Lock()
+	d := s.deps[id]
+	delete(s.deps, id)
+	s.mu.Unlock()
+	if d == nil {
+		return nil
+	}
+	d.mu.Lock()
+	if d.wal != nil {
+		d.wal.Close()
+		d.wal = nil
+	}
+	d.mu.Unlock()
+	s.removeDurable(id)
+	return d
+}
+
+// acceptHandoff installs a rebalancing hand-off: replace any stale
+// local copy, decode-verify, persist, ack 201. The sender drops its
+// copy only on the 201 — an interrupted hand-off leaves the deployment
+// durably on the sender, and a retried one replaces whatever the
+// earlier attempt installed here.
+func (s *Server) acceptHandoff(w http.ResponseWriter, id string, raw []byte, senderRing string) {
+	if prev := s.dropLocal(id); prev != nil {
+		s.logf("fleet: hand-off of %q replaced a stale local copy", id)
+	}
+	d, err := s.restore(id, raw)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errDurability) {
+			status = http.StatusInternalServerError
+		}
+		writeError(w, status, "installing hand-off of %q: %v", id, err)
+		return
+	}
+	s.tel.handoffs.Inc()
+	s.logf("fleet: accepted hand-off of deployment %q (%d bytes, sender ring %s)", id, len(raw), senderRing)
+	d.mu.RLock()
+	sum := d.summaryLocked()
+	d.mu.RUnlock()
+	writeJSON(w, http.StatusCreated, sum)
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	ring := s.currentRing()
+	resp := api.FleetResponse{
+		NodeID:           s.cfg.NodeID,
+		RingVersion:      ringVersionString(ring),
+		Members:          []api.Member{},
+		LocalDeployments: []string{},
+	}
+	if ring != nil {
+		for _, m := range ring.Members() {
+			resp.Members = append(resp.Members, api.Member{ID: m.ID, Addr: m.Addr})
+		}
+	}
+	s.mu.RLock()
+	for id := range s.deps {
+		resp.LocalDeployments = append(resp.LocalDeployments, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(resp.LocalDeployments)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFleetPlacement(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !idPattern.MatchString(id) {
+		writeError(w, http.StatusBadRequest, "deployment id must match %s", idPattern)
+		return
+	}
+	ring := s.currentRing()
+	s.mu.RLock()
+	_, local := s.deps[id]
+	s.mu.RUnlock()
+	resp := api.PlacementResponse{Deployment: id, Local: local, RingVersion: ringVersionString(ring)}
+	if ring != nil {
+		o := ring.Owner(id)
+		resp.Owner = api.Member{ID: o.ID, Addr: o.Addr}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleFleetMembership(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.NodeID == "" {
+		writeError(w, http.StatusBadRequest, "khopd is standalone (no -node-id); fleet membership does not apply")
+		return
+	}
+	var req api.MembershipRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	members := make([]fleet.Member, len(req.Members))
+	for i, m := range req.Members {
+		members[i] = fleet.Member{ID: m.ID, Addr: m.Addr}
+	}
+	oldRing := s.currentRing()
+	ring, migrated, err := s.SetMembership(r.Context(), members)
+	if ring == nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := api.MembershipResponse{
+		RingVersion: ringVersionString(ring),
+		Migrated:    migrated,
+	}
+	if resp.Migrated == nil {
+		resp.Migrated = []string{}
+	}
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	if !req.Propagated {
+		resp.Peers = map[string]string{}
+		for _, m := range propagationTargets(oldRing, ring, s.cfg.NodeID) {
+			if perr := s.propagate(r.Context(), m, req.Members); perr != nil {
+				resp.Peers[m.ID] = perr.Error()
+			} else {
+				resp.Peers[m.ID] = "ok"
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// propagationTargets is the union of old and new members minus self,
+// sorted by id: new members need the ring, removed members need to
+// learn they must hand everything off.
+func propagationTargets(oldRing, newRing *fleet.Ring, self string) []fleet.Member {
+	byID := map[string]fleet.Member{}
+	for _, r := range []*fleet.Ring{oldRing, newRing} {
+		if r == nil {
+			continue
+		}
+		for _, m := range r.Members() {
+			if m.ID != self {
+				byID[m.ID] = m
+			}
+		}
+	}
+	out := make([]fleet.Member, 0, len(byID))
+	for _, m := range byID {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// propagate pushes a membership update to one peer, marked Propagated
+// so the peer applies it without re-propagating (the operator's node
+// is the single fan-out point; a version-equal echo is a no-op
+// anyway).
+func (s *Server) propagate(ctx context.Context, m fleet.Member, members []api.Member) error {
+	body, err := json.Marshal(api.MembershipRequest{Members: members, Propagated: true})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(m.Addr, "/")+"/v1/fleet/membership", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.fleetHTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("peer %q answered %s", m.ID, resp.Status)
+	}
+	return nil
+}

@@ -20,7 +20,7 @@ import (
 
 // Version identifies the khopd build in /healthz; bumped alongside the
 // API surface.
-const Version = "0.7.0"
+const Version = "0.8.0"
 
 // serverMetrics is the process-global side of the exposition.
 type serverMetrics struct {
@@ -36,7 +36,15 @@ type serverMetrics struct {
 	replaySecs    *telemetry.Histogram
 	replayRecords *telemetry.Counter
 	replayEvents  *telemetry.Counter
-	deprecated    *telemetry.Counter
+
+	forwarded     *telemetry.Counter
+	forwardErrors *telemetry.Counter
+	forwardSecs   *telemetry.Histogram
+
+	migrations      *telemetry.Counter
+	migrationErrors *telemetry.Counter
+	migrationSecs   *telemetry.Histogram
+	handoffs        *telemetry.Counter
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -52,7 +60,15 @@ func newServerMetrics(s *Server) *serverMetrics {
 		replaySecs:    set.Histogram("khopd_wal_replay_seconds", "WAL replay duration per deployment at startup."),
 		replayRecords: set.Counter("khopd_wal_replay_records_total", "WAL records (acked batches) replayed at startup."),
 		replayEvents:  set.Counter("khopd_wal_replay_events_total", "Churn events replayed from WALs at startup."),
-		deprecated:    set.Counter("khopd_deprecated_path_total", "Requests served on deprecated bare (un-versioned) paths."),
+
+		forwarded:     set.Counter("khopd_forwarded_requests_total", "Requests proxied to the owning node (fleet forwarding)."),
+		forwardErrors: set.Counter("khopd_forward_errors_total", "Forwarded requests that failed at the transport (owner unreachable)."),
+		forwardSecs:   set.Histogram("khopd_forward_seconds", "End-to-end latency of forwarded requests."),
+
+		migrations:      set.Counter("khopd_migrations_total", "Deployments handed off to a new owner on membership change."),
+		migrationErrors: set.Counter("khopd_migration_errors_total", "Hand-off attempts that failed (deployment stayed local)."),
+		migrationSecs:   set.Histogram("khopd_migration_seconds", "Snapshot hand-off duration, checkpoint to new-owner ack."),
+		handoffs:        set.Counter("khopd_handoffs_received_total", "Hand-off snapshots accepted from previous owners."),
 	}
 	for c := 1; c <= 5; c++ {
 		m.httpByClass[c] = set.Counter(
@@ -66,6 +82,12 @@ func newServerMetrics(s *Server) *serverMetrics {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 		return float64(len(s.deps))
+	})
+	set.GaugeFunc("khopd_ring_version", "Low 32 bits of the consistent-hash ring version (0 when standalone).", func() float64 {
+		if r := s.currentRing(); r != nil {
+			return float64(uint32(r.Version()))
+		}
+		return 0
 	})
 	return m
 }

@@ -41,25 +41,25 @@ func scrape(t *testing.T, ts *httptest.Server, path string) *telemetry.Scrape {
 func TestMetricsEndpoints(t *testing.T) {
 	ts := httptest.NewServer(New(Config{}).Handler())
 	defer ts.Close()
-	do(t, ts, "POST", "/deployments", createBody, 201, nil)
+	do(t, ts, "POST", "/v1/deployments", createBody, 201, nil)
 
 	const routes, casts = 7, 3
 	for i := 0; i < routes; i++ {
-		do(t, ts, "GET", fmt.Sprintf("/deployments/prod/route?src=%d&dst=%d", i, 40+i), nil, 200, nil)
+		do(t, ts, "GET", fmt.Sprintf("/v1/deployments/prod/route?src=%d&dst=%d", i, 40+i), nil, 200, nil)
 	}
 	for i := 0; i < casts; i++ {
-		do(t, ts, "GET", fmt.Sprintf("/deployments/prod/broadcast?src=%d", i), nil, 200, nil)
+		do(t, ts, "GET", fmt.Sprintf("/v1/deployments/prod/broadcast?src=%d", i), nil, 200, nil)
 	}
-	do(t, ts, "GET", "/deployments/prod/route?src=0&dst=99999", nil, 400, nil)
-	do(t, ts, "POST", "/deployments/prod/events", map[string]any{"events": []EventRequest{
+	do(t, ts, "GET", "/v1/deployments/prod/route?src=0&dst=99999", nil, 400, nil)
+	do(t, ts, "POST", "/v1/deployments/prod/events", map[string]any{"events": []EventRequest{
 		{Kind: "leave", Node: 3}, {Kind: "leave", Node: 9},
 	}}, 200, nil)
-	if raw := fetchBytes(t, ts, "/deployments/prod/snapshot"); len(raw) == 0 {
+	if raw := fetchBytes(t, ts, "/v1/deployments/prod/snapshot"); len(raw) == 0 {
 		t.Fatal("empty snapshot")
 	}
 
 	labels := map[string]string{"deployment": "prod"}
-	for _, path := range []string{"/metrics", "/deployments/prod/metrics"} {
+	for _, path := range []string{"/v1/metrics", "/v1/deployments/prod/metrics"} {
 		sc := scrape(t, ts, path)
 		checks := []struct {
 			name string
@@ -94,7 +94,7 @@ func TestMetricsEndpoints(t *testing.T) {
 	}
 
 	// Global-only series.
-	sc := scrape(t, ts, "/metrics")
+	sc := scrape(t, ts, "/v1/metrics")
 	if v, ok := sc.Value("khopd_build_seconds_count", nil); !ok || v != 1 {
 		t.Errorf("build count = %v, want 1", v)
 	}
@@ -119,7 +119,7 @@ func TestMetricsEndpoints(t *testing.T) {
 func TestMetricsScrapeUnderConcurrentLoad(t *testing.T) {
 	ts := httptest.NewServer(New(Config{}).Handler())
 	defer ts.Close()
-	do(t, ts, "POST", "/deployments", createBody, 201, nil)
+	do(t, ts, "POST", "/v1/deployments", createBody, 201, nil)
 
 	const rounds = 25
 	stop := make(chan struct{})
@@ -136,7 +136,7 @@ func TestMetricsScrapeUnderConcurrentLoad(t *testing.T) {
 				default:
 				}
 				resp, err := ts.Client().Get(fmt.Sprintf(
-					"%s/deployments/prod/route?src=%d&dst=%d", ts.URL, i%40, 40+i%39))
+					"%s/v1/deployments/prod/route?src=%d&dst=%d", ts.URL, i%40, 40+i%39))
 				if err == nil {
 					resp.Body.Close()
 				}
@@ -159,7 +159,7 @@ func TestMetricsScrapeUnderConcurrentLoad(t *testing.T) {
 				EventRequest{Kind: "leave", Node: node},
 				EventRequest{Kind: "join", Node: node, Neighbors: []int{1, 2}},
 			)
-			resp, err := ts.Client().Post(ts.URL+"/deployments/prod/events", "application/json", bytes.NewReader(body))
+			resp, err := ts.Client().Post(ts.URL+"/v1/deployments/prod/events", "application/json", bytes.NewReader(body))
 			if err == nil {
 				resp.Body.Close()
 			}
@@ -169,7 +169,7 @@ func TestMetricsScrapeUnderConcurrentLoad(t *testing.T) {
 	prev := map[string]float64{}
 	gaugeFamilies := map[string]bool{}
 	for i := 0; i < rounds; i++ {
-		sc := scrape(t, ts, "/metrics")
+		sc := scrape(t, ts, "/v1/metrics")
 		for name, typ := range sc.Types {
 			if typ == "gauge" {
 				gaugeFamilies[name] = true
@@ -227,7 +227,7 @@ func TestSummaryReportsCost(t *testing.T) {
 	ts := httptest.NewServer(New(Config{}).Handler())
 	defer ts.Close()
 	var sum Summary
-	do(t, ts, "POST", "/deployments/dist/snapshot", buf.Bytes(), 201, &sum)
+	do(t, ts, "POST", "/v1/deployments/dist/snapshot", buf.Bytes(), 201, &sum)
 	if sum.Cost == nil {
 		t.Fatal("restored distributed deployment summary has no cost")
 	}
@@ -239,7 +239,7 @@ func TestSummaryReportsCost(t *testing.T) {
 
 	// A Centralized deployment keeps the field absent, not zeroed.
 	var central Summary
-	do(t, ts, "POST", "/deployments", createBody, 201, &central)
+	do(t, ts, "POST", "/v1/deployments", createBody, 201, &central)
 	if central.Cost != nil {
 		t.Fatalf("centralized deployment reports cost %+v", central.Cost)
 	}
@@ -249,13 +249,13 @@ func TestSummaryReportsCost(t *testing.T) {
 func TestHealthzReport(t *testing.T) {
 	ts := httptest.NewServer(New(Config{}).Handler())
 	defer ts.Close()
-	do(t, ts, "POST", "/deployments", createBody, 201, nil)
-	do(t, ts, "POST", "/deployments/prod/events", map[string]any{"events": []EventRequest{
+	do(t, ts, "POST", "/v1/deployments", createBody, 201, nil)
+	do(t, ts, "POST", "/v1/deployments/prod/events", map[string]any{"events": []EventRequest{
 		{Kind: "leave", Node: 2},
 	}}, 200, nil)
 
 	var h Health
-	do(t, ts, "GET", "/healthz", nil, 200, &h)
+	do(t, ts, "GET", "/v1/healthz", nil, 200, &h)
 	if h.Status != "ok" || h.Version != Version {
 		t.Fatalf("health header: %+v", h)
 	}

@@ -20,11 +20,20 @@
 //	GET    /v1/deployments/{id}/metrics     one deployment's Prometheus exposition
 //	GET    /v1/metrics                      Prometheus exposition (global + per-deployment series)
 //	GET    /v1/healthz                      readiness: version, uptime, per-deployment counts (JSON)
+//	GET    /v1/fleet                        this node's fleet view (id, ring, local deployments)
+//	GET    /v1/fleet/placement/{id}         which member the ring assigns a deployment id
+//	POST   /v1/fleet/membership             set the membership (migrate out, adopt ring, propagate)
 //
-// Every route is also served on its bare (un-prefixed) path as a
-// deprecated alias: same handler, plus a Deprecation header, a Link to
-// the /v1 successor, and a khopd_deprecated_path_total count. The wire
-// shapes live in the repro/api package, shared with the typed client.
+// The pre-/v1 bare-path aliases reached their announced sunset
+// (2026-01-01) and are gone; bare paths answer 404. The wire shapes
+// live in the repro/api package, shared with the typed client.
+//
+// In fleet mode (Config.NodeID set, membership applied via
+// SetMembership) every per-deployment route is wrapped by a placement
+// layer: a node serves deployments it holds, transparently proxies the
+// rest to the ring owner (single hop, loop-guarded by
+// api.ForwardHeader), and answers 503 + Retry-After while a deployment
+// is mid-hand-off. See fleet.go and docs/fleet.md.
 //
 // Concurrency: the deployment map takes a server-level RWMutex; each
 // deployment has its own RWMutex so reads — route and broadcast queries,
@@ -54,7 +63,9 @@ import (
 
 	khop "repro"
 	"repro/api"
+	"repro/client"
 	"repro/internal/codec"
+	"repro/internal/fleet"
 	"repro/internal/wal"
 )
 
@@ -65,10 +76,6 @@ const maxBodyBytes = 64 << 20
 // idPattern keeps deployment ids filesystem- and URL-safe, so they can
 // double as snapshot filenames in the state directory.
 var idPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
-
-// deprecationDate is the RFC 9745 Deprecation value stamped on bare
-// (un-versioned) paths: the instant the /v1 prefix became the API.
-const deprecationDate = "@1767225600" // 2026-01-01T00:00:00Z
 
 // Config configures a Server.
 type Config struct {
@@ -93,6 +100,16 @@ type Config struct {
 	// base snapshot and renumbering away departed slots). 0 disables
 	// auto-compaction; POST .../compact always works.
 	CompactAfter int
+
+	// NodeID is this node's stable fleet identity (the -node-id flag).
+	// Empty means standalone: no ring, no forwarding, every deployment
+	// is local. A node joins a fleet by SetMembership (at boot from the
+	// -peers flag, later via POST /v1/fleet/membership).
+	NodeID string
+	// ForwardClient carries node-to-node traffic (forwarded requests,
+	// snapshot hand-offs, membership propagation); nil gets a default
+	// with a timeout sized for shipping multi-MB snapshots.
+	ForwardClient *http.Client
 }
 
 // Server manages named deployments. Create one with New, Load any
@@ -105,11 +122,60 @@ type Server struct {
 
 	mu   sync.RWMutex
 	deps map[string]*deployment
+
+	// fleetMu guards the current ring, swapped whole by SetMembership
+	// and read on every routed request.
+	fleetMu sync.RWMutex
+	ring    *fleet.Ring
+
+	// rebalanceMu serializes membership changes: one migration wave at
+	// a time, so two overlapping updates cannot hand the same
+	// deployment off twice.
+	rebalanceMu sync.Mutex
+
+	// fleetHTTP carries all node-to-node traffic.
+	fleetHTTP *http.Client
+
+	peerMu      sync.Mutex
+	peerClients map[string]*client.Client
+
+	// testHandoffBarrier, when set by a test, runs between a hand-off's
+	// checkpoint and its ship — the window fault-injection tests kill
+	// the owner in.
+	testHandoffBarrier func(id string)
+}
+
+// SetHandoffBarrierForTest installs a hook that runs between a
+// hand-off's checkpoint and its ship. Fault-injection tests (in this
+// package and out-of-package suites) block or die inside it to probe
+// the crash window; production code must never call this.
+func (s *Server) SetHandoffBarrierForTest(fn func(id string)) {
+	s.testHandoffBarrier = fn
 }
 
 // New returns an empty Server.
 func New(cfg Config) *Server {
-	s := &Server{cfg: cfg, deps: make(map[string]*deployment)}
+	s := &Server{
+		cfg:         cfg,
+		deps:        make(map[string]*deployment),
+		peerClients: make(map[string]*client.Client),
+		fleetHTTP:   cfg.ForwardClient,
+	}
+	if s.fleetHTTP == nil {
+		// The default Transport keeps only 2 idle connections per host —
+		// at forwarding rates that means a fresh dial for nearly every
+		// proxied request, and under load a full accept queue turns those
+		// dials into sporadic 502s. A node talks to a handful of peers,
+		// so a deep per-host idle pool is cheap.
+		s.fleetHTTP = &http.Client{
+			Timeout: 60 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        256,
+				MaxIdleConnsPerHost: 128,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
 	s.tel = newServerMetrics(s)
 	return s
 }
@@ -146,6 +212,12 @@ type deployment struct {
 	// sinceCheckpoint counts events applied since the last checkpoint,
 	// driving Config.CompactAfter.
 	sinceCheckpoint int
+	// migrating fences writes during a snapshot hand-off: once the
+	// outgoing checkpoint is cut, every write answers 503 with
+	// Retry-After until the new owner acks (then the deployment leaves
+	// this node entirely) or the hand-off fails (then the fence drops
+	// and the node keeps serving).
+	migrating bool
 }
 
 // pairError carries the independent router/plan construction errors.
@@ -207,8 +279,10 @@ func (d *deployment) summaryLocked() Summary {
 	return sum
 }
 
-// Handler returns the server's HTTP API: every route under /v1, plus a
-// deprecated alias on the bare path.
+// Handler returns the server's HTTP API, every route under /v1 only
+// (the bare-path aliases are past their sunset and answer 404).
+// Per-deployment routes go through the fleet routing wrapper, a no-op
+// until SetMembership installs a ring.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	routes := []struct {
@@ -217,38 +291,27 @@ func (s *Server) Handler() http.Handler {
 	}{
 		{"GET /healthz", s.handleHealthz},
 		{"GET /metrics", s.handleMetrics},
-		{"POST /deployments", s.handleCreate},
+		{"POST /deployments", s.routedCreate(s.handleCreate)},
 		{"GET /deployments", s.handleList},
-		{"GET /deployments/{id}", s.withDep(s.handleSummary)},
-		{"DELETE /deployments/{id}", s.handleDelete},
-		{"POST /deployments/{id}/events", s.withDep(s.handleEvents)},
-		{"GET /deployments/{id}/route", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.route }, s.handleRoute))},
-		{"GET /deployments/{id}/broadcast", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.broadcast }, s.handleBroadcast))},
-		{"GET /deployments/{id}/cds", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.cds }, s.handleCDS))},
-		{"GET /deployments/{id}/snapshot", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.snapshot }, s.handleSnapshotGet))},
-		{"POST /deployments/{id}/snapshot", s.handleSnapshotPost},
-		{"POST /deployments/{id}/compact", s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.compact }, s.handleCompact))},
-		{"GET /deployments/{id}/metrics", s.withDep(s.handleDepMetrics)},
+		{"GET /deployments/{id}", s.routed(s.withDep(s.handleSummary))},
+		{"DELETE /deployments/{id}", s.routed(s.handleDelete)},
+		{"POST /deployments/{id}/events", s.routed(s.withDep(s.handleEvents))},
+		{"GET /deployments/{id}/route", s.routed(s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.route }, s.handleRoute)))},
+		{"GET /deployments/{id}/broadcast", s.routed(s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.broadcast }, s.handleBroadcast)))},
+		{"GET /deployments/{id}/cds", s.routed(s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.cds }, s.handleCDS)))},
+		{"GET /deployments/{id}/snapshot", s.routed(s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.snapshot }, s.handleSnapshotGet)))},
+		{"POST /deployments/{id}/snapshot", s.routed(s.handleSnapshotPost)},
+		{"POST /deployments/{id}/compact", s.routed(s.withDep(instrument(func(m *depMetrics) *opMetrics { return &m.compact }, s.handleCompact)))},
+		{"GET /deployments/{id}/metrics", s.routed(s.withDep(s.handleDepMetrics))},
+		{"GET /fleet", s.handleFleet},
+		{"GET /fleet/placement/{id}", s.handleFleetPlacement},
+		{"POST /fleet/membership", s.handleFleetMembership},
 	}
 	for _, rt := range routes {
 		method, path, _ := strings.Cut(rt.pattern, " ")
 		mux.HandleFunc(method+" /v1"+path, rt.h)
-		mux.HandleFunc(rt.pattern, s.deprecatedAlias(rt.h))
 	}
 	return s.withHTTPMetrics(mux)
-}
-
-// deprecatedAlias serves a bare-path request with the same handler but
-// marks the response deprecated (RFC 9745 Deprecation header plus a
-// successor-version Link) and counts it, so operators can find clients
-// still off /v1 before the aliases are removed.
-func (s *Server) deprecatedAlias(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Deprecation", deprecationDate)
-		w.Header().Set("Link", fmt.Sprintf("</v1%s>; rel=%q", r.URL.Path, "successor-version"))
-		s.tel.deprecated.Inc()
-		h(w, r)
-	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -462,21 +525,25 @@ func (s *Server) handleSummary(w http.ResponseWriter, _ *http.Request, d *deploy
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
+	s.mu.RLock()
 	d, ok := s.deps[id]
-	delete(s.deps, id)
-	s.mu.Unlock()
+	s.mu.RUnlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "no deployment %q", id)
 		return
 	}
 	d.mu.Lock()
-	if d.wal != nil {
-		d.wal.Close()
-		d.wal = nil
+	if d.migrating {
+		d.mu.Unlock()
+		writeUnavailable(w, "deployment %q is migrating to its new owner; retry", id)
+		return
 	}
+	// Raise the fence before releasing the lock so a concurrent
+	// migration wave cannot pick the deployment up between this check
+	// and the map removal.
+	d.migrating = true
 	d.mu.Unlock()
-	s.removeDurable(id)
+	s.dropLocal(id)
 	s.logf("deleted deployment %q", id)
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -519,6 +586,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, d *deploym
 	autoDropped := 0
 
 	d.mu.Lock()
+	if d.migrating {
+		d.mu.Unlock()
+		writeUnavailable(w, "deployment %q is migrating to its new owner; retry", d.id)
+		return
+	}
 	applyStart := time.Now()
 	reports, err := d.eng.Apply(r.Context(), batch...)
 	applyDur := time.Since(applyStart)
@@ -646,6 +718,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, d *deploym
 // translation contract.
 func (s *Server) handleCompact(w http.ResponseWriter, _ *http.Request, d *deployment) {
 	d.mu.Lock()
+	if d.migrating {
+		d.mu.Unlock()
+		writeUnavailable(w, "deployment %q is migrating to its new owner; retry", d.id)
+		return
+	}
 	//lint:ignore khoplint/lockscope the compaction checkpoint must persist and truncate atomically with the renumbering it publishes; a batch in between would replay in the wrong id space
 	dropped, err := s.compactLocked(d)
 	if err != nil {
@@ -803,6 +880,10 @@ func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
 	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "reading snapshot body: %v", err)
+		return
+	}
+	if hv := r.Header.Get(api.HandoffHeader); hv != "" {
+		s.acceptHandoff(w, id, raw, hv)
 		return
 	}
 	d, err := s.restore(id, raw)

@@ -11,7 +11,6 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
-	"strings"
 	"testing"
 
 	khop "repro"
@@ -183,10 +182,12 @@ func TestEndToEndRestart(t *testing.T) {
 	}
 }
 
-// TestDeprecatedAliases pins the /v1 migration contract: bare paths
-// keep answering with the same payloads but carry the Deprecation and
-// successor-version Link headers and count into
-// khopd_deprecated_path_total; /v1 paths carry neither.
+// TestDeprecatedAliases pins the end of the /v1 migration: the bare
+// (un-versioned) aliases reached their announced 2026-01-01 sunset and
+// are gone — bare paths answer 404 with no deprecation headers (there
+// is nothing left to deprecate), while the /v1 successors keep
+// working, and the khopd_deprecated_path_total series no longer
+// exists.
 func TestDeprecatedAliases(t *testing.T) {
 	ctx := context.Background()
 	ts := httptest.NewServer(New(Config{}).Handler())
@@ -195,42 +196,40 @@ func TestDeprecatedAliases(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	get := func(path string) (*http.Response, []byte) {
-		t.Helper()
-		resp, err := ts.Client().Get(ts.URL + path)
+	for _, bare := range []string{
+		"/deployments",
+		"/deployments/prod",
+		"/deployments/prod/route?src=0&dst=1",
+		"/healthz",
+		"/metrics",
+	} {
+		resp, err := ts.Client().Get(ts.URL + bare)
 		if err != nil {
 			t.Fatal(err)
 		}
-		defer resp.Body.Close()
-		raw, err := io.ReadAll(resp.Body)
-		if err != nil {
-			t.Fatal(err)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404 (bare aliases are past sunset)", bare, resp.StatusCode)
 		}
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, raw)
+		if got := resp.Header.Get("Deprecation"); got != "" {
+			t.Errorf("GET %s: Deprecation header %q on a removed path", bare, got)
 		}
-		return resp, raw
 	}
 
-	bare, bareBody := get("/deployments/prod")
-	if got := bare.Header.Get("Deprecation"); got != deprecationDate {
-		t.Errorf("bare path Deprecation header = %q, want %q", got, deprecationDate)
+	resp, err := ts.Client().Get(ts.URL + "/v1/deployments/prod")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if link := bare.Header.Get("Link"); !strings.Contains(link, "</v1/deployments/prod>") ||
-		!strings.Contains(link, `rel="successor-version"`) {
-		t.Errorf("bare path Link header = %q, want a successor-version link to /v1", link)
-	}
-	v1, v1Body := get("/v1/deployments/prod")
-	if got := v1.Header.Get("Deprecation"); got != "" {
-		t.Errorf("/v1 path unexpectedly deprecated: %q", got)
-	}
-	if !bytes.Equal(bareBody, v1Body) {
-		t.Error("bare alias and /v1 path answered different payloads")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/deployments/prod: status %d, want 200", resp.StatusCode)
 	}
 
 	sc := scrape(t, ts, "/v1/metrics")
-	if v, ok := sc.Value("khopd_deprecated_path_total", nil); !ok || v < 1 {
-		t.Errorf("khopd_deprecated_path_total = %v (present=%v), want >= 1", v, ok)
+	if _, ok := sc.Value("khopd_deprecated_path_total", nil); ok {
+		t.Error("khopd_deprecated_path_total still exposed after alias removal")
 	}
 }
 
