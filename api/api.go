@@ -21,10 +21,24 @@ const ForwardHeader = "X-Khop-Forwarded"
 
 // HandoffHeader marks a snapshot POST as a rebalancing hand-off from
 // the deployment's previous owner; its value is the sender's ring
-// version (decimal). A hand-off bypasses placement routing (the sender
-// asserts new-ring ownership) and replaces any stale local copy left
-// by an interrupted earlier attempt.
+// version (hex, matching ring_version everywhere else in the API). A
+// hand-off bypasses placement routing (the sender asserts new-ring
+// ownership) and must also carry HandoffGenHeader — whether it may
+// replace an existing local copy is decided by the generation, never
+// unconditionally. Fleet endpoints carry no authentication: khopd
+// assumes its peers share a trusted network (see docs/fleet.md), and a
+// standalone khopd (no -node-id) refuses hand-offs outright.
 const HandoffHeader = "X-Khop-Handoff"
+
+// HandoffGenHeader carries a hand-off's generation (decimal): the
+// number of completed ownership transfers in the shipped copy's
+// lineage, plus one for the transfer in flight. A receiver holding a
+// live copy at a generation >= the header's answers 409 and keeps its
+// copy — the sender's is stale (typically it crashed after an earlier
+// hand-off was acked but before it dropped its local copy) and must be
+// dropped, not installed, or every batch acked on the live copy since
+// that transfer would be lost.
+const HandoffGenHeader = "X-Khop-Handoff-Generation"
 
 // CreateRequest is the body of POST /v1/deployments: either a random
 // unit-disk deployment (N plus AvgDegree/Seed, the paper's evaluation

@@ -324,15 +324,19 @@ func (c *Client) UpdateMembership(ctx context.Context, members []api.Member) (ap
 
 // Handoff ships a snapshot to a node as a rebalancing hand-off
 // (POST /v1/deployments/{id}/snapshot with api.HandoffHeader):
-// placement routing is bypassed and a stale local copy from an
-// interrupted earlier attempt is replaced rather than conflicting.
-// ringVersion is the sender's ring version (from Fleet or the server's
-// own state). Operators normally never call this — the server's
-// rebalancer does.
-func (c *Client) Handoff(ctx context.Context, id string, snapshot []byte, ringVersion string) (api.Summary, error) {
+// placement routing is bypassed and the receiver installs the blob
+// generation-gated. ringVersion is the sender's ring version (hex,
+// from Fleet or the server's own state); gen is the hand-off
+// generation (api.HandoffGenHeader) — the sender's copy's completed
+// transfer count plus one. A 409 APIError means the receiver already
+// holds the deployment at a generation >= gen: the caller's copy is
+// the stale one and should be dropped, never re-shipped. Operators
+// normally never call this — the server's rebalancer does.
+func (c *Client) Handoff(ctx context.Context, id string, snapshot []byte, ringVersion string, gen uint64) (api.Summary, error) {
 	var sum api.Summary
 	raw, err := c.do(ctx, http.MethodPost, depPath(id, "/snapshot"), "application/octet-stream", snapshot,
-		[2]string{api.HandoffHeader, ringVersion})
+		[2]string{api.HandoffHeader, ringVersion},
+		[2]string{api.HandoffGenHeader, strconv.FormatUint(gen, 10)})
 	if err != nil {
 		return sum, err
 	}

@@ -29,6 +29,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -46,6 +47,10 @@ func (s *Server) snapPath(id string) string {
 
 func (s *Server) walDir(id string) string {
 	return filepath.Join(s.cfg.StateDir, "wal", id)
+}
+
+func (s *Server) genPath(id string) string {
+	return filepath.Join(s.cfg.StateDir, id+".gen")
 }
 
 func (s *Server) walOptions() wal.Options {
@@ -76,15 +81,69 @@ func (s *Server) persistSnapshot(id string, raw []byte) error {
 	return nil
 }
 
-// removeDurable deletes a deployment's persisted state (snapshot file
-// and WAL directory); best-effort, for DELETE — a file that cannot be
-// removed only means a future Load resurrects the deployment.
+// removeDurable deletes a deployment's persisted state (snapshot file,
+// WAL directory, hand-off generation); best-effort, for DELETE — a file
+// that cannot be removed only means a future Load resurrects the
+// deployment.
 func (s *Server) removeDurable(id string) {
 	if !s.durable() {
 		return
 	}
 	os.Remove(s.snapPath(id))
+	os.Remove(s.genPath(id))
 	wal.Remove(s.walDir(id))
+}
+
+// persistGen atomically records a deployment's hand-off generation
+// (see fleet.go): a hand-off receiver must remember, across restarts,
+// how many ownership transfers its copy has seen, or an old owner that
+// crashed before dropping its stale copy could re-ship it and
+// overwrite newer state. No-op without a state dir — a non-durable
+// node loses the whole copy on crash, generation included — and for
+// generation 0, which the file's absence already encodes.
+func (s *Server) persistGen(id string, gen uint64) error {
+	if !s.durable() || gen == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.StateDir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.cfg.StateDir, id+".gen.*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.WriteString(strconv.FormatUint(gen, 10))
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	if werr != nil || serr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("write generation %q: %w", id, errors.Join(werr, serr, cerr))
+	}
+	if err := os.Rename(tmp.Name(), s.genPath(id)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// loadGen reads a persisted hand-off generation; absent means 0 (never
+// handed off), unreadable is logged and treated as 0 — the safe
+// direction, since a too-low generation makes this node's copy lose a
+// staleness tie, never win one.
+func (s *Server) loadGen(id string) uint64 {
+	if !s.durable() {
+		return 0
+	}
+	raw, err := os.ReadFile(s.genPath(id))
+	if err != nil {
+		return 0
+	}
+	gen, err := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil {
+		s.logf("deployment %q: unreadable generation file (treating as 0): %v", id, err)
+		return 0
+	}
+	return gen
 }
 
 // makeDurableLocked persists raw as d's base snapshot and attaches a
@@ -274,6 +333,7 @@ func (s *Server) loadOne(id string, raw []byte) error {
 	if err != nil {
 		return err
 	}
+	d.gen = s.loadGen(id)
 	replayStart := time.Now()
 	l, rec, err := wal.Open(s.walDir(id), s.walOptions())
 	if err != nil {

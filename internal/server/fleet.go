@@ -20,8 +20,12 @@
 // to the new owner, which decode-verifies and persists it before
 // acking, and (4) drops the local copy. A crash or error anywhere
 // before the new owner's ack leaves the deployment durably on the old
-// owner; a crash after the ack leaves at most a stale local copy,
-// which the next hand-off attempt or delete reclaims. Acked batches
+// owner; a crash after the ack leaves at most a stale local copy.
+// Every hand-off carries a monotonic per-deployment generation, and
+// the receiver refuses (409) a generation that is not newer than its
+// live copy's — so when the crashed old owner restarts and re-ships
+// its stale copy, the new owner keeps every batch it acked since the
+// transfer and the sender drops the straggler instead. Acked batches
 // are therefore never lost, and a batch arriving mid-hand-off gets
 // 503 + Retry-After, never a split-brain apply. See docs/fleet.md for
 // the full ordering contract and failure matrix.
@@ -138,6 +142,17 @@ func (s *Server) routedCreate(h http.HandlerFunc) http.HandlerFunc {
 			ID string `json:"id"`
 		}
 		if json.Unmarshal(body, &peek) != nil || peek.ID == "" {
+			h(w, r)
+			return
+		}
+		s.mu.RLock()
+		_, local := s.deps[peek.ID]
+		s.mu.RUnlock()
+		if local {
+			// Local-first, same as routed(): a copy already here — possibly
+			// a straggler from a failed hand-off — must yield the standalone
+			// 409 from the local handler, not let the owner build a second,
+			// divergent copy.
 			h(w, r)
 			return
 		}
@@ -311,6 +326,7 @@ func (s *Server) migrateOut(ctx context.Context, id string, dest fleet.Member, r
 		return fmt.Errorf("deployment %q is already migrating", id)
 	}
 	d.migrating = true
+	shipGen := d.gen + 1
 	// Fence up, then checkpoint: after this line no batch can be acked
 	// here, and the blob below holds every batch acked before it.
 	//lint:ignore khoplint/lockscope the hand-off checkpoint must fence, snapshot, and truncate as one atomic step; a batch acked in between would be missing from the shipped blob
@@ -323,7 +339,24 @@ func (s *Server) migrateOut(ctx context.Context, id string, dest fleet.Member, r
 	if s.testHandoffBarrier != nil {
 		s.testHandoffBarrier(id)
 	}
-	if _, err := s.peerClient(dest).Handoff(ctx, id, raw, ringVersionString(ring)); err != nil {
+	if _, err := s.peerClient(dest).Handoff(ctx, id, raw, ringVersionString(ring), shipGen); err != nil {
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode == http.StatusConflict {
+			// The receiver already holds this deployment at generation >=
+			// shipGen: an earlier hand-off completed but our drop never ran
+			// (crash between the receiver's ack and dropLocal). Our copy is
+			// the stale one — drop it rather than ship it; installing it
+			// would erase every batch the receiver acked since.
+			s.dropLocal(id)
+			s.logf("fleet: dropped stale copy of %q (node %q already holds generation >= %d)", id, dest.ID, shipGen)
+			return nil
+		}
+		// Ambiguous failure: the receiver may or may not have installed
+		// generation shipGen (e.g. the ack was lost on the wire). Advance
+		// this copy's generation past the shipped blob before unfencing,
+		// so batches acked here from now on outrank whatever the receiver
+		// holds and the next retry replaces it instead of being refused.
+		s.advanceGen(d, shipGen+1)
 		s.unfence(d)
 		s.tel.migrationErrors.Inc()
 		return err
@@ -346,9 +379,30 @@ func (s *Server) unfence(d *deployment) {
 	d.mu.Unlock()
 }
 
+// advanceGen moves a deployment's hand-off generation to at least gen,
+// durably. Called before unfencing after an ambiguous hand-off
+// failure, so every batch acked here afterwards belongs to a lineage
+// that outranks whatever blob the failed attempt may have installed
+// remotely. A persist failure is logged, not fatal: the in-memory
+// generation still advanced, and the narrowed window (failure + crash
+// before the next checkpoint of the gen file) only re-opens the
+// retry-refused case, never a silent overwrite.
+func (s *Server) advanceGen(d *deployment, gen uint64) {
+	d.mu.Lock()
+	if gen > d.gen {
+		d.gen = gen
+	}
+	id, cur := d.id, d.gen
+	d.mu.Unlock()
+	if err := s.persistGen(id, cur); err != nil {
+		s.logf("fleet: persisting hand-off generation %d for %q: %v", cur, id, err)
+	}
+}
+
 // dropLocal removes a deployment from this node along with its durable
-// state (snapshot file and WAL). Used by DELETE, by a completed
-// hand-off, and by an incoming hand-off replacing a stale copy.
+// state (snapshot file, WAL, hand-off generation). Used by DELETE, by
+// a completed hand-off, and by an incoming hand-off replacing an older
+// copy.
 func (s *Server) dropLocal(id string) *deployment {
 	s.mu.Lock()
 	d := s.deps[id]
@@ -358,6 +412,12 @@ func (s *Server) dropLocal(id string) *deployment {
 		return nil
 	}
 	d.mu.Lock()
+	// Fence the dropped struct: a writer that fetched the pointer via
+	// withDep before the unregister can still lock it, and without the
+	// fence it would Apply, see wal == nil as "in-memory", and ack a
+	// batch into a ghost. migrateOut and DELETE pre-fence before calling
+	// here; raising it again covers the hand-off replace path too.
+	d.migrating = true
 	if d.wal != nil {
 		d.wal.Close()
 		d.wal = nil
@@ -367,22 +427,57 @@ func (s *Server) dropLocal(id string) *deployment {
 	return d
 }
 
-// acceptHandoff installs a rebalancing hand-off: replace any stale
-// local copy, decode-verify, persist, ack 201. The sender drops its
-// copy only on the 201 — an interrupted hand-off leaves the deployment
-// durably on the sender, and a retried one replaces whatever the
-// earlier attempt installed here.
-func (s *Server) acceptHandoff(w http.ResponseWriter, id string, raw []byte, senderRing string) {
-	if prev := s.dropLocal(id); prev != nil {
-		s.logf("fleet: hand-off of %q replaced a stale local copy", id)
+// acceptHandoff installs a rebalancing hand-off, gated on the
+// generation: a blob whose generation is not newer than the live
+// copy's is refused with 409 — the sender holds a stale straggler
+// (typically it crashed after an earlier hand-off was acked but before
+// dropping) and must drop it, or every batch acked here since that
+// transfer would be erased. A strictly newer generation replaces the
+// local copy (the retry path after an ambiguous failure). The install
+// is decode-verified and fully durable — snapshot, WAL, generation —
+// before the 201; the sender drops its copy only on that ack.
+func (s *Server) acceptHandoff(w http.ResponseWriter, id string, raw []byte, senderRing string, gen uint64) {
+	s.mu.RLock()
+	prev := s.deps[id]
+	s.mu.RUnlock()
+	if prev != nil {
+		prev.mu.RLock()
+		prevGen := prev.gen
+		prev.mu.RUnlock()
+		if prevGen >= gen {
+			writeError(w, http.StatusConflict,
+				"hand-off of %q at generation %d is not newer than the live copy's %d; the sender's copy is stale and must be dropped, not shipped",
+				id, gen, prevGen)
+			return
+		}
+		s.dropLocal(id)
+		s.logf("fleet: hand-off of %q (generation %d) replaces the local copy at generation %d", id, gen, prevGen)
 	}
 	d, err := s.restore(id, raw)
 	if err != nil {
 		status := http.StatusBadRequest
-		if errors.Is(err, errDurability) {
+		switch {
+		case errors.Is(err, errDurability):
 			status = http.StatusInternalServerError
+		case errors.Is(err, errExists):
+			// A concurrent hand-off won the install race; whichever blob
+			// landed was acked and its sender dropped — this sender must
+			// drop too, exactly as in the stale case.
+			status = http.StatusConflict
 		}
 		writeError(w, status, "installing hand-off of %q: %v", id, err)
+		return
+	}
+	d.mu.Lock()
+	d.gen = gen
+	d.mu.Unlock()
+	if err := s.persistGen(id, gen); err != nil {
+		// Without the durable generation a restart here would forget the
+		// transfer and a stale sender could overwrite it later. Refuse the
+		// hand-off whole — no ack, so the sender keeps serving, and the
+		// single-copy invariant holds.
+		s.dropLocal(id)
+		writeError(w, http.StatusInternalServerError, "persisting hand-off generation for %q: %v", id, err)
 		return
 	}
 	s.tel.handoffs.Inc()

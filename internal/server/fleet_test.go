@@ -1,11 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
@@ -492,6 +495,242 @@ func TestFleetHandoffFailureKeepsServing(t *testing.T) {
 	}
 	if len(fl2.LocalDeployments) != len(migrated) {
 		t.Fatalf("n2 holds %v, migration reported %v", fl2.LocalDeployments, migrated)
+	}
+}
+
+// TestFleetStaleHandoffRejected is the crash drill for the one window
+// after the receiver's ack: the old owner dies between the ack and its
+// local drop, so its durable copy survives restart, and the boot-path
+// membership retry re-ships that stale blob. The receiver must refuse
+// it (generation not newer, 409) and keep every batch acked since the
+// transfer; the restarted sender must drop the straggler instead of
+// installing it over live state.
+func TestFleetStaleHandoffRejected(t *testing.T) {
+	ctx := context.Background()
+	dir1, dir2 := t.TempDir(), t.TempDir()
+	n1 := startNode(t, "n1", Config{StateDir: dir1})
+	n2 := startNode(t, "n2", Config{StateDir: dir2})
+	join(t, n1) // single-node fleet: everything lives on n1
+
+	reqs := fleetCreate(6)
+	for _, req := range reqs {
+		if _, err := n1.c.Create(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	members := []fleet.Member{{ID: "n1", Addr: n1.ts.URL}, {ID: "n2", Addr: n2.ts.URL}}
+	two, err := fleet.New(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var moving string
+	for _, req := range reqs {
+		if two.Owner(req.ID).ID == "n2" {
+			moving = req.ID
+			break
+		}
+	}
+	if moving == "" {
+		t.Fatal("no deployment moves to n2 — pick different ids")
+	}
+	// The bytes a crashed old owner would still hold durably after the
+	// receiver's ack: its last persisted snapshot of the deployment.
+	stale, err := os.ReadFile(filepath.Join(dir1, moving+".khop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebalance: `moving` hands off to n2 at generation 1, then the new
+	// owner acks a batch the stale copy knows nothing about.
+	join(t, n1, n2)
+	if _, err := n2.c.Events(ctx, moving, []api.EventRequest{{Kind: "leave", Node: 3}}); err != nil {
+		t.Fatalf("write on the new owner after hand-off: %v", err)
+	}
+
+	// kill -9 the old owner as if it died between the ack and dropLocal:
+	// its durable copy of `moving` is still on disk. Restart both nodes
+	// from their state dirs — the receiver must remember the hand-off
+	// generation across its own restart too.
+	n1.ts.Close()
+	n2.ts.Close()
+	if err := os.WriteFile(filepath.Join(dir1, moving+".khop"), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r1 := startNode(t, "n1", Config{StateDir: dir1})
+	r2 := startNode(t, "n2", Config{StateDir: dir2})
+
+	// The boot-path membership retry re-ships the stale copy. It must be
+	// refused and dropped — not installed over the live one.
+	members = []fleet.Member{{ID: "n1", Addr: r1.ts.URL}, {ID: "n2", Addr: r2.ts.URL}}
+	if _, _, err := r2.s.SetMembership(ctx, members); err != nil {
+		t.Fatal(err)
+	}
+	_, migrated, err := r1.s.SetMembership(ctx, members)
+	if err != nil {
+		t.Fatalf("membership retry with a stale straggler: %v (want the straggler dropped, not an error)", err)
+	}
+	found := false
+	for _, id := range migrated {
+		if id == moving {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("migrated = %v, want it to include the reclaimed straggler %q", migrated, moving)
+	}
+	fl1, err := r1.c.Fleet(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range fl1.LocalDeployments {
+		if id == moving {
+			t.Fatalf("restarted old owner still holds %q after the retry", moving)
+		}
+	}
+	// The batch acked on the new owner survived the whole drill.
+	sum, err := r2.c.Summary(ctx, moving)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.EventsApplied != 1 {
+		t.Fatalf("live copy has %d events after stale hand-off retry, want 1 — acked state was overwritten", sum.EventsApplied)
+	}
+}
+
+// TestFleetHandoffValidation pins the hand-off request gate: a
+// standalone khopd refuses hand-offs outright, a fleet node refuses
+// one without a valid generation header, and the generation decides
+// replacement — not-newer is 409, strictly newer installs.
+func TestFleetHandoffValidation(t *testing.T) {
+	ctx := context.Background()
+
+	// Standalone (no -node-id): the header must not bypass the
+	// 409-on-exists guard or destroy state — the request is refused.
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := client.New(ts.URL)
+	if _, err := c.Create(ctx, api.CreateRequest{ID: "prod", N: 40, AvgDegree: 5, Seed: 7, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := c.Snapshot(ctx, "prod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Handoff(ctx, "prod", blob, "ff", 99); err == nil {
+		t.Fatal("standalone khopd accepted a hand-off")
+	} else {
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusForbidden {
+			t.Fatalf("hand-off to standalone: %v, want 403", err)
+		}
+	}
+	if _, err := c.Summary(ctx, "prod"); err != nil {
+		t.Fatalf("deployment damaged by refused hand-off: %v", err)
+	}
+
+	// Fleet node: the generation header is mandatory...
+	n1 := startNode(t, "n1", Config{})
+	req, err := http.NewRequest(http.MethodPost, n1.ts.URL+"/v1/deployments/hand/snapshot", bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(api.HandoffHeader, "ff")
+	resp, err := n1.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("hand-off without generation header: status %d, want 400", resp.StatusCode)
+	}
+
+	// ...and gates replacement: install at 2, refuse 2 and 1, accept 3.
+	if _, err := n1.c.Handoff(ctx, "hand", blob, "ff", 2); err != nil {
+		t.Fatalf("initial hand-off: %v", err)
+	}
+	for _, gen := range []uint64{2, 1} {
+		if _, err := n1.c.Handoff(ctx, "hand", blob, "ff", gen); err == nil {
+			t.Fatalf("hand-off at not-newer generation %d accepted", gen)
+		} else {
+			var apiErr *client.APIError
+			if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusConflict {
+				t.Fatalf("hand-off at generation %d: %v, want 409", gen, err)
+			}
+		}
+	}
+	if _, err := n1.c.Handoff(ctx, "hand", blob, "ff", 3); err != nil {
+		t.Fatalf("hand-off at newer generation: %v", err)
+	}
+}
+
+// TestFleetCreateStragglerConflict pins routedCreate's local-first
+// rule: a create for an id this node still holds (a straggler from a
+// failed hand-off) answers the standalone 409 locally instead of
+// forwarding — which would build a second, divergent copy on the owner
+// while the straggler lives on.
+func TestFleetCreateStragglerConflict(t *testing.T) {
+	ctx := context.Background()
+	n1 := startNode(t, "n1", Config{})
+	join(t, n1)
+	reqs := fleetCreate(8)
+	for _, req := range reqs {
+		if _, err := n1.c.Create(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A dead destination leaves stragglers on n1 under a two-node ring.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadAddr := dead.URL
+	dead.Close()
+	members := []fleet.Member{{ID: "n1", Addr: n1.ts.URL}, {ID: "n2", Addr: deadAddr}}
+	if _, _, err := n1.s.SetMembership(ctx, members); err == nil {
+		t.Fatal("SetMembership with a dead destination reported no error")
+	}
+	ring, err := fleet.New(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var straggler string
+	for _, req := range reqs {
+		if ring.Owner(req.ID).ID == "n2" {
+			straggler = req.ID
+			break
+		}
+	}
+	if straggler == "" {
+		t.Fatal("no straggler owned by n2 — pick different ids")
+	}
+
+	_, err = n1.c.Create(ctx, api.CreateRequest{ID: straggler, N: 40, AvgDegree: 5, Seed: 1, K: 2})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusConflict {
+		t.Fatalf("create over a straggler copy: %v, want the local 409", err)
+	}
+}
+
+// TestDropLocalFencesStragglers pins the ghost-writer guard: dropLocal
+// must raise the migrating fence on the struct it unregisters, so a
+// writer that grabbed the pointer before the unregister answers 503
+// instead of acking a batch into a copy that no longer exists.
+func TestDropLocalFencesStragglers(t *testing.T) {
+	n := startNode(t, "n1", Config{})
+	if _, err := n.c.Create(context.Background(), api.CreateRequest{ID: "ghost", N: 40, AvgDegree: 5, Seed: 3, K: 2}); err != nil {
+		t.Fatal(err)
+	}
+	n.s.mu.RLock()
+	d := n.s.deps["ghost"]
+	n.s.mu.RUnlock()
+	if d == nil {
+		t.Fatal("deployment not registered")
+	}
+	n.s.dropLocal("ghost")
+	d.mu.RLock()
+	fenced := d.migrating
+	d.mu.RUnlock()
+	if !fenced {
+		t.Fatal("dropLocal left the dropped struct unfenced; a straggler writer could ack into a ghost")
 	}
 }
 

@@ -218,6 +218,14 @@ type deployment struct {
 	// this node entirely) or the hand-off fails (then the fence drops
 	// and the node keeps serving).
 	migrating bool
+	// gen counts the completed ownership transfers in this copy's
+	// lineage (0 = created or restored here, never handed off). Every
+	// hand-off ships gen+1 and the receiver persists it before acking;
+	// acceptHandoff refuses a generation that is not newer than the
+	// live copy's, so an old owner that crashed between the receiver's
+	// ack and its own drop can never overwrite state acked since the
+	// transfer it missed. See fleet.go and docs/fleet.md.
+	gen uint64
 }
 
 // pairError carries the independent router/plan construction errors.
@@ -883,7 +891,20 @@ func (s *Server) handleSnapshotPost(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if hv := r.Header.Get(api.HandoffHeader); hv != "" {
-		s.acceptHandoff(w, id, raw, hv)
+		// Hand-offs bypass the 409-on-exists guard below, so they are
+		// gated harder: only a fleet-configured node accepts them, and the
+		// generation header decides whether an existing copy may be
+		// replaced — never the header's mere presence.
+		if s.cfg.NodeID == "" {
+			writeError(w, http.StatusForbidden, "standalone khopd (no -node-id) does not accept fleet hand-offs")
+			return
+		}
+		gen, gerr := strconv.ParseUint(r.Header.Get(api.HandoffGenHeader), 10, 64)
+		if gerr != nil {
+			writeError(w, http.StatusBadRequest, "hand-off without a valid %s header: %v", api.HandoffGenHeader, gerr)
+			return
+		}
+		s.acceptHandoff(w, id, raw, hv, gen)
 		return
 	}
 	d, err := s.restore(id, raw)
